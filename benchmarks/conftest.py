@@ -1,0 +1,42 @@
+"""Shared fixtures for the paper-figure benchmark harness.
+
+Every bench regenerates one table or figure of the paper: it prints the
+same rows/series the paper reports, writes them under
+``benchmarks/results/``, and asserts the paper's *shape* (who wins, by
+roughly what factor, where knees/crossovers fall).
+
+Scale: benches default to a scaled chip (fewer sub-rings / shorter
+instruction streams) so the whole suite completes in minutes; set
+``REPRO_FULL=1`` to run the full 256-core geometry.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+FULL_SCALE = os.environ.get("REPRO_FULL", "0") == "1"
+
+
+@pytest.fixture
+def emit(request):
+    """Print a rendered figure/table and persist it to results/."""
+
+    def _emit(name: str, text: str) -> None:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+        print(f"\n{text}\n")
+
+    return _emit
+
+
+@pytest.fixture
+def chip_scale():
+    """(sub_rings, cores_per_sub_ring, instrs_per_thread) for chip benches."""
+    if FULL_SCALE:
+        return 16, 16, 300
+    return 4, 16, 250

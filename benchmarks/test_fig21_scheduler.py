@@ -1,0 +1,62 @@
+"""Paper Fig 21: laxity-aware HW scheduler vs software Deadline scheduler.
+
+RNC task set: 128 task threads resident on one sub-ring, 64 running at a
+time (4 of 8 threads per core), hard deadline at 340 000 cycles.
+
+Paper findings: the software Deadline scheduler spreads exits over
+320k-354k cycles (some past the deadline); the hardware laxity-aware
+scheduler tightens the spread to 334k-342k and improves the overall
+success rate, even though its earliest exit is later.
+"""
+
+from repro.analysis import render_table
+from repro.sched import Task, TimeSharedTestbed
+from repro.sim import RngTree
+
+N_TASKS = 128
+SLOTS = 64             # 16 cores x 4 running threads on one sub-ring
+DEADLINE = 340_000
+
+
+def _tasks(seed=21):
+    rng = RngTree(seed).stream("fig21")
+    # all procedures share the deadline; work varies per connection event;
+    # fair time-sharing over 64 slots maps work w to an exit near 2w
+    return [Task(work_cycles=rng.uniform(160_000, 176_000), deadline=DEADLINE)
+            for _ in range(N_TASKS)]
+
+
+def _sweep():
+    edf = TimeSharedTestbed(slots=SLOTS, policy="fair",
+                            quantum=8192).run(_tasks())
+    lax = TimeSharedTestbed(slots=SLOTS, policy="laxity",
+                            quantum=1024).run(_tasks())
+    return edf, lax
+
+
+def test_fig21_scheduler(benchmark, emit):
+    edf, lax = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+
+    emit("fig21_scheduler", render_table(
+        ["scheduler", "earliest exit", "latest exit", "spread",
+         "success rate"],
+        [["Deadline (software)", round(edf.earliest), round(edf.latest),
+          round(edf.spread), round(edf.success_rate, 3)],
+         ["Laxity-aware (hardware)", round(lax.earliest), round(lax.latest),
+          round(lax.spread), round(lax.success_rate, 3)]],
+        title=f"Fig 21: task exit times (deadline = {DEADLINE} cycles)",
+    ))
+
+    # every task exits under both schedulers
+    assert len(edf.exit_times) == len(lax.exit_times) == N_TASKS
+    # paper panel ranges: software ~320k-354k, hardware ~334k-342k
+    assert 0.9 * 320_000 < edf.earliest < 1.05 * 320_000
+    assert lax.latest < 0.98 * 354_000
+    # the hardware scheduler tightens the exit spread dramatically
+    assert lax.spread < edf.spread * 0.5
+    # ...and improves the deadline success rate
+    assert lax.success_rate > edf.success_rate
+    assert lax.success_rate == 1.0
+    # its earliest exit is later (paper: "the execution time of the
+    # earliest exit thread is greater than that of the left figure")
+    assert lax.earliest > edf.earliest

@@ -1,0 +1,67 @@
+"""Paper Fig 23: scalability of SmarCo vs Xeon on KMP.
+
+Paper shape: the Xeon rises to a peak around 32-64 threads and then
+*falls* (thread creation + scheduling overhead); SmarCo starts far below
+(few threads cannot fill 64+ cores) but scales past the Xeon beyond ~64
+threads and keeps rising.
+"""
+
+from repro.analysis import crossover_index, render_series
+from repro.chip import SmarCoChip, XeonSystem
+from repro.config import smarco_scaled
+from repro.workloads import get_profile
+
+THREADS = [1, 4, 16, 32, 64, 128, 256, 512]
+# Throughput (instrs/sec) is work-normalised, so each system can run the
+# work volume its model needs: the analytic Xeon gets a large job (the
+# paper's KMP datasets are big, so the pthread-creation ramp only bites
+# at high thread counts), the DES SmarCo a smaller one.
+XEON_TOTAL_WORK = 8_000_000
+SMARCO_TOTAL_WORK = 1_500_000
+
+
+def _xeon_tput(n_threads):
+    system = XeonSystem(seed=23)
+    per_thread = max(500, XEON_TOTAL_WORK // n_threads)
+    result = system.run_profile(get_profile("kmp"), n_threads, per_thread)
+    return result.throughput_ips
+
+
+def _smarco_tput(n_threads, cfg):
+    chip = SmarCoChip(cfg, seed=23)
+    per_thread = max(200, SMARCO_TOTAL_WORK // n_threads)
+    chip.load_profile(get_profile("kmp"), threads_per_core=8,
+                      instrs_per_thread=per_thread, total_threads=n_threads)
+    return chip.run().throughput_ips
+
+
+def test_fig23_scalability(benchmark, emit, chip_scale):
+    sub_rings, cores, _ = chip_scale
+    cfg = smarco_scaled(sub_rings, cores)
+
+    def sweep():
+        xeon = [_xeon_tput(n) for n in THREADS]
+        smarco = [_smarco_tput(n, cfg) for n in THREADS]
+        return xeon, smarco
+
+    xeon, smarco = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    emit("fig23_scalability", render_series(
+        "threads", THREADS,
+        {"xeon (Ginstr/s)": [round(v / 1e9, 2) for v in xeon],
+         "smarco (Ginstr/s)": [round(v / 1e9, 2) for v in smarco]},
+        title="Fig 23: KMP throughput vs thread count",
+    ))
+
+    # Xeon peaks in the 32-64 thread region and declines afterwards
+    peak_idx = xeon.index(max(xeon))
+    assert THREADS[peak_idx] in (16, 32, 64), THREADS[peak_idx]
+    assert xeon[-1] < max(xeon), "Xeon must decline past its peak"
+    # SmarCo starts below the Xeon at low thread counts
+    assert smarco[0] < xeon[0]
+    # ...but crosses over and keeps rising
+    cross = crossover_index(smarco, xeon)
+    assert cross != -1
+    assert THREADS[cross] <= 128, f"crossover at {THREADS[cross]}"
+    assert smarco[-1] > smarco[THREADS.index(64)]
+    assert smarco[-1] > xeon[-1] * 2

@@ -1,0 +1,46 @@
+#!/usr/bin/env python3
+"""The paper's motivating CDN study (Fig 2).
+
+Models the Nginx + 10 Gbps NIC video server of the paper's introduction:
+as concurrent 25 Mbps streams approach the NIC limit, the conventional
+processor shows the HTC mismatch signatures — CPU utilisation stays
+under 10 % while branch and L1 miss ratios blow up.
+
+Run:  python examples/cdn_service.py
+"""
+
+from repro.analysis import render_table
+from repro.workloads import CdnConfig, CdnModel
+
+
+def main() -> None:
+    config = CdnConfig()
+    model = CdnModel(config)
+
+    print(f"NIC: {config.nic_gbps:.0f} Gbps, streams: "
+          f"{config.video_rate_mbps:.0f} Mbps "
+          f"-> connection limit {config.max_connections}")
+    print(f"server: {config.cores} cores @ {config.frequency_ghz} GHz\n")
+
+    points = model.sweep(points=8)
+    rows = [[p.connections,
+             f"{p.nic_utilization:.0%}",
+             f"{p.cpu_utilization:.1%}",
+             f"{p.branch_miss_ratio:.1%}",
+             f"{p.l1_miss_ratio:.1%}"] for p in points]
+    print(render_table(
+        ["connections", "NIC util", "CPU util", "branch miss", "L1 miss"],
+        rows, title="Fig 2: conventional processor under a CDN workload"))
+
+    limit = points[-1]
+    print(f"\nAt the NIC limit ({limit.connections} clients):")
+    print(f"  the NIC is saturated but the CPU is only "
+          f"{limit.cpu_utilization:.1%} busy,")
+    print(f"  yet the branch miss ratio is {limit.branch_miss_ratio:.1%} "
+          f"and the L1 miss ratio {limit.l1_miss_ratio:.1%}.")
+    print("  -> throughput-oriented many-cores (SmarCo) fit this class of")
+    print("     workload far better than big out-of-order cores.")
+
+
+if __name__ == "__main__":
+    main()

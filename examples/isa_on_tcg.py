@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Run a *real program* on a TCG core: assembly -> functional machine ->
+cycle-approximate pipeline.
+
+Assembles the KMP string-search kernel from :mod:`repro.isa.programs`,
+executes it functionally to get the answer, and simultaneously feeds the
+retired-instruction stream into TCG timing models to compare the paper's
+in-pair thread scheduling against a blocking (no-pairing) core.
+
+Run:  python examples/isa_on_tcg.py
+"""
+
+from repro.core import FixedLatencyPort, TCGCore, from_machine
+from repro.isa import Machine
+from repro.isa.programs import (
+    kmp_failure_table,
+    kmp_search_program,
+    load_words,
+)
+from repro.sim import Simulator
+from repro.workloads.datasets import low_entropy_string
+
+
+def make_machine(text: bytes, pattern: bytes) -> Machine:
+    machine = Machine(kmp_search_program())
+    machine.memory.write_bytes(0x1000, text)
+    machine.memory.write_bytes(0x4000, pattern)
+    load_words(machine.memory, 0x5000, kmp_failure_table(pattern))
+    machine.write_reg(1, 0x1000)
+    machine.write_reg(2, len(text))
+    machine.write_reg(3, 0x4000)
+    machine.write_reg(4, len(pattern))
+    machine.write_reg(5, 0x5000)
+    return machine
+
+
+def run_core(policy: str, n_threads: int, text: bytes, pattern: bytes):
+    sim = Simulator()
+    core = TCGCore(sim, 0, FixedLatencyPort(sim, 120.0), policy=policy)
+    machines = []
+    for _ in range(n_threads):
+        machine = make_machine(text, pattern)
+        machines.append(machine)
+        core.add_thread(from_machine(machine))
+    core.start()
+    sim.run()
+    return core, machines
+
+
+def main() -> None:
+    text = low_entropy_string(1500, seed=4).encode()
+    pattern = b"acgta"
+
+    print(f"searching a {len(text)}-byte DNA-like text for {pattern!r}\n")
+
+    # functional answer straight from the machine
+    reference = make_machine(text, pattern)
+    reference.run()
+    print(f"matches found (functional machine): {reference.read_reg(10)}")
+    print(f"instructions retired               : {reference.retired:,}\n")
+
+    # the same program as a timing workload
+    print(f"{'policy':<22}{'threads':<9}{'cycles':<12}{'core IPC'}")
+    for policy, threads in (("blocking", 2), ("inpair", 2),
+                            ("inpair", 8)):
+        core, machines = run_core(policy, threads, text, pattern)
+        # every thread computed the right answer
+        assert all(m.read_reg(10) == reference.read_reg(10)
+                   for m in machines)
+        print(f"{policy:<22}{threads:<9}{core.elapsed:<12,.0f}"
+              f"{core.ipc:.2f}")
+
+    print("\nIn-pair threading hides the memory latency the blocking core")
+    print("eats, and 8 threads (4 pairs) keep all four issue slots busy —")
+    print("the mechanism behind paper Fig 17.")
+
+
+if __name__ == "__main__":
+    main()

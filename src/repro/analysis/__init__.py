@@ -1,0 +1,16 @@
+"""Analysis helpers: metrics and table rendering for the benches."""
+
+from .metrics import crossover_index, geometric_mean, normalize, speedup
+from .report import build_report, collect_results
+from .tables import render_series, render_table
+
+__all__ = [
+    "speedup",
+    "geometric_mean",
+    "normalize",
+    "crossover_index",
+    "render_table",
+    "render_series",
+    "build_report",
+    "collect_results",
+]

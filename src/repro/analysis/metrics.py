@@ -1,0 +1,47 @@
+"""Metric helpers shared by the benchmark harness."""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from ..errors import ConfigError
+
+__all__ = ["speedup", "geometric_mean", "normalize", "crossover_index"]
+
+
+def speedup(new: float, baseline: float) -> float:
+    """`new / baseline`; raises on a zero baseline."""
+    if baseline <= 0:
+        raise ConfigError("baseline must be positive")
+    return new / baseline
+
+
+def geometric_mean(values: Sequence[float]) -> float:
+    """Geometric mean (the right average for speedup ratios)."""
+    values = list(values)
+    if not values:
+        raise ConfigError("geometric mean of an empty sequence")
+    if any(v <= 0 for v in values):
+        raise ConfigError("geometric mean requires positive values")
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def normalize(values: Sequence[float], reference: float) -> List[float]:
+    """Divide every value by ``reference`` (paper Fig 19's normalisation)."""
+    if reference == 0:
+        raise ConfigError("cannot normalise to zero")
+    return [v / reference for v in values]
+
+
+def crossover_index(series_a: Sequence[float], series_b: Sequence[float]) -> int:
+    """First index where ``series_a`` overtakes ``series_b`` (−1 if never).
+
+    Used for Fig 23: where the SmarCo curve crosses the Xeon curve.
+    """
+    if len(series_a) != len(series_b):
+        raise ConfigError("series must have equal length")
+    for i, (a, b) in enumerate(zip(series_a, series_b)):
+        if a > b:
+            return i
+    return -1

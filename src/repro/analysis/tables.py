@@ -1,0 +1,50 @@
+"""Plain-text table rendering for the benchmark harness.
+
+Every bench prints the rows/series its paper figure reports; this module
+keeps the formatting consistent and dependency-free.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence
+
+__all__ = ["render_table", "render_series"]
+
+
+def _fmt(value: Any) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000 or abs(value) < 0.01:
+            return f"{value:.3g}"
+        return f"{value:.3f}".rstrip("0").rstrip(".")
+    return str(value)
+
+
+def render_table(headers: Sequence[str], rows: Sequence[Sequence[Any]],
+                 title: Optional[str] = None) -> str:
+    """Fixed-width table with a header rule."""
+    cells = [[_fmt(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in cells:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def render_series(x_label: str, xs: Sequence[Any],
+                  series: Dict[str, Sequence[Any]],
+                  title: Optional[str] = None) -> str:
+    """A figure-style table: one x column, one column per series."""
+    headers = [x_label] + list(series)
+    rows = []
+    for i, x in enumerate(xs):
+        rows.append([x] + [series[name][i] for name in series])
+    return render_table(headers, rows, title)

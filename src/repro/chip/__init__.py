@@ -1,0 +1,16 @@
+"""Full-chip assemblies: SmarCo, the Xeon baseline, and the run harness."""
+
+from .run import ComparisonResult, compare, run_smarco, run_xeon
+from .smarco import SmarCoChip, SmarcoRunResult
+from .xeon import XeonRunResult, XeonSystem
+
+__all__ = [
+    "SmarCoChip",
+    "SmarcoRunResult",
+    "XeonSystem",
+    "XeonRunResult",
+    "ComparisonResult",
+    "run_smarco",
+    "run_xeon",
+    "compare",
+]

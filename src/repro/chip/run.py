@@ -1,0 +1,115 @@
+"""High-level experiment harness: run a workload on both chips and
+compare (the machinery behind Figs 22, 23, 26).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from ..config import SmarCoConfig, XeonConfig, smarco_scaled, xeon_default
+from ..power.energy import PowerModel, XeonPowerModel
+from ..workloads.base import WorkloadProfile, get_profile
+from .smarco import SmarCoChip, SmarcoRunResult
+from .xeon import XeonRunResult, XeonSystem
+
+__all__ = ["ComparisonResult", "run_smarco", "run_xeon", "compare"]
+
+
+@dataclass
+class ComparisonResult:
+    """SmarCo-vs-Xeon outcome for one workload (one Fig 22 bar pair)."""
+
+    workload: str
+    smarco: SmarcoRunResult
+    xeon: XeonRunResult
+    smarco_watts: float
+    xeon_watts: float
+
+    @property
+    def speedup(self) -> float:
+        """SmarCo throughput over Xeon throughput (Fig 22 left bars)."""
+        if not self.xeon.throughput_ips:
+            return 0.0
+        return self.smarco.throughput_ips / self.xeon.throughput_ips
+
+    @property
+    def energy_efficiency_gain(self) -> float:
+        """(perf/W SmarCo) / (perf/W Xeon) (Fig 22 right bars)."""
+        smarco_eff = self.smarco.throughput_ips / self.smarco_watts
+        xeon_eff = self.xeon.throughput_ips / self.xeon_watts
+        return smarco_eff / xeon_eff if xeon_eff else 0.0
+
+
+def run_smarco(
+    workload: str,
+    config: Optional[SmarCoConfig] = None,
+    threads_per_core: int = 8,
+    instrs_per_thread: int = 600,
+    seed: int = 0,
+    core_policy: str = "inpair",
+    realtime_fraction: float = 0.0,
+) -> SmarcoRunResult:
+    """Build a chip, load a named workload profile, run to completion."""
+    profile = get_profile(workload)
+    chip = SmarCoChip(config, seed=seed, core_policy=core_policy,
+                      realtime_fraction=realtime_fraction)
+    chip.load_profile(profile, threads_per_core, instrs_per_thread)
+    return chip.run()
+
+
+def run_xeon(
+    workload: str,
+    config: Optional[XeonConfig] = None,
+    n_threads: int = 48,
+    instrs_per_thread: int = 40_000,
+    seed: int = 0,
+    stagger_creation: bool = True,
+) -> XeonRunResult:
+    """Run a named workload on the baseline system."""
+    profile = get_profile(workload)
+    system = XeonSystem(config, seed=seed)
+    return system.run_profile(profile, n_threads, instrs_per_thread,
+                              stagger_creation=stagger_creation)
+
+
+def compare(
+    workload: str,
+    smarco_config: Optional[SmarCoConfig] = None,
+    xeon_config: Optional[XeonConfig] = None,
+    smarco_threads_per_core: int = 8,
+    smarco_instrs_per_thread: int = 600,
+    xeon_threads: int = 48,
+    xeon_instrs_per_thread: int = 40_000,
+    seed: int = 0,
+    technology_nm: Optional[int] = None,
+    power_config: Optional[SmarCoConfig] = None,
+) -> ComparisonResult:
+    """One Fig 22 (or Fig 26, via ``technology_nm=40``) data point.
+
+    Energy accounting is conservative: SmarCo is billed the *full-chip*
+    power (paper Table 1's 240 W class) even when the simulated geometry
+    is scaled down, with a 0.5 activity floor — the paper's workloads
+    keep the chip busy.
+    """
+    smarco_result = run_smarco(workload, smarco_config,
+                               smarco_threads_per_core,
+                               smarco_instrs_per_thread, seed)
+    xeon_result = run_xeon(workload, xeon_config, xeon_threads,
+                           xeon_instrs_per_thread, seed)
+    from ..config import smarco_default
+
+    smarco_power = PowerModel(
+        power_config if power_config is not None else smarco_default())
+    xeon_power = XeonPowerModel(xeon_config)
+    return ComparisonResult(
+        workload=workload,
+        smarco=smarco_result,
+        xeon=xeon_result,
+        smarco_watts=smarco_power.total_watts(
+            utilization=max(0.5, smarco_result.utilization),
+            technology_nm=technology_nm,
+        ),
+        xeon_watts=xeon_power.total_watts(
+            utilization=max(0.1, xeon_result.utilization)),
+    )

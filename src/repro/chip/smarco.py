@@ -1,0 +1,399 @@
+"""Full-chip SmarCo assembly (paper Fig 4).
+
+Wires every subsystem together and simulates the complete memory path:
+
+    TCG core --sub-ring--> MACT (at the bridge) --main-ring--> memory
+    controller --DRAM--> reply --main-ring--> bridge --sub-ring--> core
+
+Real-time reads may ride the star-shaped direct datapath instead
+(§3.5.2).  Remote-SPM requests travel core-to-core over the rings.
+
+The chip is the engine behind the headline experiments: Fig 19/20 (MACT),
+Fig 22 (performance & energy vs Xeon), Fig 23 (scalability), and the
+topology/direct-path ablations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Generator, List, Optional
+
+from ..config import SmarCoConfig, smarco_scaled
+from ..core.ports import FunctionPort
+from ..core.tcg import TCGCore
+from ..errors import ConfigError
+from ..mem.controller import MemorySystem
+from ..mem.dma import DmaEngine
+from ..mem.mact import MACT, Batch
+from ..mem.request import MemRequest, Priority
+from ..mem.spm import Scratchpad, SpmAddressMap
+from ..noc.directpath import DirectDatapath
+from ..noc.hierring import HierarchicalRingNoC
+from ..noc.packet import NodeId, Packet, PacketKind
+from ..sim.engine import Simulator
+from ..sim.rng import RngTree
+from ..sim.stats import StatsRegistry
+from ..workloads.base import WorkloadProfile
+
+__all__ = ["SmarCoChip", "SmarcoRunResult"]
+
+_BATCH_HEADER_BYTES = 8
+# per-sub-ring gang datasets live here (uncached streaming space)
+UNCACHED_GANG_BASE = 0x9000_0000_0000
+
+
+@dataclass
+class SmarcoRunResult:
+    """Measured outcome of one workload run on the chip."""
+
+    cycles: float
+    instructions: int
+    cores_done: int
+    total_cores: int
+    frequency_ghz: float
+    mem_requests: int
+    mem_transactions: int
+    mean_request_latency: float
+    noc_bandwidth_utilization: float
+    mact_request_reduction: float
+
+    @property
+    def ipc(self) -> float:
+        """Chip-level instructions per cycle."""
+        return self.instructions / self.cycles if self.cycles else 0.0
+
+    @property
+    def throughput_ips(self) -> float:
+        """Instructions per second (the cross-chip comparison metric)."""
+        return self.ipc * self.frequency_ghz * 1e9
+
+    @property
+    def utilization(self) -> float:
+        """Issue-slot activity factor, used by the power model."""
+        if not self.total_cores:
+            return 0.0
+        return min(1.0, self.ipc / (4 * self.total_cores))
+
+
+class SmarCoChip:
+    """A complete SmarCo processor instance."""
+
+    def __init__(
+        self,
+        config: Optional[SmarCoConfig] = None,
+        seed: int = 0,
+        core_policy: str = "inpair",
+        realtime_fraction: float = 0.0,
+        spm_prefetch: bool = False,
+    ) -> None:
+        self.config = config if config is not None else smarco_scaled(4)
+        self.config.validate()
+        self.sim = Simulator()
+        self.registry = StatsRegistry()
+        self.rng = RngTree(seed)
+        cfg = self.config
+
+        self.noc = HierarchicalRingNoC(
+            self.sim, cfg.sub_rings, cfg.cores_per_sub_ring,
+            cfg.memory.channels, cfg.ring, self.registry,
+        )
+        self.memory = MemorySystem(self.sim, cfg.memory, cfg.frequency_ghz,
+                                   self.registry)
+        self.direct: Optional[DirectDatapath] = None
+        if cfg.ring.direct_datapath:
+            self.direct = DirectDatapath(
+                self.sim, cfg.sub_rings,
+                latency=cfg.ring.direct_datapath_latency,
+                registry=self.registry,
+            )
+
+        self.spms: Dict[int, Scratchpad] = {
+            cid: Scratchpad(cid, cfg.tcg.spm_bytes, cfg.tcg.spm_control_bytes,
+                            registry=self.registry)
+            for cid in range(cfg.total_cores)
+        }
+        self.spm_map = SpmAddressMap(self.spms)
+
+        self.macts: List[MACT] = [
+            MACT(self.sim,
+                 send=(lambda batch, ring=s: self._dispatch_batch(ring, batch)),
+                 config=cfg.mact, name=f"mact{s}", registry=self.registry)
+            for s in range(cfg.sub_rings)
+        ]
+        # one DMA engine per sub-ring (SPM transfers + code prefetch, §3.5.1)
+        self.dmas: List[DmaEngine] = [
+            DmaEngine(self.sim, name=f"dma{s}", registry=self.registry)
+            for s in range(cfg.sub_rings)
+        ]
+
+        self.req_latency = self.registry.accumulator("chip.req_latency")
+        # optional §7 extension: sequential-stream prefetch into SPM
+        self.prefetchers: List[Optional["StreamPrefetcher"]] = []
+        if spm_prefetch:
+            from ..mem.prefetch import StreamPrefetcher
+
+            for cid in range(cfg.total_cores):
+                ring = cid // cfg.cores_per_sub_ring
+                self.prefetchers.append(StreamPrefetcher(
+                    cid,
+                    fetch=(lambda req, s=ring:
+                           self.macts[s].submit(req)),
+                    registry=self.registry,
+                ))
+        else:
+            self.prefetchers = [None] * cfg.total_cores
+        self.cores: List[TCGCore] = []
+        for cid in range(cfg.total_cores):
+            port = FunctionPort(self.sim, self._make_submit(cid))
+            self.cores.append(TCGCore(
+                self.sim, cid, port, cfg.tcg, policy=core_policy,
+                spm_map=self.spm_map,
+                realtime_fraction=realtime_fraction,
+                rng=self.rng.stream(f"core{cid}.rt") if realtime_fraction else None,
+                registry=self.registry,
+            ))
+        self._loaded = False
+        self._shared_code = False
+        self._code_payload = b""
+
+    # -- topology helpers --------------------------------------------------------
+
+    def ring_of(self, core_id: int) -> int:
+        return core_id // self.config.cores_per_sub_ring
+
+    def core_node(self, core_id: int) -> NodeId:
+        ring, idx = divmod(core_id, self.config.cores_per_sub_ring)
+        return NodeId("core", ring=ring, index=idx)
+
+    # -- the memory path ------------------------------------------------------------
+
+    def _make_submit(self, core_id: int):
+        def submit(request: MemRequest) -> None:
+            prev = request.on_complete
+
+            def record(req: MemRequest, now: float) -> None:
+                self.req_latency.add(now - req.issue_time)
+                if prev is not None:
+                    prev(req, now)
+
+            request.on_complete = record
+            self._route_request(core_id, request)
+
+        return submit
+
+    def _route_request(self, core_id: int, request: MemRequest) -> None:
+        ring = self.ring_of(core_id)
+        spm_owner = self.spm_map.owner_of(request.addr)
+        if spm_owner is not None:
+            self.sim.spawn(self._remote_spm(core_id, spm_owner, request),
+                           f"rspm{request.req_id}")
+            return
+        prefetcher = self.prefetchers[core_id]
+        if prefetcher is not None and not request.is_write:
+            if prefetcher.lookup(request.addr, request.size, self.sim.now):
+                # data already staged in SPM by the stream prefetcher
+                self.sim.schedule(self.config.tcg.spm_hit_latency + 1,
+                                  self._complete_now, request)
+                return
+            prefetcher.observe(request.addr, request.size, self.sim.now)
+        if (self.direct is not None and not request.is_write
+                and request.priority is Priority.REALTIME):
+            self.sim.spawn(self._direct_read(ring, core_id, request),
+                           f"direct{request.req_id}")
+            return
+        # normal path: ride the sub-ring to the MACT at the bridge
+        packet = Packet(
+            src=self.core_node(core_id), dst=NodeId("bridge", ring=ring),
+            size_bytes=max(1, request.size),
+            kind=PacketKind.MEM_WRITE if request.is_write else PacketKind.MEM_READ,
+            on_delivered=lambda p, t, r=request, s=ring: self.macts[s].submit(r),
+        )
+        self.noc.send(packet)
+
+    def _complete_now(self, request: MemRequest) -> None:
+        request.complete(self.sim.now)
+
+    def _dispatch_batch(self, ring: int, batch: Batch) -> None:
+        self.sim.spawn(self._batch_proc(ring, batch), f"batch@{ring}")
+
+    def _batch_proc(self, ring: int, batch: Batch) -> Generator:
+        covered = max(1, batch.wanted_bytes)
+        mc = self.memory.controller_for(batch.base_addr)
+        mc_node = NodeId("mc", index=mc.controller_id)
+        bridge = NodeId("bridge", ring=ring)
+
+        # command (reads) or command+data (writes) to the controller
+        out_size = _BATCH_HEADER_BYTES + (covered if batch.is_write else 0)
+        out_pkt = Packet(src=bridge, dst=mc_node, size_bytes=out_size,
+                         kind=PacketKind.MEM_WRITE if batch.is_write
+                         else PacketKind.MEM_READ)
+        yield self.noc.send(out_pkt)
+
+        # DRAM access for the packed transaction
+        dram_req = MemRequest(addr=batch.base_addr, size=covered,
+                              is_write=batch.is_write)
+        finish = mc.submit(dram_req)
+        yield max(0.0, finish - self.sim.now)
+
+        if batch.is_write:
+            for req in batch.requests:
+                req.complete(self.sim.now)
+            return
+
+        # data back to the bridge, then per-request delivery on the sub-ring
+        reply = Packet(src=mc_node, dst=bridge,
+                       size_bytes=_BATCH_HEADER_BYTES + covered,
+                       kind=PacketKind.MEM_REPLY)
+        yield self.noc.send(reply)
+        for req in batch.requests:
+            final = Packet(
+                src=bridge, dst=self.core_node(req.core_id),
+                size_bytes=max(1, req.size), kind=PacketKind.MEM_REPLY,
+                on_delivered=lambda p, t, r=req: r.complete(t),
+            )
+            self.noc.send(final)
+
+    def _direct_read(self, ring: int, core_id: int,
+                     request: MemRequest) -> Generator:
+        out = Packet(src=self.core_node(core_id),
+                     dst=NodeId("mc", index=0), size_bytes=8,
+                     kind=PacketKind.MEM_READ, realtime=True)
+        yield self.direct.send(out, ring)
+        mc = self.memory.controller_for(request.addr)
+        dram_req = MemRequest(addr=request.addr, size=request.size,
+                              is_write=False)
+        finish = mc.submit(dram_req)
+        yield max(0.0, finish - self.sim.now)
+        back = Packet(src=NodeId("mc", index=mc.controller_id),
+                      dst=self.core_node(core_id),
+                      size_bytes=max(1, request.size),
+                      kind=PacketKind.MEM_REPLY, realtime=True)
+        yield self.direct.send(back, ring)
+        request.complete(self.sim.now)
+
+    def _remote_spm(self, core_id: int, owner: Scratchpad,
+                    request: MemRequest) -> Generator:
+        there = Packet(src=self.core_node(core_id),
+                       dst=self.core_node(owner.core_id),
+                       size_bytes=max(1, request.size),
+                       kind=PacketKind.SPM_TRANSFER)
+        yield self.noc.send(there)
+        yield self.config.tcg.spm_hit_latency
+        if not request.is_write:
+            back = Packet(src=self.core_node(owner.core_id),
+                          dst=self.core_node(core_id),
+                          size_bytes=max(1, request.size),
+                          kind=PacketKind.SPM_TRANSFER)
+            yield self.noc.send(back)
+        request.complete(self.sim.now)
+
+    # -- workload loading & running ------------------------------------------------------
+
+    def load_profile(
+        self,
+        profile: WorkloadProfile,
+        threads_per_core: int = 8,
+        instrs_per_thread: int = 1000,
+        total_threads: Optional[int] = None,
+        shared_code: bool = False,
+    ) -> None:
+        """Attach synthetic workload threads.
+
+        Default: ``threads_per_core`` threads on every core.  With
+        ``total_threads`` set, exactly that many threads are distributed
+        round-robin over the cores (the Fig 23 thread sweep) and
+        ``threads_per_core`` becomes the per-core ceiling.
+
+        ``shared_code=True`` enables the paper's §3.1.2 optimisation: the
+        kernel's instruction segment is DMA-prefetched into each core's
+        SPM before execution (cores start when their sub-ring's DMA
+        delivers the segment) and instruction fetches then bypass the
+        I-cache entirely.
+        """
+        if self._loaded:
+            raise ConfigError("chip already loaded")
+        if threads_per_core > self.config.tcg.hw_threads:
+            raise ConfigError("more threads than hardware contexts")
+        cfg = self.config
+        if total_threads is None:
+            assignment = [threads_per_core] * len(self.cores)
+        else:
+            if total_threads <= 0:
+                raise ConfigError("total_threads must be positive")
+            if total_threads > len(self.cores) * cfg.tcg.hw_threads:
+                raise ConfigError("total_threads exceeds chip capacity")
+            assignment = [0] * len(self.cores)
+            for i in range(total_threads):
+                assignment[i % len(self.cores)] += 1
+        self._loaded = True
+        self._shared_code = shared_code
+        if shared_code:
+            segment_bytes = min(profile.code_footprint_bytes,
+                                self.config.tcg.spm_bytes
+                                - self.config.tcg.spm_control_bytes)
+            self._code_payload = bytes(segment_bytes)
+            code_pcs = max(1, profile.code_footprint_bytes // 4)
+            for core in self.cores:
+                core.set_shared_segment(0, code_pcs)
+        for cid, core in enumerate(self.cores):
+            spm_base = self.spms[cid].base_addr
+            ring, core_idx = divmod(cid, cfg.cores_per_sub_ring)
+            # each sub-ring's threads form one gang over a shared dataset
+            gang_base = (UNCACHED_GANG_BASE
+                         + ring * profile.shared_window_bytes)
+            n = assignment[cid]
+            gang_size = max(1, cfg.cores_per_sub_ring * n)
+            for t in range(n):
+                tid = cid * cfg.tcg.hw_threads + t
+                rng = self.rng.stream(f"wl.{cid}.{t}")
+                core.add_thread(
+                    profile.stream(instrs_per_thread, rng, thread_id=tid,
+                                   spm_base=spm_base,
+                                   spm_bytes=cfg.tcg.spm_bytes,
+                                   gang_size=gang_size,
+                                   gang_rank=core_idx * n + t,
+                                   gang_base=gang_base),
+                    name=f"{profile.name}.{tid}",
+                )
+
+    def run(self, max_cycles: Optional[float] = None) -> SmarcoRunResult:
+        """Start every core and simulate to completion (or the horizon)."""
+        if not self._loaded:
+            raise ConfigError("load a workload first")
+        active = [core for core in self.cores if core.threads]
+        if self._shared_code and self._code_payload:
+            # §3.1.2: ONE segment per sub-ring is DMA-staged into SPM and
+            # shared among the neighbouring threads (the scheduler's job
+            # in the paper); the ring's cores start when it lands.
+            by_ring: Dict[int, List[TCGCore]] = {}
+            for core in active:
+                by_ring.setdefault(self.ring_of(core.core_id), []).append(core)
+            for ring, cores in by_ring.items():
+                spm = self.spms[cores[0].core_id]
+                proc = self.dmas[ring].prefetch_fill(
+                    spm, spm.base_addr, self._code_payload)
+                proc.done_signal.wait(
+                    lambda _p, cs=tuple(cores): [c.start() for c in cs])
+        else:
+            for core in active:
+                core.start()
+        self.sim.run(until=max_cycles)
+        for mact in self.macts:
+            mact.flush_all()
+        self.sim.run(until=max_cycles)
+
+        instructions = sum(core.instructions for core in active)
+        requests_in = sum(m.requests_in.value for m in self.macts)
+        batches = sum(m.batches_out.value for m in self.macts)
+        return SmarcoRunResult(
+            cycles=self.sim.now,
+            instructions=instructions,
+            cores_done=sum(1 for c in active if c.done),
+            total_cores=len(active),
+            frequency_ghz=self.config.frequency_ghz,
+            mem_requests=requests_in,
+            mem_transactions=batches,
+            mean_request_latency=self.req_latency.mean,
+            noc_bandwidth_utilization=self.noc.bandwidth_utilization(self.sim.now),
+            mact_request_reduction=(requests_in / batches) if batches else 0.0,
+        )

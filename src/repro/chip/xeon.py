@@ -1,0 +1,187 @@
+"""Xeon E7-8890V4 baseline system (paper Table 2, Figs 1, 22, 23).
+
+24 OoO cores x 2 SMT contexts, per-core L1/L2 and one shared 60 MB LLC,
+an OS layer that time-slices software threads over the 48 hardware
+contexts (context-switch cost) and serialises ``pthread_create`` on the
+master — the two effects that make Fig 23's Xeon curve peak around 32–64
+threads and fall beyond.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..config import XeonConfig, xeon_default
+from ..core.ooo import OooCoreModel, SoftwareThread
+from ..errors import ConfigError
+from ..mem.hierarchy import CacheHierarchy
+from ..sim.engine import Simulator
+from ..sim.rng import RngTree
+from ..sim.stats import StatsRegistry
+from ..workloads.base import WorkloadProfile
+
+__all__ = ["XeonSystem", "XeonRunResult"]
+
+
+@dataclass
+class XeonRunResult:
+    """Measured outcome of one workload run on the baseline."""
+
+    cycles: float
+    instructions: int
+    threads: int
+    frequency_ghz: float
+    idle_ratio: float
+    starvation_ratio: float
+    busy_fraction: float
+    miss_ratios: Dict[str, float]
+    effective_latency: Dict[str, float]
+
+    @property
+    def throughput_ips(self) -> float:
+        if not self.cycles:
+            return 0.0
+        return self.instructions / self.cycles * self.frequency_ghz * 1e9
+
+    @property
+    def utilization(self) -> float:
+        """Activity factor for the power model."""
+        return min(1.0, self.busy_fraction)
+
+
+class XeonSystem:
+    """The baseline server processor."""
+
+    def __init__(self, config: Optional[XeonConfig] = None, seed: int = 0,
+                 quantum_instrs: int = 20_000) -> None:
+        self.config = config if config is not None else xeon_default()
+        self.config.validate()
+        self.sim = Simulator()
+        self.registry = StatsRegistry()
+        self.rng = RngTree(seed)
+        self.llc = CacheHierarchy.make_shared_llc(self.config, self.registry)
+        self.hierarchies: List[CacheHierarchy] = []
+        self.cores: List[OooCoreModel] = []
+        for cid in range(self.config.cores):
+            hierarchy = CacheHierarchy(cid, self.config, shared_llc=self.llc,
+                                       registry=self.registry)
+            self.hierarchies.append(hierarchy)
+            self.cores.append(OooCoreModel(
+                self.sim, cid, hierarchy, self.config,
+                quantum_instrs=quantum_instrs, registry=self.registry,
+            ))
+
+    # -- running ------------------------------------------------------------------
+
+    def run_profile(
+        self,
+        profile: WorkloadProfile,
+        n_threads: int,
+        instrs_per_thread: int,
+        stagger_creation: bool = True,
+    ) -> XeonRunResult:
+        """Run ``n_threads`` software threads of a workload to completion."""
+        if n_threads <= 0:
+            raise ConfigError("need at least one thread")
+        threads = []
+        for j in range(n_threads):
+            rng = self.rng.stream(f"xeon.t{j}")
+            threads.append(SoftwareThread(
+                thread_id=j,
+                instr_budget=instrs_per_thread,
+                mem_ratio=profile.mem_ratio,
+                branch_ratio=profile.branch_ratio,
+                branch_miss_rate=profile.branch_miss_rate,
+                ilp=profile.ilp,
+                mlp=profile.mlp,
+                data_sampler=profile.xeon_data_sampler(j, rng),
+                code_sampler=profile.xeon_code_sampler(rng, thread_id=j),
+            ))
+
+        # Turbo: with few active cores the Xeon clocks toward 3.4 GHz;
+        # fully loaded it runs at the 2.2 GHz base (Table 2's range).
+        cfg = self.config
+        load = min(1.0, n_threads / cfg.cores)
+        effective_ghz = cfg.turbo_ghz - (cfg.turbo_ghz - cfg.frequency_ghz) * load
+
+        create_cost = self.config.thread_create_cycles if stagger_creation else 0
+        last_enqueue = 0.0
+        for j, thread in enumerate(threads):
+            core = self.cores[j % len(self.cores)]
+            when = j * create_cost
+            last_enqueue = max(last_enqueue, when)
+            self.sim.schedule_at(when, core.enqueue, thread)
+        for core in self.cores:
+            core.start()
+            self.sim.schedule_at(last_enqueue, core.close)
+        self.sim.run()
+
+        cycles = max((t.finish_time or 0.0) for t in threads)
+        instructions = sum(t.executed for t in threads)
+        return XeonRunResult(
+            cycles=cycles,
+            instructions=instructions,
+            threads=n_threads,
+            frequency_ghz=effective_ghz,
+            idle_ratio=self._aggregate_idle(),
+            starvation_ratio=self._aggregate_starvation(),
+            busy_fraction=self._busy_fraction(cycles),
+            miss_ratios=self.miss_ratios(),
+            effective_latency=self.effective_latencies(),
+        )
+
+    # -- metrics ----------------------------------------------------------------------
+
+    def _buckets(self) -> Dict[str, float]:
+        totals = {"busy": 0.0, "mem_stall": 0.0, "frontend_stall": 0.0,
+                  "switch": 0.0}
+        for core in self.cores:
+            for key, value in core.cycle_breakdown().items():
+                totals[key] += value
+        return totals
+
+    def _aggregate_idle(self) -> float:
+        b = self._buckets()
+        total = sum(b.values())
+        return 1.0 - b["busy"] / total if total else 0.0
+
+    def _aggregate_starvation(self) -> float:
+        """Instruction starvation (Fig 1b): frontend stalls over issue
+        opportunity (busy + frontend), excluding backend data stalls."""
+        b = self._buckets()
+        denom = b["busy"] + b["frontend_stall"]
+        return b["frontend_stall"] / denom if denom else 0.0
+
+    def _busy_fraction(self, cycles: float) -> float:
+        if not cycles:
+            return 0.0
+        capacity = len(self.cores) * cycles
+        return min(1.0, self._buckets()["busy"] / capacity)
+
+    def miss_ratios(self) -> Dict[str, float]:
+        """Aggregated per-level miss ratios (Fig 1c)."""
+        hits = {"L1": 0, "L2": 0}
+        misses = {"L1": 0, "L2": 0}
+        for h in self.hierarchies:
+            hits["L1"] += h.l1d.hits.value + h.l1i.hits.value
+            misses["L1"] += h.l1d.misses.value + h.l1i.misses.value
+            hits["L2"] += h.l2.hits.value
+            misses["L2"] += h.l2.misses.value
+        out = {}
+        for level in ("L1", "L2"):
+            total = hits[level] + misses[level]
+            out[level] = misses[level] / total if total else 0.0
+        llc_total = self.llc.hits.value + self.llc.misses.value
+        out["LLC"] = self.llc.misses.value / llc_total if llc_total else 0.0
+        return out
+
+    def effective_latencies(self) -> Dict[str, float]:
+        """Mean latency of an access *arriving* at each level (Fig 1d):
+        hit latency plus miss-ratio-weighted next-level latency."""
+        cfg = self.config
+        ratios = self.miss_ratios()
+        llc = cfg.llc_hit_latency + ratios["LLC"] * cfg.dram_latency
+        l2 = cfg.l2_hit_latency + ratios["L2"] * llc
+        l1 = cfg.l1_hit_latency + ratios["L1"] * l2
+        return {"L1": l1, "L2": l2, "LLC": llc}

@@ -1,0 +1,196 @@
+"""Command-line interface: run SmarCo experiments from a shell.
+
+Installed as ``repro-smarco`` (see pyproject) or runnable via
+``python -m repro.cli``::
+
+    repro-smarco list-workloads
+    repro-smarco run kmp --sub-rings 4 --instrs 300
+    repro-smarco xeon kmp --threads 48
+    repro-smarco compare wordcount
+    repro-smarco area-power
+    repro-smarco cdn
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .analysis import render_table
+from .chip import SmarCoChip, compare, run_xeon
+from .config import smarco_scaled
+from .power import AreaModel, PowerModel
+from .workloads import CdnModel, all_profiles, get_profile
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-smarco",
+        description="SmarCo (HPCA 2018) many-core simulator",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list-workloads", help="list available workload profiles")
+
+    run_p = sub.add_parser("run", help="run a workload on a SmarCo chip")
+    run_p.add_argument("workload")
+    run_p.add_argument("--sub-rings", type=int, default=4)
+    run_p.add_argument("--cores", type=int, default=16,
+                       help="cores per sub-ring")
+    run_p.add_argument("--threads-per-core", type=int, default=8)
+    run_p.add_argument("--instrs", type=int, default=300,
+                       help="instructions per thread")
+    run_p.add_argument("--seed", type=int, default=0)
+    run_p.add_argument("--policy", default="inpair",
+                       choices=("inpair", "blocking", "coarse"))
+    run_p.add_argument("--shared-code", action="store_true",
+                       help="DMA-prefetch the instruction segment (3.1.2)")
+
+    xeon_p = sub.add_parser("xeon", help="run a workload on the Xeon baseline")
+    xeon_p.add_argument("workload")
+    xeon_p.add_argument("--threads", type=int, default=48)
+    xeon_p.add_argument("--instrs", type=int, default=30_000)
+    xeon_p.add_argument("--seed", type=int, default=0)
+
+    cmp_p = sub.add_parser("compare",
+                           help="SmarCo vs Xeon (one Fig 22 data point)")
+    cmp_p.add_argument("workload")
+    cmp_p.add_argument("--sub-rings", type=int, default=4)
+    cmp_p.add_argument("--instrs", type=int, default=250)
+    cmp_p.add_argument("--seed", type=int, default=0)
+
+    sub.add_parser("area-power", help="print the Table 1 breakdown")
+    sub.add_parser("cdn", help="print the Fig 2 CDN sweep")
+
+    rep_p = sub.add_parser(
+        "report", help="assemble benchmarks/results/ into one markdown report")
+    rep_p.add_argument("--results-dir", default="benchmarks/results")
+    rep_p.add_argument("--output", default=None,
+                       help="write to a file instead of stdout")
+    return parser
+
+
+def _cmd_list_workloads() -> int:
+    rows = []
+    for name, profile in sorted(all_profiles().items()):
+        rows.append([name, profile.mem_ratio,
+                     round(profile.granularity.mean(), 1),
+                     "yes" if profile.realtime else "no"])
+    print(render_table(["workload", "mem ratio", "mean access B", "realtime"],
+                       rows, title="Registered workload profiles"))
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    chip = SmarCoChip(smarco_scaled(args.sub_rings, args.cores),
+                      seed=args.seed, core_policy=args.policy)
+    chip.load_profile(get_profile(args.workload),
+                      threads_per_core=args.threads_per_core,
+                      instrs_per_thread=args.instrs,
+                      shared_code=args.shared_code)
+    result = chip.run()
+    print(render_table(["metric", "value"], [
+        ["cores", f"{result.cores_done}/{result.total_cores} done"],
+        ["cycles", f"{result.cycles:,.0f}"],
+        ["instructions", f"{result.instructions:,}"],
+        ["chip IPC", f"{result.ipc:.2f}"],
+        ["throughput", f"{result.throughput_ips / 1e9:.2f} Ginstr/s"],
+        ["memory requests", f"{result.mem_requests:,}"],
+        ["MACT batching", f"{result.mact_request_reduction:.2f}x"],
+        ["mean request latency", f"{result.mean_request_latency:.0f} cycles"],
+        ["NoC bandwidth util", f"{result.noc_bandwidth_utilization:.1%}"],
+    ], title=f"SmarCo run: {args.workload}"))
+    return 0
+
+
+def _cmd_xeon(args: argparse.Namespace) -> int:
+    result = run_xeon(args.workload, n_threads=args.threads,
+                      instrs_per_thread=args.instrs, seed=args.seed)
+    print(render_table(["metric", "value"], [
+        ["threads", result.threads],
+        ["cycles", f"{result.cycles:,.0f}"],
+        ["throughput", f"{result.throughput_ips / 1e9:.2f} Ginstr/s"],
+        ["idle ratio", f"{result.idle_ratio:.1%}"],
+        ["starvation", f"{result.starvation_ratio:.1%}"],
+        ["L1 miss", f"{result.miss_ratios['L1']:.1%}"],
+    ], title=f"Xeon run: {args.workload}"))
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    result = compare(args.workload,
+                     smarco_config=smarco_scaled(args.sub_rings),
+                     smarco_instrs_per_thread=args.instrs,
+                     seed=args.seed)
+    print(render_table(["metric", "value"], [
+        ["SmarCo throughput", f"{result.smarco.throughput_ips / 1e9:.2f} G/s"],
+        ["Xeon throughput", f"{result.xeon.throughput_ips / 1e9:.2f} G/s"],
+        ["speedup", f"{result.speedup:.2f}x"],
+        ["SmarCo power (full chip)", f"{result.smarco_watts:.0f} W"],
+        ["Xeon power", f"{result.xeon_watts:.0f} W"],
+        ["energy-efficiency gain", f"{result.energy_efficiency_gain:.2f}x"],
+    ], title=f"SmarCo vs Xeon: {args.workload}"))
+    return 0
+
+
+def _cmd_area_power() -> int:
+    area = AreaModel().breakdown()
+    power = PowerModel().breakdown()
+    rows = [[name, round(area[name], 2), round(power[name], 2)]
+            for name in area]
+    rows.append(["Total", round(sum(area.values()), 2),
+                 round(sum(power.values()), 2)])
+    print(render_table(["component", "area mm2", "power W"], rows,
+                       title="Table 1: SmarCo at 32nm / 1.5GHz"))
+    return 0
+
+
+def _cmd_cdn() -> int:
+    points = CdnModel().sweep(points=8)
+    rows = [[p.connections, f"{p.nic_utilization:.0%}",
+             f"{p.cpu_utilization:.1%}", f"{p.branch_miss_ratio:.1%}",
+             f"{p.l1_miss_ratio:.1%}"] for p in points]
+    print(render_table(
+        ["connections", "NIC util", "CPU util", "branch miss", "L1 miss"],
+        rows, title="Fig 2: CDN on a conventional processor"))
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from .analysis import build_report
+
+    text = build_report(Path(args.results_dir))
+    if args.output:
+        Path(args.output).write_text(text + "\n")
+        print(f"report written to {args.output}")
+    else:
+        print(text)
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "list-workloads":
+        return _cmd_list_workloads()
+    if args.command == "run":
+        return _cmd_run(args)
+    if args.command == "xeon":
+        return _cmd_xeon(args)
+    if args.command == "compare":
+        return _cmd_compare(args)
+    if args.command == "area-power":
+        return _cmd_area_power()
+    if args.command == "cdn":
+        return _cmd_cdn()
+    if args.command == "report":
+        return _cmd_report(args)
+    raise AssertionError(f"unhandled command {args.command}")  # pragma: no cover
+
+
+if __name__ == "__main__":
+    sys.exit(main())

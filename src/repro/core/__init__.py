@@ -1,0 +1,23 @@
+"""Core models: the TCG (paper's contribution) and the OoO/SMT baseline."""
+
+from .ooo import OooCoreModel, SoftwareThread
+from .ports import FixedLatencyPort, FunctionPort, MemoryPort
+from .stream import CoreInstr, from_executed, from_machine, repeat_stream
+from .tcg import TCGCore, UNCACHED_BASE
+from .thread import HardwareThread, ThreadState
+
+__all__ = [
+    "CoreInstr",
+    "from_machine",
+    "from_executed",
+    "repeat_stream",
+    "HardwareThread",
+    "ThreadState",
+    "TCGCore",
+    "UNCACHED_BASE",
+    "MemoryPort",
+    "FixedLatencyPort",
+    "FunctionPort",
+    "OooCoreModel",
+    "SoftwareThread",
+]

@@ -1,0 +1,83 @@
+"""Memory ports: how a core's misses reach the rest of the chip.
+
+A port accepts a :class:`~repro.mem.request.MemRequest` and returns an
+:class:`~repro.sim.engine.EventSignal` that fires when the data is back.
+Three implementations cover every experiment:
+
+* :class:`FixedLatencyPort` — constant (or callable) latency; used for
+  single-core studies (paper Fig 17) where the rest of the chip is not
+  under test;
+* :class:`FunctionPort` — adapts any ``submit(request)`` style component
+  (e.g. a MACT or the chip's memory path) into the port protocol;
+* the full chip (:mod:`repro.chip.smarco`) builds ports that route
+  through MACT → NoC → DRAM.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Protocol
+
+from ..mem.request import MemRequest
+from ..sim.engine import EventSignal, Simulator
+
+__all__ = ["MemoryPort", "FixedLatencyPort", "FunctionPort"]
+
+
+class MemoryPort(Protocol):
+    """Anything that can service a memory request asynchronously."""
+
+    def issue(self, request: MemRequest) -> EventSignal:
+        """Admit the request; the returned signal fires at completion."""
+        ...
+
+
+class FixedLatencyPort:
+    """Completes every request after a fixed (or per-request) latency."""
+
+    def __init__(self, sim: Simulator,
+                 latency: float | Callable[[MemRequest], float] = 100.0) -> None:
+        self.sim = sim
+        self._latency = latency
+        self.issued = 0
+
+    def issue(self, request: MemRequest) -> EventSignal:
+        self.issued += 1
+        request.issue_time = self.sim.now
+        lat = self._latency(request) if callable(self._latency) else self._latency
+        signal = self.sim.signal(f"mem.req{request.req_id}")
+
+        def complete() -> None:
+            request.complete(self.sim.now)
+            signal.fire(request)
+
+        self.sim.schedule(lat, complete)
+        return signal
+
+
+class FunctionPort:
+    """Wraps a component's ``submit(request)`` into the port protocol.
+
+    The component must eventually call ``request.complete(now)``; the
+    port hooks that completion to fire the signal.
+    """
+
+    def __init__(self, sim: Simulator,
+                 submit: Callable[[MemRequest], None]) -> None:
+        self.sim = sim
+        self._submit = submit
+        self.issued = 0
+
+    def issue(self, request: MemRequest) -> EventSignal:
+        self.issued += 1
+        request.issue_time = self.sim.now
+        signal = self.sim.signal(f"mem.req{request.req_id}")
+        prev = request.on_complete
+
+        def chain(req: MemRequest, now: float) -> None:
+            if prev is not None:
+                prev(req, now)
+            signal.fire(req)
+
+        request.on_complete = chain
+        self._submit(request)
+        return signal

@@ -1,0 +1,70 @@
+"""Instruction streams consumed by the timing models.
+
+The timing cores are trace-driven: they consume :class:`CoreInstr`
+records, which can come from the functional ISA machine (real programs,
+see :func:`from_machine`) or from the statistical workload generators in
+:mod:`repro.workloads` (paper-scale runs).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, NamedTuple, Optional
+
+from ..isa.machine import ExecutedInstr, Machine
+from ..isa.instructions import OpClass
+
+__all__ = ["CoreInstr", "from_machine", "from_executed", "repeat_stream"]
+
+_KIND_OF_CLASS = {
+    OpClass.ALU: "alu",
+    OpClass.MUL: "mul",
+    OpClass.LOAD: "load",
+    OpClass.STORE: "store",
+    OpClass.BRANCH: "branch",
+    OpClass.JUMP: "branch",
+    OpClass.SYS: "alu",
+}
+
+
+class CoreInstr(NamedTuple):
+    """One instruction as the pipeline sees it.
+
+    ``kind``: "alu" | "mul" | "load" | "store" | "branch".
+    ``addr``/``size`` describe the memory footprint (loads/stores only).
+    ``pc`` enables I-cache modelling when known (None for synthetic
+    streams).  ``taken`` is the branch outcome.
+    """
+
+    kind: str
+    addr: Optional[int] = None
+    size: int = 0
+    pc: Optional[int] = None
+    taken: bool = False
+
+    @property
+    def is_mem(self) -> bool:
+        return self.kind in ("load", "store")
+
+
+def from_executed(record: ExecutedInstr) -> CoreInstr:
+    """Convert one functional-machine record to a pipeline record."""
+    return CoreInstr(
+        kind=_KIND_OF_CLASS[record.op_class],
+        addr=record.addr,
+        size=record.size,
+        pc=record.pc,
+        taken=record.taken,
+    )
+
+
+def from_machine(machine: Machine, max_instructions: int = 10_000_000) -> Iterator[CoreInstr]:
+    """Lazily execute ``machine`` and yield pipeline records."""
+    for record in machine.trace(max_instructions):
+        yield from_executed(record)
+
+
+def repeat_stream(instrs: Iterable[CoreInstr], times: int) -> Iterator[CoreInstr]:
+    """Replay a materialised instruction list ``times`` times."""
+    instrs = list(instrs)
+    for _ in range(times):
+        yield from instrs

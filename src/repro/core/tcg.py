@@ -1,0 +1,405 @@
+"""Thread Core Group timing model (paper §3.1).
+
+A TCG is a 4-wide in-order core with 4 *slots*; each slot hosts an
+in-pair thread couple (8 hardware threads total).  Because only one
+thread of a pair runs at a time, the four slots structurally satisfy the
+4-wide issue limit: each running thread issues at most one instruction
+per cycle.  That is exactly why the paper sees IPC "growing linearly"
+from 1 to 4 threads (Fig 17).
+
+Scheduling policies (the Fig 17 ablation set):
+
+* ``"inpair"`` — the paper's mechanism: slot *i* hosts threads
+  ``(2i, 2i+1)``; on an SPM/D-cache miss the friend thread takes over;
+  the blocked thread resumes only when its data is back **and** the
+  friend blocks;
+* ``"blocking"`` — no pairing: one thread per slot, stalls on miss;
+* ``"coarse"`` — coarse-grained MT with a *global* ready pool: a slot
+  picks any runnable thread, modelling the more complex scheduler the
+  paper argues is unnecessary for same-behaviour HTC threads.
+
+Memory routing follows the paper's LSQ address check (§3.5.1): SPM-window
+addresses hit the scratchpad, addresses above :data:`UNCACHED_BASE` are
+streaming/uncached small-granularity accesses that travel to memory
+as-is (the MACT path), everything else goes through the 16 KB D-cache at
+line granularity.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, Generator, Iterator, List, Optional, Tuple
+
+from ..config import TCGConfig
+from ..errors import ConfigError, SimulationError
+from ..mem.cache import Cache
+from ..mem.request import MemRequest, Priority
+from ..mem.spm import SpmAddressMap, SPM_REGION_BASE
+from ..sim.engine import EventSignal, Simulator
+from ..sim.stats import StatsRegistry
+from .ports import MemoryPort
+from .stream import CoreInstr
+from .thread import HardwareThread, ThreadState
+
+__all__ = ["TCGCore", "UNCACHED_BASE"]
+
+# LSQ address map: [0, SPM_REGION_BASE) cacheable DRAM,
+# [SPM_REGION_BASE, UNCACHED_BASE) scratchpads,
+# [UNCACHED_BASE, ...) uncached streaming accesses (MACT-eligible).
+UNCACHED_BASE = 0x8000_0000_0000
+
+_POLICIES = ("inpair", "blocking", "coarse")
+
+
+class TCGCore:
+    """One Thread Core Group."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        core_id: int,
+        port: MemoryPort,
+        config: Optional[TCGConfig] = None,
+        policy: str = "inpair",
+        spm_map: Optional[SpmAddressMap] = None,
+        mul_latency: int = 3,
+        branch_penalty: int = 2,
+        icache_miss_penalty: int = 20,
+        realtime_fraction: float = 0.0,
+        rng=None,
+        registry: Optional[StatsRegistry] = None,
+        trace=None,
+    ) -> None:
+        if policy not in _POLICIES:
+            raise ConfigError(f"unknown TCG policy {policy!r}")
+        if realtime_fraction and rng is None:
+            raise ConfigError("realtime_fraction needs an rng")
+        self.sim = sim
+        self.core_id = core_id
+        self.port = port
+        self.config = config if config is not None else TCGConfig()
+        self.policy = policy
+        self.spm_map = spm_map
+        self.mul_latency = mul_latency
+        self.branch_penalty = branch_penalty
+        self.icache_miss_penalty = icache_miss_penalty
+        self.realtime_fraction = realtime_fraction
+        self._rng = rng
+        #: optional repro.sim.TraceBuffer for handoff/block/wake events
+        self.trace = trace
+
+        reg = registry if registry is not None else StatsRegistry()
+        name = f"core{core_id}"
+        self.dcache = Cache(f"{name}.dcache", self.config.dcache_bytes,
+                            self.config.cache_line_bytes,
+                            self.config.cache_ways, reg)
+        self.icache = Cache(f"{name}.icache", self.config.icache_bytes,
+                            self.config.cache_line_bytes,
+                            self.config.cache_ways, reg)
+        self.spm_hits = reg.counter(f"{name}.spm_hits")
+        self.uncached_accesses = reg.counter(f"{name}.uncached")
+        self.switch_count = reg.counter(f"{name}.switches")
+        self.retired = reg.counter(f"{name}.retired")
+
+        self.threads: List[HardwareThread] = []
+        self._slots: List[List[HardwareThread]] = []
+        self._slot_wake: List[EventSignal] = []
+        self._coarse_pool: Deque[HardwareThread] = deque()
+        self._coarse_wake = sim.signal(f"{name}.coarse_wake")
+        self._shared_segments: List[Tuple[int, int]] = []
+        self._last_fetch_line = -1
+        self.started = False
+        self.start_time: float = 0.0
+        self.finish_time: Optional[float] = None
+        #: fired (with the core) when the last thread finishes
+        self.done_signal = sim.signal(f"core{core_id}.done")
+
+    # -- configuration -----------------------------------------------------------
+
+    def add_thread(self, stream: Iterator[CoreInstr], name: str = "") -> HardwareThread:
+        """Attach a hardware thread; must be called before :meth:`start`."""
+        if self.started:
+            raise SimulationError("cannot add threads after start()")
+        if len(self.threads) >= self.config.hw_threads:
+            raise ConfigError(
+                f"core {self.core_id}: at most {self.config.hw_threads} threads"
+            )
+        if self.policy == "blocking" and len(self.threads) >= self.config.running_threads:
+            raise ConfigError(
+                "blocking policy supports at most one thread per slot"
+            )
+        tid = len(self.threads)
+        # First `running_threads` threads occupy distinct slots; later ones
+        # become their friends (pairing engages past 4 threads, Fig 17).
+        thread = HardwareThread(tid, pair_id=tid % self.config.running_threads,
+                                stream=stream, name=name)
+        self.threads.append(thread)
+        return thread
+
+    def set_shared_segment(self, lo_pc: int, hi_pc: int) -> None:
+        """Mark a PC range as SPM-prefetched (paper §3.1.2): instruction
+        fetches in the range never miss the I-cache."""
+        self._shared_segments.append((lo_pc, hi_pc))
+
+    # -- slot construction ---------------------------------------------------------
+
+    def _build_slots(self) -> None:
+        n_slots = self.config.running_threads
+        if self.policy == "inpair":
+            self._slots = [
+                [t for t in self.threads if t.pair_id == s]
+                for s in range(n_slots)
+            ]
+        elif self.policy == "blocking":
+            self._slots = [[t] for t in self.threads[:n_slots]]
+        else:  # coarse: slots share the pool
+            self._coarse_pool.extend(self.threads)
+            self._slots = [[] for _ in range(min(n_slots, len(self.threads)))]
+        self._slots = [s for s in self._slots if s or self.policy == "coarse"]
+        self._slot_wake = [
+            self.sim.signal(f"core{self.core_id}.slot{i}.wake")
+            for i in range(len(self._slots))
+        ]
+
+    def start(self) -> None:
+        """Spawn the slot processes.  Call once, then run the simulator."""
+        if self.started:
+            raise SimulationError("core already started")
+        if not self.threads:
+            raise ConfigError("core has no threads")
+        self.started = True
+        self.start_time = self.sim.now
+        self._build_slots()
+        for slot_id in range(len(self._slots)):
+            self.sim.spawn(self._slot_proc(slot_id),
+                           f"core{self.core_id}.slot{slot_id}")
+
+    # -- scheduling ---------------------------------------------------------------
+
+    def _pick(self, slot_id: int, prev: Optional[HardwareThread]) -> Tuple[Optional[HardwareThread], bool]:
+        """(next thread, any_alive).  Rotates for fairness within a slot."""
+        if self.policy == "coarse":
+            alive = [t for t in self._coarse_pool if t.state is not ThreadState.DONE]
+            if not alive:
+                return None, False
+            for _ in range(len(self._coarse_pool)):
+                t = self._coarse_pool[0]
+                self._coarse_pool.rotate(-1)
+                # a RUNNING thread is claimed by another slot
+                if t.runnable and t.state is not ThreadState.RUNNING:
+                    t.state = ThreadState.RUNNING      # claim before any yield
+                    return t, True
+            return None, True
+
+        slot = self._slots[slot_id]
+        alive = [t for t in slot if t.state is not ThreadState.DONE]
+        if not alive:
+            return None, False
+        # prefer a runnable thread that is not the one that just blocked
+        for t in alive:
+            if t.runnable and t is not prev:
+                return t, True
+        if prev is not None and prev in alive and prev.runnable:
+            return prev, True
+        return None, True
+
+    def _wake_slot(self, slot_id: int) -> None:
+        if self.policy == "coarse":
+            self._coarse_wake.fire()
+        else:
+            self._slot_wake[slot_id].fire()
+
+    def _emit(self, event: str, thread: HardwareThread) -> None:
+        if self.trace is not None:
+            self.trace.emit(self.sim.now, f"core{self.core_id}", event,
+                            thread.name)
+
+    def _data_returned(self, thread: HardwareThread, slot_id: int) -> None:
+        thread.unblock()
+        self._emit("wake", thread)
+        self._wake_slot(slot_id)
+
+    def _slot_proc(self, slot_id: int) -> Generator:
+        wake = (self._coarse_wake if self.policy == "coarse"
+                else self._slot_wake[slot_id])
+        prev: Optional[HardwareThread] = None
+        while True:
+            thread, any_alive = self._pick(slot_id, prev)
+            if not any_alive:
+                break
+            if thread is None:
+                yield wake
+                continue
+            if prev is not None and thread is not prev:
+                thread.switches += 1
+                self.switch_count.inc()
+                self._emit("switch", thread)
+                yield self.config.thread_switch_latency
+            thread.state = ThreadState.RUNNING
+            prev = thread
+            blocked = yield from self._run_thread(thread, slot_id)
+            if not blocked and thread.state is ThreadState.DONE:
+                self._maybe_finish()
+
+    def _run_thread(self, thread: HardwareThread, slot_id: int) -> Generator:
+        """Execute until the thread blocks (returns True) or ends (False).
+
+        Non-interacting instructions (ALU, branches, cache/SPM hits)
+        accumulate into one yield — exact under in-pair semantics, since a
+        slot only switches threads at misses anyway.  The clock is synced
+        before any request is issued so timestamps stay correct.
+        """
+        pending = 0.0
+        while True:
+            instr = thread.next_instr()
+            if instr is None:
+                if pending:
+                    yield pending
+                thread.finish(self.sim.now)
+                return False
+            self.retired.inc()
+            cost, blocking, posted = self._execute(instr)
+            pending += cost
+            if posted or blocking is not None:
+                if pending:
+                    yield pending
+                    pending = 0.0
+                for req in posted:
+                    self.port.issue(req)
+            if blocking is not None:
+                thread.block()
+                self._emit("block", thread)
+                signal = self.port.issue(blocking)
+                signal.wait(
+                    lambda _p, th=thread, s=slot_id: self._data_returned(th, s)
+                )
+                return True
+
+    def _maybe_finish(self) -> None:
+        if all(t.state is ThreadState.DONE for t in self.threads):
+            self.finish_time = self.sim.now
+            self.done_signal.fire(self)
+
+    # -- execution ------------------------------------------------------------------
+
+    def _in_shared_segment(self, pc: int) -> bool:
+        return any(lo <= pc <= hi for lo, hi in self._shared_segments)
+
+    def _fetch_cost(self, instr: CoreInstr) -> int:
+        if instr.pc is None or self._in_shared_segment(instr.pc):
+            return 0
+        fetch_addr = instr.pc * 4
+        if self.icache.access(fetch_addr).hit:
+            self._last_fetch_line = fetch_addr // self.config.cache_line_bytes
+            return 0
+        line = fetch_addr // self.config.cache_line_bytes
+        sequential = line == self._last_fetch_line + 1
+        self._last_fetch_line = line
+        # straight-line code is covered by next-line prefetch; only
+        # discontinuous fetches pay the full refill
+        return 2 if sequential else self.icache_miss_penalty
+
+    _NO_REQS: tuple = ()
+
+    def _execute(self, instr: CoreInstr):
+        """(cycles, blocking request or None, posted requests)."""
+        cost: float = self._fetch_cost(instr)
+        kind = instr.kind
+        if kind == "alu":
+            return cost + 1, None, self._NO_REQS
+        if kind == "mul":
+            return cost + self.mul_latency, None, self._NO_REQS
+        if kind == "branch":
+            penalty = self.branch_penalty if instr.taken else 0
+            return cost + 1 + penalty, None, self._NO_REQS
+        if kind in ("load", "store"):
+            return self._execute_mem(instr, cost)
+        raise SimulationError(f"unknown instruction kind {kind!r}")
+
+    def _route(self, addr: int) -> str:
+        if addr >= UNCACHED_BASE:
+            return "uncached"
+        if addr >= SPM_REGION_BASE:
+            if self.spm_map is None:
+                return "spm-local"
+            return self.spm_map.route(addr, self.core_id)
+        return "cached"
+
+    def _execute_mem(self, instr: CoreInstr, cost: float):
+        cfg = self.config
+        addr = instr.addr if instr.addr is not None else 0
+        is_write = instr.kind == "store"
+        route = self._route(addr)
+
+        if route == "spm-local":
+            self.spm_hits.inc()
+            return cost + cfg.spm_hit_latency, None, self._NO_REQS
+
+        if route == "spm-remote":
+            # remote SPM access rides the sub-ring; loads block
+            request = MemRequest(addr=addr, size=instr.size or 8,
+                                 is_write=is_write, core_id=self.core_id)
+            if is_write:
+                return cost + 1, None, (request,)      # posted write
+            return cost + 1, request, self._NO_REQS
+
+        if route == "uncached":
+            self.uncached_accesses.inc()
+            priority = Priority.NORMAL
+            if (self.realtime_fraction and self._rng is not None
+                    and self._rng.random() < self.realtime_fraction):
+                priority = Priority.REALTIME
+            request = MemRequest(addr=addr, size=instr.size or 4,
+                                 is_write=is_write, core_id=self.core_id,
+                                 priority=priority)
+            if is_write:
+                return cost + 1, None, (request,)      # store buffer drains it
+            return cost + 1, request, self._NO_REQS
+
+        # cached path: 16KB write-back D-cache, line-granular fills
+        result = self.dcache.access(addr, is_write)
+        posted = []
+        if result.victim_dirty and result.victim_addr is not None:
+            posted.append(MemRequest(
+                addr=result.victim_addr, size=cfg.cache_line_bytes,
+                is_write=True, core_id=self.core_id,
+            ))
+        if result.hit:
+            return cost + cfg.dcache_hit_latency, None, tuple(posted)
+        line_addr = (addr // cfg.cache_line_bytes) * cfg.cache_line_bytes
+        fill = MemRequest(addr=line_addr, size=cfg.cache_line_bytes,
+                          is_write=False, core_id=self.core_id)
+        if is_write:
+            posted.append(fill)                 # write-allocate, non-blocking
+            return cost + cfg.dcache_hit_latency, None, tuple(posted)
+        return cost + cfg.dcache_hit_latency, fill, tuple(posted)
+
+    # -- results ----------------------------------------------------------------------
+
+    @property
+    def done(self) -> bool:
+        return self.finish_time is not None
+
+    @property
+    def elapsed(self) -> float:
+        end = self.finish_time if self.finish_time is not None else self.sim.now
+        return max(0.0, end - self.start_time)
+
+    @property
+    def instructions(self) -> int:
+        return self.retired.value
+
+    @property
+    def ipc(self) -> float:
+        return self.instructions / self.elapsed if self.elapsed else 0.0
+
+    @property
+    def utilization(self) -> float:
+        """Issue-slot utilisation (IPC / issue width)."""
+        return self.ipc / self.config.issue_width
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (
+            f"TCGCore({self.core_id}, {self.policy}, "
+            f"threads={len(self.threads)}, ipc={self.ipc:.2f})"
+        )

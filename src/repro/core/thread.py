@@ -1,0 +1,76 @@
+"""Hardware thread state (paper §3.1.1).
+
+Every thread carries its own id plus a *pair id*; each thread is either
+``RUNNING`` or ``WAITING`` while alive (the paper's two states), with
+``DONE`` marking stream exhaustion.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Iterator, Optional
+
+from ..sim.stats import Counter
+from .stream import CoreInstr
+
+__all__ = ["ThreadState", "HardwareThread"]
+
+
+class ThreadState(enum.Enum):
+    RUNNING = "running"
+    WAITING = "waiting"      # blocked on an SPM/D-cache miss
+    DONE = "done"
+
+
+class HardwareThread:
+    """One hardware thread bound to a TCG slot."""
+
+    __slots__ = (
+        "thread_id", "pair_id", "name", "state", "_stream", "retired",
+        "switches", "misses", "data_ready", "finish_time",
+    )
+
+    def __init__(self, thread_id: int, pair_id: int,
+                 stream: Iterator[CoreInstr], name: str = "") -> None:
+        self.thread_id = thread_id
+        self.pair_id = pair_id
+        self.name = name or f"t{thread_id}"
+        self.state = ThreadState.WAITING
+        self._stream = stream
+        self.retired = 0
+        self.switches = 0
+        self.misses = 0
+        self.data_ready = True       # no outstanding miss
+        self.finish_time: Optional[float] = None
+
+    def next_instr(self) -> Optional[CoreInstr]:
+        """Fetch the next instruction, or None at end-of-stream."""
+        try:
+            instr = next(self._stream)
+        except StopIteration:
+            return None
+        self.retired += 1
+        return instr
+
+    @property
+    def runnable(self) -> bool:
+        """Can be (re)scheduled: alive and not blocked on a miss."""
+        return self.state is not ThreadState.DONE and self.data_ready
+
+    def block(self) -> None:
+        self.state = ThreadState.WAITING
+        self.data_ready = False
+        self.misses += 1
+
+    def unblock(self) -> None:
+        self.data_ready = True
+
+    def finish(self, now: float) -> None:
+        self.state = ThreadState.DONE
+        self.finish_time = now
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (
+            f"HardwareThread({self.name}, pair={self.pair_id}, "
+            f"{self.state.value}, retired={self.retired})"
+        )

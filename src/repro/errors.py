@@ -1,0 +1,50 @@
+"""Exception hierarchy for the SmarCo reproduction library.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch everything from this package with one ``except`` clause.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every exception raised by the ``repro`` package."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event kernel was used incorrectly (e.g. scheduling in
+    the past or running a finished simulation)."""
+
+
+class ConfigError(ReproError):
+    """A configuration object is inconsistent or out of the supported range."""
+
+
+class IsaError(ReproError):
+    """Base class for ISA-level failures."""
+
+
+class AssemblerError(IsaError):
+    """The assembler rejected a program (bad mnemonic, operand, or label)."""
+
+
+class MachineError(IsaError):
+    """The functional machine hit an illegal state (bad register, trap)."""
+
+
+class MemoryError_(ReproError):
+    """An access fell outside a modelled memory region or violated
+    an alignment/ownership rule.  Named with a trailing underscore to avoid
+    shadowing the builtin :class:`MemoryError`."""
+
+
+class NocError(ReproError):
+    """A packet could not be routed or a link/router invariant broke."""
+
+
+class SchedulerError(ReproError):
+    """A task-scheduler invariant was violated (e.g. duplicate task id)."""
+
+
+class WorkloadError(ReproError):
+    """A workload generator was configured with impossible parameters."""

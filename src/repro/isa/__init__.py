@@ -1,0 +1,17 @@
+"""Tiny RISC ISA: instruction set, assembler, functional machine, kernels."""
+
+from .assembler import Program, assemble
+from .instructions import Instruction, NUM_REGISTERS, Op, OpClass
+from .machine import ExecutedInstr, FlatMemory, Machine
+
+__all__ = [
+    "Op",
+    "OpClass",
+    "Instruction",
+    "NUM_REGISTERS",
+    "Program",
+    "assemble",
+    "Machine",
+    "FlatMemory",
+    "ExecutedInstr",
+]

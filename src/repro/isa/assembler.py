@@ -1,0 +1,202 @@
+"""Two-pass assembler for the tiny RISC ISA.
+
+Syntax (one instruction per line)::
+
+    # comment
+    loop:                       ; labels end with ':'
+        lw   r2, 0(r1)          ; load word
+        addi r1, r1, 4
+        add  r3, r3, r2
+        bne  r1, r4, loop       ; branch to label
+        halt
+
+Registers are ``r0``..``r31`` (``r0`` is hardwired zero).  Branch/JAL
+targets may be labels or absolute instruction indices.  Immediates accept
+decimal and ``0x`` hex.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..errors import AssemblerError
+from .instructions import NUM_REGISTERS, Instruction, Op, OpClass
+
+__all__ = ["Program", "assemble"]
+
+_MNEMONICS = {op.value: op for op in Op}
+_MEM_OPERAND = re.compile(r"^(-?(?:0x[0-9a-fA-F]+|\d+))\((r\d+)\)$")
+_LABEL_DEF = re.compile(r"^([A-Za-z_][A-Za-z0-9_]*):$")
+
+
+@dataclass
+class Program:
+    """An assembled program: instructions plus the label map."""
+
+    instructions: List[Instruction]
+    labels: Dict[str, int] = field(default_factory=dict)
+    name: str = "program"
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+    def __getitem__(self, idx: int) -> Instruction:
+        return self.instructions[idx]
+
+    def disassemble(self) -> str:
+        """Human-readable listing with label annotations."""
+        by_index: Dict[int, List[str]] = {}
+        for label, idx in self.labels.items():
+            by_index.setdefault(idx, []).append(label)
+        lines = []
+        for i, instr in enumerate(self.instructions):
+            for label in by_index.get(i, []):
+                lines.append(f"{label}:")
+            lines.append(f"  {i:4d}: {instr}")
+        return "\n".join(lines)
+
+
+def _parse_register(token: str, lineno: int) -> int:
+    if not token.startswith("r"):
+        raise AssemblerError(f"line {lineno}: expected register, got {token!r}")
+    try:
+        num = int(token[1:])
+    except ValueError:
+        raise AssemblerError(f"line {lineno}: bad register {token!r}") from None
+    if not 0 <= num < NUM_REGISTERS:
+        raise AssemblerError(f"line {lineno}: register {token!r} out of range")
+    return num
+
+
+def _parse_imm(token: str, lineno: int) -> int:
+    try:
+        return int(token, 0)
+    except ValueError:
+        raise AssemblerError(f"line {lineno}: bad immediate {token!r}") from None
+
+
+def _split_operands(rest: str) -> List[str]:
+    return [tok.strip() for tok in rest.split(",") if tok.strip()]
+
+
+def assemble(source: str, name: str = "program") -> Program:
+    """Assemble ``source`` text into a :class:`Program`.
+
+    Raises :class:`AssemblerError` with the offending line number on any
+    syntax problem, including undefined labels.
+    """
+    labels: Dict[str, int] = {}
+    pending: List[Tuple[int, Optional[str], List[str]]] = []
+
+    # Pass 1: strip comments, collect labels, tokenize.
+    for lineno, raw in enumerate(source.splitlines(), start=1):
+        line = raw.split("#")[0].split(";")[0].strip()
+        if not line:
+            continue
+        while True:
+            match = _LABEL_DEF.match(line.split()[0]) if line else None
+            if match is None:
+                break
+            label = match.group(1)
+            if label in labels:
+                raise AssemblerError(f"line {lineno}: duplicate label {label!r}")
+            labels[label] = len(pending)
+            line = line[len(match.group(0)):].strip()
+            if not line:
+                break
+        if not line:
+            continue
+        parts = line.split(None, 1)
+        mnemonic = parts[0].lower()
+        operands = _split_operands(parts[1]) if len(parts) > 1 else []
+        pending.append((lineno, mnemonic, operands))
+
+    # Pass 2: encode with label resolution.
+    instructions: List[Instruction] = []
+    for lineno, mnemonic, ops in pending:
+        op = _MNEMONICS.get(mnemonic)
+        if op is None:
+            raise AssemblerError(f"line {lineno}: unknown mnemonic {mnemonic!r}")
+        instructions.append(_encode(op, ops, lineno, labels))
+
+    return Program(instructions, labels, name)
+
+
+def _resolve_target(token: str, lineno: int, labels: Dict[str, int]) -> Tuple[int, Optional[str]]:
+    if token in labels:
+        return labels[token], token
+    try:
+        return int(token, 0), None
+    except ValueError:
+        raise AssemblerError(f"line {lineno}: undefined label {token!r}") from None
+
+
+def _encode(op: Op, ops: List[str], lineno: int, labels: Dict[str, int]) -> Instruction:
+    cls = op.value
+    info_class = Instruction(op).op_class
+
+    def need(n: int) -> None:
+        if len(ops) != n:
+            raise AssemblerError(
+                f"line {lineno}: {cls!r} expects {n} operands, got {len(ops)}"
+            )
+
+    if op in (Op.NOP, Op.HALT):
+        need(0)
+        return Instruction(op)
+
+    if info_class is OpClass.LOAD:
+        need(2)
+        rd = _parse_register(ops[0], lineno)
+        match = _MEM_OPERAND.match(ops[1].replace(" ", ""))
+        if not match:
+            raise AssemblerError(f"line {lineno}: bad memory operand {ops[1]!r}")
+        return Instruction(op, rd=rd, rs1=_parse_register(match.group(2), lineno),
+                           imm=int(match.group(1), 0))
+
+    if info_class is OpClass.STORE:
+        need(2)
+        rs2 = _parse_register(ops[0], lineno)
+        match = _MEM_OPERAND.match(ops[1].replace(" ", ""))
+        if not match:
+            raise AssemblerError(f"line {lineno}: bad memory operand {ops[1]!r}")
+        return Instruction(op, rs2=rs2, rs1=_parse_register(match.group(2), lineno),
+                           imm=int(match.group(1), 0))
+
+    if info_class is OpClass.BRANCH:
+        need(3)
+        rs1 = _parse_register(ops[0], lineno)
+        rs2 = _parse_register(ops[1], lineno)
+        imm, label = _resolve_target(ops[2], lineno, labels)
+        return Instruction(op, rs1=rs1, rs2=rs2, imm=imm, label=label)
+
+    if op is Op.JAL:
+        need(2)
+        rd = _parse_register(ops[0], lineno)
+        imm, label = _resolve_target(ops[1], lineno, labels)
+        return Instruction(op, rd=rd, imm=imm, label=label)
+
+    if op is Op.JALR:
+        need(3)
+        return Instruction(op, rd=_parse_register(ops[0], lineno),
+                           rs1=_parse_register(ops[1], lineno),
+                           imm=_parse_imm(ops[2], lineno))
+
+    if op is Op.LUI:
+        need(2)
+        return Instruction(op, rd=_parse_register(ops[0], lineno),
+                           imm=_parse_imm(ops[1], lineno))
+
+    if op in (Op.ADDI, Op.ANDI, Op.ORI, Op.XORI, Op.SLTI, Op.SLLI, Op.SRLI):
+        need(3)
+        return Instruction(op, rd=_parse_register(ops[0], lineno),
+                           rs1=_parse_register(ops[1], lineno),
+                           imm=_parse_imm(ops[2], lineno))
+
+    # remaining: ALU / MUL register-register forms
+    need(3)
+    return Instruction(op, rd=_parse_register(ops[0], lineno),
+                       rs1=_parse_register(ops[1], lineno),
+                       rs2=_parse_register(ops[2], lineno))

@@ -1,0 +1,171 @@
+"""Instruction set definition for the SmarCo reproduction.
+
+The TCG cores in the paper implement an ARM11-like in-order ISA.  We model
+a small load/store RISC ISA that is sufficient to express the paper's
+micro-benchmarks (string matching, counting, sorting kernels) and — more
+importantly — to drive the cycle-approximate pipeline with *real*
+instruction streams in tests and examples.
+
+There is no binary encoding: the assembler produces :class:`Instruction`
+objects directly and the machine interprets them.  What matters for the
+architecture study is each instruction's *class* (ALU / load / store /
+branch) and its memory footprint (address, size).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+__all__ = ["OpClass", "Op", "Instruction", "NUM_REGISTERS", "OP_INFO"]
+
+NUM_REGISTERS = 32
+
+
+class OpClass(enum.Enum):
+    """Pipeline-visible instruction class."""
+
+    ALU = "alu"
+    MUL = "mul"
+    LOAD = "load"
+    STORE = "store"
+    BRANCH = "branch"
+    JUMP = "jump"
+    SYS = "sys"
+
+
+class Op(enum.Enum):
+    """Mnemonics.  The value is the assembly spelling."""
+
+    # ALU register-register
+    ADD = "add"
+    SUB = "sub"
+    AND = "and"
+    OR = "or"
+    XOR = "xor"
+    SLT = "slt"          # set if less-than (signed)
+    SLTU = "sltu"
+    SLL = "sll"
+    SRL = "srl"
+    SRA = "sra"
+    MUL = "mul"
+    DIV = "div"
+    REM = "rem"
+    # ALU immediate
+    ADDI = "addi"
+    ANDI = "andi"
+    ORI = "ori"
+    XORI = "xori"
+    SLTI = "slti"
+    SLLI = "slli"
+    SRLI = "srli"
+    LUI = "lui"          # load upper immediate (rd = imm << 12)
+    # Memory (size suffix: b=1, h=2, w=4, d=8 bytes)
+    LB = "lb"
+    LH = "lh"
+    LW = "lw"
+    LD = "ld"
+    SB = "sb"
+    SH = "sh"
+    SW = "sw"
+    SD = "sd"
+    # Control flow
+    BEQ = "beq"
+    BNE = "bne"
+    BLT = "blt"
+    BGE = "bge"
+    JAL = "jal"          # rd = pc+1; pc = target
+    JALR = "jalr"        # rd = pc+1; pc = rs1 + imm
+    # System
+    NOP = "nop"
+    HALT = "halt"
+
+
+@dataclass(frozen=True)
+class OpInfo:
+    op_class: OpClass
+    mem_bytes: int = 0           # access size for loads/stores
+    latency: int = 1             # execution latency in cycles (ALU view)
+
+
+OP_INFO = {
+    Op.ADD: OpInfo(OpClass.ALU), Op.SUB: OpInfo(OpClass.ALU),
+    Op.AND: OpInfo(OpClass.ALU), Op.OR: OpInfo(OpClass.ALU),
+    Op.XOR: OpInfo(OpClass.ALU), Op.SLT: OpInfo(OpClass.ALU),
+    Op.SLTU: OpInfo(OpClass.ALU), Op.SLL: OpInfo(OpClass.ALU),
+    Op.SRL: OpInfo(OpClass.ALU), Op.SRA: OpInfo(OpClass.ALU),
+    Op.MUL: OpInfo(OpClass.MUL, latency=3),
+    Op.DIV: OpInfo(OpClass.MUL, latency=12),
+    Op.REM: OpInfo(OpClass.MUL, latency=12),
+    Op.ADDI: OpInfo(OpClass.ALU), Op.ANDI: OpInfo(OpClass.ALU),
+    Op.ORI: OpInfo(OpClass.ALU), Op.XORI: OpInfo(OpClass.ALU),
+    Op.SLTI: OpInfo(OpClass.ALU), Op.SLLI: OpInfo(OpClass.ALU),
+    Op.SRLI: OpInfo(OpClass.ALU), Op.LUI: OpInfo(OpClass.ALU),
+    Op.LB: OpInfo(OpClass.LOAD, mem_bytes=1), Op.LH: OpInfo(OpClass.LOAD, mem_bytes=2),
+    Op.LW: OpInfo(OpClass.LOAD, mem_bytes=4), Op.LD: OpInfo(OpClass.LOAD, mem_bytes=8),
+    Op.SB: OpInfo(OpClass.STORE, mem_bytes=1), Op.SH: OpInfo(OpClass.STORE, mem_bytes=2),
+    Op.SW: OpInfo(OpClass.STORE, mem_bytes=4), Op.SD: OpInfo(OpClass.STORE, mem_bytes=8),
+    Op.BEQ: OpInfo(OpClass.BRANCH), Op.BNE: OpInfo(OpClass.BRANCH),
+    Op.BLT: OpInfo(OpClass.BRANCH), Op.BGE: OpInfo(OpClass.BRANCH),
+    Op.JAL: OpInfo(OpClass.JUMP), Op.JALR: OpInfo(OpClass.JUMP),
+    Op.NOP: OpInfo(OpClass.SYS), Op.HALT: OpInfo(OpClass.SYS),
+}
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """One decoded instruction.
+
+    Fields are used positionally per op-format:
+
+    * ALU r-r:    ``rd, rs1, rs2``
+    * ALU imm:    ``rd, rs1, imm``
+    * load:       ``rd, rs1, imm``  (addr = R[rs1] + imm)
+    * store:      ``rs2, rs1, imm`` (mem[R[rs1]+imm] = R[rs2])
+    * branch:     ``rs1, rs2, imm`` (imm = absolute target index)
+    * jal:        ``rd, imm``
+    * jalr:       ``rd, rs1, imm``
+    """
+
+    op: Op
+    rd: int = 0
+    rs1: int = 0
+    rs2: int = 0
+    imm: int = 0
+    label: Optional[str] = None        # symbolic target before linking
+
+    @property
+    def info(self) -> OpInfo:
+        return OP_INFO[self.op]
+
+    @property
+    def op_class(self) -> OpClass:
+        return OP_INFO[self.op].op_class
+
+    @property
+    def is_mem(self) -> bool:
+        return self.op_class in (OpClass.LOAD, OpClass.STORE)
+
+    def __str__(self) -> str:
+        cls = self.op_class
+        m = self.op.value
+        if cls in (OpClass.LOAD,):
+            return f"{m} r{self.rd}, {self.imm}(r{self.rs1})"
+        if cls is OpClass.STORE:
+            return f"{m} r{self.rs2}, {self.imm}(r{self.rs1})"
+        if cls is OpClass.BRANCH:
+            tgt = self.label if self.label is not None else self.imm
+            return f"{m} r{self.rs1}, r{self.rs2}, {tgt}"
+        if self.op is Op.JAL:
+            tgt = self.label if self.label is not None else self.imm
+            return f"{m} r{self.rd}, {tgt}"
+        if self.op is Op.JALR:
+            return f"{m} r{self.rd}, r{self.rs1}, {self.imm}"
+        if self.op in (Op.NOP, Op.HALT):
+            return m
+        if self.op in (Op.ADDI, Op.ANDI, Op.ORI, Op.XORI, Op.SLTI, Op.SLLI, Op.SRLI):
+            return f"{m} r{self.rd}, r{self.rs1}, {self.imm}"
+        if self.op is Op.LUI:
+            return f"{m} r{self.rd}, {self.imm}"
+        return f"{m} r{self.rd}, r{self.rs1}, r{self.rs2}"

@@ -1,0 +1,259 @@
+"""Functional (architectural) executor for the tiny RISC ISA.
+
+The :class:`Machine` executes a :class:`~repro.isa.assembler.Program`
+against a flat byte-addressable memory and, as a side product, can record
+the retired-instruction stream as :class:`ExecutedInstr` records.  Those
+records are exactly what the cycle-approximate TCG pipeline consumes, so
+tests can drive the timing model with *real* programs instead of synthetic
+traces.
+
+Values are 64-bit two's-complement.  ``r0`` reads as zero and ignores
+writes, RISC-style.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterator, List, NamedTuple, Optional
+
+from ..errors import MachineError
+from .assembler import Program
+from .instructions import Instruction, NUM_REGISTERS, Op, OpClass
+
+__all__ = ["ExecutedInstr", "FlatMemory", "Machine"]
+
+_MASK64 = (1 << 64) - 1
+
+
+def _to_signed(value: int) -> int:
+    value &= _MASK64
+    return value - (1 << 64) if value >> 63 else value
+
+
+class ExecutedInstr(NamedTuple):
+    """One retired instruction, as seen by the timing model."""
+
+    pc: int
+    op: Op
+    op_class: OpClass
+    addr: Optional[int]      # effective address for loads/stores
+    size: int                # bytes moved (0 for non-memory)
+    taken: bool              # branch outcome (False for non-branches)
+    reads: tuple             # source register numbers
+    writes: tuple            # destination register numbers
+
+
+class FlatMemory:
+    """Sparse byte-addressable memory backed by a dict of 4KB pages."""
+
+    PAGE = 4096
+
+    def __init__(self) -> None:
+        self._pages: Dict[int, bytearray] = {}
+
+    def _page(self, addr: int) -> bytearray:
+        page = self._pages.get(addr // self.PAGE)
+        if page is None:
+            page = bytearray(self.PAGE)
+            self._pages[addr // self.PAGE] = page
+        return page
+
+    def read(self, addr: int, size: int) -> int:
+        """Little-endian unsigned read of ``size`` bytes."""
+        if addr < 0:
+            raise MachineError(f"negative address {addr:#x}")
+        out = 0
+        for i in range(size):
+            a = addr + i
+            out |= self._page(a)[a % self.PAGE] << (8 * i)
+        return out
+
+    def write(self, addr: int, value: int, size: int) -> None:
+        if addr < 0:
+            raise MachineError(f"negative address {addr:#x}")
+        for i in range(size):
+            a = addr + i
+            self._page(a)[a % self.PAGE] = (value >> (8 * i)) & 0xFF
+
+    def write_bytes(self, addr: int, data: bytes) -> None:
+        for i, byte in enumerate(data):
+            a = addr + i
+            self._page(a)[a % self.PAGE] = byte
+
+    def read_bytes(self, addr: int, size: int) -> bytes:
+        return bytes(self._page(addr + i)[(addr + i) % self.PAGE] for i in range(size))
+
+    @property
+    def touched_pages(self) -> int:
+        return len(self._pages)
+
+
+class Machine:
+    """Architectural interpreter.
+
+    ``step()`` retires one instruction; ``run()`` executes until HALT or an
+    instruction budget is exhausted.  An optional ``on_retire`` callback
+    receives every :class:`ExecutedInstr` (used to feed timing models).
+    """
+
+    def __init__(
+        self,
+        program: Program,
+        memory: Optional[FlatMemory] = None,
+        on_retire: Optional[Callable[[ExecutedInstr], None]] = None,
+    ) -> None:
+        self.program = program
+        self.memory = memory if memory is not None else FlatMemory()
+        self.regs: List[int] = [0] * NUM_REGISTERS
+        self.pc = 0
+        self.halted = False
+        self.retired = 0
+        self.on_retire = on_retire
+
+    # -- register helpers ----------------------------------------------------
+
+    def read_reg(self, idx: int) -> int:
+        return 0 if idx == 0 else _to_signed(self.regs[idx])
+
+    def write_reg(self, idx: int, value: int) -> None:
+        if idx != 0:
+            self.regs[idx] = value & _MASK64
+
+    # -- execution -----------------------------------------------------------
+
+    def step(self) -> Optional[ExecutedInstr]:
+        """Retire one instruction; returns its record, or None if halted."""
+        if self.halted:
+            return None
+        if not 0 <= self.pc < len(self.program):
+            raise MachineError(f"pc {self.pc} outside program of {len(self.program)}")
+        instr = self.program[self.pc]
+        record = self._execute(instr)
+        self.retired += 1
+        if self.on_retire is not None:
+            self.on_retire(record)
+        return record
+
+    def run(self, max_instructions: int = 10_000_000) -> int:
+        """Run until HALT; returns instructions retired by this call."""
+        start = self.retired
+        while not self.halted:
+            if self.retired - start >= max_instructions:
+                raise MachineError(
+                    f"instruction budget {max_instructions} exhausted "
+                    f"(runaway program {self.program.name!r}?)"
+                )
+            self.step()
+        return self.retired - start
+
+    def trace(self, max_instructions: int = 10_000_000) -> Iterator[ExecutedInstr]:
+        """Generator over retired instructions until HALT."""
+        count = 0
+        while not self.halted:
+            if count >= max_instructions:
+                raise MachineError("instruction budget exhausted")
+            record = self.step()
+            if record is not None:
+                count += 1
+                yield record
+
+    # -- per-instruction semantics -------------------------------------------
+
+    def _execute(self, instr: Instruction) -> ExecutedInstr:
+        op = instr.op
+        pc = self.pc
+        next_pc = pc + 1
+        addr: Optional[int] = None
+        size = 0
+        taken = False
+        reads: tuple = ()
+        writes: tuple = ()
+        r = self.read_reg
+
+        if op in _ALU_RR:
+            result = _ALU_RR[op](r(instr.rs1), r(instr.rs2))
+            self.write_reg(instr.rd, result)
+            reads, writes = (instr.rs1, instr.rs2), (instr.rd,)
+        elif op in _ALU_RI:
+            result = _ALU_RI[op](r(instr.rs1), instr.imm)
+            self.write_reg(instr.rd, result)
+            reads, writes = (instr.rs1,), (instr.rd,)
+        elif op is Op.LUI:
+            self.write_reg(instr.rd, instr.imm << 12)
+            writes = (instr.rd,)
+        elif instr.op_class is OpClass.LOAD:
+            size = instr.info.mem_bytes
+            addr = r(instr.rs1) + instr.imm
+            value = self.memory.read(addr, size)
+            # sign-extend loads (the kernels only need signed semantics)
+            sign_bit = 1 << (8 * size - 1)
+            if value & sign_bit:
+                value -= 1 << (8 * size)
+            self.write_reg(instr.rd, value)
+            reads, writes = (instr.rs1,), (instr.rd,)
+        elif instr.op_class is OpClass.STORE:
+            size = instr.info.mem_bytes
+            addr = r(instr.rs1) + instr.imm
+            self.memory.write(addr, r(instr.rs2) & _MASK64, size)
+            reads = (instr.rs1, instr.rs2)
+        elif instr.op_class is OpClass.BRANCH:
+            taken = _BRANCH[op](r(instr.rs1), r(instr.rs2))
+            if taken:
+                next_pc = instr.imm
+            reads = (instr.rs1, instr.rs2)
+        elif op is Op.JAL:
+            self.write_reg(instr.rd, pc + 1)
+            next_pc = instr.imm
+            taken = True
+            writes = (instr.rd,)
+        elif op is Op.JALR:
+            self.write_reg(instr.rd, pc + 1)
+            next_pc = r(instr.rs1) + instr.imm
+            taken = True
+            reads, writes = (instr.rs1,), (instr.rd,)
+        elif op is Op.NOP:
+            pass
+        elif op is Op.HALT:
+            self.halted = True
+        else:  # pragma: no cover - all ops handled above
+            raise MachineError(f"unimplemented op {op}")
+
+        self.pc = next_pc
+        return ExecutedInstr(pc, op, instr.op_class, addr, size, taken, reads, writes)
+
+
+def _shamt(value: int) -> int:
+    return value & 63
+
+
+_ALU_RR = {
+    Op.ADD: lambda a, b: a + b,
+    Op.SUB: lambda a, b: a - b,
+    Op.AND: lambda a, b: a & b,
+    Op.OR: lambda a, b: a | b,
+    Op.XOR: lambda a, b: a ^ b,
+    Op.SLT: lambda a, b: int(a < b),
+    Op.SLTU: lambda a, b: int((a & _MASK64) < (b & _MASK64)),
+    Op.SLL: lambda a, b: a << _shamt(b),
+    Op.SRL: lambda a, b: (a & _MASK64) >> _shamt(b),
+    Op.SRA: lambda a, b: a >> _shamt(b),
+    Op.MUL: lambda a, b: a * b,
+    Op.DIV: lambda a, b: int(a / b) if b else -1,
+    Op.REM: lambda a, b: a - int(a / b) * b if b else a,
+}
+
+_ALU_RI = {
+    Op.ADDI: lambda a, i: a + i,
+    Op.ANDI: lambda a, i: a & i,
+    Op.ORI: lambda a, i: a | i,
+    Op.XORI: lambda a, i: a ^ i,
+    Op.SLTI: lambda a, i: int(a < i),
+    Op.SLLI: lambda a, i: a << _shamt(i),
+    Op.SRLI: lambda a, i: (a & _MASK64) >> _shamt(i),
+}
+
+_BRANCH = {
+    Op.BEQ: lambda a, b: a == b,
+    Op.BNE: lambda a, b: a != b,
+    Op.BLT: lambda a, b: a < b,
+    Op.BGE: lambda a, b: a >= b,
+}

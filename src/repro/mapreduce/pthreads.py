@@ -1,0 +1,147 @@
+"""POSIX-threads-like programming model (paper §3.6).
+
+    "In SmarCo, we implemented the basic programming model based on POSIX
+    threads.  Programmers can easily create and terminate threads by
+    calling library functions, such as pthread_create(), and
+    pthread_exit()."
+
+:class:`ThreadApi` is that library: it binds software threads to a
+:class:`~repro.chip.smarco.SmarCoChip`'s hardware thread contexts,
+choosing placements through the main scheduler's load-balancing policy.
+A thread's body is an instruction stream (a workload profile slice, a
+functional-machine trace, or any ``CoreInstr`` iterator); ``join`` blocks
+the *host* program on simulated completion.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional
+
+from ..chip.smarco import SmarCoChip
+from ..core.stream import CoreInstr
+from ..core.thread import HardwareThread, ThreadState
+from ..errors import ConfigError, SchedulerError
+
+__all__ = ["SpawnedThread", "ThreadApi"]
+
+
+@dataclass
+class SpawnedThread:
+    """Handle returned by :meth:`ThreadApi.create` (a pthread_t)."""
+
+    thread_id: int
+    core_id: int
+    hw_thread: HardwareThread
+
+    @property
+    def finished(self) -> bool:
+        return self.hw_thread.state is ThreadState.DONE
+
+    @property
+    def finish_time(self) -> Optional[float]:
+        return self.hw_thread.finish_time
+
+    @property
+    def instructions_retired(self) -> int:
+        return self.hw_thread.retired
+
+
+class ThreadApi:
+    """pthread-style thread management over one SmarCo chip.
+
+    Usage::
+
+        chip = SmarCoChip(smarco_scaled(2))
+        api = ThreadApi(chip)
+        handles = [api.create(profile.stream(500, rng)) for _ in range(32)]
+        api.join_all()            # runs the simulation to completion
+    """
+
+    def __init__(self, chip: SmarCoChip) -> None:
+        self.chip = chip
+        self._next_id = 0
+        self._spawned: List[SpawnedThread] = []
+        self._started = False
+
+    # -- creation ---------------------------------------------------------
+
+    def _least_loaded_core(self) -> int:
+        """Main-scheduler placement: balance threads across cores, and
+        across sub-rings first (paper §3.7's load-balance goal)."""
+        loads = [len(core.threads) for core in self.chip.cores]
+        capacity = self.chip.config.tcg.hw_threads
+        candidates = [cid for cid, load in enumerate(loads) if load < capacity]
+        if not candidates:
+            raise SchedulerError("all hardware thread contexts are occupied")
+        per_ring = self.chip.config.cores_per_sub_ring
+
+        def key(cid: int):
+            ring = cid // per_ring
+            ring_load = sum(loads[ring * per_ring:(ring + 1) * per_ring])
+            return (loads[cid], ring_load, cid)
+
+        return min(candidates, key=key)
+
+    def create(self, body: Iterator[CoreInstr],
+               name: str = "") -> SpawnedThread:
+        """pthread_create: bind ``body`` to a free hardware context."""
+        if self._started:
+            raise ConfigError("cannot create threads after start/join")
+        core_id = self._least_loaded_core()
+        hw = self.chip.cores[core_id].add_thread(
+            body, name=name or f"pthread{self._next_id}")
+        handle = SpawnedThread(self._next_id, core_id, hw)
+        self._next_id += 1
+        self._spawned.append(handle)
+        return handle
+
+    # -- execution ----------------------------------------------------------
+
+    def start(self) -> None:
+        """Begin executing every created thread (idempotent)."""
+        if self._started:
+            return
+        if not self._spawned:
+            raise ConfigError("no threads created")
+        self._started = True
+        self.chip._loaded = True
+        for core in self.chip.cores:
+            if core.threads and not core.started:
+                core.start()
+
+    def join(self, handle: SpawnedThread,
+             max_cycles: Optional[float] = None) -> float:
+        """pthread_join: simulate until ``handle`` exits; returns its
+        finish time."""
+        self.start()
+        while not handle.finished:
+            if not self.chip.sim.step():
+                raise SchedulerError(
+                    f"thread {handle.thread_id} can never finish "
+                    "(simulation ran dry)")
+            if max_cycles is not None and self.chip.sim.now > max_cycles:
+                raise SchedulerError(
+                    f"thread {handle.thread_id} still running at the "
+                    f"{max_cycles}-cycle horizon")
+        return handle.finish_time
+
+    def join_all(self, max_cycles: Optional[float] = None) -> float:
+        """Join every spawned thread; returns the last exit time."""
+        last = 0.0
+        for handle in self._spawned:
+            last = max(last, self.join(handle, max_cycles))
+        return last
+
+    # -- introspection ---------------------------------------------------------
+
+    @property
+    def threads(self) -> List[SpawnedThread]:
+        return list(self._spawned)
+
+    def placement_counts(self) -> Dict[int, int]:
+        """{core_id: spawned thread count} — load-balance visibility."""
+        counts: Dict[int, int] = {}
+        for handle in self._spawned:
+            counts[handle.core_id] = counts.get(handle.core_id, 0) + 1
+        return counts

@@ -1,0 +1,59 @@
+"""Input slicing for the MapReduce framework (paper §3.6, Fig 15: "input
+dataset is sliced into equal stacks ... based on the hardware resources").
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Sequence, Union
+
+from ..errors import WorkloadError
+
+__all__ = ["slice_sequence", "slice_text", "slices_for_chip"]
+
+
+def slice_sequence(data: Sequence, n_slices: int) -> List[Sequence]:
+    """Split a sequence into ``n_slices`` near-equal contiguous chunks."""
+    if n_slices <= 0:
+        raise WorkloadError("n_slices must be positive")
+    n = len(data)
+    if n == 0:
+        return []
+    n_slices = min(n_slices, n)
+    base, extra = divmod(n, n_slices)
+    out, start = [], 0
+    for i in range(n_slices):
+        size = base + (1 if i < extra else 0)
+        out.append(data[start:start + size])
+        start += size
+    return out
+
+
+def slice_text(text: str, n_slices: int) -> List[str]:
+    """Split text into chunks on word boundaries (no split words)."""
+    if n_slices <= 0:
+        raise WorkloadError("n_slices must be positive")
+    if not text:
+        return []
+    target = max(1, len(text) // n_slices)
+    out = []
+    start = 0
+    while start < len(text) and len(out) < n_slices - 1:
+        end = min(len(text), start + target)
+        # extend to the next whitespace so words stay whole
+        while end < len(text) and not text[end].isspace():
+            end += 1
+        out.append(text[start:end])
+        start = end
+    if start < len(text):
+        out.append(text[start:])
+    return [chunk for chunk in out if chunk.strip()]
+
+
+def slices_for_chip(total_items: int, sub_rings: int, cores_per_sub_ring: int,
+                    threads_per_core: int = 4, min_items_per_slice: int = 1) -> int:
+    """Slice count matched to hardware parallelism (one slice per running
+    thread), bounded by the data volume."""
+    threads = sub_rings * cores_per_sub_ring * threads_per_core
+    if total_items <= 0:
+        return 1
+    return max(1, min(threads, total_items // max(1, min_items_per_slice)))

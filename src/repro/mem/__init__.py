@@ -1,0 +1,36 @@
+"""Memory subsystem: caches, SPM, MACT, DRAM, DMA, request plumbing."""
+
+from .cache import AccessResult, Cache
+from .controller import MemoryController, MemorySystem
+from .dma import DmaEngine
+from .dram import DramBank, DramChannel
+from .hierarchy import CacheHierarchy, HierarchyResult
+from .mact import MACT, Batch, MACTLine
+from .pim import PimMatchResult, PimMatchUnit
+from .prefetch import PrefetchWindow, StreamPrefetcher
+from .request import MemRequest, Priority
+from .spm import Scratchpad, SpmAddressMap, SPM_REGION_BASE
+
+__all__ = [
+    "Cache",
+    "AccessResult",
+    "Scratchpad",
+    "SpmAddressMap",
+    "SPM_REGION_BASE",
+    "MemRequest",
+    "Priority",
+    "MACT",
+    "MACTLine",
+    "Batch",
+    "DramBank",
+    "DramChannel",
+    "MemoryController",
+    "MemorySystem",
+    "DmaEngine",
+    "CacheHierarchy",
+    "HierarchyResult",
+    "StreamPrefetcher",
+    "PrefetchWindow",
+    "PimMatchUnit",
+    "PimMatchResult",
+]

@@ -1,0 +1,202 @@
+"""Memory Access Collection Table — MACT (paper §3.4).
+
+One MACT per sub-ring collects small, discrete memory requests from the
+sub-ring's cores and forwards them to memory *in batch*.  Each line holds:
+
+* ``Type`` — read or write (a line never mixes the two);
+* ``Tag`` — the base address of the span it covers;
+* ``Vector`` — a byte bitmap: bit *i* set means byte ``base+i`` is wanted;
+* ``Threshold`` — a deadline timer; the line must be packed and sent
+  within ``threshold_cycles`` of its creation to preserve timeliness.
+
+A line flushes when its bitmap fills, its deadline expires, or the table
+needs space.  Requests flagged ``Priority.REALTIME`` bypass the table
+entirely (paper: "requests ... of superior real-time priority bypass MACT
+and flow to memory in an ordinary way").
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..config import MACTConfig
+from ..sim.engine import Simulator
+from ..sim.stats import StatsRegistry
+from .request import MemRequest, Priority
+
+__all__ = ["MACTLine", "MACT", "Batch"]
+
+
+class Batch:
+    """One packed transaction leaving the MACT for memory."""
+
+    __slots__ = ("base_addr", "span_bytes", "is_write", "requests", "reason")
+
+    def __init__(self, base_addr: int, span_bytes: int, is_write: bool,
+                 requests: List[MemRequest], reason: str) -> None:
+        self.base_addr = base_addr
+        self.span_bytes = span_bytes
+        self.is_write = is_write
+        self.requests = requests
+        self.reason = reason            # "full" | "deadline" | "capacity"
+
+    @property
+    def wanted_bytes(self) -> int:
+        return sum(r.size for r in self.requests)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (
+            f"Batch({'W' if self.is_write else 'R'} {self.base_addr:#x} "
+            f"n={len(self.requests)} reason={self.reason})"
+        )
+
+
+class MACTLine:
+    """One table line: bitmap of wanted bytes + its constituent requests."""
+
+    __slots__ = ("base_addr", "is_write", "bitmap", "created_at", "requests", "generation")
+
+    def __init__(self, base_addr: int, is_write: bool, created_at: float,
+                 generation: int) -> None:
+        self.base_addr = base_addr
+        self.is_write = is_write
+        self.bitmap = 0
+        self.created_at = created_at
+        self.requests: List[MemRequest] = []
+        self.generation = generation    # guards stale deadline events
+
+    def merge(self, request: MemRequest, span_bytes: int) -> bool:
+        """Set bitmap bits for the request; True if the bitmap is now full."""
+        lo = request.addr - self.base_addr
+        mask = ((1 << request.size) - 1) << lo
+        self.bitmap |= mask
+        self.requests.append(request)
+        return self.bitmap == (1 << span_bytes) - 1
+
+    def covered_bytes(self) -> int:
+        return bin(self.bitmap).count("1")
+
+
+class MACT:
+    """The collection table, as a DES component.
+
+    ``send(batch)`` is the downstream hook — the sub-ring wires it to the
+    memory path (NoC injection or direct controller submission).  When
+    ``config.enabled`` is False every request is forwarded unbatched,
+    giving the conventional baseline of Fig 20.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        send: Callable[[Batch], None],
+        config: Optional[MACTConfig] = None,
+        name: str = "mact",
+        registry: Optional[StatsRegistry] = None,
+    ) -> None:
+        self.sim = sim
+        self.send = send
+        self.config = config if config is not None else MACTConfig()
+        self.name = name
+        self._lines: "OrderedDict[Tuple[bool, int], MACTLine]" = OrderedDict()
+        self._generation = 0
+        reg = registry if registry is not None else StatsRegistry()
+        self.requests_in = reg.counter(f"{name}.requests_in")
+        self.batches_out = reg.counter(f"{name}.batches_out")
+        self.bypasses = reg.counter(f"{name}.bypasses")
+        self.flush_full = reg.counter(f"{name}.flush_full")
+        self.flush_deadline = reg.counter(f"{name}.flush_deadline")
+        self.flush_capacity = reg.counter(f"{name}.flush_capacity")
+        self.occupancy = reg.time_weighted(f"{name}.occupancy")
+
+    # -- submission -------------------------------------------------------------
+
+    def submit(self, request: MemRequest) -> None:
+        """Accept one memory request from a core."""
+        self.requests_in.inc()
+        if not self.config.enabled:
+            self._send_single(request, reason="disabled")
+            return
+        if self.config.bypass_priority and request.priority is Priority.REALTIME:
+            self.bypasses.inc()
+            self._send_single(request, reason="bypass")
+            return
+
+        span = self.config.line_span_bytes
+        base = request.line_base(span)
+        # A request crossing a line boundary is split architecture-side; we
+        # model the common case and clamp to the line end.
+        if request.addr + request.size > base + span:
+            request.size = base + span - request.addr
+
+        key = (request.is_write, base)
+        line = self._lines.get(key)
+        if line is None:
+            if len(self._lines) >= self.config.lines:
+                self._flush_oldest()
+            self._generation += 1
+            line = MACTLine(base, request.is_write, self.sim.now, self._generation)
+            self._lines[key] = line
+            self.occupancy.set(len(self._lines), self.sim.now)
+            self.sim.schedule(
+                self.config.threshold_cycles,
+                self._deadline_expired, key, line.generation,
+            )
+        if line.merge(request, span):
+            self._flush(key, reason="full")
+
+    # -- flush paths --------------------------------------------------------------
+
+    def _send_single(self, request: MemRequest, reason: str) -> None:
+        batch = Batch(request.addr, request.size, request.is_write,
+                      [request], reason)
+        self.batches_out.inc()
+        self.send(batch)
+
+    def _deadline_expired(self, key: Tuple[bool, int], generation: int) -> None:
+        line = self._lines.get(key)
+        if line is None or line.generation != generation:
+            return                      # line already flushed/recreated
+        self._flush(key, reason="deadline")
+
+    def _flush_oldest(self) -> None:
+        key = next(iter(self._lines))
+        self._flush(key, reason="capacity")
+
+    def _flush(self, key: Tuple[bool, int], reason: str) -> None:
+        line = self._lines.pop(key)
+        self.occupancy.set(len(self._lines), self.sim.now)
+        counter = {
+            "full": self.flush_full,
+            "deadline": self.flush_deadline,
+            "capacity": self.flush_capacity,
+        }[reason]
+        counter.inc()
+        self.batches_out.inc()
+        self.send(Batch(line.base_addr, self.config.line_span_bytes,
+                        line.is_write, line.requests, reason))
+
+    def flush_all(self) -> int:
+        """Drain every pending line (end-of-run); returns lines flushed."""
+        count = 0
+        while self._lines:
+            self._flush_oldest()
+            # _flush_oldest counts as "capacity"; that's fine for draining.
+            count += 1
+        return count
+
+    # -- introspection ----------------------------------------------------------
+
+    @property
+    def pending_lines(self) -> int:
+        return len(self._lines)
+
+    @property
+    def request_reduction(self) -> float:
+        """Ratio of input requests to output transactions (>1 is a win)."""
+        out = self.batches_out.value
+        return self.requests_in.value / out if out else 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"MACT({self.name}, pending={len(self._lines)})"

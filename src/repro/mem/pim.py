@@ -1,0 +1,111 @@
+"""Near-memory string matching — the paper's second §7 future-work item.
+
+    "We are working hard to apply in-memory computing techniques to
+    handle those simple and fixed computing patterns, such as string
+    matching, to further reduce data volume that needs to be transferred
+    between memory and cores."
+
+A :class:`PimMatchUnit` sits at a memory controller and runs KMP over a
+resident byte region at DRAM-internal bandwidth: the host sends a small
+command packet, the unit streams rows through a comparator array, and
+only the match count travels back.  The unit is *functional* — it
+operates on real bytes and returns the true match count — and *timed* —
+its scan rate, command latency, and bank occupancy are modelled, so the
+extension bench can compare it fairly against shipping the data to the
+TCG cores.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Generator, Optional
+
+from ..errors import ConfigError, MemoryError_
+from ..sim.engine import Process, Simulator
+from ..sim.stats import StatsRegistry
+
+__all__ = ["PimMatchResult", "PimMatchUnit"]
+
+
+@dataclass
+class PimMatchResult:
+    """Outcome of one near-memory match command."""
+
+    matches: int
+    bytes_scanned: int
+    issued_at: float
+    finished_at: float
+
+    @property
+    def latency(self) -> float:
+        return self.finished_at - self.issued_at
+
+
+class PimMatchUnit:
+    """One in-memory KMP engine attached to a memory controller."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        unit_id: int = 0,
+        scan_bytes_per_cycle: float = 64.0,
+        command_latency: int = 40,
+        registry: Optional[StatsRegistry] = None,
+    ) -> None:
+        if scan_bytes_per_cycle <= 0:
+            raise ConfigError("PIM scan rate must be positive")
+        self.sim = sim
+        self.unit_id = unit_id
+        self.scan_bytes_per_cycle = scan_bytes_per_cycle
+        self.command_latency = command_latency
+        self._regions: Dict[int, bytes] = {}
+        self._busy_until = 0.0
+        reg = registry if registry is not None else StatsRegistry()
+        self.commands = reg.counter(f"pim{unit_id}.commands")
+        self.bytes_scanned = reg.counter(f"pim{unit_id}.bytes")
+
+    # -- data residency -----------------------------------------------------
+
+    def store(self, base_addr: int, data: bytes) -> None:
+        """Make ``data`` resident at ``base_addr`` (the dataset the host
+        staged into this controller's DRAM)."""
+        if not data:
+            raise MemoryError_("cannot store an empty region")
+        self._regions[base_addr] = bytes(data)
+
+    def resident_bytes(self, base_addr: int) -> int:
+        return len(self._regions.get(base_addr, b""))
+
+    # -- matching --------------------------------------------------------------
+
+    def match(self, base_addr: int, pattern: str) -> Process:
+        """Issue a match command; the process result is a
+        :class:`PimMatchResult`."""
+        if base_addr not in self._regions:
+            raise MemoryError_(f"no resident region at {base_addr:#x}")
+        if not pattern:
+            raise MemoryError_("empty pattern")
+        return self.sim.spawn(self._run(base_addr, pattern),
+                              f"pim{self.unit_id}.match")
+
+    def _run(self, base_addr: int, pattern: str) -> Generator:
+        issued = self.sim.now
+        data = self._regions[base_addr]
+        # command decode + row pipeline fill, then serialise on the unit
+        start = max(self.sim.now + self.command_latency, self._busy_until)
+        scan_cycles = len(data) / self.scan_bytes_per_cycle
+        finish = start + scan_cycles
+        self._busy_until = finish
+        yield finish - self.sim.now
+        # imported lazily: workloads depends on mem for its address map
+        from ..workloads.kmp import kmp_search
+
+        matches = len(kmp_search(data.decode("latin-1"), pattern))
+        self.commands.inc()
+        self.bytes_scanned.inc(len(data))
+        return PimMatchResult(
+            matches=matches,
+            bytes_scanned=len(data),
+            issued_at=issued,
+            finished_at=self.sim.now,
+        )

@@ -1,0 +1,145 @@
+"""SPM stream prefetcher — the paper's §7 future work, implemented.
+
+    "In the future, we will concentrate on data penetration and prefetch
+    from memory to SPM to further improve efficiency and fairness of
+    memory accesses."
+
+A :class:`StreamPrefetcher` sits beside a core's LSQ: it watches the
+core's uncached *read* stream, detects sequential progress, and pulls the
+next window of the stream from DRAM into the core's SPM ahead of use.  A
+read that lands in a ready window is served at SPM speed instead of a
+full memory round trip.
+
+The prefetcher is deliberately simple hardware: a few stream trackers
+(last address + confidence) and a small table of prefetched windows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional
+
+from ..errors import ConfigError
+from ..sim.stats import StatsRegistry
+from .request import MemRequest
+
+__all__ = ["PrefetchWindow", "StreamPrefetcher"]
+
+
+@dataclass
+class PrefetchWindow:
+    """One SPM-resident slice of a detected stream."""
+
+    start: int
+    end: int
+    ready_at: float          # when the DMA fill lands in SPM
+
+    def covers(self, addr: int, size: int) -> bool:
+        return self.start <= addr and addr + size <= self.end
+
+
+class _StreamTracker:
+    """Detects sequential progress of one stream."""
+
+    __slots__ = ("last_addr", "confidence")
+
+    def __init__(self, addr: int) -> None:
+        self.last_addr = addr
+        self.confidence = 0
+
+    def advance(self, addr: int, size: int, slack: int) -> bool:
+        """Record an access; True once the stream is confirmed."""
+        if 0 <= addr - self.last_addr <= slack:
+            self.confidence += 1
+        else:
+            self.confidence = 0
+        self.last_addr = addr + size
+        return self.confidence >= 2
+
+
+class StreamPrefetcher:
+    """Per-core sequential prefetcher into SPM.
+
+    ``fetch(request)`` is the downstream hook: the chip wires it to the
+    memory path; the supplied request's completion marks the window
+    ready.
+    """
+
+    def __init__(
+        self,
+        core_id: int,
+        fetch: Callable[[MemRequest], None],
+        window_bytes: int = 256,
+        max_windows: int = 8,
+        max_trackers: int = 4,
+        sequential_slack: int = 64,
+        registry: Optional[StatsRegistry] = None,
+    ) -> None:
+        if window_bytes <= 0 or max_windows <= 0:
+            raise ConfigError("prefetcher needs positive window geometry")
+        self.core_id = core_id
+        self.fetch = fetch
+        self.window_bytes = window_bytes
+        self.max_windows = max_windows
+        self.max_trackers = max_trackers
+        self.sequential_slack = sequential_slack
+        self._windows: List[PrefetchWindow] = []
+        self._trackers: List[_StreamTracker] = []
+        reg = registry if registry is not None else StatsRegistry()
+        self.hits = reg.counter(f"pf{core_id}.hits")
+        self.misses = reg.counter(f"pf{core_id}.misses")
+        self.issued = reg.counter(f"pf{core_id}.issued")
+
+    # -- lookup ------------------------------------------------------------
+
+    def lookup(self, addr: int, size: int, now: float) -> bool:
+        """True when the access is covered by a ready window (SPM hit)."""
+        for window in self._windows:
+            if window.covers(addr, size) and window.ready_at <= now:
+                self.hits.inc()
+                return True
+        self.misses.inc()
+        return False
+
+    # -- training -----------------------------------------------------------
+
+    def observe(self, addr: int, size: int, now: float) -> None:
+        """Train on an uncached read; may launch the next window fill."""
+        for tracker in self._trackers:
+            if abs(addr - tracker.last_addr) <= self.sequential_slack:
+                if tracker.advance(addr, size, self.sequential_slack):
+                    self._launch(addr + size, now)
+                return
+        self._trackers.append(_StreamTracker(addr + size))
+        if len(self._trackers) > self.max_trackers:
+            self._trackers.pop(0)
+
+    def _launch(self, start: int, now: float) -> None:
+        end = start + self.window_bytes
+        if any(w.covers(start, 1) and w.end >= end for w in self._windows):
+            return                       # already in flight / resident
+        window = PrefetchWindow(start, end, ready_at=float("inf"))
+        self._windows.append(window)
+        if len(self._windows) > self.max_windows:
+            self._windows.pop(0)
+        request = MemRequest(
+            addr=start, size=self.window_bytes, is_write=False,
+            core_id=self.core_id,
+            on_complete=lambda req, t, w=window: self._filled(w, t),
+        )
+        self.issued.inc()
+        self.fetch(request)
+
+    def _filled(self, window: PrefetchWindow, now: float) -> None:
+        window.ready_at = now
+
+    # -- introspection ----------------------------------------------------------
+
+    @property
+    def hit_ratio(self) -> float:
+        total = self.hits.value + self.misses.value
+        return self.hits.value / total if total else 0.0
+
+    @property
+    def resident_windows(self) -> int:
+        return len(self._windows)

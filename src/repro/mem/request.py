@@ -1,0 +1,67 @@
+"""Memory request objects shared by caches, SPM, MACT, NoC and DRAM."""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, List, Optional
+
+__all__ = ["Priority", "MemRequest"]
+
+_request_ids = itertools.count()
+
+
+class Priority(enum.IntEnum):
+    """Request priority classes (paper §3.4/§3.5.2).
+
+    ``REALTIME`` requests bypass the MACT and may use the direct datapath;
+    ``NORMAL`` requests are eligible for collection/batching.
+    """
+
+    NORMAL = 0
+    REALTIME = 1
+
+
+@dataclass
+class MemRequest:
+    """One memory access travelling through the chip.
+
+    ``on_complete(request, finish_time)`` is invoked when the data is back
+    at the requester (loads) or accepted by memory (stores).
+    """
+
+    addr: int
+    size: int
+    is_write: bool
+    core_id: int = 0
+    priority: Priority = Priority.NORMAL
+    issue_time: float = 0.0
+    on_complete: Optional[Callable[["MemRequest", float], None]] = None
+    req_id: int = field(default_factory=lambda: next(_request_ids))
+    meta: Any = None
+    finish_time: Optional[float] = None
+
+    @property
+    def latency(self) -> Optional[float]:
+        if self.finish_time is None:
+            return None
+        return self.finish_time - self.issue_time
+
+    def complete(self, now: float) -> None:
+        """Mark done at ``now`` and fire the completion callback once."""
+        if self.finish_time is not None:
+            return
+        self.finish_time = now
+        if self.on_complete is not None:
+            self.on_complete(self, now)
+
+    def line_base(self, line_bytes: int) -> int:
+        return (self.addr // line_bytes) * line_bytes
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        kind = "W" if self.is_write else "R"
+        return (
+            f"MemRequest#{self.req_id}({kind} {self.addr:#x}+{self.size} "
+            f"core={self.core_id} prio={self.priority.name})"
+        )

@@ -1,0 +1,185 @@
+"""ScratchPad Memory (paper §3.5.1).
+
+Each TCG core owns a 128 KB SPM that is:
+
+* **unified-addressed** — it occupies a window of the global address
+  space, so the LSQ can route an access to SPM vs. cache/memory purely by
+  address range (:class:`SpmAddressMap`);
+* **programmer-managed** — no tags, no misses inside the window; an access
+  outside any allocated region is the *programmer's* problem, which we
+  surface as an error;
+* **shared within a sub-ring** — remote SPM accesses travel over the ring,
+  bulk transfers use the DMA engine (:mod:`repro.mem.dma`);
+* the top 256 bytes are DMA control registers (source, destination, size,
+  kick).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..errors import MemoryError_
+from ..sim.stats import StatsRegistry
+
+__all__ = ["Scratchpad", "SpmAddressMap", "SPM_REGION_BASE"]
+
+# Global address-map constants: SPMs live in a dedicated high region so the
+# LSQ range check is a single comparison (paper: "LSQ units check the
+# address and judge whether to send the requirement to the cache or SPM").
+SPM_REGION_BASE = 0x4000_0000_0000
+
+# DMA control-register offsets inside the top 256-byte window.
+DMA_SRC_OFFSET = 0
+DMA_DST_OFFSET = 8
+DMA_SIZE_OFFSET = 16
+DMA_KICK_OFFSET = 24
+
+
+class Scratchpad:
+    """One core's SPM: data array + control-register window."""
+
+    def __init__(
+        self,
+        core_id: int,
+        size_bytes: int = 128 * 1024,
+        control_bytes: int = 256,
+        base_addr: Optional[int] = None,
+        registry: Optional[StatsRegistry] = None,
+    ) -> None:
+        if control_bytes >= size_bytes:
+            raise MemoryError_("SPM control window larger than the SPM")
+        self.core_id = core_id
+        self.size_bytes = size_bytes
+        self.control_bytes = control_bytes
+        self.base_addr = (
+            base_addr if base_addr is not None
+            else SPM_REGION_BASE + core_id * size_bytes
+        )
+        self._data = bytearray(size_bytes)
+        reg = registry if registry is not None else StatsRegistry()
+        self.reads = reg.counter(f"spm{core_id}.reads")
+        self.writes = reg.counter(f"spm{core_id}.writes")
+
+    # -- address ranges --------------------------------------------------------
+
+    @property
+    def data_bytes(self) -> int:
+        """Usable data capacity (size minus the control window)."""
+        return self.size_bytes - self.control_bytes
+
+    @property
+    def control_base(self) -> int:
+        """First address of the control-register window (top 256 B)."""
+        return self.base_addr + self.size_bytes - self.control_bytes
+
+    def contains(self, addr: int) -> bool:
+        return self.base_addr <= addr < self.base_addr + self.size_bytes
+
+    def is_control(self, addr: int) -> bool:
+        return self.control_base <= addr < self.base_addr + self.size_bytes
+
+    def _offset(self, addr: int, size: int) -> int:
+        if not self.contains(addr) or not self.contains(addr + size - 1):
+            raise MemoryError_(
+                f"SPM{self.core_id}: access {addr:#x}+{size} outside "
+                f"[{self.base_addr:#x}, {self.base_addr + self.size_bytes:#x})"
+            )
+        return addr - self.base_addr
+
+    # -- data access -----------------------------------------------------------
+
+    def read(self, addr: int, size: int) -> int:
+        off = self._offset(addr, size)
+        self.reads.inc()
+        return int.from_bytes(self._data[off:off + size], "little")
+
+    def write(self, addr: int, value: int, size: int) -> None:
+        off = self._offset(addr, size)
+        self.writes.inc()
+        self._data[off:off + size] = (value & ((1 << (8 * size)) - 1)).to_bytes(
+            size, "little"
+        )
+
+    def read_bytes(self, addr: int, size: int) -> bytes:
+        off = self._offset(addr, size)
+        self.reads.inc()
+        return bytes(self._data[off:off + size])
+
+    def write_bytes(self, addr: int, data: bytes) -> None:
+        off = self._offset(addr, len(data))
+        self.writes.inc()
+        self._data[off:off + len(data)] = data
+
+    # -- DMA control registers ---------------------------------------------------
+
+    def read_control(self, offset: int) -> int:
+        """Read a 64-bit control register at ``offset`` in the window."""
+        return self.read(self.control_base + offset, 8)
+
+    def write_control(self, offset: int, value: int) -> None:
+        self.write(self.control_base + offset, value, 8)
+
+    def dma_descriptor(self) -> Tuple[int, int, int]:
+        """Current (src, dst, size) programmed into the control window."""
+        return (
+            self.read_control(DMA_SRC_OFFSET),
+            self.read_control(DMA_DST_OFFSET),
+            self.read_control(DMA_SIZE_OFFSET),
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"Scratchpad(core={self.core_id}, base={self.base_addr:#x})"
+
+
+class SpmAddressMap:
+    """Routes a global address to {local SPM | remote SPM | main memory}.
+
+    One instance per chip; cores ask it where a load/store should go —
+    this models the paper's LSQ address check.
+    """
+
+    def __init__(self, spms: Dict[int, Scratchpad]) -> None:
+        self._spms = dict(spms)
+        if not self._spms:
+            self._region_lo = self._region_hi = 0
+            self._uniform_size: Optional[int] = None
+            return
+        self._region_lo = min(s.base_addr for s in self._spms.values())
+        self._region_hi = max(
+            s.base_addr + s.size_bytes for s in self._spms.values()
+        )
+        # The default layout places SPM i at base + i*size; detect it so
+        # owner lookup is O(1) — the LSQ does this with one shift in HW.
+        sizes = {s.size_bytes for s in self._spms.values()}
+        size = next(iter(sizes))
+        uniform = len(sizes) == 1 and all(
+            s.base_addr == SPM_REGION_BASE + s.core_id * size
+            for s in self._spms.values()
+        )
+        self._uniform_size = size if uniform else None
+
+    def owner_of(self, addr: int) -> Optional[Scratchpad]:
+        """The SPM owning ``addr``, or None for main-memory addresses."""
+        if not self._region_lo <= addr < self._region_hi:
+            return None
+        if self._uniform_size is not None:
+            core_id = (addr - SPM_REGION_BASE) // self._uniform_size
+            return self._spms.get(core_id)
+        for spm in self._spms.values():
+            if spm.contains(addr):
+                return spm
+        return None
+
+    def route(self, addr: int, core_id: int) -> str:
+        """One of ``"spm-local"``, ``"spm-remote"``, ``"mem"``."""
+        owner = self.owner_of(addr)
+        if owner is None:
+            return "mem"
+        return "spm-local" if owner.core_id == core_id else "spm-remote"
+
+    def spm(self, core_id: int) -> Scratchpad:
+        return self._spms[core_id]
+
+    def __len__(self) -> int:
+        return len(self._spms)

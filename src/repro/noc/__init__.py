@@ -1,0 +1,32 @@
+"""On-chip network: hierarchical rings, high-density links, mesh baseline."""
+
+from .directpath import DirectDatapath
+from .hierring import HierarchicalRingNoC
+from .link import RingSegment, SlicedLink
+from .mesh import MeshNoC
+from .cyclering import CyclePacket, CycleRing
+from .packet import NodeId, Packet, PacketKind
+from .ring import Ring
+from .router import Flit, HighDensityRouter, RouterTestbench
+from .traffic import GranularityDist, TrafficGenerator, TrafficResult, run_uniform_traffic
+
+__all__ = [
+    "Packet",
+    "PacketKind",
+    "NodeId",
+    "SlicedLink",
+    "RingSegment",
+    "Ring",
+    "Flit",
+    "HighDensityRouter",
+    "RouterTestbench",
+    "CycleRing",
+    "CyclePacket",
+    "HierarchicalRingNoC",
+    "MeshNoC",
+    "DirectDatapath",
+    "GranularityDist",
+    "TrafficGenerator",
+    "TrafficResult",
+    "run_uniform_traffic",
+]

@@ -1,0 +1,191 @@
+"""Cycle-accurate ring built from high-density routers.
+
+The full-chip simulations use the *analytic* slice-reservation links of
+:mod:`repro.noc.link` for speed.  This module builds the same ring out of
+per-stop :class:`~repro.noc.router.HighDensityRouter` channels, advancing
+flit by flit each cycle — the fidelity level of the paper's Fig 10 — so
+the analytic model can be cross-validated against it
+(``tests/integration/test_ring_crossvalidation.py``).
+
+Topology per stop and direction: one router channel whose inputs are
+{through-traffic, local injection} and whose output feeds the next stop.
+Packets travel as single flits (small HTC packets fit one flit; larger
+payloads are split).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..errors import NocError
+from ..sim.stats import StatsRegistry
+from .router import Flit, HighDensityRouter
+
+__all__ = ["CyclePacket", "CycleRing"]
+
+_pkt_ids = itertools.count()
+
+THROUGH, LOCAL = 0, 1
+
+
+@dataclass
+class CyclePacket:
+    """A packet in the cycle-accurate ring."""
+
+    src: int
+    dst: int
+    size_bytes: int
+    injected_at: int = 0
+    delivered_at: Optional[int] = None
+    direction: str = "cw"
+    pkt_id: int = field(default_factory=lambda: next(_pkt_ids))
+    flits_remaining: int = 0
+
+    @property
+    def latency(self) -> Optional[int]:
+        if self.delivered_at is None:
+            return None
+        return self.delivered_at - self.injected_at
+
+
+class CycleRing:
+    """A bidirectional ring advanced with an explicit global clock."""
+
+    def __init__(
+        self,
+        num_stops: int,
+        width_bytes: int = 8,
+        slice_bytes: int = 2,
+        policy: str = "greedy",
+        buffer_flits: int = 8,
+        registry: Optional[StatsRegistry] = None,
+    ) -> None:
+        if num_stops < 2:
+            raise NocError("ring needs >=2 stops")
+        self.num_stops = num_stops
+        self.width_bytes = width_bytes
+        self.cycle = 0
+        # per stop, per direction: one router channel feeding the next stop
+        self._routers: Dict[str, List[HighDensityRouter]] = {
+            direction: [
+                HighDensityRouter(
+                    f"cyc.{direction}{i}", n_inputs=2,
+                    width_bytes=width_bytes, slice_bytes=slice_bytes,
+                    policy=policy, buffer_flits=buffer_flits,
+                    registry=registry,
+                )
+                for i in range(num_stops)
+            ]
+            for direction in ("cw", "ccw")
+        }
+        self._flit_owner: Dict[int, CyclePacket] = {}
+        self._pending_local: Dict[str, List[List[Tuple[CyclePacket, Flit]]]] = {
+            d: [[] for _ in range(num_stops)] for d in ("cw", "ccw")
+        }
+        # flits that bounced off a full downstream buffer, retried first
+        self._overflow: Dict[str, List[List[Flit]]] = {
+            d: [[] for _ in range(num_stops)] for d in ("cw", "ccw")
+        }
+        self.delivered: List[CyclePacket] = []
+        self.in_flight = 0
+
+    # -- geometry -------------------------------------------------------------
+
+    def _next_stop(self, stop: int, direction: str) -> int:
+        step = 1 if direction == "cw" else -1
+        return (stop + step) % self.num_stops
+
+    def choose_direction(self, src: int, dst: int) -> str:
+        cw = (dst - src) % self.num_stops
+        ccw = (src - dst) % self.num_stops
+        return "cw" if cw <= ccw else "ccw"
+
+    # -- injection ----------------------------------------------------------------
+
+    def inject(self, src: int, dst: int, size_bytes: int) -> CyclePacket:
+        """Queue a packet for injection at its source stop."""
+        if not (0 <= src < self.num_stops and 0 <= dst < self.num_stops):
+            raise NocError("stop out of range")
+        if src == dst:
+            raise NocError("src == dst")
+        packet = CyclePacket(src=src, dst=dst, size_bytes=size_bytes,
+                             injected_at=self.cycle)
+        packet.direction = self.choose_direction(src, dst)
+        n_flits = max(1, -(-size_bytes // self.width_bytes))
+        packet.flits_remaining = n_flits
+        per_flit = -(-size_bytes // n_flits)
+        for _ in range(n_flits):
+            flit = Flit(size_bytes=min(per_flit, self.width_bytes),
+                        packet_id=packet.pkt_id)
+            self._flit_owner[flit.flit_id] = packet
+            self._pending_local[packet.direction][src].append((packet, flit))
+        self.in_flight += 1
+        return packet
+
+    # -- the clock ----------------------------------------------------------------------
+
+    def tick(self) -> None:
+        """Advance the whole ring one cycle."""
+        self.cycle += 1
+        for direction in ("cw", "ccw"):
+            routers = self._routers[direction]
+            # bounced flits retry into their through-buffers first
+            for stop in range(self.num_stops):
+                overflow = self._overflow[direction][stop]
+                while overflow:
+                    if routers[stop].inject(THROUGH, overflow[0]):
+                        overflow.pop(0)
+                    else:
+                        break
+            # local injection fills the LOCAL input buffers
+            for stop in range(self.num_stops):
+                queue = self._pending_local[direction][stop]
+                while queue:
+                    _packet, flit = queue[0]
+                    if routers[stop].inject(LOCAL, flit):
+                        queue.pop(0)
+                    else:
+                        break
+            # switch allocation at every stop; emitted flits land in the
+            # NEXT stop's through-buffer or exit at their destination
+            moves: List[Tuple[int, Flit]] = []
+            for stop in range(self.num_stops):
+                for _port, flit in routers[stop].tick():
+                    moves.append((stop, flit))
+            for stop, flit in moves:
+                packet = self._flit_owner[flit.flit_id]
+                nxt = self._next_stop(stop, direction)
+                if nxt == packet.dst:
+                    self._arrive(packet, flit)
+                else:
+                    if not routers[nxt].inject(THROUGH, flit):
+                        # backpressure: park the flit at this stop and
+                        # retry it ahead of new traffic next cycle
+                        self._overflow[direction][stop].append(flit)
+
+    def _arrive(self, packet: CyclePacket, flit: Flit) -> None:
+        del self._flit_owner[flit.flit_id]
+        packet.flits_remaining -= 1
+        if packet.flits_remaining == 0:
+            packet.delivered_at = self.cycle
+            self.delivered.append(packet)
+            self.in_flight -= 1
+
+    def run(self, max_cycles: int = 1_000_000) -> None:
+        """Tick until every injected packet has been delivered."""
+        guard = 0
+        while self.in_flight and guard < max_cycles:
+            self.tick()
+            guard += 1
+        if self.in_flight:
+            raise NocError(f"{self.in_flight} packets stuck after "
+                           f"{max_cycles} cycles")
+
+    # -- metrics --------------------------------------------------------------------------
+
+    def mean_latency(self) -> float:
+        if not self.delivered:
+            return 0.0
+        return sum(p.latency for p in self.delivered) / len(self.delivered)

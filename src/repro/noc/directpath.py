@@ -1,0 +1,69 @@
+"""Star-shaped direct memory datapath (paper §3.5.2, Fig 14).
+
+Each sub-ring owns a dedicated point-to-point channel to the memory
+system, bypassing both rings.  It serves control messages and
+high-real-time-priority read requests, "especially when the ring network
+is in heavy congestion".  Modelled as one narrow sliced link per sub-ring
+plus a fixed fly-over latency.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, List, Optional
+
+from ..errors import NocError
+from ..sim.engine import Process, Simulator
+from ..sim.stats import StatsRegistry
+from .link import SlicedLink
+from .packet import Packet
+
+__all__ = ["DirectDatapath"]
+
+
+class DirectDatapath:
+    """Per-sub-ring star links into the memory controllers."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        sub_rings: int,
+        link_bytes: int = 8,
+        latency: int = 4,
+        registry: Optional[StatsRegistry] = None,
+    ) -> None:
+        if sub_rings < 1:
+            raise NocError("direct datapath needs >=1 sub-ring")
+        self.sim = sim
+        self.latency = latency
+        self.links: List[SlicedLink] = [
+            SlicedLink(f"direct{s}", link_bytes, link_bytes, "monolithic", registry)
+            for s in range(sub_rings)
+        ]
+        reg = registry if registry is not None else StatsRegistry()
+        self.delivered = reg.counter("direct.delivered")
+        self.lat_stat = reg.accumulator("direct.latency")
+
+    def eligible(self, packet: Packet) -> bool:
+        """Only control messages and real-time reads ride the star path."""
+        from .packet import PacketKind
+
+        if packet.kind is PacketKind.CONTROL:
+            return True
+        return packet.realtime and packet.kind is PacketKind.MEM_READ
+
+    def send(self, packet: Packet, sub_ring: int) -> Process:
+        """Fly a packet from ``sub_ring`` straight to memory (or back)."""
+        if not 0 <= sub_ring < len(self.links):
+            raise NocError(f"sub-ring {sub_ring} has no direct link")
+        packet.created_at = self.sim.now
+        return self.sim.spawn(self._fly(packet, sub_ring),
+                              f"direct.pkt{packet.pkt_id}")
+
+    def _fly(self, packet: Packet, sub_ring: int) -> Generator:
+        link = self.links[sub_ring]
+        finish = link.transmit(packet.size_bytes, self.sim.now)
+        yield max(0.0, finish - self.sim.now) + self.latency
+        self.delivered.inc()
+        self.lat_stat.add(self.sim.now - packet.created_at)
+        packet.deliver(self.sim.now)
+        return self.sim.now

@@ -1,0 +1,184 @@
+"""Hierarchical ring NoC (paper §3.2, Fig 4).
+
+One main ring connects 16 bridge routers (one per sub-ring), 4 memory
+controllers at equal spacing, the main task scheduler, and the PCIe/IO
+stop.  Each sub-ring connects its 16 cores plus its bridge router.
+
+Routing is leg-chained: a core-to-memory packet crosses its sub-ring to
+the bridge, pays the bridge transfer latency, then rides the main ring to
+the controller stop.  Every leg models link contention through
+:class:`~repro.noc.link.RingSegment`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Generator, List, Optional, Tuple
+
+from ..config import RingConfig
+from ..errors import NocError
+from ..sim.engine import Process, Simulator
+from ..sim.stats import StatsRegistry
+from .packet import NodeId, Packet
+from .ring import Ring
+
+__all__ = ["HierarchicalRingNoC"]
+
+
+class HierarchicalRingNoC:
+    """The full on-chip network of the SmarCo chip."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        sub_rings: int,
+        cores_per_sub_ring: int,
+        mem_channels: int,
+        config: Optional[RingConfig] = None,
+        registry: Optional[StatsRegistry] = None,
+    ) -> None:
+        if mem_channels > sub_rings:
+            raise NocError("more memory controllers than main-ring bridge slots")
+        self.sim = sim
+        self.config = config if config is not None else RingConfig()
+        self.num_sub_rings = sub_rings
+        self.cores_per_sub_ring = cores_per_sub_ring
+
+        # -- main-ring stop layout: bridges with MCs interleaved at equal
+        #    spacing, then scheduler + IO stops.
+        self.main_stops: List[NodeId] = []
+        self._main_stop_of: Dict[NodeId, int] = {}
+        spacing = max(1, sub_rings // max(1, mem_channels))
+        mc_placed = 0
+        for s in range(sub_rings):
+            self._add_main_stop(NodeId("bridge", ring=s))
+            if (s + 1) % spacing == 0 and mc_placed < mem_channels:
+                self._add_main_stop(NodeId("mc", index=mc_placed))
+                mc_placed += 1
+        while mc_placed < mem_channels:
+            self._add_main_stop(NodeId("mc", index=mc_placed))
+            mc_placed += 1
+        self._add_main_stop(NodeId("sched"))
+        self._add_main_stop(NodeId("io"))
+
+        self.main_ring = Ring.from_config(
+            sim, "main", len(self.main_stops), self.config,
+            is_main=True, registry=registry,
+        )
+
+        # -- sub-rings: cores 0..n-1, bridge at the last stop.
+        self.sub_ring_nets: List[Ring] = [
+            Ring.from_config(
+                sim, f"sub{s}", cores_per_sub_ring + 1, self.config,
+                is_main=False, registry=registry,
+            )
+            for s in range(sub_rings)
+        ]
+
+        reg = registry if registry is not None else StatsRegistry()
+        self.delivered = reg.counter("noc.delivered")
+        self.latency = reg.accumulator("noc.latency")
+
+    def _add_main_stop(self, node: NodeId) -> None:
+        self._main_stop_of[node] = len(self.main_stops)
+        self.main_stops.append(node)
+
+    # -- stop lookup -------------------------------------------------------------
+
+    def main_stop(self, node: NodeId) -> int:
+        """Main-ring stop index of a bridge / mc / sched / io node."""
+        try:
+            return self._main_stop_of[node]
+        except KeyError:
+            raise NocError(f"{node} is not on the main ring") from None
+
+    def sub_stop(self, node: NodeId) -> int:
+        """Sub-ring stop index of a core or bridge node."""
+        if node.kind == "core":
+            if not 0 <= node.index < self.cores_per_sub_ring:
+                raise NocError(f"{node}: core index out of range")
+            return node.index
+        if node.kind == "bridge":
+            return self.cores_per_sub_ring
+        raise NocError(f"{node} is not on a sub-ring")
+
+    def _ring_of(self, node: NodeId) -> Optional[int]:
+        """Sub-ring number for core nodes, None for main-ring devices."""
+        return node.ring if node.kind == "core" else None
+
+    # -- sending -------------------------------------------------------------------
+
+    def send(self, packet: Packet) -> Process:
+        """Route ``packet`` from ``packet.src`` to ``packet.dst``."""
+        packet.created_at = self.sim.now
+        return self.sim.spawn(self._route(packet), f"noc.pkt{packet.pkt_id}")
+
+    def _route(self, packet: Packet) -> Generator:
+        src_ring = self._ring_of(packet.src)
+        dst_ring = self._ring_of(packet.dst)
+        bridge_latency = self.config.bridge_latency
+
+        if src_ring is not None and dst_ring is not None and src_ring == dst_ring:
+            # Same sub-ring: one leg.
+            leg = self.sub_ring_nets[src_ring].send(
+                packet, self.sub_stop(packet.src), self.sub_stop(packet.dst),
+                final=False,
+            )
+            yield leg
+        else:
+            # Leg 1: source sub-ring to its bridge (if source is a core).
+            if src_ring is not None:
+                leg = self.sub_ring_nets[src_ring].send(
+                    packet, self.sub_stop(packet.src),
+                    self.sub_stop(NodeId("bridge", ring=src_ring)), final=False,
+                )
+                yield leg
+                yield bridge_latency
+                main_src = self.main_stop(NodeId("bridge", ring=src_ring))
+            else:
+                main_src = self.main_stop(packet.src)
+
+            # Leg 2: main ring.
+            if dst_ring is not None:
+                main_dst = self.main_stop(NodeId("bridge", ring=dst_ring))
+            else:
+                main_dst = self.main_stop(packet.dst)
+            if main_src != main_dst:
+                leg = self.main_ring.send(packet, main_src, main_dst, final=False)
+                yield leg
+
+            # Leg 3: destination sub-ring (if destination is a core).
+            if dst_ring is not None:
+                yield bridge_latency
+                leg = self.sub_ring_nets[dst_ring].send(
+                    packet, self.sub_stop(NodeId("bridge", ring=dst_ring)),
+                    self.sub_stop(packet.dst), final=False,
+                )
+                yield leg
+
+        self.delivered.inc()
+        self.latency.add(self.sim.now - packet.created_at)
+        packet.deliver(self.sim.now)
+        return self.sim.now
+
+    # -- chip-level metrics -----------------------------------------------------------
+
+    def total_bytes(self) -> int:
+        return self.main_ring.total_bytes() + sum(
+            r.total_bytes() for r in self.sub_ring_nets
+        )
+
+    def mean_latency(self) -> float:
+        return self.latency.mean
+
+    def bandwidth_utilization(self, now: float) -> float:
+        """Mean segment utilisation across the whole chip in [0, now]."""
+        if now <= 0:
+            return 0.0
+        links = []
+        for ring in [self.main_ring] + self.sub_ring_nets:
+            for seg in ring.segments:
+                links.append(seg.cw.utilization(now))
+                links.append(seg.ccw.utilization(now))
+                if seg.bidi is not None:
+                    links.append(seg.bidi.utilization(now))
+        return sum(links) / len(links) if links else 0.0

@@ -1,0 +1,191 @@
+"""Physical links: sliced narrow channels and ring segments.
+
+The paper's high-density NoC (§3.3, Figs 9–10) divides a wide link into
+self-governed narrow channels.  We model a link as a set of *slices*, each
+``slice_bytes`` wide per cycle, with per-slice availability times.  Three
+allocation policies:
+
+* ``"greedy"`` — the paper's allocator: a packet takes the earliest-free
+  slices wherever they are, so several small packets share one cycle;
+* ``"firstfit"`` — ablation: a packet must take a *contiguous* slice block
+  (models cheap allocators that cannot scatter a packet across channels);
+* ``"monolithic"`` — the conventional wide link: every packet occupies the
+  whole width for its serialisation time, no sharing.
+
+A :class:`RingSegment` is the physical connection between two adjacent
+routers: per-direction fixed datapaths plus a pool of bidirectional
+datapaths either direction may borrow (paper §3.3: main ring = 3 fixed per
+direction + 2 bidirectional; sub-ring = 1 + 2).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Tuple
+
+from ..errors import NocError
+from ..sim.stats import StatsRegistry
+
+__all__ = ["SlicedLink", "RingSegment"]
+
+_POLICIES = ("greedy", "firstfit", "monolithic")
+
+
+class SlicedLink:
+    """One direction of a physical link, divided into narrow slices."""
+
+    def __init__(
+        self,
+        name: str,
+        width_bytes: int,
+        slice_bytes: int,
+        policy: str = "greedy",
+        registry: Optional[StatsRegistry] = None,
+    ) -> None:
+        if policy not in _POLICIES:
+            raise NocError(f"unknown allocation policy {policy!r}")
+        if width_bytes <= 0 or slice_bytes <= 0:
+            raise NocError(
+                f"link width/slice must be positive, got {width_bytes}/{slice_bytes}"
+            )
+        self.name = name
+        self.width_bytes = width_bytes
+        self.policy = policy
+        # A slice wider than the link (or not dividing it) degrades to fewer,
+        # wider channels; the whole width always stays usable.
+        self.n_slices = max(1, width_bytes // slice_bytes)
+        self.slice_bytes = width_bytes / self.n_slices
+        self._slice_free: List[float] = [0.0] * self.n_slices
+        reg = registry if registry is not None else StatsRegistry()
+        self.packets = reg.counter(f"{name}.packets")
+        self.bytes_moved = reg.counter(f"{name}.bytes")
+        self.wait_cycles = reg.accumulator(f"{name}.wait")
+
+    # -- allocation ---------------------------------------------------------
+
+    def transmit(self, size_bytes: int, now: float) -> float:
+        """Reserve capacity for one packet; returns its link-exit time."""
+        if size_bytes <= 0:
+            raise NocError(f"packet size must be positive, got {size_bytes}")
+        slices_needed = math.ceil(size_bytes / self.slice_bytes)
+        if self.policy == "monolithic":
+            finish = self._transmit_monolithic(slices_needed, now)
+        elif self.policy == "greedy":
+            finish = self._transmit_greedy(slices_needed, now)
+        else:
+            finish = self._transmit_firstfit(slices_needed, now)
+        self.packets.inc()
+        self.bytes_moved.inc(size_bytes)
+        return finish
+
+    def _transmit_monolithic(self, slices_needed: int, now: float) -> float:
+        cycles = math.ceil(slices_needed / self.n_slices)
+        start = max(now, max(self._slice_free))
+        self.wait_cycles.add(start - now)
+        finish = start + cycles
+        self._slice_free = [finish] * self.n_slices
+        return finish
+
+    def _transmit_greedy(self, slices_needed: int, now: float) -> float:
+        k = min(slices_needed, self.n_slices)
+        cycles = math.ceil(slices_needed / k)
+        # earliest-free k slices (the self-governed channels the packet
+        # "really needs"; the rest remain free for other packets)
+        order = sorted(range(self.n_slices), key=self._slice_free.__getitem__)
+        chosen = order[:k]
+        start = max(now, max(self._slice_free[i] for i in chosen))
+        self.wait_cycles.add(start - now)
+        finish = start + cycles
+        for i in chosen:
+            self._slice_free[i] = finish
+        return finish
+
+    def _transmit_firstfit(self, slices_needed: int, now: float) -> float:
+        k = min(slices_needed, self.n_slices)
+        cycles = math.ceil(slices_needed / k)
+        # contiguous block with the minimal start time
+        best_start = math.inf
+        best_base = 0
+        for base in range(self.n_slices - k + 1):
+            start = max([now] + self._slice_free[base:base + k])
+            if start < best_start:
+                best_start, best_base = start, base
+        self.wait_cycles.add(best_start - now)
+        finish = best_start + cycles
+        for i in range(best_base, best_base + k):
+            self._slice_free[i] = finish
+        return finish
+
+    # -- introspection --------------------------------------------------------
+
+    def next_free(self) -> float:
+        """Earliest time any slice is free (congestion estimate)."""
+        return min(self._slice_free)
+
+    def utilization(self, now: float) -> float:
+        """Delivered bytes / peak deliverable bytes in [0, now]."""
+        if now <= 0:
+            return 0.0
+        peak = self.width_bytes * now
+        return min(1.0, self.bytes_moved.value / peak)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"SlicedLink({self.name}, {self.n_slices}x{self.slice_bytes}B, {self.policy})"
+
+
+class RingSegment:
+    """The physical wires between two adjacent ring routers.
+
+    ``cw`` and ``ccw`` links are built from the per-direction *fixed*
+    datapaths; the *bidirectional* datapaths form a third, shared link pool
+    that a transmission in either direction borrows when its fixed slices
+    are all busy.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        datapath_bytes: int,
+        fixed_per_dir: int,
+        bidi_datapaths: int,
+        slice_bytes: int,
+        policy: str = "greedy",
+        registry: Optional[StatsRegistry] = None,
+    ) -> None:
+        self.name = name
+        fixed_width = datapath_bytes * fixed_per_dir
+        self.cw = SlicedLink(f"{name}.cw", fixed_width, slice_bytes, policy, registry)
+        self.ccw = SlicedLink(f"{name}.ccw", fixed_width, slice_bytes, policy, registry)
+        self.bidi: Optional[SlicedLink] = None
+        if bidi_datapaths:
+            self.bidi = SlicedLink(
+                f"{name}.bidi", datapath_bytes * bidi_datapaths,
+                slice_bytes, policy, registry,
+            )
+
+    def link(self, direction: str) -> SlicedLink:
+        if direction == "cw":
+            return self.cw
+        if direction == "ccw":
+            return self.ccw
+        raise NocError(f"unknown direction {direction!r}")
+
+    def transmit(self, direction: str, size_bytes: int, now: float) -> float:
+        """Send using the fixed link, borrowing the bidi pool if it's freer."""
+        fixed = self.link(direction)
+        if self.bidi is not None and self.bidi.next_free() < fixed.next_free():
+            return self.bidi.transmit(size_bytes, now)
+        return fixed.transmit(size_bytes, now)
+
+    def next_free(self, direction: str) -> float:
+        fixed = self.link(direction).next_free()
+        if self.bidi is None:
+            return fixed
+        return min(fixed, self.bidi.next_free())
+
+    @property
+    def total_bytes(self) -> int:
+        total = self.cw.bytes_moved.value + self.ccw.bytes_moved.value
+        if self.bidi is not None:
+            total += self.bidi.bytes_moved.value
+        return total

@@ -1,0 +1,109 @@
+"""2-D mesh NoC baseline with XY dimension-order routing.
+
+Used by the topology ablation bench (DESIGN.md §5): the paper argues the
+hierarchical ring beats a mesh for HTC traffic through simpler routers
+(lower per-hop latency) and more predictable latency; the mesh baseline
+lets us measure that trade-off.  Links are conventional (monolithic) by
+default, matching mesh designs like Tile64.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Generator, List, Optional, Tuple
+
+from ..errors import NocError
+from ..sim.engine import Process, Simulator
+from ..sim.stats import StatsRegistry
+from .link import SlicedLink
+from .packet import Packet
+
+__all__ = ["MeshNoC"]
+
+
+class MeshNoC:
+    """``width x height`` mesh; node id = y * width + x."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        width: int,
+        height: int,
+        link_bytes: int = 32,
+        slice_bytes: Optional[int] = None,
+        policy: str = "monolithic",
+        hop_latency: int = 2,          # mesh routers are heavier than ring's
+        router_latency: int = 2,
+        registry: Optional[StatsRegistry] = None,
+    ) -> None:
+        if width < 1 or height < 1:
+            raise NocError("mesh needs positive dimensions")
+        self.sim = sim
+        self.width = width
+        self.height = height
+        self.hop_latency = hop_latency
+        self.router_latency = router_latency
+        slice_b = slice_bytes if slice_bytes is not None else link_bytes
+        # one link object per directed edge
+        self._links: Dict[Tuple[int, int], SlicedLink] = {}
+        for y in range(height):
+            for x in range(width):
+                node = y * width + x
+                for nx, ny in ((x + 1, y), (x - 1, y), (x, y + 1), (x, y - 1)):
+                    if 0 <= nx < width and 0 <= ny < height:
+                        nbr = ny * width + nx
+                        self._links[(node, nbr)] = SlicedLink(
+                            f"mesh.{node}-{nbr}", link_bytes, slice_b, policy,
+                            registry,
+                        )
+        reg = registry if registry is not None else StatsRegistry()
+        self.delivered = reg.counter("mesh.delivered")
+        self.latency = reg.accumulator("mesh.latency")
+        self.hop_count = reg.accumulator("mesh.hops")
+
+    @property
+    def num_nodes(self) -> int:
+        return self.width * self.height
+
+    def _coords(self, node: int) -> Tuple[int, int]:
+        return node % self.width, node // self.width
+
+    def xy_route(self, src: int, dst: int) -> List[int]:
+        """Node sequence of the XY dimension-order route (excl. src)."""
+        x, y = self._coords(src)
+        dx, dy = self._coords(dst)
+        path = []
+        while x != dx:
+            x += 1 if dx > x else -1
+            path.append(y * self.width + x)
+        while y != dy:
+            y += 1 if dy > y else -1
+            path.append(y * self.width + x)
+        return path
+
+    def send(self, packet: Packet, src: int, dst: int) -> Process:
+        if not (0 <= src < self.num_nodes and 0 <= dst < self.num_nodes):
+            raise NocError(f"mesh nodes {src}->{dst} out of range")
+        packet.created_at = self.sim.now
+        return self.sim.spawn(self._traverse(packet, src, dst),
+                              f"mesh.pkt{packet.pkt_id}")
+
+    def _traverse(self, packet: Packet, src: int, dst: int) -> Generator:
+        current = src
+        hops = 0
+        for nxt in self.xy_route(src, dst):
+            yield self.router_latency
+            link = self._links[(current, nxt)]
+            finish = link.transmit(packet.size_bytes, self.sim.now)
+            yield max(0.0, finish - self.sim.now) + self.hop_latency
+            current = nxt
+            hops += 1
+        packet.hops += hops
+        self.delivered.inc()
+        self.hop_count.add(hops)
+        self.latency.add(self.sim.now - packet.created_at)
+        packet.deliver(self.sim.now)
+        return self.sim.now
+
+    def total_bytes(self) -> int:
+        return sum(l.bytes_moved.value for l in self._links.values())

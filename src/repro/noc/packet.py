@@ -1,0 +1,80 @@
+"""NoC packet objects.
+
+A packet is the unit of routing; flits are implicit — a packet of ``size``
+bytes occupies ``ceil(size / slice_bytes)`` narrow-channel slice-cycles on
+each link it crosses (paper §3.3: the high-density NoC lets a small packet
+occupy only the channels it really needs).
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional, Tuple
+
+__all__ = ["NodeId", "PacketKind", "Packet"]
+
+_packet_ids = itertools.count()
+
+
+class PacketKind(enum.Enum):
+    MEM_READ = "mem_read"
+    MEM_WRITE = "mem_write"
+    MEM_REPLY = "mem_reply"
+    SPM_TRANSFER = "spm_transfer"
+    CONTROL = "control"
+    TASK_DISPATCH = "task_dispatch"
+
+
+@dataclass(frozen=True)
+class NodeId:
+    """Address of a NoC endpoint.
+
+    ``kind``: ``"core"`` (sub_ring, index), ``"bridge"`` (sub_ring, 0),
+    ``"mc"`` (memory controller), ``"sched"`` (main scheduler), ``"io"``
+    (PCIe / host).
+    """
+
+    kind: str
+    ring: int = 0        # sub-ring number (cores/bridges) or 0
+    index: int = 0       # position within the ring / controller number
+
+    def __str__(self) -> str:
+        return f"{self.kind}[{self.ring}.{self.index}]"
+
+
+@dataclass
+class Packet:
+    """One message travelling the NoC."""
+
+    src: NodeId
+    dst: NodeId
+    size_bytes: int
+    kind: PacketKind = PacketKind.CONTROL
+    realtime: bool = False
+    payload: Any = None
+    created_at: float = 0.0
+    delivered_at: Optional[float] = None
+    hops: int = 0
+    on_delivered: Optional[Callable[["Packet", float], None]] = None
+    pkt_id: int = field(default_factory=lambda: next(_packet_ids))
+
+    @property
+    def latency(self) -> Optional[float]:
+        if self.delivered_at is None:
+            return None
+        return self.delivered_at - self.created_at
+
+    def deliver(self, now: float) -> None:
+        if self.delivered_at is not None:
+            return
+        self.delivered_at = now
+        if self.on_delivered is not None:
+            self.on_delivered(self, now)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Packet#{self.pkt_id}({self.kind.value} {self.src}->{self.dst} "
+            f"{self.size_bytes}B)"
+        )

@@ -1,0 +1,158 @@
+"""Bidirectional ring network (paper §3.2, Fig 7).
+
+A :class:`Ring` is an ordered list of stops joined by
+:class:`~repro.noc.link.RingSegment` wires.  Packets traverse hop-by-hop
+as simulation processes: per hop one router-pipeline delay plus the link
+reservation.  Direction is chosen per packet: shortest path, ties broken
+by congestion — "cores are able to choose both directions of sub-ring to
+send packets based on the congestion condition".
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Generator, List, Optional, Tuple
+
+from ..config import RingConfig
+from ..errors import NocError
+from ..sim.engine import Process, Simulator
+from ..sim.stats import StatsRegistry
+from .link import RingSegment
+from .packet import Packet
+
+__all__ = ["Ring"]
+
+
+class Ring:
+    """A ring of ``n`` stops with per-segment wires and per-hop routing.
+
+    ``stop_names`` are opaque labels (e.g. :class:`NodeId`); the ring only
+    needs their order.  Segment ``i`` connects stop ``i`` to ``(i+1) % n``.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str,
+        num_stops: int,
+        datapath_bytes: int = 8,
+        fixed_per_dir: int = 1,
+        bidi_datapaths: int = 2,
+        slice_bytes: int = 2,
+        policy: str = "greedy",
+        hop_latency: int = 1,
+        router_latency: int = 1,
+        registry: Optional[StatsRegistry] = None,
+    ) -> None:
+        if num_stops < 2:
+            raise NocError(f"ring needs >=2 stops, got {num_stops}")
+        self.sim = sim
+        self.name = name
+        self.num_stops = num_stops
+        self.hop_latency = hop_latency
+        self.router_latency = router_latency
+        self.segments: List[RingSegment] = [
+            RingSegment(
+                f"{name}.seg{i}", datapath_bytes, fixed_per_dir,
+                bidi_datapaths, slice_bytes, policy, registry,
+            )
+            for i in range(num_stops)
+        ]
+        reg = registry if registry is not None else StatsRegistry()
+        self.delivered = reg.counter(f"{name}.delivered")
+        self.latency = reg.accumulator(f"{name}.latency")
+        self.hop_count = reg.accumulator(f"{name}.hops")
+
+    @classmethod
+    def from_config(
+        cls,
+        sim: Simulator,
+        name: str,
+        num_stops: int,
+        config: RingConfig,
+        is_main: bool = False,
+        registry: Optional[StatsRegistry] = None,
+    ) -> "Ring":
+        """Build a main-ring or sub-ring per the paper's datapath counts."""
+        fixed = config.main_ring_fixed_per_dir if is_main else config.sub_ring_fixed_per_dir
+        total = config.main_ring_datapaths if is_main else config.sub_ring_datapaths
+        bidi = total - 2 * fixed
+        return cls(
+            sim, name, num_stops,
+            datapath_bytes=config.datapath_bits // 8,
+            fixed_per_dir=fixed,
+            bidi_datapaths=bidi,
+            slice_bytes=config.slice_bytes,
+            policy="greedy" if config.greedy_allocation else "monolithic",
+            hop_latency=config.hop_latency,
+            router_latency=config.router_latency,
+            registry=registry,
+        )
+
+    # -- routing ---------------------------------------------------------------
+
+    def distance(self, src: int, dst: int, direction: str) -> int:
+        """Hop count from src to dst travelling cw (+1) or ccw (-1)."""
+        if direction == "cw":
+            return (dst - src) % self.num_stops
+        return (src - dst) % self.num_stops
+
+    def choose_direction(self, src: int, dst: int) -> str:
+        """Shortest path; near-ties broken by first-segment congestion."""
+        d_cw = self.distance(src, dst, "cw")
+        d_ccw = self.distance(src, dst, "ccw")
+        if d_cw < d_ccw:
+            return "cw"
+        if d_ccw < d_cw:
+            return "ccw"
+        # equal distance: pick the less congested first hop
+        seg_cw = self.segments[src]
+        seg_ccw = self.segments[(src - 1) % self.num_stops]
+        return "cw" if seg_cw.next_free("cw") <= seg_ccw.next_free("ccw") else "ccw"
+
+    def _next_segment(self, stop: int, direction: str) -> Tuple[RingSegment, int]:
+        if direction == "cw":
+            return self.segments[stop], (stop + 1) % self.num_stops
+        return self.segments[(stop - 1) % self.num_stops], (stop - 1) % self.num_stops
+
+    # -- transmission -------------------------------------------------------------
+
+    def send(self, packet: Packet, src_stop: int, dst_stop: int,
+             final: bool = True) -> Process:
+        """Inject ``packet`` at ``src_stop``; returns the traversal process.
+
+        With ``final=True`` (a complete route) the packet's ``deliver``
+        fires at arrival; hierarchical routing chains rings with
+        ``final=False`` legs and a final leg.  The process result is the
+        arrival time.
+        """
+        if not (0 <= src_stop < self.num_stops and 0 <= dst_stop < self.num_stops):
+            raise NocError(
+                f"{self.name}: stops {src_stop}->{dst_stop} outside ring "
+                f"of {self.num_stops}"
+            )
+        return self.sim.spawn(
+            self._traverse(packet, src_stop, dst_stop, final),
+            f"{self.name}.pkt{packet.pkt_id}",
+        )
+
+    def _traverse(self, packet: Packet, src: int, dst: int, final: bool) -> Generator:
+        stop = src
+        hops = 0
+        direction = self.choose_direction(src, dst)
+        while stop != dst:
+            yield self.router_latency
+            segment, nxt = self._next_segment(stop, direction)
+            finish = segment.transmit(direction, packet.size_bytes, self.sim.now)
+            yield max(0.0, finish - self.sim.now) + self.hop_latency
+            stop = nxt
+            hops += 1
+        packet.hops += hops
+        self.hop_count.add(hops)
+        if final:
+            self.delivered.inc()
+            self.latency.add(self.sim.now - packet.created_at)
+            packet.deliver(self.sim.now)
+        return self.sim.now
+
+    def total_bytes(self) -> int:
+        return sum(seg.total_bytes for seg in self.segments)

@@ -1,0 +1,196 @@
+"""High-density router microarchitecture (paper §3.3, Figs 9-10).
+
+The ring/link models in :mod:`repro.noc.link` reserve slice capacity
+analytically, which is fast enough for full-chip runs.  This module
+models the router itself at cycle granularity — "buffer, crossbar,
+control logic, and channel are all divided into small granularities" —
+so the greedy switch-allocation algorithm can be validated at the level
+the paper describes:
+
+* per-input FIFO buffers of flits (with backpressure on inject);
+* an output channel divided into ``slice_bytes`` sub-channels;
+* per-cycle switch allocation:
+
+  - **greedy** (the paper): walk inputs round-robin; from each, take the
+    head flit *and its adjacent successors* while their total size fits
+    the remaining channel width ("if the total size of adjacent flits is
+    smaller or equal to the width of the link, flits are able to pass the
+    link simultaneously.  Furthermore, if free space is still available,
+    packets from other input directions will occupy it");
+  - **monolithic** (conventional): one flit per cycle owns the whole
+    channel regardless of its size.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List, Optional, Tuple
+
+from ..errors import NocError
+from ..sim.stats import StatsRegistry
+
+__all__ = ["Flit", "HighDensityRouter", "RouterTestbench"]
+
+_flit_ids = itertools.count()
+
+
+@dataclass(frozen=True)
+class Flit:
+    """One flow-control unit: ``size_bytes`` of one packet."""
+
+    size_bytes: int
+    packet_id: int = 0
+    flit_id: int = field(default_factory=lambda: next(_flit_ids))
+
+    def __post_init__(self) -> None:
+        if self.size_bytes <= 0:
+            raise NocError("flit size must be positive")
+
+
+class HighDensityRouter:
+    """One output channel of a sliced router, cycle-stepped."""
+
+    def __init__(
+        self,
+        name: str,
+        n_inputs: int,
+        width_bytes: int,
+        slice_bytes: int = 2,
+        policy: str = "greedy",
+        buffer_flits: int = 8,
+        registry: Optional[StatsRegistry] = None,
+    ) -> None:
+        if policy not in ("greedy", "monolithic"):
+            raise NocError(f"unknown router policy {policy!r}")
+        if n_inputs <= 0 or width_bytes <= 0:
+            raise NocError("router needs inputs and width")
+        self.name = name
+        self.n_inputs = n_inputs
+        self.width_bytes = width_bytes
+        self.slice_bytes = slice_bytes
+        self.policy = policy
+        self.buffer_flits = buffer_flits
+        self._queues: List[Deque[Flit]] = [deque() for _ in range(n_inputs)]
+        self._rr_start = 0
+        self.cycle = 0
+        reg = registry if registry is not None else StatsRegistry()
+        self.emitted_flits = reg.counter(f"{name}.flits")
+        self.emitted_bytes = reg.counter(f"{name}.bytes")
+        self.rejected = reg.counter(f"{name}.rejected")
+        self.busy_cycles = reg.counter(f"{name}.busy")
+
+    # -- injection ------------------------------------------------------------
+
+    def inject(self, input_port: int, flit: Flit) -> bool:
+        """Offer a flit to an input buffer; False = backpressured."""
+        if not 0 <= input_port < self.n_inputs:
+            raise NocError(f"{self.name}: input {input_port} out of range")
+        if flit.size_bytes > self.width_bytes:
+            raise NocError(
+                f"{self.name}: flit of {flit.size_bytes}B exceeds the "
+                f"{self.width_bytes}B channel"
+            )
+        queue = self._queues[input_port]
+        if len(queue) >= self.buffer_flits:
+            self.rejected.inc()
+            return False
+        queue.append(flit)
+        return True
+
+    def occupancy(self, input_port: int) -> int:
+        return len(self._queues[input_port])
+
+    @property
+    def pending(self) -> int:
+        return sum(len(q) for q in self._queues)
+
+    # -- switch allocation ----------------------------------------------------------
+
+    def tick(self) -> List[Tuple[int, Flit]]:
+        """One switch-allocation cycle; returns [(input_port, flit)]
+        crossing the channel this cycle."""
+        self.cycle += 1
+        if self.policy == "monolithic":
+            emitted = self._tick_monolithic()
+        else:
+            emitted = self._tick_greedy()
+        if emitted:
+            self.busy_cycles.inc()
+            for _port, flit in emitted:
+                self.emitted_flits.inc()
+                self.emitted_bytes.inc(flit.size_bytes)
+        return emitted
+
+    def _tick_monolithic(self) -> List[Tuple[int, Flit]]:
+        # one flit owns the whole wide link this cycle
+        for offset in range(self.n_inputs):
+            port = (self._rr_start + offset) % self.n_inputs
+            if self._queues[port]:
+                self._rr_start = (port + 1) % self.n_inputs
+                return [(port, self._queues[port].popleft())]
+        return []
+
+    def _tick_greedy(self) -> List[Tuple[int, Flit]]:
+        remaining = self.width_bytes
+        emitted: List[Tuple[int, Flit]] = []
+        first_granted: Optional[int] = None
+        for offset in range(self.n_inputs):
+            port = (self._rr_start + offset) % self.n_inputs
+            queue = self._queues[port]
+            # adjacent flits of the same input pass together while they fit
+            while queue and self._slices_for(queue[0]) <= remaining:
+                remaining -= self._slices_for(queue[0])
+                emitted.append((port, queue.popleft()))
+                if first_granted is None:
+                    first_granted = port
+            if remaining < self.slice_bytes:
+                break
+        if first_granted is not None:
+            self._rr_start = (first_granted + 1) % self.n_inputs
+        return emitted
+
+    def _slices_for(self, flit: Flit) -> int:
+        """Channel bytes a flit occupies (rounded up to whole slices)."""
+        slices = -(-flit.size_bytes // self.slice_bytes)
+        return slices * self.slice_bytes
+
+    # -- metrics ------------------------------------------------------------------------
+
+    def throughput(self) -> float:
+        """Flits delivered per elapsed cycle."""
+        return self.emitted_flits.value / self.cycle if self.cycle else 0.0
+
+    def channel_utilization(self) -> float:
+        """Bytes delivered / channel-bytes elapsed."""
+        if not self.cycle:
+            return 0.0
+        return self.emitted_bytes.value / (self.width_bytes * self.cycle)
+
+
+class RouterTestbench:
+    """Drives random flit traffic through one router and drains it."""
+
+    def __init__(self, router: HighDensityRouter, rng) -> None:
+        self.router = router
+        self.rng = rng
+        self.injected: List[Tuple[int, Flit]] = []
+        self.delivered: List[Tuple[int, Flit]] = []
+
+    def run(self, cycles: int, inject_prob: float,
+            sizes: List[int]) -> None:
+        """``cycles`` of injection + allocation, then drain."""
+        for _ in range(cycles):
+            for port in range(self.router.n_inputs):
+                if self.rng.random() < inject_prob:
+                    flit = Flit(size_bytes=self.rng.choice(sizes),
+                                packet_id=port)
+                    if self.router.inject(port, flit):
+                        self.injected.append((port, flit))
+            self.delivered.extend(self.router.tick())
+        # drain
+        guard = 0
+        while self.router.pending and guard < 100_000:
+            self.delivered.extend(self.router.tick())
+            guard += 1

@@ -1,0 +1,16 @@
+"""Area / power / energy models (McPAT / CACTI / Orion substitutes)."""
+
+from .area import AreaModel
+from .energy import PowerModel, XeonPowerModel, energy_efficiency
+from .tech import NODES, TechNode, scale_area, scale_power
+
+__all__ = [
+    "AreaModel",
+    "PowerModel",
+    "XeonPowerModel",
+    "energy_efficiency",
+    "TechNode",
+    "NODES",
+    "scale_area",
+    "scale_power",
+]

@@ -1,0 +1,81 @@
+"""Chip area model (paper Table 1 — McPAT/CACTI/Orion substitute).
+
+Per-unit constants are calibrated so the paper's default configuration
+(256 cores, hierarchical ring, 16 MACTs, 40 MB on-chip SRAM, 4 memory
+controllers at 32 nm / 1.5 GHz) reproduces Table 1 exactly; any other
+configuration scales with its component counts and widths, which is what
+the ablation benches sweep.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..config import SmarCoConfig, smarco_default
+from .tech import scale_area
+
+__all__ = ["AreaModel"]
+
+MB = 1024 * 1024
+
+# Calibrated per-unit constants at 32 nm (Table 1 / default geometry).
+CORE_MM2 = 634.32 / 256                       # per TCG core (logic)
+RING_MM2_PER_BIT_STOP = 57.43 / 80_896        # per router-bit of ring width
+MACT_MM2 = 1.43 / 16                          # per 64-line x 64B MACT
+SRAM_MM2_PER_MB = 44.90 / 40                  # SPM + caches
+MC_MM2 = 12.92 / 4                            # controller + PHY
+
+
+class AreaModel:
+    """Area breakdown for a :class:`~repro.config.SmarCoConfig`."""
+
+    def __init__(self, config: Optional[SmarCoConfig] = None) -> None:
+        self.config = config if config is not None else smarco_default()
+
+    # -- component areas at 32nm ------------------------------------------------
+
+    def cores_mm2(self) -> float:
+        return self.config.total_cores * CORE_MM2
+
+    def _ring_bit_stops(self) -> int:
+        """Sum over routers of their datapath width in bits."""
+        cfg = self.config
+        main_stops = cfg.sub_rings + cfg.memory.channels + 2   # sched + io
+        main_bits = main_stops * cfg.ring.main_ring_bits
+        sub_stops = cfg.sub_rings * (cfg.cores_per_sub_ring + 1)
+        sub_bits = sub_stops * cfg.ring.sub_ring_bits
+        return main_bits + sub_bits
+
+    def ring_mm2(self) -> float:
+        return self._ring_bit_stops() * RING_MM2_PER_BIT_STOP
+
+    def mact_mm2(self) -> float:
+        cfg = self.config.mact
+        scale = (cfg.lines / 64) * (cfg.line_span_bytes / 64)
+        return self.config.sub_rings * MACT_MM2 * scale
+
+    def sram_mm2(self) -> float:
+        cfg = self.config
+        total_bytes = (cfg.total_spm_bytes + cfg.total_icache_bytes
+                       + cfg.total_dcache_bytes)
+        return total_bytes / MB * SRAM_MM2_PER_MB
+
+    def mc_mm2(self) -> float:
+        return self.config.memory.channels * MC_MM2
+
+    # -- tables --------------------------------------------------------------------
+
+    def breakdown(self, technology_nm: Optional[int] = None) -> Dict[str, float]:
+        """Table 1's rows (mm^2), optionally rescaled to another node."""
+        node = technology_nm if technology_nm is not None else self.config.technology_nm
+        raw = {
+            "Cores": self.cores_mm2(),
+            "Hierarchy Ring": self.ring_mm2(),
+            "MACT": self.mact_mm2(),
+            "SPM+Cache": self.sram_mm2(),
+            "MC+PHY": self.mc_mm2(),
+        }
+        return {k: scale_area(v, 32, node) for k, v in raw.items()}
+
+    def total_mm2(self, technology_nm: Optional[int] = None) -> float:
+        return sum(self.breakdown(technology_nm).values())

@@ -1,0 +1,106 @@
+"""Chip power and energy model (paper Table 1 power column, Figs 22/26).
+
+Power splits into a static share (leakage, clock tree — always on) and a
+dynamic share that scales with frequency and activity.  Per-component
+constants are calibrated to Table 1 at 32 nm / 1.5 GHz / full activity.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..config import SmarCoConfig, XeonConfig, smarco_default
+from ..errors import ConfigError
+from .area import MB
+from .tech import scale_power
+
+__all__ = ["PowerModel", "XeonPowerModel", "energy_efficiency"]
+
+# Calibrated component power at 32nm, 1.5GHz, utilization 1.0 (Table 1).
+CORE_W = 209.91 / 256
+RING_W_PER_BIT_STOP = 14.55 / 80_896
+MACT_W = 0.14 / 16
+SRAM_W_PER_MB = 1.84 / 40
+MC_W = 13.65 / 4
+
+STATIC_FRACTION = 0.3        # leakage + always-on clocking
+CAL_FREQUENCY_GHZ = 1.5
+
+
+class PowerModel:
+    """Power breakdown and energy accounting for a SmarCo configuration."""
+
+    def __init__(self, config: Optional[SmarCoConfig] = None) -> None:
+        self.config = config if config is not None else smarco_default()
+        # reuse the area model's structural counts
+        from .area import AreaModel
+
+        self._area = AreaModel(self.config)
+
+    def _peak_breakdown_32nm(self) -> Dict[str, float]:
+        cfg = self.config
+        total_sram_mb = (cfg.total_spm_bytes + cfg.total_icache_bytes
+                         + cfg.total_dcache_bytes) / MB
+        mact_scale = (cfg.mact.lines / 64) * (cfg.mact.line_span_bytes / 64)
+        return {
+            "Cores": cfg.total_cores * CORE_W,
+            "Hierarchy Ring": self._area._ring_bit_stops() * RING_W_PER_BIT_STOP,
+            "MACT": cfg.sub_rings * MACT_W * mact_scale,
+            "SPM+Cache": total_sram_mb * SRAM_W_PER_MB,
+            "MC+PHY": cfg.memory.channels * MC_W,
+        }
+
+    def breakdown(self, utilization: float = 1.0,
+                  technology_nm: Optional[int] = None) -> Dict[str, float]:
+        """Watts per Table 1 component at the given activity factor."""
+        if not 0 <= utilization <= 1:
+            raise ConfigError(f"utilization {utilization} outside [0,1]")
+        node = technology_nm if technology_nm is not None else self.config.technology_nm
+        freq_scale = self.config.frequency_ghz / CAL_FREQUENCY_GHZ
+        out = {}
+        for name, peak in self._peak_breakdown_32nm().items():
+            dynamic = peak * (1 - STATIC_FRACTION) * utilization * freq_scale
+            static = peak * STATIC_FRACTION
+            out[name] = scale_power(static + dynamic, 32, node)
+        return out
+
+    def total_watts(self, utilization: float = 1.0,
+                    technology_nm: Optional[int] = None) -> float:
+        return sum(self.breakdown(utilization, technology_nm).values())
+
+    def energy_joules(self, cycles: float, utilization: float = 1.0,
+                      technology_nm: Optional[int] = None) -> float:
+        """Energy to run ``cycles`` core cycles at the given activity."""
+        seconds = cycles / (self.config.frequency_ghz * 1e9)
+        return self.total_watts(utilization, technology_nm) * seconds
+
+
+class XeonPowerModel:
+    """Baseline power: TDP-anchored with an idle floor.
+
+    Server CPUs burn a large fraction of TDP even at low utilisation; we
+    use the conventional linear model between ~45% idle and 100% TDP.
+    """
+
+    IDLE_FRACTION = 0.45
+
+    def __init__(self, config: Optional[XeonConfig] = None) -> None:
+        self.config = config if config is not None else XeonConfig()
+
+    def total_watts(self, utilization: float = 1.0) -> float:
+        if not 0 <= utilization <= 1:
+            raise ConfigError(f"utilization {utilization} outside [0,1]")
+        tdp = self.config.tdp_watts
+        return tdp * (self.IDLE_FRACTION + (1 - self.IDLE_FRACTION) * utilization)
+
+    def energy_joules(self, cycles: float, utilization: float = 1.0) -> float:
+        seconds = cycles / (self.config.frequency_ghz * 1e9)
+        return self.total_watts(utilization) * seconds
+
+
+def energy_efficiency(throughput: float, watts: float) -> float:
+    """Performance per watt (Fig 22/26's y-axis is the SmarCo/Xeon ratio
+    of this quantity)."""
+    if watts <= 0:
+        raise ConfigError("watts must be positive")
+    return throughput / watts

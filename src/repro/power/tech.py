@@ -1,0 +1,55 @@
+"""Technology-node scaling (substitute for McPAT/CACTI node support).
+
+The paper evaluates area/power at 32 nm (Table 1, "considering the
+supporting of these evaluation tools") but tapes out at TSMC 40 nm
+(Fig 26) and compares against a 14 nm Xeon (Table 2).  We model classical
+Dennard-era-ish scaling between those nodes: area scales with feature
+size squared; power scales roughly linearly with feature size at equal
+frequency (capacitance dominates, voltage scaling having stalled).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from ..errors import ConfigError
+
+__all__ = ["TechNode", "NODES", "scale_area", "scale_power"]
+
+
+@dataclass(frozen=True)
+class TechNode:
+    nm: int
+    #: area multiplier relative to 32 nm
+    area_scale: float
+    #: power multiplier relative to 32 nm (iso-frequency)
+    power_scale: float
+
+
+NODES: Dict[int, TechNode] = {
+    14: TechNode(14, area_scale=(14 / 32) ** 2, power_scale=14 / 32 * 0.9),
+    28: TechNode(28, area_scale=(28 / 32) ** 2, power_scale=28 / 32),
+    32: TechNode(32, area_scale=1.0, power_scale=1.0),
+    40: TechNode(40, area_scale=(40 / 32) ** 2, power_scale=40 / 32),
+    65: TechNode(65, area_scale=(65 / 32) ** 2, power_scale=65 / 32),
+}
+
+
+def _node(nm: int) -> TechNode:
+    try:
+        return NODES[nm]
+    except KeyError:
+        raise ConfigError(
+            f"unknown technology node {nm}nm; known: {sorted(NODES)}"
+        ) from None
+
+
+def scale_area(mm2: float, from_nm: int, to_nm: int) -> float:
+    """Rescale an area figure between technology nodes."""
+    return mm2 * _node(to_nm).area_scale / _node(from_nm).area_scale
+
+
+def scale_power(watts: float, from_nm: int, to_nm: int) -> float:
+    """Rescale a power figure between nodes (iso-frequency)."""
+    return watts * _node(to_nm).power_scale / _node(from_nm).power_scale

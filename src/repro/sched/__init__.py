@@ -1,0 +1,30 @@
+"""Task scheduling: laxity-aware hardware scheduler and baselines."""
+
+from .chains import ChainTable
+from .dispatch import (
+    MainScheduler,
+    SchedulerTestbed,
+    TestbedResult,
+    TimeSharedTestbed,
+)
+from .policies import (
+    DeadlineScheduler,
+    FifoScheduler,
+    LaxityScheduler,
+    make_scheduler,
+)
+from .task import Task, TaskPriority
+
+__all__ = [
+    "Task",
+    "TaskPriority",
+    "ChainTable",
+    "LaxityScheduler",
+    "DeadlineScheduler",
+    "FifoScheduler",
+    "make_scheduler",
+    "MainScheduler",
+    "SchedulerTestbed",
+    "TimeSharedTestbed",
+    "TestbedResult",
+]

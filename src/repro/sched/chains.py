@@ -1,0 +1,82 @@
+"""RAM-based chain tables (paper §3.7, Fig 16).
+
+The paper builds its hardware scheduler from *chain tables in RAM instead
+of CAM* to save area/power: each table is a linked list kept sorted by the
+scheduling key, so an insert walks the chain (O(n) RAM reads) and a pop is
+O(1).  We model the walk length because it is the hardware cost the paper
+traded against CAM.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Tuple
+
+from ..errors import SchedulerError
+from .task import Task
+
+__all__ = ["ChainTable"]
+
+
+class ChainTable:
+    """A bounded, sorted linked list of tasks.
+
+    ``key`` maps a task to its sort value (ascending = scheduled first).
+    """
+
+    def __init__(self, name: str, key: Callable[[Task], float],
+                 capacity: int = 256) -> None:
+        if capacity <= 0:
+            raise SchedulerError("chain table needs positive capacity")
+        self.name = name
+        self.key = key
+        self.capacity = capacity
+        self._entries: List[Task] = []
+        self.insert_steps = 0        # cumulative RAM-walk length (HW cost)
+
+    def insert(self, task: Task) -> int:
+        """Insert keeping sort order; returns the walk length used."""
+        if len(self._entries) >= self.capacity:
+            raise SchedulerError(f"{self.name}: chain table full "
+                                 f"({self.capacity} entries)")
+        k = self.key(task)
+        steps = 0
+        # linear walk, as the RAM linked list must
+        for i, existing in enumerate(self._entries):
+            steps += 1
+            if k < self.key(existing):
+                self._entries.insert(i, task)
+                self.insert_steps += steps
+                return steps
+        self._entries.append(task)
+        self.insert_steps += steps
+        return steps
+
+    def pop_head(self) -> Optional[Task]:
+        """Remove and return the minimum-key task (None when empty)."""
+        if not self._entries:
+            return None
+        return self._entries.pop(0)
+
+    def peek(self) -> Optional[Task]:
+        return self._entries[0] if self._entries else None
+
+    def remove(self, task: Task) -> bool:
+        try:
+            self._entries.remove(task)
+            return True
+        except ValueError:
+            return False
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self):
+        return iter(self._entries)
+
+    @property
+    def is_sorted(self) -> bool:
+        keys = [self.key(t) for t in self._entries]
+        return keys == sorted(keys)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"ChainTable({self.name}, {len(self._entries)}/{self.capacity})"

@@ -1,0 +1,196 @@
+"""Chip-level task dispatch and a scheduler testbed.
+
+:class:`MainScheduler` models the main-ring scheduler (paper §3.7): it
+receives tasks from the host CPU and spreads them over the sub-ring
+schedulers for load balance (least-loaded by default, round-robin as
+ablation).
+
+:class:`SchedulerTestbed` executes one sub-ring's tasks on a pool of
+hardware thread contexts (16 cores x 4 running threads = 64 contexts by
+default, 128 thread *slots* as in Fig 21's caption) under any policy, and
+records per-task exit times — the quantity Fig 21 plots.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, List, Optional, Sequence
+
+from ..errors import SchedulerError
+from ..sim.engine import Simulator
+from ..sim.stats import StatsRegistry
+from .policies import DeadlineScheduler, FifoScheduler, LaxityScheduler, make_scheduler
+from .task import Task
+
+__all__ = ["MainScheduler", "SchedulerTestbed", "TestbedResult"]
+
+
+class MainScheduler:
+    """Main-ring dispatcher: host tasks -> sub-ring schedulers."""
+
+    def __init__(self, sub_schedulers: Sequence, policy: str = "least-loaded",
+                 dispatch_latency: int = 8) -> None:
+        if not sub_schedulers:
+            raise SchedulerError("need at least one sub-ring scheduler")
+        if policy not in ("least-loaded", "round-robin"):
+            raise SchedulerError(f"unknown dispatch policy {policy!r}")
+        self.sub_schedulers = list(sub_schedulers)
+        self.policy = policy
+        self.dispatch_latency = dispatch_latency
+        self._rr_next = 0
+        self.dispatched_to = [0] * len(self.sub_schedulers)
+
+    def dispatch(self, task: Task) -> int:
+        """Send a task to a sub-ring; returns the chosen sub-ring index."""
+        if self.policy == "round-robin":
+            idx = self._rr_next
+            self._rr_next = (self._rr_next + 1) % len(self.sub_schedulers)
+        else:
+            idx = min(range(len(self.sub_schedulers)),
+                      key=lambda i: self.sub_schedulers[i].pending)
+        self.sub_schedulers[idx].submit(task)
+        self.dispatched_to[idx] += 1
+        return idx
+
+    def imbalance(self) -> float:
+        """max/mean dispatched tasks (1.0 = perfectly balanced)."""
+        counts = self.dispatched_to
+        mean = sum(counts) / len(counts)
+        return max(counts) / mean if mean else 0.0
+
+
+class TestbedResult:
+    """Per-task exit times plus summary statistics."""
+
+    def __init__(self, tasks: List[Task]) -> None:
+        self.tasks = tasks
+
+    @property
+    def exit_times(self) -> List[float]:
+        return [t.finished_at for t in self.tasks if t.finished_at is not None]
+
+    @property
+    def success_rate(self) -> float:
+        """Fraction of tasks that exited by their deadline."""
+        if not self.tasks:
+            return 0.0
+        return sum(1 for t in self.tasks if not t.missed) / len(self.tasks)
+
+    @property
+    def spread(self) -> float:
+        """max − min exit time (Fig 21's visual width)."""
+        times = self.exit_times
+        return max(times) - min(times) if times else 0.0
+
+    @property
+    def earliest(self) -> float:
+        return min(self.exit_times) if self.exit_times else 0.0
+
+    @property
+    def latest(self) -> float:
+        return max(self.exit_times) if self.exit_times else 0.0
+
+
+class TimeSharedTestbed:
+    """Preemptive time-sharing of many resident tasks over fewer running
+    slots — the Fig 21 execution model: one sub-ring holds 128 task
+    threads but only 64 run at any instant (4 of 8 threads per core).
+
+    Policies:
+
+    * ``"fair"`` — the software Deadline scheduler's behaviour for
+      equal-deadline tasks: OS round-robin gives every task an equal
+      service rate, so a task exits at (tasks/slots) x its own work —
+      exit times spread exactly like the work distribution;
+    * ``"laxity"`` — the hardware scheduler: each (fine) quantum the
+      least-laxity tasks run.  With equal deadlines that is
+      longest-remaining-first, which equalises remaining work and makes
+      exit times cluster tightly just before the deadline.
+    """
+
+    def __init__(self, slots: int = 64, policy: str = "laxity",
+                 quantum: float = 1024.0) -> None:
+        if slots <= 0 or quantum <= 0:
+            raise SchedulerError("slots and quantum must be positive")
+        if policy not in ("fair", "laxity"):
+            raise SchedulerError(f"unknown time-sharing policy {policy!r}")
+        self.slots = slots
+        self.policy = policy
+        self.quantum = quantum
+
+    def run(self, tasks: Sequence[Task]) -> TestbedResult:
+        remaining = {t.task_id: t.work_cycles for t in tasks}
+        by_id = {t.task_id: t for t in tasks}
+        alive = sorted(remaining, key=lambda tid: tid)
+        now = 0.0
+        while alive:
+            if self.policy == "laxity":
+                # least laxity == most remaining work (equal deadlines)
+                ordered = sorted(
+                    alive,
+                    key=lambda tid: (by_id[tid].deadline - now
+                                     - remaining[tid], tid),
+                )
+            else:
+                # fair: rotate so every alive task gets an equal share
+                ordered = alive
+            running = ordered[:self.slots]
+            for tid in running:
+                remaining[tid] -= self.quantum
+                if remaining[tid] <= 0:
+                    by_id[tid].finished_at = now + self.quantum + remaining[tid]
+            if self.policy == "fair":
+                # round-robin rotation of the run queue
+                alive = alive[len(running):] + running
+            alive = [tid for tid in alive if remaining[tid] > 0]
+            now += self.quantum
+        return TestbedResult(list(tasks))
+
+
+class SchedulerTestbed:
+    """Run tasks on ``contexts`` hardware thread contexts under a policy."""
+
+    def __init__(self, sim: Simulator, scheduler, contexts: int = 64) -> None:
+        if contexts <= 0:
+            raise SchedulerError("need at least one context")
+        self.sim = sim
+        self.scheduler = scheduler
+        self.contexts = contexts
+        self._wake = sim.signal("testbed.wake")
+        self._tasks: List[Task] = []
+        self._started = False
+
+    def submit(self, task: Task) -> None:
+        self._tasks.append(task)
+        self.scheduler.submit(task)
+        self._wake.fire()
+
+    def submit_all(self, tasks: Sequence[Task]) -> None:
+        for task in tasks:
+            self.submit(task)
+
+    def start(self) -> None:
+        if self._started:
+            return
+        self._started = True
+        for ctx in range(self.contexts):
+            self.sim.spawn(self._context_proc(), f"testbed.ctx{ctx}")
+
+    def run(self) -> TestbedResult:
+        """Start contexts, drain the simulator, and collect results."""
+        self.start()
+        self.sim.run()
+        return TestbedResult(list(self._tasks))
+
+    def _context_proc(self) -> Generator:
+        while True:
+            task = self.scheduler.next_task()
+            if task is None:
+                if all(t.finished for t in self._tasks):
+                    return
+                yield self._wake
+                continue
+            yield self.scheduler.decision_overhead
+            task.started_at = self.sim.now
+            yield task.work_cycles
+            task.finished_at = self.sim.now
+            self._wake.fire()       # idle contexts re-check for exit

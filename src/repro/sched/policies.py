@@ -1,0 +1,170 @@
+"""Task-scheduling policies.
+
+* :class:`LaxityScheduler` — the paper's hardware scheduler: per-sub-ring
+  chain tables (high-priority + normal) ordered by static slack
+  (deadline − work).  With equal deadlines this schedules the *longest*
+  task first, which is what tightens the exit-time spread in Fig 21.
+  Hardware decision overhead is a few cycles.
+* :class:`DeadlineScheduler` — the software baseline ([21] in the paper):
+  earliest-deadline-first with FIFO tie-break (so equal-deadline tasks run
+  in arrival order) and a software decision overhead of hundreds of
+  cycles.
+* :class:`FifoScheduler` — arrival order, no deadline awareness.
+
+All policies expose the same interface: ``submit(task)`` and
+``next_task()``; a testbed or chip binds them to execution contexts.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Optional, Tuple
+
+from ..config import SchedulerConfig
+from ..sim.stats import StatsRegistry
+from .chains import ChainTable
+from .task import Task, TaskPriority
+
+__all__ = ["LaxityScheduler", "DeadlineScheduler", "FifoScheduler", "make_scheduler"]
+
+
+class LaxityScheduler:
+    """Hardware laxity-aware scheduler of one sub-ring (Fig 16).
+
+    Three chain tables, as the figure draws them: the *null thread chain*
+    (free thread contexts, FIFO), the *normal thread chain*, and the
+    *high-priority thread chain* (both sorted by static slack).
+    """
+
+    #: cycles per scheduling decision (RAM chain head pop + thread attach)
+    decision_overhead = 4
+
+    def __init__(self, name: str = "laxity",
+                 config: Optional[SchedulerConfig] = None,
+                 registry: Optional[StatsRegistry] = None) -> None:
+        cfg = config if config is not None else SchedulerConfig()
+        entries = cfg.chain_table_entries
+        self.name = name
+        self.high = ChainTable(f"{name}.high", key=lambda t: t.static_slack,
+                               capacity=entries)
+        self.normal = ChainTable(f"{name}.normal", key=lambda t: t.static_slack,
+                                 capacity=entries)
+        self._null_chain: Deque[int] = deque()     # free thread contexts
+        reg = registry if registry is not None else StatsRegistry()
+        self.submitted = reg.counter(f"{name}.submitted")
+        self.dispatched = reg.counter(f"{name}.dispatched")
+
+    def submit(self, task: Task) -> None:
+        self.submitted.inc()
+        table = self.high if task.priority is TaskPriority.HIGH else self.normal
+        table.insert(task)
+
+    def next_task(self) -> Optional[Task]:
+        """Highest-priority, least-slack task (None when idle)."""
+        task = self.high.pop_head()
+        if task is None:
+            task = self.normal.pop_head()
+        if task is not None:
+            self.dispatched.inc()
+        return task
+
+    # -- null thread chain (free contexts) -------------------------------
+
+    def release_context(self, context_id: int) -> None:
+        """A thread context finished its task: append to the null chain."""
+        self._null_chain.append(context_id)
+
+    def acquire_context(self) -> Optional[int]:
+        """Pop a free thread context (None when every context is busy)."""
+        return self._null_chain.popleft() if self._null_chain else None
+
+    @property
+    def free_contexts(self) -> int:
+        return len(self._null_chain)
+
+    def assign(self) -> Optional[Tuple[int, Task]]:
+        """One hardware dispatch step: pair the best pending task with a
+        free context.  Returns None when either chain is empty."""
+        if not self._null_chain or not self.pending:
+            return None
+        context = self.acquire_context()
+        task = self.next_task()
+        return context, task
+
+    @property
+    def pending(self) -> int:
+        return len(self.high) + len(self.normal)
+
+
+class DeadlineScheduler:
+    """Software EDF baseline with per-decision OS overhead."""
+
+    decision_overhead = 200
+
+    def __init__(self, name: str = "deadline",
+                 registry: Optional[StatsRegistry] = None) -> None:
+        self.name = name
+        self._queue: Deque[Task] = deque()
+        reg = registry if registry is not None else StatsRegistry()
+        self.submitted = reg.counter(f"{name}.submitted")
+        self.dispatched = reg.counter(f"{name}.dispatched")
+
+    def submit(self, task: Task) -> None:
+        self.submitted.inc()
+        self._queue.append(task)
+
+    def next_task(self) -> Optional[Task]:
+        if not self._queue:
+            return None
+        # EDF with FIFO tie-break: min deadline, earliest arrival wins
+        best = min(self._queue, key=lambda t: (t.deadline, t.arrival, t.task_id))
+        self._queue.remove(best)
+        self.dispatched.inc()
+        return best
+
+    @property
+    def pending(self) -> int:
+        return len(self._queue)
+
+
+class FifoScheduler:
+    """Arrival-order baseline."""
+
+    decision_overhead = 50
+
+    def __init__(self, name: str = "fifo",
+                 registry: Optional[StatsRegistry] = None) -> None:
+        self.name = name
+        self._queue: Deque[Task] = deque()
+        reg = registry if registry is not None else StatsRegistry()
+        self.submitted = reg.counter(f"{name}.submitted")
+        self.dispatched = reg.counter(f"{name}.dispatched")
+
+    def submit(self, task: Task) -> None:
+        self.submitted.inc()
+        self._queue.append(task)
+
+    def next_task(self) -> Optional[Task]:
+        if not self._queue:
+            return None
+        self.dispatched.inc()
+        return self._queue.popleft()
+
+    @property
+    def pending(self) -> int:
+        return len(self._queue)
+
+
+def make_scheduler(policy: str, name: Optional[str] = None,
+                   config: Optional[SchedulerConfig] = None,
+                   registry: Optional[StatsRegistry] = None):
+    """Factory keyed by :class:`~repro.config.SchedulerConfig` policy."""
+    if policy == "laxity":
+        return LaxityScheduler(name or "laxity", config, registry)
+    if policy == "deadline":
+        return DeadlineScheduler(name or "deadline", registry)
+    if policy == "fifo":
+        return FifoScheduler(name or "fifo", registry)
+    from ..errors import SchedulerError
+
+    raise SchedulerError(f"unknown scheduling policy {policy!r}")

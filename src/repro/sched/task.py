@@ -1,0 +1,78 @@
+"""Task objects for the laxity-aware scheduler (paper §3.7).
+
+A task is one thread's worth of work with a hard deadline.  Laxity is the
+classic least-laxity quantity ``deadline − now − remaining_work``; the
+hardware scheduler orders by *static slack* (``deadline − work``), which
+equals laxity up to a constant while a task is not running — exactly what
+a RAM-based chain table can keep sorted without re-walking.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from ..errors import SchedulerError
+
+__all__ = ["TaskPriority", "Task"]
+
+_task_ids = itertools.count()
+
+
+class TaskPriority(enum.IntEnum):
+    """Chain-table classes of Fig 16 (null = unoccupied slot)."""
+
+    NORMAL = 0
+    HIGH = 1
+
+
+@dataclass
+class Task:
+    """One schedulable thread task."""
+
+    work_cycles: float
+    deadline: float                    # absolute cycle by which it must exit
+    priority: TaskPriority = TaskPriority.NORMAL
+    arrival: float = 0.0
+    payload: Any = None
+    task_id: int = field(default_factory=lambda: next(_task_ids))
+    started_at: Optional[float] = None
+    finished_at: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.work_cycles <= 0:
+            raise SchedulerError(f"task {self.task_id}: non-positive work")
+
+    @property
+    def static_slack(self) -> float:
+        """Deadline minus total work: the hardware chain-table sort key."""
+        return self.deadline - self.work_cycles
+
+    def laxity(self, now: float) -> float:
+        """deadline − now − remaining work (for an unstarted task)."""
+        return self.deadline - now - self.work_cycles
+
+    @property
+    def finished(self) -> bool:
+        return self.finished_at is not None
+
+    @property
+    def missed(self) -> bool:
+        """Did the task exit after its deadline (or never exit)?"""
+        if self.finished_at is None:
+            return True
+        return self.finished_at > self.deadline
+
+    @property
+    def response_time(self) -> Optional[float]:
+        if self.finished_at is None:
+            return None
+        return self.finished_at - self.arrival
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (
+            f"Task#{self.task_id}(work={self.work_cycles:.0f}, "
+            f"deadline={self.deadline:.0f}, {self.priority.name})"
+        )

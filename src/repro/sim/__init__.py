@@ -1,0 +1,21 @@
+"""Discrete-event simulation kernel: engine, stats, RNG streams, tracing."""
+
+from .engine import EventSignal, Process, Simulator
+from .rng import RngTree, derive_seed
+from .stats import Accumulator, Counter, Histogram, StatsRegistry, TimeWeighted
+from .trace import TraceBuffer, TraceRecord
+
+__all__ = [
+    "Simulator",
+    "EventSignal",
+    "Process",
+    "RngTree",
+    "derive_seed",
+    "Counter",
+    "Accumulator",
+    "Histogram",
+    "TimeWeighted",
+    "StatsRegistry",
+    "TraceBuffer",
+    "TraceRecord",
+]

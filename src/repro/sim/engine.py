@@ -1,0 +1,225 @@
+"""Discrete-event simulation kernel.
+
+The kernel is deliberately small: a binary-heap event queue, a cycle clock,
+and two programming styles on top of it:
+
+* **callbacks** — ``sim.schedule(delay, fn, *args)`` runs ``fn`` at
+  ``now + delay``;
+* **processes** — generator functions that ``yield`` a delay (int/float) to
+  sleep, or an :class:`EventSignal` to block until another component fires
+  it.  Processes are resumed by the kernel, which keeps component code
+  (memory controllers, DMA engines, routers) readable.
+
+Time is measured in *cycles* of the component's clock domain; the library
+runs everything in a single 1.5 GHz domain, matching the paper, so a cycle
+is globally meaningful.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable, List, Optional, Tuple
+
+from ..errors import SimulationError
+
+__all__ = ["Simulator", "EventSignal", "Process"]
+
+
+class EventSignal:
+    """A one-to-many wakeup primitive.
+
+    Processes block on a signal by ``yield``-ing it; callbacks subscribe
+    with :meth:`wait`.  :meth:`fire` wakes every current waiter exactly once
+    (waiters registered after the fire wait for the next one).  A signal can
+    carry a payload, delivered to resumed processes as the value of the
+    ``yield`` expression.
+    """
+
+    __slots__ = ("sim", "name", "_waiters", "fire_count", "last_payload")
+
+    def __init__(self, sim: "Simulator", name: str = "") -> None:
+        self.sim = sim
+        self.name = name
+        self._waiters: List[Callable[[Any], None]] = []
+        self.fire_count = 0
+        self.last_payload: Any = None
+
+    def wait(self, callback: Callable[[Any], None]) -> None:
+        """Register ``callback(payload)`` to run on the next :meth:`fire`."""
+        self._waiters.append(callback)
+
+    def fire(self, payload: Any = None) -> int:
+        """Wake all current waiters at the current simulation time.
+
+        Returns the number of waiters woken.
+        """
+        self.fire_count += 1
+        self.last_payload = payload
+        waiters, self._waiters = self._waiters, []
+        for cb in waiters:
+            self.sim.schedule(0, cb, payload)
+        return len(waiters)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"EventSignal({self.name!r}, waiters={len(self._waiters)})"
+
+
+class Process:
+    """A running generator-based simulation process.
+
+    Created via :meth:`Simulator.spawn`.  The wrapped generator may yield:
+
+    * a non-negative number — sleep that many cycles;
+    * an :class:`EventSignal` — block until it fires (the fire payload
+      becomes the value of the yield expression);
+    * another :class:`Process` — block until that process finishes.
+    """
+
+    __slots__ = ("sim", "gen", "name", "finished", "result", "_done_signal")
+
+    def __init__(self, sim: "Simulator", gen: Generator, name: str) -> None:
+        self.sim = sim
+        self.gen = gen
+        self.name = name
+        self.finished = False
+        self.result: Any = None
+        self._done_signal: Optional[EventSignal] = None
+
+    @property
+    def done_signal(self) -> EventSignal:
+        """Signal fired (with the process result) when this process ends."""
+        if self._done_signal is None:
+            self._done_signal = EventSignal(self.sim, f"{self.name}.done")
+        return self._done_signal
+
+    def _step(self, send_value: Any = None) -> None:
+        if self.finished:
+            return
+        try:
+            yielded = self.gen.send(send_value)
+        except StopIteration as stop:
+            self.finished = True
+            self.result = stop.value
+            if self._done_signal is not None:
+                self._done_signal.fire(self.result)
+            return
+        if isinstance(yielded, EventSignal):
+            yielded.wait(self._step)
+        elif isinstance(yielded, Process):
+            yielded.done_signal.wait(self._step)
+        elif isinstance(yielded, (int, float)):
+            if yielded < 0:
+                raise SimulationError(
+                    f"process {self.name!r} yielded negative delay {yielded}"
+                )
+            self.sim.schedule(yielded, self._step, None)
+        else:
+            raise SimulationError(
+                f"process {self.name!r} yielded unsupported value "
+                f"{yielded!r}; yield a delay, EventSignal, or Process"
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "finished" if self.finished else "running"
+        return f"Process({self.name!r}, {state})"
+
+
+class Simulator:
+    """The discrete-event kernel: clock + ordered event queue.
+
+    Events scheduled for the same cycle run in FIFO order of scheduling,
+    which makes runs deterministic for a fixed seed.
+    """
+
+    def __init__(self) -> None:
+        self.now: int = 0
+        self._queue: List[Tuple[float, int, Callable, tuple]] = []
+        self._seq = 0
+        self._running = False
+        self.events_executed = 0
+
+    # -- scheduling ---------------------------------------------------------
+
+    def schedule(self, delay: float, fn: Callable, *args: Any) -> None:
+        """Run ``fn(*args)`` after ``delay`` cycles (0 allowed)."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule {delay} cycles in the past")
+        self._seq += 1
+        heapq.heappush(self._queue, (self.now + delay, self._seq, fn, args))
+
+    def schedule_at(self, when: float, fn: Callable, *args: Any) -> None:
+        """Run ``fn(*args)`` at absolute time ``when`` (must be >= now)."""
+        if when < self.now:
+            raise SimulationError(
+                f"cannot schedule at {when}, current time is {self.now}"
+            )
+        self._seq += 1
+        heapq.heappush(self._queue, (when, self._seq, fn, args))
+
+    def spawn(self, gen: Generator, name: str = "proc") -> Process:
+        """Start a generator process immediately (first step at ``now``)."""
+        proc = Process(self, gen, name)
+        self.schedule(0, proc._step, None)
+        return proc
+
+    def signal(self, name: str = "") -> EventSignal:
+        """Create a new :class:`EventSignal` bound to this simulator."""
+        return EventSignal(self, name)
+
+    # -- execution ----------------------------------------------------------
+
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> int:
+        """Drain the event queue.
+
+        Stops when the queue is empty, when the next event lies beyond
+        ``until`` (the clock is then advanced *to* ``until``), or after
+        ``max_events`` events.  Returns the number of events executed by
+        this call.
+        """
+        if self._running:
+            raise SimulationError("Simulator.run() is not reentrant")
+        self._running = True
+        executed = 0
+        try:
+            while self._queue:
+                when, _seq, fn, args = self._queue[0]
+                if until is not None and when > until:
+                    break
+                heapq.heappop(self._queue)
+                if when > self.now:
+                    self.now = when
+                fn(*args)
+                executed += 1
+                self.events_executed += 1
+                if max_events is not None and executed >= max_events:
+                    break
+            if until is not None and self.now < until and not self._interrupted():
+                self.now = until
+        finally:
+            self._running = False
+        return executed
+
+    def step(self) -> bool:
+        """Execute exactly one event.  Returns False if the queue is empty."""
+        if not self._queue:
+            return False
+        when, _seq, fn, args = heapq.heappop(self._queue)
+        if when > self.now:
+            self.now = when
+        fn(*args)
+        self.events_executed += 1
+        return True
+
+    def peek(self) -> Optional[float]:
+        """Time of the next pending event, or None when idle."""
+        return self._queue[0][0] if self._queue else None
+
+    def pending(self) -> int:
+        """Number of events currently queued."""
+        return len(self._queue)
+
+    def _interrupted(self) -> bool:
+        return False
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Simulator(now={self.now}, pending={len(self._queue)})"

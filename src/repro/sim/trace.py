@@ -1,0 +1,62 @@
+"""Lightweight event tracing.
+
+A :class:`TraceBuffer` records (time, source, event, payload) tuples into a
+bounded deque.  Tracing is off by default; tests and examples enable it to
+assert on event orderings (e.g. the in-pair thread handoff sequence).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, Iterable, List, NamedTuple, Optional
+
+__all__ = ["TraceRecord", "TraceBuffer"]
+
+
+class TraceRecord(NamedTuple):
+    time: float
+    source: str
+    event: str
+    payload: Any
+
+
+class TraceBuffer:
+    """Bounded in-memory trace sink."""
+
+    def __init__(self, capacity: int = 100_000, enabled: bool = False) -> None:
+        self.capacity = capacity
+        self.enabled = enabled
+        self._records: Deque[TraceRecord] = deque(maxlen=capacity)
+        self.dropped = 0
+
+    def emit(self, time: float, source: str, event: str, payload: Any = None) -> None:
+        if not self.enabled:
+            return
+        if len(self._records) == self.capacity:
+            self.dropped += 1
+        self._records.append(TraceRecord(time, source, event, payload))
+
+    def records(
+        self,
+        source: Optional[str] = None,
+        event: Optional[str] = None,
+    ) -> List[TraceRecord]:
+        """Records matching the given source/event filters (None = any)."""
+        out = []
+        for rec in self._records:
+            if source is not None and rec.source != source:
+                continue
+            if event is not None and rec.event != event:
+                continue
+            out.append(rec)
+        return out
+
+    def clear(self) -> None:
+        self._records.clear()
+        self.dropped = 0
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self):
+        return iter(self._records)

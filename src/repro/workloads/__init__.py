@@ -1,0 +1,30 @@
+"""Workloads: the six HTC benchmarks, SPLASH2 profiles, and the CDN model."""
+
+from . import kmeans, kmp, rnc, search, terasort, wordcount
+from .base import WorkloadProfile, all_profiles, get_profile
+from .cdn import CdnConfig, CdnModel, CdnPoint
+from .profiles import (
+    HTC_PROFILES,
+    SPLASH2_PROFILES,
+    htc_profile_names,
+    splash2_profile_names,
+)
+
+__all__ = [
+    "WorkloadProfile",
+    "get_profile",
+    "all_profiles",
+    "HTC_PROFILES",
+    "SPLASH2_PROFILES",
+    "htc_profile_names",
+    "splash2_profile_names",
+    "wordcount",
+    "terasort",
+    "search",
+    "kmeans",
+    "kmp",
+    "rnc",
+    "CdnModel",
+    "CdnConfig",
+    "CdnPoint",
+]

@@ -1,0 +1,271 @@
+"""Workload profiles: the statistical skeletons of the paper's benchmarks.
+
+A :class:`WorkloadProfile` captures what the architecture cares about —
+instruction mix, memory-access granularity (paper Fig 8), SPM residency,
+working-set size, code footprint — and synthesises:
+
+* **TCG instruction streams** (:meth:`stream`) for the SmarCo cores, with
+  the LSQ-visible address layout of :mod:`repro.core.tcg` (SPM window /
+  uncached streaming window / cacheable heap);
+* **Xeon samplers** (:meth:`xeon_data_sampler` / :meth:`xeon_code_sampler`)
+  for the baseline's quantum model — on the Xeon there is no SPM, so
+  SPM-resident accesses become ordinary cacheable accesses (that is the
+  architectural difference the paper exploits).
+
+Six HTC profiles live in :mod:`repro.workloads.profiles`; each benchmark
+module also ships a *functional* kernel used by the MapReduce examples.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterator, Optional, Tuple
+
+from ..core.stream import CoreInstr
+from ..core.tcg import UNCACHED_BASE
+from ..errors import WorkloadError
+from ..noc.traffic import GranularityDist
+
+__all__ = ["WorkloadProfile", "register_profile", "get_profile", "all_profiles"]
+
+# Cacheable-heap layout: each (core, thread) gets a private region so cache
+# contention between threads is real, as on the paper's testbed.
+HEAP_BASE = 0x0001_0000_0000
+THREAD_REGION = 1 << 26          # 64 MB per thread, far beyond any cache
+CODE_BASE = 0x0000_1000_0000
+
+
+@dataclass(frozen=True)
+class WorkloadProfile:
+    """Architecture-level description of one benchmark."""
+
+    name: str
+    mem_ratio: float                 # fraction of instructions touching memory
+    branch_ratio: float
+    granularity: GranularityDist     # access size distribution (Fig 8)
+    spm_fraction: float              # memory accesses resolved in SPM (SmarCo)
+    uncached_fraction: float         # accesses streaming to DRAM (MACT path)
+    working_set_bytes: int           # cacheable working set per thread
+    code_footprint_bytes: int        # instruction footprint
+    ilp: float = 1.8                 # Xeon base IPC per thread
+    mlp: float = 4.0                 # Xeon OoO memory overlap factor
+    branch_taken_ratio: float = 0.4
+    branch_miss_rate: float = 0.06   # Xeon predictor miss rate
+    mul_ratio: float = 0.02
+    streaming_locality: float = 0.9  # P(next uncached access is sequential)
+    #: share of uncached accesses that walk a dataset SHARED by a gang of
+    #: threads with round-robin element partitioning (each thread owns
+    #: every gang_size-th element).  Neighbouring threads' accesses land
+    #: in the same cache lines at the same time — the cross-core
+    #: adjacency the MACT batches (paper §3.4: "discrete and small
+    #: granularity packets from adjacent cores").
+    shared_uncached_fraction: float = 0.6
+    #: the shared gang dataset wraps within this window
+    shared_window_bytes: int = 1 << 20
+    #: per-thread dataset the Xeon must pull through its caches — the
+    #: data SmarCo stages in SPM (the architectural asymmetry of Fig 22)
+    xeon_dataset_bytes: int = 32 * 1024
+    realtime: bool = False           # RNC-style hard-deadline tasks
+
+    def __post_init__(self) -> None:
+        fractions = (self.mem_ratio, self.branch_ratio, self.spm_fraction,
+                     self.uncached_fraction, self.branch_taken_ratio,
+                     self.branch_miss_rate, self.mul_ratio,
+                     self.streaming_locality)
+        if any(not 0 <= f <= 1 for f in fractions):
+            raise WorkloadError(f"{self.name}: fractions must be in [0,1]")
+        if self.mem_ratio + self.branch_ratio + self.mul_ratio > 1:
+            raise WorkloadError(f"{self.name}: instruction mix exceeds 1")
+        if self.spm_fraction + self.uncached_fraction > 1:
+            raise WorkloadError(f"{self.name}: memory mix exceeds 1")
+        if self.working_set_bytes <= 0 or self.code_footprint_bytes <= 0:
+            raise WorkloadError(f"{self.name}: footprints must be positive")
+        if self.xeon_dataset_bytes <= 0 or self.shared_window_bytes <= 0:
+            raise WorkloadError(f"{self.name}: dataset sizes must be positive")
+
+    # -- TCG stream ------------------------------------------------------------
+
+    def stream(
+        self,
+        n_instrs: int,
+        rng: random.Random,
+        thread_id: int = 0,
+        spm_base: Optional[int] = None,
+        spm_bytes: int = 128 * 1024,
+        gang_size: int = 1,
+        gang_rank: int = 0,
+        gang_base: Optional[int] = None,
+    ) -> Iterator[CoreInstr]:
+        """Generate ``n_instrs`` pipeline records for one SmarCo thread.
+
+        ``gang_size``/``gang_rank``/``gang_base`` describe the thread's
+        position in a gang processing one shared dataset round-robin
+        (e.g. all threads of a sub-ring); with the default gang of one,
+        shared accesses degenerate to a private stream.
+        """
+        from ..mem.spm import SPM_REGION_BASE
+
+        if spm_base is None:
+            spm_base = SPM_REGION_BASE
+        heap = HEAP_BASE + thread_id * THREAD_REGION
+        # random start offset spreads streams over channels and banks
+        stream_ptr = (UNCACHED_BASE + (thread_id + 1) * THREAD_REGION
+                      + rng.randrange(THREAD_REGION // 2))
+        if gang_base is None:
+            gang_base = UNCACHED_BASE + self._shared_region_offset()
+        # Block-partitioned shared dataset: the thread owns every
+        # gang_size-th 256B chunk and walks each chunk sequentially, so
+        # its own small stores are contiguous (they merge in the MACT)
+        # and neighbouring threads work adjacent chunks.
+        chunk_bytes = 256
+        chunk_count = 0
+        chunk_idx = gang_rank
+        intra = 0
+        pending_stores = 0
+        code_pcs = max(1, self.code_footprint_bytes // 4)
+        pc = 0
+        p_mem = self.mem_ratio
+        p_branch = p_mem + self.branch_ratio
+        p_mul = p_branch + self.mul_ratio
+        def shared_addr(size: int) -> int:
+            nonlocal chunk_count, chunk_idx, intra
+            if intra + size > chunk_bytes:
+                chunk_count += 1
+                chunk_idx = chunk_count * gang_size + gang_rank
+                intra = 0
+            addr = gang_base + (chunk_idx * chunk_bytes + intra) % self.shared_window_bytes
+            intra += size
+            return addr
+
+        for _ in range(n_instrs):
+            pc = (pc + 1) % code_pcs
+            if pending_stores:
+                # tail of a store burst: contiguous output elements
+                pending_stores -= 1
+                size = self.granularity.sample(rng)
+                yield CoreInstr("store", addr=shared_addr(size), size=size, pc=pc)
+                continue
+            draw = rng.random()
+            if draw < p_mem:
+                size = self.granularity.sample(rng)
+                is_write = rng.random() < 0.25
+                kind = "store" if is_write else "load"
+                mem_draw = rng.random()
+                if mem_draw < self.spm_fraction:
+                    addr = spm_base + rng.randrange(max(1, spm_bytes - 256 - size))
+                elif mem_draw < self.spm_fraction + self.uncached_fraction:
+                    if rng.random() < self.shared_uncached_fraction:
+                        addr = shared_addr(size)
+                        if is_write:
+                            pending_stores = 1 + rng.randrange(3)
+                    else:
+                        if rng.random() < self.streaming_locality:
+                            stream_ptr += size
+                        else:
+                            stream_ptr += size * rng.randrange(2, 64)
+                        addr = stream_ptr
+                else:
+                    addr = heap + rng.randrange(self.working_set_bytes)
+                yield CoreInstr(kind, addr=addr, size=size, pc=pc)
+            elif draw < p_branch:
+                taken = rng.random() < self.branch_taken_ratio
+                yield CoreInstr("branch", pc=pc, taken=taken)
+            elif draw < p_mul:
+                yield CoreInstr("mul", pc=pc)
+            else:
+                yield CoreInstr("alu", pc=pc)
+
+    def _shared_region_offset(self) -> int:
+        """Stable per-profile placement of the shared gang dataset (keeps
+        different workloads' regions apart in the address space)."""
+        import hashlib
+
+        digest = hashlib.sha256(self.name.encode()).digest()
+        slot = int.from_bytes(digest[:4], "little") % 1024
+        return slot * self.shared_window_bytes
+
+    # -- Xeon samplers ------------------------------------------------------------
+
+    def xeon_data_sampler(
+        self, thread_id: int, rng: random.Random
+    ) -> Callable[[], Tuple[int, int, bool]]:
+        """Data-address sampler for the baseline quantum model.
+
+        SPM-resident accesses become cacheable accesses on the Xeon; the
+        streaming fraction walks sequentially (prefetch-friendly but
+        cache-polluting), the rest hits the thread's working set.
+        """
+        heap = HEAP_BASE + thread_id * THREAD_REGION
+        # the data SmarCo would stage in SPM lives in ordinary cacheable
+        # memory here — per-thread slices so cache contention is real
+        dataset = HEAP_BASE + (1 << 40) + thread_id * THREAD_REGION
+        gang_base = UNCACHED_BASE + self._shared_region_offset()
+        chunk_bytes = 256
+        state = {"stream": UNCACHED_BASE + (thread_id + 1) * THREAD_REGION
+                 + rng.randrange(THREAD_REGION // 2),
+                 "chunk": thread_id % 48, "count": 0, "intra": 0}
+
+        def sample() -> Tuple[int, int, bool]:
+            size = self.granularity.sample(rng)
+            is_write = rng.random() < 0.25
+            draw = rng.random()
+            if draw < self.uncached_fraction:
+                if rng.random() < self.shared_uncached_fraction:
+                    # chunked slice of the gang-shared dataset
+                    if state["intra"] + size > chunk_bytes:
+                        state["count"] += 1
+                        state["chunk"] = state["count"] * 48 + (thread_id % 48)
+                        state["intra"] = 0
+                    addr = gang_base + (
+                        state["chunk"] * chunk_bytes + state["intra"]
+                    ) % self.shared_window_bytes
+                    state["intra"] += size
+                    return addr, size, is_write
+                state["stream"] += size * rng.randrange(1, 16)
+                return state["stream"], size, is_write
+            if draw < self.uncached_fraction + self.spm_fraction:
+                return (dataset + rng.randrange(self.xeon_dataset_bytes),
+                        size, is_write)
+            return heap + rng.randrange(self.working_set_bytes), size, is_write
+
+        return sample
+
+    def xeon_code_sampler(self, rng: random.Random,
+                          thread_id: int = 0) -> Callable[[], int]:
+        """Instruction-address sampler.
+
+        Threads exercise different request types / service phases, so each
+        software thread walks its own slice of the service binary —
+        co-resident threads then contend for the L1I (Fig 1b's rising
+        starvation).
+        """
+        base = CODE_BASE + thread_id * self.code_footprint_bytes
+
+        def sample() -> int:
+            return base + rng.randrange(self.code_footprint_bytes)
+
+        return sample
+
+
+_REGISTRY: Dict[str, WorkloadProfile] = {}
+
+
+def register_profile(profile: WorkloadProfile) -> WorkloadProfile:
+    if profile.name in _REGISTRY:
+        raise WorkloadError(f"duplicate workload profile {profile.name!r}")
+    _REGISTRY[profile.name] = profile
+    return profile
+
+
+def get_profile(name: str) -> WorkloadProfile:
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise WorkloadError(
+            f"unknown workload {name!r}; known: {sorted(_REGISTRY)}"
+        ) from None
+
+
+def all_profiles() -> Dict[str, WorkloadProfile]:
+    return dict(_REGISTRY)

@@ -1,0 +1,90 @@
+"""K-means (paper §4.1): unsupervised clustering.
+
+Lloyd's algorithm in pure Python (datasets are small in the examples;
+the architecture experiments use the statistical profile, not this
+kernel's wall-clock speed).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, List, Sequence, Tuple
+
+from ..errors import WorkloadError
+from .profiles import KMEANS as PROFILE
+
+__all__ = ["PROFILE", "kmeans", "assign", "distance_sq", "map_fn", "reduce_fn"]
+
+Point = Sequence[float]
+
+
+def distance_sq(a: Point, b: Point) -> float:
+    return sum((x - y) ** 2 for x, y in zip(a, b))
+
+
+def assign(point: Point, centroids: Sequence[Point]) -> int:
+    """Index of the nearest centroid."""
+    if not centroids:
+        raise WorkloadError("no centroids")
+    return min(range(len(centroids)),
+               key=lambda i: (distance_sq(point, centroids[i]), i))
+
+
+def _mean(points: List[Point], dim: int) -> List[float]:
+    return [sum(p[d] for p in points) / len(points) for d in range(dim)]
+
+
+def kmeans(points: Sequence[Point], k: int, iterations: int = 10,
+           ) -> Tuple[List[List[float]], List[int]]:
+    """Lloyd's algorithm; returns (centroids, assignment per point)."""
+    if k <= 0 or k > len(points):
+        raise WorkloadError(f"k={k} invalid for {len(points)} points")
+    dim = len(points[0])
+    centroids: List[List[float]] = [list(points[i * len(points) // k])
+                                    for i in range(k)]
+    labels = [0] * len(points)
+    for _ in range(iterations):
+        labels = [assign(p, centroids) for p in points]
+        moved = False
+        for c in range(k):
+            members = [points[i] for i, l in enumerate(labels) if l == c]
+            if members:
+                new = _mean(members, dim)
+                if new != centroids[c]:
+                    centroids[c] = new
+                    moved = True
+        if not moved:
+            break
+    return centroids, labels
+
+
+def map_fn(chunk: Tuple[Sequence[Point], Sequence[Point]]
+           ) -> List[Tuple[int, Tuple[List[float], int]]]:
+    """MapReduce map: partial (sum, count) per cluster for a point chunk."""
+    points, centroids = chunk
+    dim = len(centroids[0])
+    sums = [[0.0] * dim for _ in centroids]
+    counts = [0] * len(centroids)
+    for p in points:
+        c = assign(p, centroids)
+        counts[c] += 1
+        for d in range(dim):
+            sums[c][d] += p[d]
+    return [(c, (sums[c], counts[c])) for c in range(len(centroids))
+            if counts[c]]
+
+
+def reduce_fn(key: int, values: Iterable[Tuple[List[float], int]]
+              ) -> Tuple[int, List[float]]:
+    """MapReduce reduce: combine partial sums into the new centroid."""
+    total_count = 0
+    total_sum: List[float] = []
+    for partial_sum, count in values:
+        if not total_sum:
+            total_sum = [0.0] * len(partial_sum)
+        total_count += count
+        for d, v in enumerate(partial_sum):
+            total_sum[d] += v
+    if total_count == 0:
+        raise WorkloadError(f"cluster {key} received no points")
+    return key, [s / total_count for s in total_sum]

@@ -1,0 +1,66 @@
+"""KMP string matching (paper §4.1): the basic big-data scan primitive.
+
+Pure-Python Knuth–Morris–Pratt (the assembly twin lives in
+:mod:`repro.isa.programs` and drives the timing model with a genuine
+instruction stream).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Tuple
+
+from ..errors import WorkloadError
+from .profiles import KMP as PROFILE
+
+__all__ = ["PROFILE", "failure_table", "kmp_search", "kmp_count",
+           "map_fn", "reduce_fn"]
+
+
+def failure_table(pattern: str) -> List[int]:
+    """KMP prefix-function (failure) table."""
+    if not pattern:
+        raise WorkloadError("empty pattern")
+    fail = [0] * len(pattern)
+    k = 0
+    for i in range(1, len(pattern)):
+        while k > 0 and pattern[i] != pattern[k]:
+            k = fail[k - 1]
+        if pattern[i] == pattern[k]:
+            k += 1
+        fail[i] = k
+    return fail
+
+
+def kmp_search(text: str, pattern: str) -> List[int]:
+    """All (overlapping) match start positions of ``pattern`` in ``text``."""
+    fail = failure_table(pattern)
+    matches = []
+    k = 0
+    for i, ch in enumerate(text):
+        while k > 0 and ch != pattern[k]:
+            k = fail[k - 1]
+        if ch == pattern[k]:
+            k += 1
+        if k == len(pattern):
+            matches.append(i - k + 1)
+            k = fail[k - 1]
+    return matches
+
+
+def kmp_count(text: str, pattern: str) -> int:
+    return len(kmp_search(text, pattern))
+
+
+def map_fn(chunk: Tuple[str, str, int]) -> List[Tuple[str, List[int]]]:
+    """MapReduce map: search one text chunk; positions are rebased by the
+    chunk offset so the reduce can merge them globally."""
+    text, pattern, offset = chunk
+    return [(pattern, [offset + pos for pos in kmp_search(text, pattern)])]
+
+
+def reduce_fn(key: str, values: Iterable[List[int]]) -> Tuple[str, List[int]]:
+    """MapReduce reduce: merge and sort global match positions."""
+    merged: List[int] = []
+    for positions in values:
+        merged.extend(positions)
+    return key, sorted(merged)

@@ -1,0 +1,75 @@
+"""Search (paper §4.1): web-search scoring, extracted from Xapian.
+
+A small inverted index with TF-IDF ranking: enough structure to exercise
+the pointer-chasing, low-memory-ratio behaviour the paper attributes to
+the Search benchmark, and functional enough for the examples to run real
+queries.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import defaultdict
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from ..errors import WorkloadError
+from .profiles import SEARCH as PROFILE
+
+__all__ = ["PROFILE", "SearchIndex", "map_fn", "reduce_fn"]
+
+
+class SearchIndex:
+    """In-memory inverted index with TF-IDF scoring."""
+
+    def __init__(self) -> None:
+        self._postings: Dict[str, Dict[int, int]] = defaultdict(dict)
+        self._doc_lengths: Dict[int, int] = {}
+
+    def add_document(self, doc_id: int, text: str) -> None:
+        if doc_id in self._doc_lengths:
+            raise WorkloadError(f"duplicate document id {doc_id}")
+        terms = text.split()
+        self._doc_lengths[doc_id] = len(terms)
+        for term in terms:
+            postings = self._postings[term]
+            postings[doc_id] = postings.get(doc_id, 0) + 1
+
+    @property
+    def num_documents(self) -> int:
+        return len(self._doc_lengths)
+
+    def df(self, term: str) -> int:
+        """Document frequency of a term."""
+        return len(self._postings.get(term, {}))
+
+    def query(self, text: str, top_k: int = 10) -> List[Tuple[int, float]]:
+        """Ranked (doc_id, score) list for a free-text query."""
+        scores: Dict[int, float] = defaultdict(float)
+        n = max(1, self.num_documents)
+        for term in text.split():
+            postings = self._postings.get(term)
+            if not postings:
+                continue
+            idf = math.log(1 + n / len(postings))
+            for doc_id, tf in postings.items():
+                scores[doc_id] += (tf / self._doc_lengths[doc_id]) * idf
+        ranked = sorted(scores.items(), key=lambda kv: (-kv[1], kv[0]))
+        return ranked[:top_k]
+
+
+def map_fn(chunk: Tuple[SearchIndex, Sequence[str]]
+           ) -> List[Tuple[str, List[Tuple[int, float]]]]:
+    """MapReduce map: answer a batch of queries against a shared index."""
+    index, queries = chunk
+    return [(q, index.query(q)) for q in queries]
+
+
+def reduce_fn(key: str, values: Iterable[List[Tuple[int, float]]]
+              ) -> Tuple[str, List[Tuple[int, float]]]:
+    """MapReduce reduce: merge ranked lists for the same query."""
+    merged: Dict[int, float] = {}
+    for ranking in values:
+        for doc_id, score in ranking:
+            merged[doc_id] = max(merged.get(doc_id, 0.0), score)
+    ranked = sorted(merged.items(), key=lambda kv: (-kv[1], kv[0]))
+    return key, ranked[:10]

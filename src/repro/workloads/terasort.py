@@ -1,0 +1,67 @@
+"""TeraSort (paper §4.1): sort large key/value datasets by key.
+
+The classic TeraSort structure: sample the keys, cut partition
+boundaries, route records to partitions (map), sort each partition
+(reduce), concatenate.  The functional kernel works on (key, value) byte
+tuples from :func:`repro.workloads.datasets.random_records`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Tuple
+
+from ..errors import WorkloadError
+from .profiles import TERASORT as PROFILE
+
+__all__ = ["PROFILE", "terasort", "sample_splitters", "partition_of",
+           "map_fn", "reduce_fn"]
+
+Record = Tuple[bytes, bytes]
+
+
+def sample_splitters(records: Sequence[Record], partitions: int,
+                     sample_every: int = 7) -> List[bytes]:
+    """Choose ``partitions - 1`` key boundaries from a sample of records."""
+    if partitions <= 0:
+        raise WorkloadError("partitions must be positive")
+    if partitions == 1:
+        return []
+    sample = sorted(r[0] for r in records[::sample_every]) or sorted(
+        r[0] for r in records
+    )
+    if not sample:
+        return []
+    step = max(1, len(sample) // partitions)
+    return [sample[min(i * step, len(sample) - 1)]
+            for i in range(1, partitions)]
+
+
+def partition_of(key: bytes, splitters: Sequence[bytes]) -> int:
+    """Index of the partition holding ``key``."""
+    for i, boundary in enumerate(splitters):
+        if key < boundary:
+            return i
+    return len(splitters)
+
+
+def terasort(records: Sequence[Record], partitions: int = 4) -> List[Record]:
+    """Reference implementation: full sample-sort."""
+    splitters = sample_splitters(records, partitions)
+    buckets: List[List[Record]] = [[] for _ in range(len(splitters) + 1)]
+    for record in records:
+        buckets[partition_of(record[0], splitters)].append(record)
+    out: List[Record] = []
+    for bucket in buckets:
+        out.extend(sorted(bucket, key=lambda r: r[0]))
+    return out
+
+
+def map_fn(chunk: Sequence[Record], splitters: Sequence[bytes] = ()
+           ) -> List[Tuple[int, Record]]:
+    """MapReduce map: tag each record with its partition index."""
+    return [(partition_of(r[0], splitters), r) for r in chunk]
+
+
+def reduce_fn(key: int, values: Iterable[Record]) -> Tuple[int, List[Record]]:
+    """MapReduce reduce: sort one partition."""
+    return key, sorted(values, key=lambda r: r[0])

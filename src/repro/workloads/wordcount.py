@@ -1,0 +1,30 @@
+"""WordCount (paper §4.1): count word occurrences in text.
+
+Ported conceptually from Phoenix++; here as a functional kernel with
+MapReduce-compatible ``map_fn``/``reduce_fn`` plus its architecture
+profile (:data:`PROFILE`).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, Iterable, List, Tuple
+
+from .profiles import WORDCOUNT as PROFILE
+
+__all__ = ["PROFILE", "wordcount", "map_fn", "reduce_fn"]
+
+
+def wordcount(text: str) -> Dict[str, int]:
+    """Reference implementation: whole-text word histogram."""
+    return dict(Counter(text.split()))
+
+
+def map_fn(chunk: str) -> List[Tuple[str, int]]:
+    """MapReduce map: emit (word, 1) per word in the chunk."""
+    return [(word, 1) for word in chunk.split()]
+
+
+def reduce_fn(key: str, values: Iterable[int]) -> Tuple[str, int]:
+    """MapReduce reduce: sum the counts for one word."""
+    return key, sum(values)

@@ -1,0 +1,73 @@
+"""Analysis helper tests."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.analysis import (
+    crossover_index,
+    geometric_mean,
+    normalize,
+    render_series,
+    render_table,
+    speedup,
+)
+from repro.errors import ConfigError
+
+
+class TestMetrics:
+    def test_speedup(self):
+        assert speedup(20, 2) == 10
+
+    def test_speedup_zero_baseline(self):
+        with pytest.raises(ConfigError):
+            speedup(1, 0)
+
+    def test_geometric_mean(self):
+        assert geometric_mean([1, 4]) == pytest.approx(2.0)
+        assert geometric_mean([10.11]) == pytest.approx(10.11)
+
+    def test_geometric_mean_validation(self):
+        with pytest.raises(ConfigError):
+            geometric_mean([])
+        with pytest.raises(ConfigError):
+            geometric_mean([1, -1])
+
+    @given(st.lists(st.floats(0.1, 100), min_size=1, max_size=20))
+    def test_geomean_between_min_and_max(self, values):
+        g = geometric_mean(values)
+        assert min(values) <= g * 1.0001 and g <= max(values) * 1.0001
+
+    def test_normalize(self):
+        assert normalize([2, 4, 8], 4) == [0.5, 1.0, 2.0]
+        with pytest.raises(ConfigError):
+            normalize([1], 0)
+
+    def test_crossover(self):
+        assert crossover_index([1, 2, 5], [3, 3, 3]) == 2
+        assert crossover_index([1, 1], [3, 3]) == -1
+        with pytest.raises(ConfigError):
+            crossover_index([1], [1, 2])
+
+
+class TestTables:
+    def test_render_table_aligns(self):
+        out = render_table(["name", "value"], [["kmp", 1.5], ["rnc", 10]])
+        lines = out.splitlines()
+        assert lines[0].startswith("name")
+        assert "-" in lines[1]
+        assert "kmp" in lines[2] and "1.5" in lines[2]
+
+    def test_render_table_title(self):
+        out = render_table(["a"], [[1]], title="Table 1")
+        assert out.splitlines()[0] == "Table 1"
+
+    def test_float_formatting(self):
+        out = render_table(["x"], [[0.000123], [12345.6], [1.5]])
+        assert "0.000123" in out and "1.23e+04" in out and "1.5" in out
+
+    def test_render_series(self):
+        out = render_series("threads", [1, 2],
+                            {"smarco": [10, 20], "xeon": [5, 6]})
+        lines = out.splitlines()
+        assert lines[0].split() == ["threads", "smarco", "xeon"]
+        assert lines[2].split() == ["1", "10", "5"]

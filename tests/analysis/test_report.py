@@ -1,0 +1,54 @@
+"""Report-builder tests."""
+
+from pathlib import Path
+
+from repro.analysis import build_report, collect_results
+from repro.analysis.report import EXPERIMENT_ORDER
+
+
+def test_collect_results(tmp_path):
+    (tmp_path / "fig21_scheduler.txt").write_text("table here\n")
+    (tmp_path / "notes.md").write_text("ignored")
+    results = collect_results(tmp_path)
+    assert results == {"fig21_scheduler": "table here"}
+
+
+def test_collect_missing_dir(tmp_path):
+    assert collect_results(tmp_path / "nope") == {}
+
+
+def test_build_report_includes_present_and_flags_missing(tmp_path):
+    (tmp_path / "fig21_scheduler.txt").write_text("EXIT TIMES TABLE\n")
+    report = build_report(tmp_path)
+    assert "EXIT TIMES TABLE" in report
+    assert "not yet generated" in report           # the other sections
+    # every canonical experiment has a section heading
+    for _stem, heading in EXPERIMENT_ORDER:
+        assert heading in report
+
+
+def test_build_report_appends_unknown_results(tmp_path):
+    (tmp_path / "custom_experiment.txt").write_text("CUSTOM\n")
+    report = build_report(tmp_path)
+    assert "custom_experiment" in report and "CUSTOM" in report
+
+
+def test_cli_report_to_file(tmp_path, capsys):
+    from repro.cli import main
+
+    results = tmp_path / "results"
+    results.mkdir()
+    (results / "fig22_comparison.txt").write_text("SPEEDUPS\n")
+    out_file = tmp_path / "report.md"
+    rc = main(["report", "--results-dir", str(results),
+               "--output", str(out_file)])
+    assert rc == 0
+    assert "SPEEDUPS" in out_file.read_text()
+
+
+def test_cli_report_to_stdout(tmp_path, capsys):
+    from repro.cli import main
+
+    rc = main(["report", "--results-dir", str(tmp_path)])
+    assert rc == 0
+    assert "experiment report" in capsys.readouterr().out

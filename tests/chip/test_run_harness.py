@@ -1,0 +1,70 @@
+"""Tests for the comparison harness (chip/run.py)."""
+
+import pytest
+
+from repro.chip import ComparisonResult, compare, run_smarco, run_xeon
+from repro.config import smarco_scaled
+from repro.errors import WorkloadError
+
+
+class TestRunHelpers:
+    def test_run_smarco_named_workload(self):
+        result = run_smarco("kmp", smarco_scaled(1, 4),
+                            threads_per_core=4, instrs_per_thread=100)
+        assert result.instructions == 4 * 4 * 100
+
+    def test_unknown_workload(self):
+        with pytest.raises(WorkloadError):
+            run_smarco("quake", smarco_scaled(1, 2))
+
+    def test_run_smarco_policy_passthrough(self):
+        pair = run_smarco("kmp", smarco_scaled(1, 4), threads_per_core=8,
+                          instrs_per_thread=100, core_policy="inpair")
+        coarse = run_smarco("kmp", smarco_scaled(1, 4), threads_per_core=8,
+                            instrs_per_thread=100, core_policy="coarse")
+        assert pair.cycles != coarse.cycles        # policies actually differ
+
+
+class TestCompare:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return compare("wordcount", smarco_config=smarco_scaled(2, 8),
+                       smarco_instrs_per_thread=150,
+                       xeon_threads=16, xeon_instrs_per_thread=10_000,
+                       seed=9)
+
+    def test_result_shape(self, result):
+        assert isinstance(result, ComparisonResult)
+        assert result.workload == "wordcount"
+        assert result.smarco.throughput_ips > 0
+        assert result.xeon.throughput_ips > 0
+
+    def test_speedup_definition(self, result):
+        assert result.speedup == pytest.approx(
+            result.smarco.throughput_ips / result.xeon.throughput_ips)
+
+    def test_full_chip_power_billing(self, result):
+        """Energy accounting bills SmarCo at full-chip (Table-1 class)
+        power even for the scaled geometry."""
+        assert result.smarco_watts > 100       # 240W-class, not a 16-core sliver
+        assert 0 < result.xeon_watts <= 165
+
+    def test_energy_gain_consistent(self, result):
+        smarco_eff = result.smarco.throughput_ips / result.smarco_watts
+        xeon_eff = result.xeon.throughput_ips / result.xeon_watts
+        assert result.energy_efficiency_gain == pytest.approx(
+            smarco_eff / xeon_eff)
+
+    def test_prototype_node_scaling(self):
+        at32 = compare("kmp", smarco_config=smarco_scaled(1, 4),
+                       smarco_instrs_per_thread=100, xeon_threads=8,
+                       xeon_instrs_per_thread=5_000, seed=3)
+        at40 = compare("kmp", smarco_config=smarco_scaled(1, 4),
+                       smarco_instrs_per_thread=100, xeon_threads=8,
+                       xeon_instrs_per_thread=5_000, seed=3,
+                       technology_nm=40)
+        # the 40nm node burns more power -> lower energy-efficiency gain
+        assert at40.smarco_watts > at32.smarco_watts
+        assert at40.energy_efficiency_gain < at32.energy_efficiency_gain
+        # throughput (and hence speedup) is node-independent here
+        assert at40.speedup == pytest.approx(at32.speedup)

@@ -1,0 +1,65 @@
+"""Tests for the shared instruction segment prefetch (paper §3.1.2)."""
+
+import pytest
+
+from repro.chip import SmarCoChip
+from repro.config import smarco_scaled
+from repro.workloads import get_profile
+
+
+def run_chip(shared_code, workload="search", instrs=150):
+    chip = SmarCoChip(smarco_scaled(2, 4), seed=4)
+    chip.load_profile(get_profile(workload), threads_per_core=4,
+                      instrs_per_thread=instrs, shared_code=shared_code)
+    result = chip.run()
+    return chip, result
+
+
+def test_shared_code_completes():
+    chip, result = run_chip(True)
+    assert result.cores_done == result.total_cores
+
+
+def test_shared_code_suppresses_icache_traffic():
+    chip_on, _ = run_chip(True)
+    chip_off, _ = run_chip(False)
+    on_accesses = sum(c.icache.accesses for c in chip_on.cores)
+    off_accesses = sum(c.icache.accesses for c in chip_off.cores)
+    assert on_accesses == 0
+    assert off_accesses > 0
+
+
+def test_one_dma_broadcast_per_sub_ring():
+    chip, _ = run_chip(True)
+    total = sum(d.transfers.value for d in chip.dmas)
+    assert total == chip.config.sub_rings      # one segment per ring
+    assert all(d.bytes_moved.value > 0 for d in chip.dmas)
+
+
+def test_cores_start_only_after_prefetch():
+    """With shared code, no instruction retires before the segment DMA
+    finishes (the ring's cores wait for their code)."""
+    chip = SmarCoChip(smarco_scaled(1, 2), seed=4)
+    profile = get_profile("search")
+    chip.load_profile(profile, threads_per_core=2, instrs_per_thread=50,
+                      shared_code=True)
+    staging = chip.dmas[0].transfer_cycles(
+        min(profile.code_footprint_bytes,
+            chip.config.tcg.spm_bytes - 256))
+    chip.run(max_cycles=staging - 1)
+    assert sum(c.instructions for c in chip.cores) == 0
+    chip.sim.run()
+    assert sum(c.instructions for c in chip.cores) == 2 * 2 * 50
+
+
+def test_shared_code_cost_amortises_on_long_runs():
+    """The one-per-ring staging DMA amortises as runs grow: its relative
+    overhead at 5000 instrs/thread is well below the overhead at 500."""
+    _, on_short = run_chip(True, workload="search", instrs=500)
+    _, off_short = run_chip(False, workload="search", instrs=500)
+    _, on_long = run_chip(True, workload="search", instrs=5000)
+    _, off_long = run_chip(False, workload="search", instrs=5000)
+    overhead_short = on_short.cycles / off_short.cycles
+    overhead_long = on_long.cycles / off_long.cycles
+    assert overhead_long < overhead_short
+    assert overhead_long < 1.25

@@ -1,0 +1,133 @@
+"""Unit tests for the OoO/SMT baseline core model."""
+
+import pytest
+
+from repro.config import XeonConfig
+from repro.core import OooCoreModel, SoftwareThread
+from repro.errors import ConfigError
+from repro.mem.hierarchy import CacheHierarchy
+from repro.sim import RngTree, Simulator
+from repro.workloads import get_profile
+
+
+def make_core(quantum=4000, config=None):
+    sim = Simulator()
+    cfg = config if config is not None else XeonConfig()
+    hierarchy = CacheHierarchy(0, cfg)
+    core = OooCoreModel(sim, 0, hierarchy, cfg, quantum_instrs=quantum)
+    return sim, core
+
+
+def make_thread(thread_id=0, instrs=20_000, workload="kmp", seed=0):
+    profile = get_profile(workload)
+    rng = RngTree(seed).stream(f"t{thread_id}")
+    return SoftwareThread(
+        thread_id=thread_id,
+        instr_budget=instrs,
+        mem_ratio=profile.mem_ratio,
+        branch_ratio=profile.branch_ratio,
+        branch_miss_rate=profile.branch_miss_rate,
+        ilp=profile.ilp,
+        mlp=profile.mlp,
+        data_sampler=profile.xeon_data_sampler(thread_id, rng),
+        code_sampler=profile.xeon_code_sampler(rng, thread_id=thread_id),
+    )
+
+
+class TestSoftwareThread:
+    def test_budget_validation(self):
+        with pytest.raises(ConfigError):
+            make_thread(instrs=0)
+
+    def test_progress_tracking(self):
+        thread = make_thread(instrs=100)
+        assert not thread.done and thread.remaining == 100
+        thread.executed = 100
+        assert thread.done and thread.remaining == 0
+
+
+class TestExecution:
+    def test_thread_runs_to_completion(self):
+        sim, core = make_core()
+        thread = make_thread(instrs=12_000)
+        core.enqueue(thread)
+        core.start()
+        core.close()
+        sim.run()
+        assert thread.done
+        assert thread.finish_time is not None
+        assert core.instructions.value == 12_000
+
+    def test_two_threads_share_smt_contexts(self):
+        sim, core = make_core()
+        threads = [make_thread(i, instrs=8_000) for i in range(2)]
+        for t in threads:
+            core.enqueue(t)
+        core.start()
+        core.close()
+        sim.run()
+        assert all(t.done for t in threads)
+        # SMT overlap: both finish before 2x one thread's serial time
+        serial_sim, serial_core = make_core()
+        solo = make_thread(9, instrs=8_000)
+        serial_sim, serial_core = make_core()
+        serial_core.enqueue(solo)
+        serial_core.start()
+        serial_core.close()
+        serial_sim.run()
+        assert max(t.finish_time for t in threads) < 2 * solo.finish_time
+
+    def test_oversubscription_pays_context_switches(self):
+        sim, core = make_core(quantum=2000)
+        threads = [make_thread(i, instrs=6_000) for i in range(6)]
+        for t in threads:
+            core.enqueue(t)
+        core.start()
+        core.close()
+        sim.run()
+        assert core.switch_cycles.total > 0
+
+    def test_close_lets_contexts_exit(self):
+        sim, core = make_core()
+        core.start()
+        core.close()
+        sim.run()
+        assert sim.pending() == 0        # contexts exited cleanly
+
+
+class TestMetrics:
+    def run_core(self, n_threads=2, workload="kmp"):
+        sim, core = make_core()
+        for i in range(n_threads):
+            core.enqueue(make_thread(i, instrs=16_000, workload=workload))
+        core.start()
+        core.close()
+        sim.run()
+        return core
+
+    def test_cycle_breakdown_nonnegative(self):
+        core = self.run_core()
+        breakdown = core.cycle_breakdown()
+        assert set(breakdown) == {"busy", "mem_stall", "frontend_stall",
+                                  "switch"}
+        assert all(v >= 0 for v in breakdown.values())
+        assert breakdown["busy"] > 0
+
+    def test_idle_ratio_bounds(self):
+        core = self.run_core()
+        assert 0 <= core.idle_ratio() < 1
+
+    def test_starvation_excludes_backend_stalls(self):
+        core = self.run_core()
+        b = core.cycle_breakdown()
+        expected = b["frontend_stall"] / (b["busy"] + b["frontend_stall"])
+        assert core.starvation_ratio() == pytest.approx(expected)
+
+    def test_memory_heavy_workload_stalls_more(self):
+        heavy = self.run_core(workload="kmp")       # mem_ratio 0.45
+        light = self.run_core(workload="search")    # mem_ratio 0.15
+        heavy_share = (heavy.mem_stall_cycles.total
+                       / sum(heavy.cycle_breakdown().values()))
+        light_share = (light.mem_stall_cycles.total
+                       / sum(light.cycle_breakdown().values()))
+        assert heavy_share > light_share

@@ -1,0 +1,73 @@
+"""Performance-regression guards on the simulation hot paths.
+
+The TCG execution loop batches non-interacting instructions into one
+yield — exact under in-pair semantics and the reason full-chip runs are
+tractable.  These tests fail loudly if someone reintroduces a per-
+instruction event.
+"""
+
+from repro.core import CoreInstr, FixedLatencyPort, TCGCore
+from repro.core.tcg import UNCACHED_BASE
+from repro.mem.spm import SPM_REGION_BASE
+from repro.sim import Simulator
+
+
+def run_core(instrs, n_threads=1):
+    sim = Simulator()
+    core = TCGCore(sim, 0, FixedLatencyPort(sim, 50.0))
+    for _ in range(n_threads):
+        core.add_thread(iter(list(instrs)))
+    core.start()
+    sim.run()
+    return sim, core
+
+
+def test_alu_streams_cost_constant_events():
+    """A pure-ALU thread consumes O(1) events, not O(instructions)."""
+    n = 5000
+    sim, core = run_core([CoreInstr("alu")] * n)
+    assert core.instructions == n
+    assert sim.events_executed < 20
+
+
+def test_spm_hits_do_not_create_events():
+    n = 2000
+    instrs = [CoreInstr("load", addr=SPM_REGION_BASE + (i % 512) * 8, size=8)
+              for i in range(n)]
+    sim, core = run_core(instrs)
+    assert core.instructions == n
+    assert sim.events_executed < 20
+
+
+def test_events_scale_with_memory_interactions_only():
+    """Events track blocking/posted requests, not instruction count."""
+    n = 3000
+    mixed = []
+    blocking = 0
+    for i in range(n):
+        if i % 100 == 0:
+            mixed.append(CoreInstr("load", addr=UNCACHED_BASE + i * 4, size=4))
+            blocking += 1
+        else:
+            mixed.append(CoreInstr("alu"))
+    sim, core = run_core(mixed)
+    assert core.instructions == n
+    # a handful of events per memory interaction, far below one per instr
+    assert sim.events_executed < blocking * 10
+    assert sim.events_executed < n / 5
+
+
+def test_full_chip_event_budget():
+    """The chip memory path stays within a bounded event budget per
+    memory request (NoC legs + MACT + DRAM + wakeups)."""
+    from repro.chip import SmarCoChip
+    from repro.config import smarco_scaled
+    from repro.workloads import get_profile
+
+    chip = SmarCoChip(smarco_scaled(1, 4), seed=1)
+    chip.load_profile(get_profile("kmp"), threads_per_core=4,
+                      instrs_per_thread=200)
+    result = chip.run()
+    requests = max(1, result.mem_requests)
+    events_per_request = chip.sim.events_executed / requests
+    assert events_per_request < 60

@@ -1,0 +1,44 @@
+"""Instruction-stream adapter tests."""
+
+from repro.core import CoreInstr, from_machine, repeat_stream
+from repro.isa import Machine, assemble
+
+
+def test_from_machine_yields_pipeline_records():
+    machine = Machine(assemble("addi r1, r0, 40\nlw r2, 0(r1)\nsw r2, 8(r1)\nhalt"))
+    records = list(from_machine(machine))
+    kinds = [r.kind for r in records]
+    assert kinds == ["alu", "load", "store", "alu"]
+    assert records[1].addr == 40 and records[1].size == 4
+    assert records[2].addr == 48
+    assert all(r.pc is not None for r in records)
+
+
+def test_branch_and_jump_map_to_branch_kind():
+    machine = Machine(assemble("beq r0, r0, 2\nnop\njal r0, 3\nhalt"))
+    records = list(from_machine(machine))
+    assert records[0].kind == "branch" and records[0].taken
+    assert records[1].kind == "branch"         # the jal
+
+
+def test_mul_kind():
+    machine = Machine(assemble("mul r1, r2, r3\nhalt"))
+    assert list(from_machine(machine))[0].kind == "mul"
+
+
+def test_is_mem_property():
+    assert CoreInstr("load", addr=0, size=4).is_mem
+    assert CoreInstr("store", addr=0, size=4).is_mem
+    assert not CoreInstr("alu").is_mem
+
+
+def test_repeat_stream():
+    instrs = [CoreInstr("alu"), CoreInstr("load", addr=0, size=4)]
+    out = list(repeat_stream(instrs, 3))
+    assert len(out) == 6
+    assert out[0] == out[2] == out[4]
+
+
+def test_repeat_stream_accepts_generator():
+    gen = (CoreInstr("alu") for _ in range(2))
+    assert len(list(repeat_stream(gen, 2))) == 4

@@ -1,0 +1,314 @@
+"""TCG core tests: in-pair threading, LSQ routing, IPC behaviour."""
+
+import pytest
+
+from repro.config import TCGConfig
+from repro.core import CoreInstr, FixedLatencyPort, TCGCore, ThreadState
+from repro.core.tcg import UNCACHED_BASE
+from repro.errors import ConfigError, SimulationError
+from repro.mem import SPM_REGION_BASE
+from repro.sim import Simulator
+
+
+def alu_stream(n):
+    return iter([CoreInstr("alu")] * n)
+
+
+def uncached_load_stream(n, base=UNCACHED_BASE, stride=4):
+    """n loads to the uncached region: every one blocks on memory."""
+    return iter([CoreInstr("load", addr=base + i * stride, size=4)
+                 for i in range(n)])
+
+
+def mixed_stream(n, mem_every=3, base=UNCACHED_BASE):
+    out = []
+    for i in range(n):
+        if i % mem_every == 0:
+            out.append(CoreInstr("load", addr=base + i * 4, size=4))
+        else:
+            out.append(CoreInstr("alu"))
+    return iter(out)
+
+
+def make_core(sim=None, latency=50, **kwargs):
+    sim = sim if sim is not None else Simulator()
+    port = FixedLatencyPort(sim, latency)
+    core = TCGCore(sim, 0, port, **kwargs)
+    return sim, port, core
+
+
+class TestBasics:
+    def test_pure_alu_ipc_is_one_per_thread(self):
+        sim, _, core = make_core()
+        core.add_thread(alu_stream(100))
+        core.start()
+        sim.run()
+        assert core.done
+        assert core.ipc == pytest.approx(1.0, rel=0.05)
+
+    def test_four_alu_threads_reach_issue_width(self):
+        sim, _, core = make_core()
+        for _ in range(4):
+            core.add_thread(alu_stream(100))
+        core.start()
+        sim.run()
+        assert core.ipc == pytest.approx(4.0, rel=0.1)
+
+    def test_mul_latency_lowers_ipc(self):
+        sim, _, core = make_core()
+        core.add_thread(iter([CoreInstr("mul")] * 50))
+        core.start()
+        sim.run()
+        assert core.ipc == pytest.approx(1 / core.mul_latency, rel=0.1)
+
+    def test_taken_branch_penalty(self):
+        sim, _, core = make_core()
+        core.add_thread(iter([CoreInstr("branch", taken=True)] * 50))
+        core.start()
+        sim.run()
+        assert core.ipc == pytest.approx(1 / (1 + core.branch_penalty), rel=0.1)
+
+    def test_instruction_count(self):
+        sim, _, core = make_core()
+        core.add_thread(alu_stream(42))
+        core.start()
+        sim.run()
+        assert core.instructions == 42
+
+    def test_too_many_threads_rejected(self):
+        _, _, core = make_core()
+        for _ in range(8):
+            core.add_thread(alu_stream(1))
+        with pytest.raises(ConfigError):
+            core.add_thread(alu_stream(1))
+
+    def test_start_without_threads_rejected(self):
+        _, _, core = make_core()
+        with pytest.raises(ConfigError):
+            core.start()
+
+    def test_add_after_start_rejected(self):
+        sim, _, core = make_core()
+        core.add_thread(alu_stream(1))
+        core.start()
+        with pytest.raises(SimulationError):
+            core.add_thread(alu_stream(1))
+
+    def test_unknown_policy(self):
+        sim = Simulator()
+        with pytest.raises(ConfigError):
+            TCGCore(sim, 0, FixedLatencyPort(sim), policy="magic")
+
+
+class TestLsqRouting:
+    def test_spm_access_is_fast_and_never_misses(self):
+        sim, port, core = make_core(latency=1000)
+        addrs = [SPM_REGION_BASE + i * 4 for i in range(50)]
+        core.add_thread(iter([CoreInstr("load", addr=a, size=4) for a in addrs]))
+        core.start()
+        sim.run()
+        assert core.spm_hits.value == 50
+        assert port.issued == 0
+        # SPM loads are fully pipelined at spm_hit_latency cycles each
+        assert core.ipc == pytest.approx(1 / core.config.spm_hit_latency, rel=0.2)
+
+    def test_uncached_load_blocks_on_memory(self):
+        sim, port, core = make_core(latency=100)
+        core.add_thread(uncached_load_stream(5))
+        core.start()
+        sim.run()
+        assert port.issued == 5
+        assert sim.now >= 5 * 100
+
+    def test_uncached_store_does_not_block(self):
+        sim, port, core = make_core(latency=1000)
+        stores = [CoreInstr("store", addr=UNCACHED_BASE + i * 4, size=4)
+                  for i in range(20)]
+        core.add_thread(iter(stores))
+        core.start()
+        sim.run(until=100)
+        assert core.done                      # finished long before 1000
+        assert port.issued == 20              # posted writes still sent
+
+    def test_cached_load_hits_after_fill(self):
+        sim, port, core = make_core(latency=100)
+        # two loads to the same line: first misses (blocks), second hits
+        instrs = [CoreInstr("load", addr=0x1000, size=4),
+                  CoreInstr("load", addr=0x1004, size=4)]
+        core.add_thread(iter(instrs))
+        core.start()
+        sim.run()
+        assert core.dcache.hits.value == 1
+        assert core.dcache.misses.value == 1
+        assert port.issued == 1
+
+    def test_dcache_fill_requests_are_line_sized(self):
+        sim = Simulator()
+        seen = []
+        port = FixedLatencyPort(sim, 10)
+        original = port.issue
+
+        def spy(request):
+            seen.append(request)
+            return original(request)
+
+        port.issue = spy
+        core = TCGCore(sim, 0, port)
+        core.add_thread(iter([CoreInstr("load", addr=0x1234, size=4)]))
+        core.start()
+        sim.run()
+        assert seen[0].size == 64
+        assert seen[0].addr == 0x1200          # line aligned
+
+    def test_dirty_eviction_emits_writeback(self):
+        sim = Simulator()
+        seen = []
+        port = FixedLatencyPort(sim, 1)
+        original = port.issue
+        port.issue = lambda r: (seen.append(r), original(r))[1]
+        cfg = TCGConfig(dcache_bytes=256, cache_ways=1)     # 4 sets x 64B
+        core = TCGCore(sim, 0, port, config=cfg)
+        stride = 256
+        instrs = [CoreInstr("store", addr=0x0, size=4),
+                  CoreInstr("store", addr=stride, size=4)]  # evicts dirty 0x0
+        core.add_thread(iter(instrs))
+        core.start()
+        sim.run()
+        writebacks = [r for r in seen if r.is_write and r.addr == 0]
+        assert len(writebacks) == 1
+
+
+class TestInPairThreads:
+    def test_pair_hides_memory_latency(self):
+        """Headline §3.1.1 effect: two paired memory-heavy threads finish
+        much faster than twice one thread's time."""
+        def run(n_threads):
+            sim, _, core = make_core(latency=200)
+            for t in range(n_threads):
+                core.add_thread(uncached_load_stream(20, base=UNCACHED_BASE + t * 4096))
+            core.start()
+            sim.run()
+            return sim.now
+
+        t1 = run(1)
+        t2 = run(2)
+        assert t2 < t1 * 1.25       # near-complete overlap, not 2x
+
+    def test_friend_runs_while_thread_waits(self):
+        sim, _, core = make_core(latency=500)
+        a = core.add_thread(iter([CoreInstr("load", addr=UNCACHED_BASE, size=4)]))
+        b = core.add_thread(alu_stream(50))
+        core.start()
+        sim.run(until=300)
+        # a blocked at ~1; b should have finished its ALU work meanwhile
+        assert b.state is ThreadState.DONE
+        assert a.state is ThreadState.WAITING
+        sim.run()
+        assert a.state is ThreadState.DONE
+
+    def test_switch_counted(self):
+        sim, _, core = make_core(latency=100)
+        for t in range(5):          # thread 4 becomes thread 0's friend
+            core.add_thread(mixed_stream(30, base=UNCACHED_BASE + (t << 20)))
+        core.start()
+        sim.run()
+        assert core.switch_count.value > 0
+
+    def test_pairs_are_isolated(self):
+        """First 4 threads get distinct slots; threads 5-8 are their
+        friends (thread 0 pairs with thread 4, etc.)."""
+        sim, _, core = make_core()
+        threads = [core.add_thread(alu_stream(1)) for _ in range(8)]
+        assert [t.pair_id for t in threads] == [0, 1, 2, 3, 0, 1, 2, 3]
+
+    def test_ipc_scales_with_thread_count(self):
+        """Fig 17 core property: IPC(1) < IPC(2) <= IPC(4) < issue width."""
+        def ipc_for(n):
+            sim, _, core = make_core(latency=150)
+            for t in range(n):
+                core.add_thread(mixed_stream(200, mem_every=4,
+                                             base=UNCACHED_BASE + t * (1 << 20)))
+            core.start()
+            sim.run()
+            return core.ipc
+
+        ipc1, ipc2, ipc4, ipc8 = ipc_for(1), ipc_for(2), ipc_for(4), ipc_for(8)
+        assert ipc1 < ipc2 < ipc4
+        assert ipc8 > ipc4                  # pairing kicks in past 4
+        assert ipc8 <= 4.0
+
+
+class TestPolicies:
+    def test_blocking_policy_stalls_on_miss(self):
+        sim_b, _, core_b = make_core(latency=200, policy="blocking")
+        core_b.add_thread(uncached_load_stream(10))
+        core_b.start()
+        sim_b.run()
+        t_blocking = sim_b.now
+
+        sim_p, _, core_p = make_core(latency=200, policy="inpair")
+        core_p.add_thread(uncached_load_stream(10))
+        core_p.add_thread(uncached_load_stream(10, base=UNCACHED_BASE + 4096))
+        core_p.start()
+        sim_p.run()
+        t_pair = sim_p.now
+        # pair does 2x the work in barely more time
+        assert t_pair < t_blocking * 1.3
+
+    def test_blocking_rejects_more_threads_than_slots(self):
+        _, _, core = make_core(policy="blocking")
+        for _ in range(4):
+            core.add_thread(alu_stream(1))
+        with pytest.raises(ConfigError):
+            core.add_thread(alu_stream(1))
+
+    def test_coarse_policy_completes_all_threads(self):
+        sim, _, core = make_core(latency=100, policy="coarse")
+        for t in range(6):
+            core.add_thread(mixed_stream(50, base=UNCACHED_BASE + t * (1 << 20)))
+        core.start()
+        sim.run()
+        assert core.done
+        assert core.instructions == 300
+
+    def test_coarse_vs_inpair_similar_throughput(self):
+        """Paper's argument: for same-behaviour threads, simple pairing
+        performs like a full coarse-grained scheduler (within ~25%)."""
+        def run(policy):
+            sim, _, core = make_core(latency=150, policy=policy)
+            for t in range(8):
+                core.add_thread(mixed_stream(100, mem_every=3,
+                                             base=UNCACHED_BASE + t * (1 << 20)))
+            core.start()
+            sim.run()
+            return core.ipc
+
+        ipc_pair, ipc_coarse = run("inpair"), run("coarse")
+        assert ipc_pair > ipc_coarse * 0.75
+
+
+class TestIcacheAndSharedSegment:
+    def loop_stream(self, n, footprint_pcs=4096):
+        return iter([CoreInstr("alu", pc=i % footprint_pcs) for i in range(n)])
+
+    def test_icache_misses_slow_large_code(self):
+        sim_small, _, core_small = make_core()
+        core_small.add_thread(self.loop_stream(2000, footprint_pcs=64))
+        core_small.start()
+        sim_small.run()
+
+        sim_big, _, core_big = make_core()
+        # 64K instruction footprint >> 16KB icache
+        core_big.add_thread(self.loop_stream(2000, footprint_pcs=65536))
+        core_big.start()
+        sim_big.run()
+        assert sim_big.now > sim_small.now
+
+    def test_shared_segment_suppresses_icache_misses(self):
+        sim, _, core = make_core()
+        core.set_shared_segment(0, 1 << 20)
+        core.add_thread(self.loop_stream(2000, footprint_pcs=65536))
+        core.start()
+        sim.run()
+        assert core.icache.accesses == 0
+        assert core.ipc == pytest.approx(1.0, rel=0.05)

@@ -1,0 +1,43 @@
+"""Every shipped example must run end to end (guards against bitrot)."""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parents[2] / "examples"
+EXAMPLES = sorted(p.name for p in EXAMPLES_DIR.glob("*.py"))
+
+
+def _load(name: str):
+    path = EXAMPLES_DIR / name
+    spec = importlib.util.spec_from_file_location(f"example_{path.stem}", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_all_examples_discovered():
+    assert len(EXAMPLES) >= 6, EXAMPLES
+
+
+@pytest.mark.parametrize("name", EXAMPLES)
+def test_example_runs(name, capsys):
+    module = _load(name)
+    module.main()
+    out = capsys.readouterr().out
+    assert out.strip(), f"{name} produced no output"
+
+
+def test_quickstart_reports_speedup(capsys):
+    _load("quickstart.py").main()
+    out = capsys.readouterr().out
+    assert "speedup over Xeon" in out
+
+
+def test_staged_pipeline_stage_order(capsys):
+    _load("staged_pipeline.py").main()
+    out = capsys.readouterr().out
+    for stage in ("DMA staging", "map execution", "shuffle", "reduce"):
+        assert stage in out

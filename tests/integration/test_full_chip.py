@@ -1,0 +1,106 @@
+"""Cross-subsystem integration tests on the assembled chip."""
+
+import pytest
+
+from repro.chip import SmarCoChip
+from repro.config import smarco_default, smarco_scaled
+from repro.workloads import HTC_PROFILES, get_profile
+
+
+class TestRequestConservation:
+    """Every memory request a core emits must complete exactly once."""
+
+    def test_all_requests_complete(self):
+        chip = SmarCoChip(smarco_scaled(2, 8), seed=11)
+        issued = []
+        for cid in range(len(chip.cores)):
+            original = chip.cores[cid].port._submit
+
+            def spy(request, orig=original):
+                issued.append(request)
+                orig(request)
+
+            chip.cores[cid].port._submit = spy
+        chip.load_profile(get_profile("kmp"), threads_per_core=8,
+                          instrs_per_thread=200)
+        result = chip.run()
+        assert result.cores_done == result.total_cores
+        assert issued, "expected memory traffic"
+        incomplete = [r for r in issued if r.finish_time is None]
+        assert not incomplete
+        # latencies are physical: positive, and far below the run length
+        for request in issued:
+            assert request.latency > 0
+            assert request.latency < result.cycles
+
+    def test_mact_request_counts_match_core_emissions(self):
+        chip = SmarCoChip(smarco_scaled(2, 8), seed=12)
+        chip.load_profile(get_profile("terasort"), threads_per_core=8,
+                          instrs_per_thread=200)
+        chip.run()
+        emitted = sum(c.uncached_accesses.value for c in chip.cores)
+        # every uncached access reaches some MACT (cached fills and
+        # writebacks arrive on top of these)
+        collected = sum(m.requests_in.value for m in chip.macts)
+        assert collected >= emitted
+
+
+class TestDeterminismAndIsolation:
+    def test_full_run_reproducible(self):
+        def signature(seed):
+            chip = SmarCoChip(smarco_scaled(2, 4), seed=seed)
+            chip.load_profile(get_profile("rnc"), 8, 150)
+            result = chip.run()
+            return (result.cycles, result.instructions, result.mem_requests,
+                    round(result.mean_request_latency, 6))
+
+        assert signature(5) == signature(5)
+        assert signature(5) != signature(6)
+
+    def test_workloads_produce_distinct_behaviour(self):
+        cycles = {}
+        for wl in ("kmp", "search"):
+            chip = SmarCoChip(smarco_scaled(1, 8), seed=3)
+            chip.load_profile(get_profile(wl), 8, 200)
+            cycles[wl] = chip.run().cycles
+        assert cycles["kmp"] != cycles["search"]
+
+
+class TestStatsConsistency:
+    def test_noc_bytes_match_traffic_direction(self):
+        chip = SmarCoChip(smarco_scaled(2, 8), seed=7)
+        chip.load_profile(get_profile("wordcount"), 8, 200)
+        chip.run()
+        # memory traffic must touch both sub-rings and the main ring
+        assert chip.noc.main_ring.total_bytes() > 0
+        for ring in chip.noc.sub_ring_nets:
+            assert ring.total_bytes() > 0
+
+    def test_dram_bytes_at_least_batch_payloads(self):
+        chip = SmarCoChip(smarco_scaled(2, 8), seed=7)
+        chip.load_profile(get_profile("kmp"), 8, 200)
+        result = chip.run()
+        assert chip.memory.total_bytes > 0
+        assert chip.memory.total_requests == result.mem_transactions
+
+    def test_utilizations_bounded(self):
+        chip = SmarCoChip(smarco_scaled(2, 8), seed=7)
+        chip.load_profile(get_profile("kmeans"), 8, 200)
+        result = chip.run()
+        assert 0 <= result.noc_bandwidth_utilization <= 1
+        assert 0 <= result.utilization <= 1
+        assert 0 <= chip.memory.bandwidth_utilization(result.cycles) <= 1
+
+
+@pytest.mark.slow
+class TestFullGeometry:
+    def test_paper_256_core_chip_smoke(self):
+        """The full 16x16 geometry runs end to end (short streams)."""
+        chip = SmarCoChip(smarco_default(), seed=1)
+        chip.load_profile(get_profile("wordcount"), threads_per_core=4,
+                          instrs_per_thread=60)
+        result = chip.run()
+        assert result.total_cores == 256
+        assert result.cores_done == 256
+        assert result.instructions == 256 * 4 * 60
+        assert result.ipc > 1.0          # many cores make progress at once

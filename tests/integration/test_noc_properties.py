@@ -1,0 +1,104 @@
+"""Property-based integration tests on the NoC."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.noc import HierarchicalRingNoC, NodeId, Packet, PacketKind
+from repro.sim import Simulator
+
+
+def node_strategy(sub_rings, cores, mcs):
+    core_nodes = st.builds(
+        NodeId,
+        kind=st.just("core"),
+        ring=st.integers(0, sub_rings - 1),
+        index=st.integers(0, cores - 1),
+    )
+    device_nodes = st.one_of(
+        st.builds(NodeId, kind=st.just("mc"), ring=st.just(0),
+                  index=st.integers(0, mcs - 1)),
+        st.just(NodeId("sched")),
+        st.just(NodeId("io")),
+    )
+    return st.one_of(core_nodes, device_nodes)
+
+
+SUB_RINGS, CORES, MCS = 3, 4, 2
+NODES = node_strategy(SUB_RINGS, CORES, MCS)
+
+
+@given(st.lists(st.tuples(NODES, NODES, st.integers(1, 64)),
+                min_size=1, max_size=40))
+@settings(max_examples=30, deadline=None)
+def test_every_packet_delivered_exactly_once(routes):
+    """Any mix of endpoints and sizes is delivered exactly once, with
+    non-negative latency, and the simulation drains completely."""
+    sim = Simulator()
+    noc = HierarchicalRingNoC(sim, SUB_RINGS, CORES, MCS)
+    packets = []
+    for src, dst, size in routes:
+        if src == dst:
+            continue
+        pkt = Packet(src=src, dst=dst, size_bytes=size,
+                     kind=PacketKind.MEM_READ)
+        packets.append(pkt)
+        noc.send(pkt)
+    sim.run()
+    assert sim.pending() == 0
+    for pkt in packets:
+        assert pkt.delivered_at is not None
+        assert pkt.latency >= 0
+    assert noc.delivered.value == len(packets)
+
+
+@given(st.tuples(NODES, NODES, st.integers(1, 32)))
+@settings(max_examples=40, deadline=None)
+def test_latency_lower_bound_is_physical(route):
+    """A lone packet's latency is at least its hop count (every hop costs
+    router + link + transmit time)."""
+    src, dst, size = route
+    if src == dst:
+        return
+    sim = Simulator()
+    noc = HierarchicalRingNoC(sim, SUB_RINGS, CORES, MCS)
+    pkt = Packet(src=src, dst=dst, size_bytes=size, kind=PacketKind.MEM_READ)
+    noc.send(pkt)
+    sim.run()
+    assert pkt.latency >= pkt.hops       # >= 1 cycle per hop, uncongested
+
+
+@given(st.integers(0, SUB_RINGS - 1), st.integers(0, CORES - 1),
+       st.integers(0, SUB_RINGS - 1), st.integers(0, CORES - 1))
+@settings(max_examples=40, deadline=None)
+def test_local_traffic_never_touches_main_ring(r1, i1, r2, i2):
+    if r1 != r2 or i1 == i2:
+        return
+    sim = Simulator()
+    noc = HierarchicalRingNoC(sim, SUB_RINGS, CORES, MCS)
+    pkt = Packet(src=NodeId("core", r1, i1), dst=NodeId("core", r2, i2),
+                 size_bytes=8, kind=PacketKind.MEM_READ)
+    noc.send(pkt)
+    sim.run()
+    assert pkt.delivered_at is not None
+    assert noc.main_ring.total_bytes() == 0
+
+
+@given(st.lists(st.tuples(NODES, NODES, st.integers(1, 64)),
+                min_size=2, max_size=30))
+@settings(max_examples=20, deadline=None)
+def test_byte_accounting_consistent(routes):
+    """Total link bytes moved is at least (size x hops) for every packet
+    (each hop transmits the whole packet once)."""
+    sim = Simulator()
+    noc = HierarchicalRingNoC(sim, SUB_RINGS, CORES, MCS)
+    packets = []
+    for src, dst, size in routes:
+        if src == dst:
+            continue
+        pkt = Packet(src=src, dst=dst, size_bytes=size,
+                     kind=PacketKind.MEM_READ)
+        packets.append(pkt)
+        noc.send(pkt)
+    sim.run()
+    expected = sum(p.size_bytes * p.hops for p in packets)
+    assert noc.total_bytes() == expected

@@ -1,0 +1,123 @@
+"""Assembler unit tests."""
+
+import pytest
+
+from repro.errors import AssemblerError
+from repro.isa import Op, OpClass, assemble
+
+
+def test_basic_alu_encoding():
+    prog = assemble("add r1, r2, r3")
+    instr = prog[0]
+    assert instr.op is Op.ADD
+    assert (instr.rd, instr.rs1, instr.rs2) == (1, 2, 3)
+
+
+def test_immediate_encoding():
+    prog = assemble("addi r5, r6, -12")
+    instr = prog[0]
+    assert instr.op is Op.ADDI and instr.imm == -12
+
+
+def test_hex_immediate():
+    prog = assemble("addi r1, r0, 0xFF")
+    assert prog[0].imm == 255
+
+
+def test_load_store_operand_form():
+    prog = assemble("lw r2, 8(r1)\nsw r2, -4(r3)")
+    ld, st = prog.instructions
+    assert ld.op is Op.LW and ld.rd == 2 and ld.rs1 == 1 and ld.imm == 8
+    assert st.op is Op.SW and st.rs2 == 2 and st.rs1 == 3 and st.imm == -4
+    assert ld.op_class is OpClass.LOAD and st.op_class is OpClass.STORE
+    assert ld.info.mem_bytes == 4
+
+
+def test_label_resolution_forward_and_backward():
+    prog = assemble(
+        """
+    start:
+        beq r0, r0, end
+        jal r0, start
+    end:
+        halt
+        """
+    )
+    assert prog.labels == {"start": 0, "end": 2}
+    assert prog[0].imm == 2 and prog[0].label == "end"
+    assert prog[1].imm == 0 and prog[1].label == "start"
+
+
+def test_numeric_branch_target():
+    prog = assemble("beq r1, r2, 5")
+    assert prog[0].imm == 5 and prog[0].label is None
+
+
+def test_comments_and_blank_lines_ignored():
+    prog = assemble(
+        """
+        # full-line comment
+        nop   ; trailing comment
+        nop   # another style
+
+        halt
+        """
+    )
+    assert len(prog) == 3
+
+
+def test_label_on_same_line_as_instruction():
+    prog = assemble("loop: addi r1, r1, 1\njal r0, loop")
+    assert prog.labels["loop"] == 0
+    assert len(prog) == 2
+
+
+def test_unknown_mnemonic():
+    with pytest.raises(AssemblerError, match="unknown mnemonic"):
+        assemble("frobnicate r1, r2, r3")
+
+
+def test_undefined_label():
+    with pytest.raises(AssemblerError, match="undefined label"):
+        assemble("jal r0, nowhere")
+
+
+def test_duplicate_label():
+    with pytest.raises(AssemblerError, match="duplicate label"):
+        assemble("a: nop\na: nop")
+
+
+def test_bad_register():
+    with pytest.raises(AssemblerError):
+        assemble("add r1, r99, r2")
+    with pytest.raises(AssemblerError):
+        assemble("add r1, x2, r3")
+
+
+def test_wrong_operand_count():
+    with pytest.raises(AssemblerError, match="expects"):
+        assemble("add r1, r2")
+
+
+def test_bad_memory_operand():
+    with pytest.raises(AssemblerError, match="memory operand"):
+        assemble("lw r1, r2")
+
+
+def test_disassemble_round_trip_text():
+    src = """
+    loop:
+        lw r2, 0(r1)
+        addi r1, r1, 4
+        bne r1, r4, loop
+        halt
+    """
+    listing = assemble(src).disassemble()
+    assert "loop:" in listing
+    assert "lw r2, 0(r1)" in listing
+    assert "bne r1, r4, loop" in listing
+
+
+def test_lui():
+    prog = assemble("lui r1, 5")
+    assert prog[0].op is Op.LUI and prog[0].imm == 5

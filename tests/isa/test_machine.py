@@ -1,0 +1,175 @@
+"""Functional machine tests."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import MachineError
+from repro.isa import FlatMemory, Machine, Op, OpClass, assemble
+
+
+def run(src, setup=None, max_instructions=1_000_000):
+    machine = Machine(assemble(src))
+    if setup:
+        setup(machine)
+    machine.run(max_instructions)
+    return machine
+
+
+class TestAlu:
+    def test_add_sub(self):
+        m = run("addi r1, r0, 7\naddi r2, r0, 5\nadd r3, r1, r2\nsub r4, r1, r2\nhalt")
+        assert m.read_reg(3) == 12 and m.read_reg(4) == 2
+
+    def test_r0_is_hardwired_zero(self):
+        m = run("addi r0, r0, 99\nadd r1, r0, r0\nhalt")
+        assert m.read_reg(0) == 0 and m.read_reg(1) == 0
+
+    def test_logic_ops(self):
+        m = run(
+            "addi r1, r0, 12\naddi r2, r0, 10\n"
+            "and r3, r1, r2\nor r4, r1, r2\nxor r5, r1, r2\nhalt"
+        )
+        assert m.read_reg(3) == 8 and m.read_reg(4) == 14 and m.read_reg(5) == 6
+
+    def test_shifts(self):
+        m = run("addi r1, r0, -8\nslli r2, r1, 1\nsrai_placeholder: srl r3, r1, r0\nsra r4, r1, r0\nhalt")
+        assert m.read_reg(2) == -16
+        assert m.read_reg(4) == -8            # arithmetic shift by 0 keeps sign
+
+    def test_slt_signed_unsigned(self):
+        m = run("addi r1, r0, -1\naddi r2, r0, 1\nslt r3, r1, r2\nsltu r4, r1, r2\nhalt")
+        assert m.read_reg(3) == 1             # -1 < 1 signed
+        assert m.read_reg(4) == 0             # 0xFFF..F > 1 unsigned
+
+    def test_mul_div_rem(self):
+        m = run(
+            "addi r1, r0, -7\naddi r2, r0, 2\n"
+            "mul r3, r1, r2\ndiv r4, r1, r2\nrem r5, r1, r2\nhalt"
+        )
+        assert m.read_reg(3) == -14
+        assert m.read_reg(4) == -3            # truncating division
+        assert m.read_reg(5) == -1
+
+    def test_div_by_zero_is_minus_one(self):
+        m = run("addi r1, r0, 5\ndiv r2, r1, r0\nrem r3, r1, r0\nhalt")
+        assert m.read_reg(2) == -1 and m.read_reg(3) == 5
+
+    def test_lui(self):
+        m = run("lui r1, 3\nhalt")
+        assert m.read_reg(1) == 3 << 12
+
+
+class TestMemory:
+    def test_store_load_round_trip(self):
+        m = run("addi r1, r0, 64\naddi r2, r0, -5\nsd r2, 0(r1)\nld r3, 0(r1)\nhalt")
+        assert m.read_reg(3) == -5
+
+    def test_byte_sign_extension(self):
+        def setup(machine):
+            machine.memory.write(100, 0x80, 1)
+        m = run("addi r1, r0, 100\nlb r2, 0(r1)\nhalt", setup)
+        assert m.read_reg(2) == -128
+
+    def test_sub_word_sizes(self):
+        m = run(
+            "addi r1, r0, 200\naddi r2, r0, 0x1234\n"
+            "sh r2, 0(r1)\nlh r3, 0(r1)\nlb r4, 1(r1)\nhalt"
+        )
+        assert m.read_reg(3) == 0x1234
+        assert m.read_reg(4) == 0x12          # little-endian high byte
+
+    def test_negative_address_traps(self):
+        with pytest.raises(MachineError):
+            run("addi r1, r0, -8\nld r2, 0(r1)\nhalt")
+
+
+class TestControlFlow:
+    def test_loop_counts(self):
+        m = run(
+            """
+            addi r1, r0, 10
+            addi r2, r0, 0
+        loop:
+            beq r2, r1, done
+            addi r2, r2, 1
+            jal r0, loop
+        done:
+            halt
+            """
+        )
+        assert m.read_reg(2) == 10
+
+    def test_jalr_returns(self):
+        m = run(
+            """
+            jal r1, func        # call
+            addi r2, r2, 100    # executed after return
+            halt
+        func:
+            addi r2, r0, 1
+            jalr r0, r1, 0
+            """
+        )
+        assert m.read_reg(2) == 101
+
+    def test_branch_record_taken_flag(self):
+        machine = Machine(assemble("beq r0, r0, 2\nnop\nhalt"))
+        rec = machine.step()
+        assert rec.op_class is OpClass.BRANCH and rec.taken
+        assert machine.pc == 2
+
+    def test_pc_out_of_range_traps(self):
+        machine = Machine(assemble("jal r0, 99"))
+        machine.step()
+        with pytest.raises(MachineError):
+            machine.step()
+
+    def test_runaway_budget(self):
+        with pytest.raises(MachineError, match="budget"):
+            run("loop: jal r0, loop", max_instructions=100)
+
+
+class TestTraceRecords:
+    def test_load_record_has_addr_and_size(self):
+        machine = Machine(assemble("addi r1, r0, 40\nlw r2, 4(r1)\nhalt"))
+        machine.step()
+        rec = machine.step()
+        assert rec.op is Op.LW and rec.addr == 44 and rec.size == 4
+
+    def test_on_retire_callback_sees_everything(self):
+        seen = []
+        machine = Machine(assemble("addi r1, r0, 1\nhalt"), on_retire=seen.append)
+        machine.run()
+        assert [r.op for r in seen] == [Op.ADDI, Op.HALT]
+
+    def test_trace_generator(self):
+        machine = Machine(assemble("nop\nnop\nhalt"))
+        ops = [r.op for r in machine.trace()]
+        assert ops == [Op.NOP, Op.NOP, Op.HALT]
+        assert machine.halted
+
+
+class TestFlatMemory:
+    def test_little_endian(self):
+        mem = FlatMemory()
+        mem.write(0, 0x0102030405060708, 8)
+        assert mem.read(0, 1) == 0x08
+        assert mem.read(7, 1) == 0x01
+
+    def test_cross_page_access(self):
+        mem = FlatMemory()
+        addr = FlatMemory.PAGE - 4
+        mem.write(addr, 0xDEADBEEFCAFEF00D, 8)
+        assert mem.read(addr, 8) == 0xDEADBEEFCAFEF00D
+        assert mem.touched_pages == 2
+
+    def test_bytes_interface(self):
+        mem = FlatMemory()
+        mem.write_bytes(10, b"hello")
+        assert mem.read_bytes(10, 5) == b"hello"
+
+    @given(st.integers(0, 2**64 - 1), st.integers(0, 10_000))
+    def test_round_trip_any_word(self, value, addr):
+        mem = FlatMemory()
+        mem.write(addr, value, 8)
+        assert mem.read(addr, 8) == value

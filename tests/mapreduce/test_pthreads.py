@@ -1,0 +1,112 @@
+"""Tests for the pthread-style programming model (paper §3.6)."""
+
+import pytest
+
+from repro.chip import SmarCoChip
+from repro.config import smarco_scaled
+from repro.core import CoreInstr
+from repro.errors import ConfigError, SchedulerError
+from repro.mapreduce import ThreadApi
+from repro.sim import RngTree
+from repro.workloads import get_profile
+
+
+def make_api(sub_rings=2, cores=4):
+    chip = SmarCoChip(smarco_scaled(sub_rings, cores), seed=1)
+    return chip, ThreadApi(chip)
+
+
+def alu_body(n=50):
+    return iter([CoreInstr("alu")] * n)
+
+
+class TestCreate:
+    def test_create_returns_handle(self):
+        _, api = make_api()
+        handle = api.create(alu_body())
+        assert handle.thread_id == 0
+        assert not handle.finished
+
+    def test_threads_balance_across_cores(self):
+        _, api = make_api(sub_rings=2, cores=4)       # 8 cores
+        for _ in range(16):
+            api.create(alu_body())
+        counts = api.placement_counts()
+        assert len(counts) == 8                        # every core used
+        assert all(v == 2 for v in counts.values())
+
+    def test_threads_balance_across_sub_rings_first(self):
+        _, api = make_api(sub_rings=2, cores=4)
+        a = api.create(alu_body())
+        b = api.create(alu_body())
+        # second thread goes to the other sub-ring, not the same one
+        assert a.core_id // 4 != b.core_id // 4
+
+    def test_capacity_limit(self):
+        chip, api = make_api(sub_rings=1, cores=1)     # 1 core, 8 contexts
+        for _ in range(8):
+            api.create(alu_body())
+        with pytest.raises(SchedulerError):
+            api.create(alu_body())
+
+    def test_create_after_start_rejected(self):
+        _, api = make_api()
+        api.create(alu_body())
+        api.start()
+        with pytest.raises(ConfigError):
+            api.create(alu_body())
+
+
+class TestJoin:
+    def test_join_runs_to_thread_completion(self):
+        _, api = make_api()
+        handle = api.create(alu_body(100))
+        finish = api.join(handle)
+        assert handle.finished
+        assert finish == handle.finish_time
+        assert handle.instructions_retired == 100
+
+    def test_join_all_returns_last_exit(self):
+        _, api = make_api()
+        short = api.create(alu_body(10))
+        long = api.create(alu_body(500))
+        last = api.join_all()
+        assert short.finished and long.finished
+        assert last == max(short.finish_time, long.finish_time)
+
+    def test_join_without_threads_rejected(self):
+        _, api = make_api()
+        with pytest.raises(ConfigError):
+            api.start()
+
+    def test_join_horizon(self):
+        _, api = make_api()
+        profile = get_profile("kmp")
+        handle = api.create(profile.stream(50_000, RngTree(0).stream("x")))
+        with pytest.raises(SchedulerError, match="horizon"):
+            api.join(handle, max_cycles=50)
+
+
+class TestWorkloadThreads:
+    def test_profile_threads_complete_with_memory_traffic(self):
+        chip, api = make_api()
+        profile = get_profile("wordcount")
+        rng_tree = RngTree(7)
+        handles = [api.create(profile.stream(150, rng_tree.stream(f"t{i}"),
+                                             thread_id=i))
+                   for i in range(8)]
+        api.join_all()
+        assert all(h.finished for h in handles)
+        assert chip.memory.total_requests > 0      # traffic reached DRAM
+
+    def test_deterministic(self):
+        def once():
+            chip, api = make_api()
+            profile = get_profile("rnc")
+            rng_tree = RngTree(3)
+            for i in range(4):
+                api.create(profile.stream(100, rng_tree.stream(f"t{i}"),
+                                          thread_id=i))
+            return api.join_all()
+
+        assert once() == once()

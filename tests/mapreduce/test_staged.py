@@ -1,0 +1,103 @@
+"""Staged MapReduce-on-chip tests (paper Fig 15 executed end to end)."""
+
+import pytest
+
+from repro.chip import SmarCoChip
+from repro.config import smarco_scaled
+from repro.errors import ConfigError, WorkloadError
+from repro.mapreduce import MapReduceJob, StagedMapReduce, slice_text
+from repro.workloads import get_profile, wordcount
+from repro.workloads.datasets import synthetic_text
+
+
+def make_runner(sub_rings=2, cores=4, seed=0):
+    chip = SmarCoChip(smarco_scaled(sub_rings, cores), seed=seed)
+    runner = StagedMapReduce(chip, get_profile("wordcount"), seed=seed)
+    return chip, runner
+
+
+def wc_job():
+    return MapReduceJob("wc", wordcount.map_fn, wordcount.reduce_fn)
+
+
+class TestFunctionalOutput:
+    def test_output_matches_reference(self):
+        text = synthetic_text(200, seed=1)
+        _, runner = make_runner()
+        result = runner.run(wc_job(), slice_text(text, 8))
+        assert result.output == wordcount.wordcount(text)
+
+    def test_empty_input(self):
+        _, runner = make_runner()
+        result = runner.run(wc_job(), [])
+        assert result.output == {} and result.total_cycles == 0
+
+
+class TestStageOrdering:
+    def test_stage_boundaries_monotone(self):
+        text = synthetic_text(150, seed=2)
+        _, runner = make_runner()
+        result = runner.run(wc_job(), slice_text(text, 6))
+        assert 0 < result.staging_done <= result.map_done
+        assert result.map_done <= result.shuffle_done <= result.reduce_done
+
+    def test_map_and_reduce_on_disjoint_rings(self):
+        chip, runner = make_runner(sub_rings=4)
+        assert set(runner.map_rings).isdisjoint(runner.reduce_rings)
+        assert runner.map_rings and runner.reduce_rings
+
+    def test_shuffle_moves_bytes(self):
+        text = synthetic_text(150, seed=3)
+        _, runner = make_runner()
+        result = runner.run(wc_job(), slice_text(text, 6))
+        assert result.shuffle_bytes > 0
+        assert 0 < result.reduce_tasks <= len(result.output)
+
+    def test_staging_charges_dma_time(self):
+        """Map cores wait for their DMA: the staging boundary is at least
+        one slice's transfer time, and the DMA engines moved the data."""
+        chip, runner = make_runner()
+        text = synthetic_text(100, seed=4)
+        result = runner.run(wc_job(), slice_text(text, 4))
+        min_transfer = chip.dmas[0].transfer_cycles(1)
+        assert result.staging_done >= min_transfer
+        assert sum(d.bytes_moved.value for d in chip.dmas) > 0
+
+
+class TestValidation:
+    def test_needs_two_sub_rings(self):
+        chip = SmarCoChip(smarco_scaled(1, 4), seed=0)
+        with pytest.raises(ConfigError):
+            StagedMapReduce(chip, get_profile("wordcount"))
+
+    def test_too_many_tasks_rejected(self):
+        chip, runner = make_runner(sub_rings=2, cores=1)
+        # map capacity: 1 core x 8 threads on the single map ring
+        slices = [f"w{i}" for i in range(9)]
+        with pytest.raises(WorkloadError):
+            runner.run(wc_job(), slices)
+
+    def test_chip_reuse_rejected(self):
+        chip, runner = make_runner()
+        runner.run(wc_job(), ["a b", "c d"])
+        runner2 = StagedMapReduce(chip, get_profile("wordcount"))
+        with pytest.raises(ConfigError):
+            runner2.run(wc_job(), ["x"])
+
+
+class TestScaling:
+    def test_more_data_takes_longer(self):
+        def cycles(words):
+            _, runner = make_runner(seed=5)
+            text = synthetic_text(words, seed=5)
+            return runner.run(wc_job(), slice_text(text, 8)).total_cycles
+
+        assert cycles(400) > cycles(50)
+
+    def test_deterministic(self):
+        def once():
+            _, runner = make_runner(seed=6)
+            text = synthetic_text(120, seed=6)
+            return runner.run(wc_job(), slice_text(text, 6)).total_cycles
+
+        assert once() == once()

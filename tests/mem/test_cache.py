@@ -1,0 +1,140 @@
+"""Cache model tests."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ConfigError
+from repro.mem import Cache
+
+
+def make_cache(size=1024, line=64, ways=2):
+    return Cache("c", size, line, ways)
+
+
+class TestBasics:
+    def test_cold_miss_then_hit(self):
+        c = make_cache()
+        assert not c.access(0x100).hit
+        assert c.access(0x100).hit
+        assert c.access(0x13F).hit          # same 64B line
+
+    def test_different_lines_miss_independently(self):
+        c = make_cache()
+        c.access(0x000)
+        assert not c.access(0x040).hit
+
+    def test_miss_ratio(self):
+        c = make_cache()
+        c.access(0)          # miss
+        c.access(0)          # hit
+        c.access(64)         # miss
+        assert c.miss_ratio == pytest.approx(2 / 3)
+
+    def test_geometry_validation(self):
+        with pytest.raises(ConfigError):
+            Cache("bad", 1000, 64, 3)
+
+    def test_num_sets(self):
+        c = Cache("c", 16 * 1024, 64, 4)
+        assert c.num_sets == 64
+
+
+class TestLru:
+    def test_lru_eviction_order(self):
+        # 2-way: sets = 1024/(64*2) = 8; lines 0,8,16 (x64B) map to set 0
+        c = make_cache()
+        base = 0
+        stride = c.num_sets * c.line_bytes
+        c.access(base)                       # A
+        c.access(base + stride)              # B
+        c.access(base + 2 * stride)          # C evicts A (LRU)
+        assert not c.probe(base)
+        assert c.probe(base + stride)
+
+    def test_hit_refreshes_lru(self):
+        c = make_cache()
+        stride = c.num_sets * c.line_bytes
+        c.access(0)             # A
+        c.access(stride)        # B
+        c.access(0)             # touch A: B is now LRU
+        c.access(2 * stride)    # evicts B
+        assert c.probe(0) and not c.probe(stride)
+
+    def test_eviction_reports_victim(self):
+        c = make_cache()
+        stride = c.num_sets * c.line_bytes
+        c.access(0, is_write=True)
+        c.access(stride)
+        res = c.access(2 * stride)
+        assert res.victim_addr == 0
+        assert res.victim_dirty is True
+        assert c.writebacks.value == 1
+
+    def test_clean_victim_no_writeback(self):
+        c = make_cache()
+        stride = c.num_sets * c.line_bytes
+        c.access(0)
+        c.access(stride)
+        res = c.access(2 * stride)
+        assert res.victim_dirty is False and c.writebacks.value == 0
+
+
+class TestDirtyAndInvalidate:
+    def test_write_marks_dirty_later_hit_keeps(self):
+        c = make_cache()
+        c.access(0, is_write=True)
+        c.access(0)                  # read hit must not clean the line
+        stride = c.num_sets * c.line_bytes
+        c.access(stride)
+        res = c.access(2 * stride)
+        assert res.victim_dirty
+
+    def test_invalidate(self):
+        c = make_cache()
+        c.access(0)
+        assert c.invalidate(0) is True
+        assert not c.probe(0)
+        assert c.invalidate(0) is False
+
+    def test_flush_counts_dirty(self):
+        c = make_cache()
+        c.access(0, is_write=True)
+        c.access(64)
+        assert c.flush() == 1
+        assert c.resident_lines == 0
+
+
+class TestCapacityBehaviour:
+    def test_working_set_within_capacity_all_hits_after_warmup(self):
+        c = Cache("c", 4096, 64, 4)
+        addrs = [i * 64 for i in range(4096 // 64)]
+        for a in addrs:
+            c.access(a)
+        for a in addrs:
+            assert c.access(a).hit
+
+    def test_streaming_overflow_always_misses(self):
+        c = Cache("c", 1024, 64, 2)
+        # stream 4x capacity twice: second pass still misses (LRU thrash)
+        addrs = [i * 64 for i in range(64)]
+        for _ in range(2):
+            for a in addrs:
+                c.access(a)
+        assert c.miss_ratio == 1.0
+
+    @given(st.lists(st.integers(0, 2**20), min_size=1, max_size=300))
+    @settings(max_examples=30, deadline=None)
+    def test_resident_lines_never_exceed_capacity(self, addrs):
+        c = Cache("c", 2048, 64, 2)
+        for a in addrs:
+            c.access(a)
+        assert c.resident_lines <= c.num_sets * c.ways
+        assert c.hits.value + c.misses.value == len(addrs)
+
+    @given(st.lists(st.integers(0, 2**16), min_size=1, max_size=200))
+    @settings(max_examples=30, deadline=None)
+    def test_immediate_reaccess_always_hits(self, addrs):
+        c = Cache("c", 2048, 64, 2)
+        for a in addrs:
+            c.access(a)
+            assert c.probe(a)

@@ -1,0 +1,79 @@
+"""Xeon cache-hierarchy tests (substrate for paper Fig 1c/1d)."""
+
+import pytest
+
+from repro.config import XeonConfig
+from repro.mem import Cache, CacheHierarchy
+from repro.sim import StatsRegistry
+
+
+def test_cold_access_goes_to_memory():
+    h = CacheHierarchy(0)
+    res = h.access(0x1000)
+    assert res.level == "MEM"
+    assert res.latency == h.config.dram_latency
+    assert not res.l1_hit
+
+
+def test_second_access_hits_l1():
+    h = CacheHierarchy(0)
+    h.access(0x1000)
+    res = h.access(0x1000)
+    assert res.level == "L1" and res.l1_hit
+    assert res.latency == h.config.l1_hit_latency
+
+
+def test_l1_eviction_leaves_l2_copy():
+    cfg = XeonConfig()
+    h = CacheHierarchy(0, cfg)
+    # fill far past L1 capacity within one L2-resident footprint
+    footprint = cfg.l1d_bytes * 4
+    for addr in range(0, footprint, cfg.cache_line_bytes):
+        h.access(addr)
+    # oldest line fell out of L1 but should still be in L2
+    res = h.access(0)
+    assert res.level in ("L2", "L1")
+    if res.level == "L2":
+        assert res.latency == cfg.l2_hit_latency
+
+
+def test_instruction_side_uses_l1i():
+    h = CacheHierarchy(0)
+    h.access(0x4000, is_instruction=True)
+    assert h.l1i.accesses == 1 and h.l1d.accesses == 0
+    # data access to the same address does not hit L1D
+    res = h.access(0x4000)
+    assert res.level != "L1"
+
+
+def test_shared_llc_between_cores():
+    reg = StatsRegistry()
+    llc = CacheHierarchy.make_shared_llc(registry=reg)
+    h0 = CacheHierarchy(0, shared_llc=llc, registry=reg)
+    h1 = CacheHierarchy(1, shared_llc=llc, registry=reg)
+    h0.access(0x8000)
+    res = h1.access(0x8000)
+    assert res.level == "LLC"         # brought in by core 0
+
+
+def test_miss_ratios_report_all_levels():
+    h = CacheHierarchy(0)
+    for addr in range(0, 64 * 100, 64):
+        h.access(addr)
+    ratios = h.miss_ratios()
+    assert set(ratios) == {"L1", "L2", "LLC"}
+    assert all(0 <= v <= 1 for v in ratios.values())
+
+
+def test_streaming_miss_ratio_increases_down_hierarchy_then_memory():
+    """A >LLC streaming footprint must miss everywhere (paper Fig 1c:
+    HTC-like streaming shows high miss ratios at every level)."""
+    cfg = XeonConfig(llc_bytes=256 * 1024)       # shrink LLC to keep test fast
+    h = CacheHierarchy(0, cfg)
+    stride = cfg.cache_line_bytes
+    footprint = cfg.llc_bytes * 4
+    for _ in range(2):
+        for addr in range(0, footprint, stride):
+            h.access(addr)
+    assert h.miss_ratios()["L1"] > 0.9
+    assert h.miss_ratios()["LLC"] > 0.9

@@ -1,0 +1,201 @@
+"""MACT behaviour tests (paper §3.4)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.config import MACTConfig
+from repro.mem import MACT, MemRequest, Priority
+from repro.sim import Simulator
+
+
+def make_mact(**cfg_kwargs):
+    sim = Simulator()
+    batches = []
+    mact = MACT(sim, batches.append, MACTConfig(**cfg_kwargs))
+    return sim, mact, batches
+
+
+def req(addr, size=4, write=False, prio=Priority.NORMAL, core=0):
+    return MemRequest(addr=addr, size=size, is_write=write, core_id=core,
+                      priority=prio)
+
+
+class TestCollection:
+    def test_requests_collect_until_deadline(self):
+        sim, mact, batches = make_mact(threshold_cycles=16)
+        mact.submit(req(0x100))
+        mact.submit(req(0x104))
+        assert batches == [] and mact.pending_lines == 1
+        sim.run(until=15)
+        assert batches == []
+        sim.run(until=16)
+        assert len(batches) == 1
+        assert batches[0].reason == "deadline"
+        assert len(batches[0].requests) == 2
+
+    def test_full_bitmap_flushes_immediately(self):
+        sim, mact, batches = make_mact(line_span_bytes=8)
+        mact.submit(req(0x100, size=8))
+        assert len(batches) == 1 and batches[0].reason == "full"
+        assert mact.pending_lines == 0
+
+    def test_reads_and_writes_use_separate_lines(self):
+        sim, mact, batches = make_mact()
+        mact.submit(req(0x100, write=False))
+        mact.submit(req(0x108, write=True))
+        assert mact.pending_lines == 2
+
+    def test_same_line_requests_merge(self):
+        sim, mact, batches = make_mact(line_span_bytes=64)
+        for off in range(0, 32, 4):
+            mact.submit(req(0x1000 + off))
+        assert mact.pending_lines == 1
+
+    def test_distinct_lines_for_distant_addresses(self):
+        sim, mact, batches = make_mact(line_span_bytes=64)
+        mact.submit(req(0x0))
+        mact.submit(req(0x40))
+        assert mact.pending_lines == 2
+
+    def test_request_crossing_line_boundary_is_clamped(self):
+        sim, mact, batches = make_mact(line_span_bytes=64)
+        mact.submit(req(0x3C, size=16))          # crosses 0x40
+        sim.run(until=100)
+        assert len(batches) == 1
+        assert batches[0].requests[0].size == 4  # clamped to line end
+
+
+class TestDeadline:
+    def test_deadline_measured_from_line_creation(self):
+        sim, mact, batches = make_mact(threshold_cycles=10)
+        mact.submit(req(0x100))
+        sim.run(until=5)
+        mact.submit(req(0x104))         # same line: deadline NOT extended
+        sim.run(until=10)
+        assert len(batches) == 1
+
+    def test_stale_deadline_event_ignored_after_full_flush(self):
+        sim, mact, batches = make_mact(line_span_bytes=8, threshold_cycles=10)
+        mact.submit(req(0x100, size=8))          # flush by full at t=0
+        sim.run(until=20)                         # stale deadline fires, no-op
+        assert len(batches) == 1
+        # a new line at the same address flushes independently
+        mact.submit(req(0x100, size=4))
+        sim.run(until=40)
+        assert len(batches) == 2 and batches[1].reason == "deadline"
+
+    @pytest.mark.parametrize("threshold", [4, 8, 16, 32, 64])
+    def test_threshold_configures_flush_time(self, threshold):
+        sim, mact, batches = make_mact(threshold_cycles=threshold)
+        mact.submit(req(0x100))
+        sim.run(until=threshold - 1)
+        assert not batches
+        sim.run(until=threshold)
+        assert len(batches) == 1
+
+
+class TestBypassAndDisable:
+    def test_realtime_requests_bypass(self):
+        sim, mact, batches = make_mact()
+        mact.submit(req(0x100, prio=Priority.REALTIME))
+        assert len(batches) == 1 and batches[0].reason == "bypass"
+        assert mact.bypasses.value == 1
+        assert mact.pending_lines == 0
+
+    def test_bypass_disabled_collects_realtime(self):
+        sim, mact, batches = make_mact(bypass_priority=False)
+        mact.submit(req(0x100, prio=Priority.REALTIME))
+        assert not batches and mact.pending_lines == 1
+
+    def test_disabled_mact_forwards_everything(self):
+        sim, mact, batches = make_mact(enabled=False)
+        mact.submit(req(0x100))
+        mact.submit(req(0x104))
+        assert len(batches) == 2
+        assert all(len(b.requests) == 1 for b in batches)
+
+
+class TestCapacity:
+    def test_table_overflow_flushes_oldest(self):
+        sim, mact, batches = make_mact(lines=2, threshold_cycles=1000)
+        mact.submit(req(0x000))
+        mact.submit(req(0x100))
+        mact.submit(req(0x200))          # evicts the 0x000 line
+        assert len(batches) == 1
+        assert batches[0].base_addr == 0x000
+        assert batches[0].reason == "capacity"
+        assert mact.pending_lines == 2
+
+    def test_flush_all_drains(self):
+        sim, mact, batches = make_mact(threshold_cycles=1000)
+        mact.submit(req(0x000))
+        mact.submit(req(0x100))
+        assert mact.flush_all() == 2
+        assert mact.pending_lines == 0 and len(batches) == 2
+
+
+class TestStats:
+    def test_request_reduction_ratio(self):
+        sim, mact, batches = make_mact(line_span_bytes=64, threshold_cycles=16)
+        for off in range(0, 16, 4):
+            mact.submit(req(0x1000 + off))
+        sim.run(until=100)
+        assert mact.request_reduction == pytest.approx(4.0)
+
+    def test_batch_wanted_bytes(self):
+        sim, mact, batches = make_mact()
+        mact.submit(req(0x100, size=4))
+        mact.submit(req(0x108, size=2))
+        sim.run(until=100)
+        assert batches[0].wanted_bytes == 6
+
+    @given(st.lists(st.tuples(st.integers(0, 1023), st.sampled_from([1, 2, 4, 8])),
+                    min_size=1, max_size=120))
+    @settings(max_examples=30, deadline=None)
+    def test_every_request_leaves_in_exactly_one_batch(self, accesses):
+        sim = Simulator()
+        batches = []
+        mact = MACT(sim, batches.append, MACTConfig(lines=8, threshold_cycles=16))
+        submitted = []
+        for addr, size in accesses:
+            r = req(addr, size=size)
+            submitted.append(r.req_id)
+            mact.submit(r)
+        sim.run(until=10_000)
+        mact.flush_all()
+        out_ids = [r.req_id for b in batches for r in b.requests]
+        assert sorted(out_ids) == sorted(submitted)
+
+    @given(st.lists(st.tuples(st.integers(0, 100),           # arrival gap
+                              st.integers(0, 2047),          # address
+                              st.sampled_from([1, 2, 4, 8])),
+                    min_size=1, max_size=60),
+           st.sampled_from([4, 8, 16, 32]))
+    @settings(max_examples=25, deadline=None)
+    def test_timeliness_guarantee(self, schedule, threshold):
+        """Paper §3.4: 'Each item of MACT must be packaged and sent to
+        memory in N cycles to maintain timeliness' — no request ever
+        waits in the table longer than the threshold."""
+        sim = Simulator()
+        exits = {}
+
+        def send(batch):
+            for r in batch.requests:
+                exits[r.req_id] = sim.now
+
+        mact = MACT(sim, send, MACTConfig(lines=16,
+                                          threshold_cycles=threshold))
+        entries = {}
+        t = 0
+        for gap, addr, size in schedule:
+            t += gap
+            r = req(addr, size=size)
+            entries[r.req_id] = t
+            sim.schedule_at(t, mact.submit, r)
+        sim.run()
+        # everything flushed by its line deadline, nothing left behind
+        assert mact.pending_lines == 0 or sim.run() >= 0
+        mact.flush_all()
+        for rid, entered in entries.items():
+            assert rid in exits
+            assert exits[rid] - entered <= threshold

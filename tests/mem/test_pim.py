@@ -1,0 +1,70 @@
+"""Near-memory string-matching unit tests (paper §7 extension)."""
+
+import pytest
+
+from repro.errors import ConfigError, MemoryError_
+from repro.mem.pim import PimMatchUnit
+from repro.sim import Simulator
+from repro.workloads.datasets import low_entropy_string
+from repro.workloads.kmp import kmp_count
+
+
+def make_unit(**kwargs):
+    sim = Simulator()
+    return sim, PimMatchUnit(sim, **kwargs)
+
+
+def test_functional_match_count_is_exact():
+    sim, unit = make_unit()
+    text = low_entropy_string(2000, seed=5)
+    unit.store(0x1000, text.encode())
+    proc = unit.match(0x1000, "acg")
+    sim.run()
+    assert proc.result.matches == kmp_count(text, "acg")
+
+
+def test_scan_time_scales_with_region_size():
+    sim, unit = make_unit(scan_bytes_per_cycle=64, command_latency=40)
+    unit.store(0x0, bytes(6400))
+    proc = unit.match(0x0, "x")
+    sim.run()
+    assert proc.result.latency == pytest.approx(40 + 100)
+
+
+def test_commands_serialise_on_the_unit():
+    sim, unit = make_unit(scan_bytes_per_cycle=64, command_latency=0)
+    unit.store(0x0, bytes(640))
+    p1 = unit.match(0x0, "a")
+    p2 = unit.match(0x0, "b")
+    sim.run()
+    assert p2.result.finished_at >= p1.result.finished_at + 10
+
+
+def test_stats_counted():
+    sim, unit = make_unit()
+    unit.store(0x0, b"abcabc")
+    unit.match(0x0, "abc")
+    sim.run()
+    assert unit.commands.value == 1
+    assert unit.bytes_scanned.value == 6
+
+
+def test_validation():
+    sim = Simulator()
+    with pytest.raises(ConfigError):
+        PimMatchUnit(sim, scan_bytes_per_cycle=0)
+    unit = PimMatchUnit(sim)
+    with pytest.raises(MemoryError_):
+        unit.store(0x0, b"")
+    with pytest.raises(MemoryError_):
+        unit.match(0x999, "a")
+    unit.store(0x0, b"data")
+    with pytest.raises(MemoryError_):
+        unit.match(0x0, "")
+
+
+def test_resident_bytes():
+    sim, unit = make_unit()
+    unit.store(0x40, b"hello")
+    assert unit.resident_bytes(0x40) == 5
+    assert unit.resident_bytes(0x0) == 0

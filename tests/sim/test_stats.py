@@ -1,0 +1,147 @@
+"""Unit and property tests for the statistics primitives."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.sim import Accumulator, Counter, Histogram, StatsRegistry, TimeWeighted
+
+
+class TestCounter:
+    def test_starts_at_zero_and_increments(self):
+        c = Counter("hits")
+        assert c.value == 0
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+
+    def test_reset(self):
+        c = Counter("hits")
+        c.inc(3)
+        c.reset()
+        assert c.value == 0
+
+    def test_snapshot(self):
+        c = Counter("hits")
+        c.inc(2)
+        assert c.snapshot() == {"hits": 2}
+
+
+class TestAccumulator:
+    def test_empty(self):
+        a = Accumulator("lat")
+        assert a.mean == 0.0 and a.count == 0 and a.stddev == 0.0
+
+    def test_mean_min_max(self):
+        a = Accumulator("lat")
+        for v in [2.0, 4.0, 6.0]:
+            a.add(v)
+        assert a.mean == pytest.approx(4.0)
+        assert a.min == 2.0 and a.max == 6.0 and a.total == 12.0
+
+    @given(st.lists(st.floats(-1e6, 1e6), min_size=1, max_size=200))
+    def test_matches_reference_statistics(self, samples):
+        a = Accumulator("x")
+        for s in samples:
+            a.add(s)
+        ref_mean = sum(samples) / len(samples)
+        assert a.mean == pytest.approx(ref_mean, rel=1e-9, abs=1e-6)
+        assert a.min == min(samples) and a.max == max(samples)
+        ref_var = sum((s - ref_mean) ** 2 for s in samples) / len(samples)
+        assert a.variance == pytest.approx(ref_var, rel=1e-6, abs=1e-3)
+
+
+class TestHistogram:
+    def test_binning(self):
+        h = Histogram("gran", [2, 4, 8])
+        for size, expected_bin in [(1, 0), (2, 0), (3, 1), (4, 1), (8, 2), (9, 3)]:
+            h.add(size)
+        assert h.counts == [2, 2, 1, 1]
+        assert h.count == 6
+
+    def test_fractions_sum_to_one(self):
+        h = Histogram("g", [2, 4])
+        for v in [1, 3, 5, 7]:
+            h.add(v)
+        assert sum(h.fractions()) == pytest.approx(1.0)
+
+    def test_weighted_add(self):
+        h = Histogram("g", [10])
+        h.add(5, weight=3)
+        assert h.counts == [3, 0] and h.count == 3
+
+    def test_mean(self):
+        h = Histogram("g", [10])
+        h.add(4)
+        h.add(8)
+        assert h.mean == pytest.approx(6.0)
+
+    def test_labels(self):
+        h = Histogram("g", [2, 4])
+        assert h.bin_labels() == ["<=2", "(2,4]", ">4"]
+
+    def test_unsorted_edges_rejected(self):
+        with pytest.raises(ValueError):
+            Histogram("bad", [4, 2])
+
+    @given(st.lists(st.integers(1, 64), min_size=1, max_size=100))
+    def test_total_count_conserved(self, samples):
+        h = Histogram("g", [2, 4, 8, 16, 32])
+        for s in samples:
+            h.add(s)
+        assert h.count == len(samples)
+        assert sum(h.counts) == len(samples)
+
+
+class TestTimeWeighted:
+    def test_constant_level(self):
+        tw = TimeWeighted("util", initial=0.5)
+        assert tw.average(10) == pytest.approx(0.5)
+
+    def test_step_change(self):
+        tw = TimeWeighted("util")
+        tw.set(1.0, 5)       # 0 for [0,5), 1 for [5,10)
+        assert tw.average(10) == pytest.approx(0.5)
+
+    def test_adjust_tracks_max(self):
+        tw = TimeWeighted("q")
+        tw.adjust(+3, 2)
+        tw.adjust(-1, 4)
+        assert tw.level == 2 and tw.max_level == 3
+
+    def test_time_must_not_go_backwards(self):
+        tw = TimeWeighted("q")
+        tw.set(1, 5)
+        with pytest.raises(ValueError):
+            tw.set(2, 3)
+
+
+class TestStatsRegistry:
+    def test_register_and_dump(self):
+        reg = StatsRegistry()
+        c = reg.counter("core0.instrs")
+        h = reg.histogram("core0.gran", [4])
+        c.inc(7)
+        h.add(2)
+        dump = reg.dump()
+        assert dump["core0.instrs"] == 7
+        assert dump["core0.gran.count"] == 1
+
+    def test_duplicate_name_rejected(self):
+        reg = StatsRegistry()
+        reg.counter("x")
+        with pytest.raises(ValueError):
+            reg.counter("x")
+
+    def test_contains_and_names(self):
+        reg = StatsRegistry()
+        reg.counter("b")
+        reg.accumulator("a")
+        assert "a" in reg and "b" in reg
+        assert reg.names() == ["a", "b"]
+
+    def test_get(self):
+        reg = StatsRegistry()
+        c = reg.counter("x")
+        assert reg.get("x") is c

@@ -1,0 +1,44 @@
+"""Tests for the trace buffer."""
+
+from repro.sim import TraceBuffer
+
+
+def test_disabled_by_default():
+    buf = TraceBuffer()
+    buf.emit(0, "core0", "issue")
+    assert len(buf) == 0
+
+
+def test_records_when_enabled():
+    buf = TraceBuffer(enabled=True)
+    buf.emit(1, "core0", "issue", {"pc": 4})
+    buf.emit(2, "core1", "miss")
+    assert len(buf) == 2
+    rec = buf.records()[0]
+    assert (rec.time, rec.source, rec.event, rec.payload) == (1, "core0", "issue", {"pc": 4})
+
+
+def test_filtering():
+    buf = TraceBuffer(enabled=True)
+    buf.emit(1, "a", "x")
+    buf.emit(2, "a", "y")
+    buf.emit(3, "b", "x")
+    assert len(buf.records(source="a")) == 2
+    assert len(buf.records(event="x")) == 2
+    assert len(buf.records(source="a", event="x")) == 1
+
+
+def test_capacity_bound_and_dropped_count():
+    buf = TraceBuffer(capacity=3, enabled=True)
+    for i in range(5):
+        buf.emit(i, "s", "e")
+    assert len(buf) == 3
+    assert buf.dropped == 2
+    assert [r.time for r in buf] == [2, 3, 4]
+
+
+def test_clear():
+    buf = TraceBuffer(enabled=True)
+    buf.emit(0, "s", "e")
+    buf.clear()
+    assert len(buf) == 0 and buf.dropped == 0

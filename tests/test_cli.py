@@ -1,0 +1,64 @@
+"""CLI smoke tests."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_list_workloads(capsys):
+    assert main(["list-workloads"]) == 0
+    out = capsys.readouterr().out
+    for name in ("kmp", "rnc", "splash2.fft"):
+        assert name in out
+
+
+def test_run_command(capsys):
+    rc = main(["run", "kmp", "--sub-rings", "1", "--cores", "4",
+               "--threads-per-core", "4", "--instrs", "100"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "chip IPC" in out and "MACT batching" in out
+
+
+def test_run_with_shared_code(capsys):
+    rc = main(["run", "search", "--sub-rings", "1", "--cores", "2",
+               "--instrs", "100", "--shared-code"])
+    assert rc == 0
+
+
+def test_xeon_command(capsys):
+    rc = main(["xeon", "kmp", "--threads", "8", "--instrs", "5000"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "idle ratio" in out
+
+
+def test_compare_command(capsys):
+    rc = main(["compare", "kmp", "--sub-rings", "2", "--instrs", "150"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "speedup" in out and "energy-efficiency gain" in out
+
+
+def test_area_power_command(capsys):
+    assert main(["area-power"]) == 0
+    out = capsys.readouterr().out
+    assert "751" in out and "MACT" in out
+
+
+def test_cdn_command(capsys):
+    assert main(["cdn"]) == 0
+    out = capsys.readouterr().out
+    assert "400" in out
+
+
+def test_unknown_workload_raises():
+    from repro.errors import WorkloadError
+
+    with pytest.raises(WorkloadError):
+        main(["run", "doom"])
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])

@@ -1,0 +1,117 @@
+"""Tests for the chip configuration dataclasses (paper Table 2 values)."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.config import (
+    MACTConfig,
+    MemoryConfig,
+    RingConfig,
+    SchedulerConfig,
+    SmarCoConfig,
+    TCGConfig,
+    smarco_default,
+    smarco_scaled,
+    xeon_default,
+)
+from repro.errors import ConfigError
+
+KB = 1024
+MB = 1024 * KB
+
+
+class TestSmarCoDefaults:
+    def test_paper_core_counts(self):
+        cfg = smarco_default()
+        assert cfg.total_cores == 256
+        assert cfg.total_hw_threads == 2048          # Table 2: 2048 threads
+        assert cfg.frequency_ghz == 1.5
+
+    def test_paper_onchip_memory_totals(self):
+        cfg = smarco_default()
+        assert cfg.total_icache_bytes == 4 * MB      # Table 2: 4MB L1 I$
+        assert cfg.total_dcache_bytes == 4 * MB      # Table 2: 4MB L1 D$
+        assert cfg.total_spm_bytes == 32 * MB        # Table 2: 32MB SPM
+
+    def test_paper_ring_widths(self):
+        ring = smarco_default().ring
+        assert ring.main_ring_bits == 512            # §3.3
+        assert ring.sub_ring_bits == 256
+
+    def test_paper_memory_bandwidth(self):
+        mem = smarco_default().memory
+        assert mem.peak_bandwidth_gbps == pytest.approx(136.5, rel=0.01)
+        assert mem.total_bytes == 64 * 1024 ** 3     # Table 2: 64GB
+
+    def test_tcg_paper_parameters(self):
+        tcg = smarco_default().tcg
+        assert tcg.issue_width == 4 and tcg.pipeline_depth == 8
+        assert tcg.hw_threads == 8 and tcg.running_threads == 4
+        assert tcg.icache_bytes == 16 * KB
+        assert tcg.dcache_bytes == 16 * KB
+        assert tcg.spm_bytes == 128 * KB
+
+
+class TestScaledConfig:
+    def test_scaled_preserves_core_geometry(self):
+        cfg = smarco_scaled(sub_rings=4)
+        assert cfg.total_cores == 64
+        assert cfg.tcg == smarco_default().tcg
+
+    def test_scaled_memory_channels_track_subrings(self):
+        assert smarco_scaled(sub_rings=2).memory.channels == 2
+        assert smarco_scaled(sub_rings=16).memory.channels == 4
+
+    def test_single_subring(self):
+        cfg = smarco_scaled(sub_rings=1, cores_per_sub_ring=4)
+        assert cfg.total_cores == 4 and cfg.memory.channels == 1
+
+
+class TestValidation:
+    def test_running_exceeds_hw_threads(self):
+        with pytest.raises(ConfigError):
+            TCGConfig(hw_threads=4, running_threads=8).validate()
+
+    def test_odd_thread_count_rejected(self):
+        with pytest.raises(ConfigError):
+            TCGConfig(hw_threads=7, running_threads=3).validate()
+
+    def test_bad_slice_bytes(self):
+        with pytest.raises(ConfigError):
+            RingConfig(slice_bytes=3).validate()
+
+    def test_mact_threshold_positive(self):
+        with pytest.raises(ConfigError):
+            MACTConfig(threshold_cycles=0).validate()
+
+    def test_scheduler_policy_checked(self):
+        with pytest.raises(ConfigError):
+            SchedulerConfig(policy="random").validate()
+
+    def test_zero_subrings_rejected(self):
+        with pytest.raises(ConfigError):
+            SmarCoConfig(sub_rings=0).validate()
+
+    def test_channels_cannot_exceed_subrings(self):
+        cfg = SmarCoConfig(sub_rings=2, memory=MemoryConfig(channels=4))
+        with pytest.raises(ConfigError):
+            cfg.validate()
+
+
+class TestXeon:
+    def test_paper_table2_values(self):
+        xeon = xeon_default()
+        assert xeon.cores == 24
+        assert xeon.total_hw_threads == 48
+        assert xeon.llc_bytes == 60 * MB
+        assert xeon.memory_bandwidth_gbps == 85.0
+        assert xeon.tdp_watts == 165.0
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            xeon_default().cores = 1
+
+    def test_replace_for_sweeps(self):
+        fast = replace(xeon_default(), frequency_ghz=3.0)
+        assert fast.frequency_ghz == 3.0 and xeon_default().frequency_ghz == 2.2

@@ -1,0 +1,69 @@
+"""CDN model tests (paper Fig 2 substitution)."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workloads import CdnConfig, CdnModel
+
+
+def test_connection_limit_matches_paper():
+    """10 Gbps NIC / 25 Mbps video = 400 clients."""
+    assert CdnConfig().max_connections == 400
+
+
+def test_nic_saturates_at_limit():
+    model = CdnModel()
+    assert model.nic_utilization(400) == pytest.approx(1.0)
+    assert model.nic_utilization(200) == pytest.approx(0.5)
+    assert model.nic_utilization(1000) == 1.0          # capped
+
+
+def test_cpu_utilization_stays_under_ten_percent():
+    """The paper's headline observation: CPU <10% while the NIC is full."""
+    model = CdnModel()
+    assert model.cpu_utilization(400) < 0.10
+    assert model.cpu_utilization(400) > 0.01           # but not zero
+
+
+def test_cpu_utilization_monotone_until_nic_cap():
+    model = CdnModel()
+    utils = [model.cpu_utilization(n) for n in (50, 100, 200, 400)]
+    assert utils == sorted(utils)
+    assert model.cpu_utilization(800) == model.cpu_utilization(400)
+
+
+def test_branch_miss_exceeds_ten_percent_near_limit():
+    model = CdnModel()
+    assert model.branch_miss_ratio(400) > 0.10
+    assert model.branch_miss_ratio(10) < 0.05
+
+
+def test_l1_miss_measured_around_forty_percent_at_limit():
+    model = CdnModel()
+    miss_at_limit = model.l1_miss_ratio(400)
+    assert 0.3 <= miss_at_limit <= 0.55                # paper: ~40%
+
+
+def test_l1_miss_grows_with_connections():
+    model = CdnModel()
+    few = model.l1_miss_ratio(4)
+    many = model.l1_miss_ratio(400)
+    assert few < many
+
+
+def test_l1_miss_zero_connections():
+    assert CdnModel().l1_miss_ratio(0) == 0.0
+
+
+def test_sweep_produces_increasing_connection_counts():
+    points = CdnModel().sweep(points=6)
+    counts = [p.connections for p in points]
+    assert counts == sorted(counts)
+    assert counts[-1] == 400
+
+
+def test_config_validation():
+    with pytest.raises(WorkloadError):
+        CdnConfig(nic_gbps=0).validate()
+    with pytest.raises(WorkloadError):
+        CdnConfig(video_rate_mbps=20_000).validate()

@@ -1,0 +1,196 @@
+"""Workload profile and stream-generation tests."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.tcg import UNCACHED_BASE
+from repro.errors import WorkloadError
+from repro.mem.spm import SPM_REGION_BASE
+from repro.noc.traffic import GranularityDist
+from repro.sim import RngTree
+from repro.workloads import (
+    HTC_PROFILES,
+    SPLASH2_PROFILES,
+    WorkloadProfile,
+    all_profiles,
+    get_profile,
+)
+
+
+class TestRegistry:
+    def test_six_htc_benchmarks_registered(self):
+        assert set(HTC_PROFILES) == {
+            "wordcount", "terasort", "search", "kmeans", "kmp", "rnc"
+        }
+
+    def test_eleven_splash2_apps(self):
+        assert len(SPLASH2_PROFILES) == 11
+
+    def test_get_profile(self):
+        assert get_profile("kmp").name == "kmp"
+        with pytest.raises(WorkloadError):
+            get_profile("doom")
+
+    def test_all_profiles_contains_both_families(self):
+        names = set(all_profiles())
+        assert "wordcount" in names and "splash2.fft" in names
+
+
+class TestPaperAlignment:
+    def test_search_has_lowest_memory_ratio(self):
+        """Paper Fig 17: search 'is characterized by lower memory
+        instruction'."""
+        search = HTC_PROFILES["search"]
+        assert all(search.mem_ratio <= p.mem_ratio
+                   for p in HTC_PROFILES.values())
+
+    def test_kmp_and_rnc_have_smallest_granularity(self):
+        """Paper Fig 8/18: KMP and RNC carry the largest small-packet
+        share."""
+        def tiny_share(p):
+            return sum(w for s, w in p.granularity.weights if s <= 2) / \
+                sum(w for _, w in p.granularity.weights)
+
+        shares = {name: tiny_share(p) for name, p in HTC_PROFILES.items()}
+        top_two = sorted(shares, key=shares.get, reverse=True)[:2]
+        assert set(top_two) == {"kmp", "rnc"}
+
+    def test_kmeans_has_no_tiny_accesses(self):
+        """Paper: 'K-means contains few 1 Byte or 2 Bytes memory access
+        packets'."""
+        kmeans = HTC_PROFILES["kmeans"]
+        assert all(size > 2 for size, _ in kmeans.granularity.weights)
+
+    def test_htc_granularity_smaller_than_splash2(self):
+        """Paper Fig 8: HTC accesses are much smaller than conventional."""
+        htc_mean = sum(p.granularity.mean() for p in HTC_PROFILES.values()
+                       ) / len(HTC_PROFILES)
+        splash_mean = sum(p.granularity.mean() for p in SPLASH2_PROFILES.values()
+                          ) / len(SPLASH2_PROFILES)
+        assert htc_mean * 3 < splash_mean
+
+    def test_only_rnc_is_realtime(self):
+        assert HTC_PROFILES["rnc"].realtime
+        assert sum(p.realtime for p in HTC_PROFILES.values()) == 1
+
+    def test_splash2_has_no_spm_use(self):
+        assert all(p.spm_fraction == 0 for p in SPLASH2_PROFILES.values())
+
+
+class TestValidation:
+    def base_kwargs(self):
+        return dict(
+            name="x", mem_ratio=0.3, branch_ratio=0.1,
+            granularity=GranularityDist(((4, 1.0),)),
+            spm_fraction=0.5, uncached_fraction=0.3,
+            working_set_bytes=1024, code_footprint_bytes=1024,
+        )
+
+    def test_mix_must_not_exceed_one(self):
+        kwargs = self.base_kwargs()
+        kwargs.update(mem_ratio=0.8, branch_ratio=0.3)
+        with pytest.raises(WorkloadError):
+            WorkloadProfile(**kwargs)
+
+    def test_memory_mix_must_not_exceed_one(self):
+        kwargs = self.base_kwargs()
+        kwargs.update(spm_fraction=0.7, uncached_fraction=0.5)
+        with pytest.raises(WorkloadError):
+            WorkloadProfile(**kwargs)
+
+    def test_footprints_positive(self):
+        kwargs = self.base_kwargs()
+        kwargs.update(working_set_bytes=0)
+        with pytest.raises(WorkloadError):
+            WorkloadProfile(**kwargs)
+
+
+class TestStreamGeneration:
+    def test_stream_length(self):
+        rng = RngTree(0).stream("s")
+        instrs = list(get_profile("kmp").stream(500, rng))
+        assert len(instrs) == 500
+
+    def test_stream_mix_matches_profile(self):
+        profile = get_profile("wordcount")
+        rng = RngTree(1).stream("s")
+        instrs = list(profile.stream(20_000, rng))
+        mem = sum(1 for i in instrs if i.is_mem) / len(instrs)
+        branch = sum(1 for i in instrs if i.kind == "branch") / len(instrs)
+        assert mem == pytest.approx(profile.mem_ratio, abs=0.02)
+        assert branch == pytest.approx(profile.branch_ratio, abs=0.02)
+
+    def test_stream_addresses_land_in_declared_regions(self):
+        profile = get_profile("terasort")
+        rng = RngTree(2).stream("s")
+        spm_base = SPM_REGION_BASE + 3 * 128 * 1024
+        regions = {"spm": 0, "uncached": 0, "heap": 0}
+        for instr in profile.stream(5000, rng, thread_id=3, spm_base=spm_base):
+            if not instr.is_mem:
+                continue
+            if instr.addr >= UNCACHED_BASE:
+                regions["uncached"] += 1
+            elif instr.addr >= SPM_REGION_BASE:
+                regions["heap"] += 0  # should not happen for other cores
+                assert spm_base <= instr.addr < spm_base + 128 * 1024
+                regions["spm"] += 1
+            else:
+                regions["heap"] += 1
+        total = sum(regions.values())
+        assert regions["spm"] / total == pytest.approx(profile.spm_fraction, abs=0.05)
+        assert regions["uncached"] / total == pytest.approx(
+            profile.uncached_fraction, abs=0.05)
+
+    def test_stream_deterministic_per_seed(self):
+        profile = get_profile("rnc")
+        a = list(profile.stream(100, RngTree(5).stream("x")))
+        b = list(profile.stream(100, RngTree(5).stream("x")))
+        assert a == b
+
+    def test_threads_use_disjoint_heaps(self):
+        profile = get_profile("kmeans")
+        addr0 = [i.addr for i in profile.stream(2000, RngTree(0).stream("a"),
+                                                thread_id=0)
+                 if i.is_mem and i.addr < SPM_REGION_BASE]
+        addr1 = [i.addr for i in profile.stream(2000, RngTree(0).stream("b"),
+                                                thread_id=1)
+                 if i.is_mem and i.addr < SPM_REGION_BASE]
+        assert addr0 and addr1
+        assert max(addr0) < min(addr1)
+
+    @given(st.sampled_from(sorted(HTC_PROFILES)))
+    @settings(max_examples=6, deadline=None)
+    def test_stream_sizes_follow_granularity_support(self, name):
+        profile = get_profile(name)
+        support = {s for s, _ in profile.granularity.weights}
+        rng = RngTree(9).stream(name)
+        for instr in profile.stream(1000, rng):
+            if instr.is_mem:
+                assert instr.size in support
+
+
+class TestXeonSamplers:
+    def test_data_sampler_shape(self):
+        profile = get_profile("kmp")
+        rng = RngTree(0).stream("x")
+        sample = profile.xeon_data_sampler(0, rng)
+        addr, size, is_write = sample()
+        assert addr >= 0 and size >= 1 and isinstance(is_write, bool)
+
+    def test_no_spm_addresses_on_xeon(self):
+        profile = get_profile("wordcount")
+        rng = RngTree(1).stream("x")
+        sample = profile.xeon_data_sampler(0, rng)
+        for _ in range(500):
+            addr, _, _ = sample()
+            assert not (SPM_REGION_BASE <= addr < UNCACHED_BASE)
+
+    def test_code_sampler_within_footprint(self):
+        from repro.workloads.base import CODE_BASE
+
+        profile = get_profile("search")
+        rng = RngTree(2).stream("x")
+        sample = profile.xeon_code_sampler(rng)
+        for _ in range(200):
+            addr = sample()
+            assert CODE_BASE <= addr < CODE_BASE + profile.code_footprint_bytes
