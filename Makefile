@@ -1,0 +1,25 @@
+# Developer / CI entry points.
+#
+# REPRO_WORKERS feeds the experiment runner's default worker count
+# (repro.exp.runner.resolve_workers); CI pins it to 2 so the sweep-backed
+# benches exercise the multi-process path deterministically.
+
+PYTHON ?= python
+REPRO_WORKERS ?= 2
+
+export PYTHONPATH := src
+
+.PHONY: test bench-smoke bench clean
+
+test:
+	$(PYTHON) -m pytest -x -q
+
+bench-smoke:
+	REPRO_WORKERS=$(REPRO_WORKERS) $(PYTHON) -m pytest -q -p no:cacheprovider benchmarks -k "fig17 or fig19"
+
+bench:
+	REPRO_WORKERS=$(REPRO_WORKERS) $(PYTHON) -m pytest -q -p no:cacheprovider benchmarks
+
+clean:
+	rm -rf .pytest_cache benchmarks/results/cache benchmarks/results/runs results
+	find . -name __pycache__ -type d -exec rm -rf {} +

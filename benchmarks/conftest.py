@@ -40,3 +40,17 @@ def chip_scale():
     if FULL_SCALE:
         return 16, 16, 300
     return 4, 16, 250
+
+
+@pytest.fixture
+def exp_runner():
+    """The shared sweep runner for sweep-shaped benches.
+
+    Workers come from ``REPRO_WORKERS`` (CI pins 2; default serial).
+    The result cache lives under ``benchmarks/results/cache`` and is
+    keyed on a digest of the simulator sources, so re-running a bench
+    skips already-simulated points but any code edit re-simulates.
+    """
+    from repro.exp import Runner
+
+    return Runner(base_dir=RESULTS_DIR)

@@ -7,45 +7,45 @@ cannot exploit pairing (it flattens/dips slightly).
 
 Ablation (DESIGN.md §5): in-pair vs blocking (no pairing) vs coarse-
 grained global scheduling at 8 threads.
+
+The whole grid (workload x thread-count, plus the ablation points) is one
+``ExperimentSpec`` executed through the parallel experiment runner, so it
+fans out across ``REPRO_WORKERS`` processes and re-runs are cache hits.
 """
 
 from repro.analysis import render_series, render_table
-from repro.core import FixedLatencyPort, TCGCore
-from repro.sim import RngTree, Simulator
-from repro.workloads import HTC_PROFILES, get_profile
+from repro.exp import ExperimentSpec, RunRequest
+from repro.workloads import HTC_PROFILES
 
 THREADS = [1, 2, 4, 6, 8]
 INSTRS = 12_000
 MEM_LATENCY = 150.0
 
 
-def _core_ipc(workload, n_threads, policy="inpair", seed=0):
-    sim = Simulator()
-    port = FixedLatencyPort(sim, MEM_LATENCY)
-    core = TCGCore(sim, 0, port, policy=policy)
-    profile = get_profile(workload)
-    rng_tree = RngTree(seed)
-    for t in range(n_threads):
-        core.add_thread(profile.stream(
-            INSTRS, rng_tree.stream(f"{workload}.{t}"), thread_id=t,
-            gang_size=n_threads, gang_rank=t,
-        ))
-    core.start()
-    sim.run()
-    return core.ipc
+def _request(workload, n_threads, policy="inpair", seed=0):
+    return RunRequest(kind="tcg", workload=workload, seed=seed,
+                      threads_per_core=n_threads, instrs_per_thread=INSTRS,
+                      core_policy=policy, mem_latency=MEM_LATENCY)
 
 
-def _sweep():
-    series = {wl: [_core_ipc(wl, n) for n in THREADS]
-              for wl in HTC_PROFILES}
-    ablation = {policy: _core_ipc("kmp", 8 if policy != "blocking" else 4,
-                                  policy=policy)
-                for policy in ("inpair", "blocking", "coarse")}
-    return series, ablation
+def test_fig17_tcg_ipc(benchmark, emit, exp_runner):
+    workloads = list(HTC_PROFILES)
+    grid = [_request(wl, n) for wl in workloads for n in THREADS]
+    ablation_points = [_request("kmp", 8, "inpair"),
+                       _request("kmp", 8, "coarse"),
+                       _request("kmp", 4, "blocking")]
+    spec = ExperimentSpec.explicit("fig17_tcg_ipc", grid + ablation_points)
 
+    def sweep():
+        results = exp_runner.run(spec).results
+        series = {}
+        for i, wl in enumerate(workloads):
+            chunk = results[i * len(THREADS):(i + 1) * len(THREADS)]
+            series[wl] = [r.ipc for r in chunk]
+        ablation = {r.policy: r.ipc for r in results[len(grid):]}
+        return series, ablation
 
-def test_fig17_tcg_ipc(benchmark, emit):
-    series, ablation = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    series, ablation = benchmark.pedantic(sweep, rounds=1, iterations=1)
 
     fig = render_series(
         "threads", THREADS,

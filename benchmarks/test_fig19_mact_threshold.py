@@ -3,37 +3,45 @@
 Speedup (normalised to the 8-cycle threshold) for thresholds 4..64.
 Paper finding: 16 cycles is best for most benchmarks — short thresholds
 forfeit batching, long ones delay every collected request.
+
+The workload x threshold grid goes through the parallel experiment
+runner: the threshold axis is a ``smarco_config`` axis (each value a
+config with a different ``MACTConfig.threshold_cycles``).
 """
 
 import dataclasses
 
 from repro.analysis import render_series
-from repro.chip import SmarCoChip
-from repro.config import MACTConfig, SmarCoConfig, smarco_scaled
-from repro.workloads import get_profile
+from repro.config import MACTConfig, smarco_scaled
+from repro.exp import ExperimentSpec, RunRequest
 
 THRESHOLDS = [4, 8, 16, 32, 64]
 WORKLOADS = ["wordcount", "terasort", "kmp", "rnc"]
 
 
-def _run(workload, threshold, scale):
-    sub_rings, cores, instrs = scale
+def _config(threshold, sub_rings, cores):
     base = smarco_scaled(sub_rings, cores)
-    cfg = dataclasses.replace(base, mact=MACTConfig(threshold_cycles=threshold))
-    chip = SmarCoChip(cfg, seed=19)
-    chip.load_profile(get_profile(workload), threads_per_core=8,
-                      instrs_per_thread=instrs)
-    return chip.run()
+    return dataclasses.replace(base,
+                               mact=MACTConfig(threshold_cycles=threshold))
 
 
-def test_fig19_mact_threshold(benchmark, emit, chip_scale):
-    scale = (2, 8, chip_scale[2])          # small chip: 30 runs in budget
+def test_fig19_mact_threshold(benchmark, emit, chip_scale, exp_runner):
+    sub_rings, cores, instrs = 2, 8, chip_scale[2]   # small chip: 20 runs
+
+    spec = ExperimentSpec.grid(
+        "fig19_mact_threshold",
+        RunRequest(kind="smarco", seed=19, threads_per_core=8,
+                   instrs_per_thread=instrs),
+        workload=WORKLOADS,
+        smarco_config=[_config(t, sub_rings, cores) for t in THRESHOLDS],
+    )
 
     def sweep():
+        results = exp_runner.run(spec).results
         series = {}
-        for wl in WORKLOADS:
-            results = [_run(wl, t, scale) for t in THRESHOLDS]
-            tputs = [r.throughput_ips for r in results]
+        for i, wl in enumerate(WORKLOADS):
+            chunk = results[i * len(THRESHOLDS):(i + 1) * len(THRESHOLDS)]
+            tputs = [r.throughput_ips for r in chunk]
             base = tputs[THRESHOLDS.index(8)]
             series[wl] = [t / base for t in tputs]
         return series

@@ -4,12 +4,16 @@ Paper shape: the Xeon rises to a peak around 32-64 threads and then
 *falls* (thread creation + scheduling overhead); SmarCo starts far below
 (few threads cannot fill 64+ cores) but scales past the Xeon beyond ~64
 threads and keeps rising.
+
+Both thread ladders (Xeon and SmarCo) are one explicit ``ExperimentSpec``
+through the parallel runner — per-thread instruction budgets shrink with
+thread count (work-normalised throughput), so this is an explicit request
+list rather than a grid.
 """
 
 from repro.analysis import crossover_index, render_series
-from repro.chip import SmarCoChip, XeonSystem
 from repro.config import smarco_scaled
-from repro.workloads import get_profile
+from repro.exp import ExperimentSpec, RunRequest
 
 THREADS = [1, 4, 16, 32, 64, 128, 256, 512]
 # Throughput (instrs/sec) is work-normalised, so each system can run the
@@ -20,28 +24,28 @@ XEON_TOTAL_WORK = 8_000_000
 SMARCO_TOTAL_WORK = 1_500_000
 
 
-def _xeon_tput(n_threads):
-    system = XeonSystem(seed=23)
-    per_thread = max(500, XEON_TOTAL_WORK // n_threads)
-    result = system.run_profile(get_profile("kmp"), n_threads, per_thread)
-    return result.throughput_ips
-
-
-def _smarco_tput(n_threads, cfg):
-    chip = SmarCoChip(cfg, seed=23)
-    per_thread = max(200, SMARCO_TOTAL_WORK // n_threads)
-    chip.load_profile(get_profile("kmp"), threads_per_core=8,
-                      instrs_per_thread=per_thread, total_threads=n_threads)
-    return chip.run().throughput_ips
-
-
-def test_fig23_scalability(benchmark, emit, chip_scale):
+def test_fig23_scalability(benchmark, emit, chip_scale, exp_runner):
     sub_rings, cores, _ = chip_scale
     cfg = smarco_scaled(sub_rings, cores)
 
+    xeon_requests = [
+        RunRequest(kind="xeon", workload="kmp", seed=23, xeon_threads=n,
+                   xeon_instrs_per_thread=max(500, XEON_TOTAL_WORK // n))
+        for n in THREADS
+    ]
+    smarco_requests = [
+        RunRequest(kind="smarco", workload="kmp", seed=23, smarco_config=cfg,
+                   threads_per_core=8, total_threads=n,
+                   instrs_per_thread=max(200, SMARCO_TOTAL_WORK // n))
+        for n in THREADS
+    ]
+    spec = ExperimentSpec.explicit("fig23_scalability",
+                                   xeon_requests + smarco_requests)
+
     def sweep():
-        xeon = [_xeon_tput(n) for n in THREADS]
-        smarco = [_smarco_tput(n, cfg) for n in THREADS]
+        results = exp_runner.run(spec).results
+        xeon = [r.throughput_ips for r in results[:len(THREADS)]]
+        smarco = [r.throughput_ips for r in results[len(THREADS):]]
         return xeon, smarco
 
     xeon, smarco = benchmark.pedantic(sweep, rounds=1, iterations=1)

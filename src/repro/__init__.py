@@ -20,11 +20,14 @@ paper-figure reproduction status.
 
 from .chip import (
     ComparisonResult,
+    RunOutcome,
     SmarCoChip,
     SmarcoRunResult,
+    TcgRunResult,
     XeonRunResult,
     XeonSystem,
     compare,
+    execute,
     run_smarco,
     run_xeon,
 )
@@ -40,9 +43,10 @@ from .config import (
     smarco_scaled,
     xeon_default,
 )
+from .exp import ExperimentSpec, RunRequest
 from .workloads import all_profiles, get_profile
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "__version__",
@@ -50,10 +54,15 @@ __all__ = [
     "SmarcoRunResult",
     "XeonSystem",
     "XeonRunResult",
+    "TcgRunResult",
     "ComparisonResult",
+    "RunOutcome",
+    "execute",
     "run_smarco",
     "run_xeon",
     "compare",
+    "RunRequest",
+    "ExperimentSpec",
     "SmarCoConfig",
     "TCGConfig",
     "RingConfig",

@@ -2,7 +2,7 @@
 
 from .metrics import crossover_index, geometric_mean, normalize, speedup
 from .report import build_report, collect_results
-from .tables import render_series, render_table
+from .tables import render_result, render_series, render_table
 
 __all__ = [
     "speedup",
@@ -11,6 +11,7 @@ __all__ = [
     "crossover_index",
     "render_table",
     "render_series",
+    "render_result",
     "build_report",
     "collect_results",
 ]

@@ -8,7 +8,7 @@ from __future__ import annotations
 
 from typing import Any, Dict, List, Optional, Sequence
 
-__all__ = ["render_table", "render_series"]
+__all__ = ["render_table", "render_series", "render_result"]
 
 
 def _fmt(value: Any) -> str:
@@ -37,6 +37,29 @@ def render_table(headers: Sequence[str], rows: Sequence[Sequence[Any]],
     for row in cells:
         lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
     return "\n".join(lines)
+
+
+def render_result(result: Any, title: Optional[str] = None) -> str:
+    """Metric/value table for any run result exposing ``to_dict()``.
+
+    Consumes the shared result protocol (``repro.chip.results``) instead
+    of per-class attributes; nested results (e.g. the two sides of a
+    ``ComparisonResult``) are flattened with dotted names.
+    """
+    data = result.to_dict() if hasattr(result, "to_dict") else dict(result)
+
+    def _rows(mapping: Dict[str, Any], prefix: str = "") -> List[List[Any]]:
+        rows: List[List[Any]] = []
+        for key, value in mapping.items():
+            if key == "type":
+                continue
+            if isinstance(value, dict):
+                rows.extend(_rows(value, prefix=f"{prefix}{key}."))
+            else:
+                rows.append([f"{prefix}{key}", value])
+        return rows
+
+    return render_table(["metric", "value"], _rows(data), title=title)
 
 
 def render_series(x_label: str, xs: Sequence[Any],

@@ -1,6 +1,15 @@
 """Full-chip assemblies: SmarCo, the Xeon baseline, and the run harness."""
 
-from .run import ComparisonResult, compare, run_smarco, run_xeon
+from .results import DictResult, result_from_dict
+from .run import (
+    ComparisonResult,
+    RunOutcome,
+    TcgRunResult,
+    compare,
+    execute,
+    run_smarco,
+    run_xeon,
+)
 from .smarco import SmarCoChip, SmarcoRunResult
 from .xeon import XeonRunResult, XeonSystem
 
@@ -9,7 +18,12 @@ __all__ = [
     "SmarcoRunResult",
     "XeonSystem",
     "XeonRunResult",
+    "TcgRunResult",
     "ComparisonResult",
+    "RunOutcome",
+    "DictResult",
+    "result_from_dict",
+    "execute",
     "run_smarco",
     "run_xeon",
     "compare",

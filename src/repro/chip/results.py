@@ -1,0 +1,57 @@
+"""The ``to_dict`` / ``from_dict`` protocol shared by every run result.
+
+The telemetry layer, the result cache and ``repro.analysis`` consume run
+results through this protocol instead of reaching into per-class
+attributes: ``to_dict()`` yields a plain JSON-ready dict (dataclass
+fields plus the computed properties named in ``_COMPUTED``, tagged with
+a ``"type"`` discriminator), and ``from_dict`` / :func:`result_from_dict`
+rebuild the object, ignoring the computed extras.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Dict, Tuple, Type
+
+__all__ = ["DictResult", "result_from_dict"]
+
+_RESULT_TYPES: Dict[str, Type["DictResult"]] = {}
+
+
+class DictResult:
+    """Mixin for dataclass results: symmetric dict serialisation."""
+
+    #: property names included in :meth:`to_dict` for human/analysis use
+    #: (dropped again by :meth:`from_dict` — they are derived, not state).
+    _COMPUTED: Tuple[str, ...] = ()
+
+    def __init_subclass__(cls, **kwargs: Any) -> None:
+        super().__init_subclass__(**kwargs)
+        _RESULT_TYPES[cls.__name__] = cls
+
+    def to_dict(self) -> Dict[str, Any]:
+        out: Dict[str, Any] = {"type": type(self).__name__}
+        for f in dataclasses.fields(self):
+            value = getattr(self, f.name)
+            if dataclasses.is_dataclass(value):
+                value = dataclasses.asdict(value)
+            out[f.name] = value
+        for name in self._COMPUTED:
+            out[name] = getattr(self, name)
+        return out
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "DictResult":
+        names = {f.name for f in dataclasses.fields(cls)}
+        return cls(**{k: v for k, v in data.items() if k in names})
+
+
+def result_from_dict(data: Dict[str, Any]) -> DictResult:
+    """Rebuild any registered result from its ``to_dict`` form."""
+    # ensure every result class has registered itself
+    from . import run, smarco, xeon  # noqa: F401
+
+    type_name = data.get("type")
+    if type_name not in _RESULT_TYPES:
+        raise ValueError(f"unknown result type {type_name!r}")
+    return _RESULT_TYPES[type_name].from_dict(data)

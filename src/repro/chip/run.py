@@ -1,23 +1,70 @@
-"""High-level experiment harness: run a workload on both chips and
-compare (the machinery behind Figs 22, 23, 26).
+"""The unified run API.
+
+Every simulation the repo can perform — one TCG core, a SmarCo chip, the
+Xeon baseline, or a SmarCo-vs-Xeon comparison — is described by a frozen
+:class:`repro.exp.RunRequest` and executed by :func:`execute`, which
+returns a :class:`RunOutcome`: the result object *plus* the full
+``StatsRegistry`` dump of the simulation.  The sweep runner
+(``repro.exp.runner``), the CLI and the benches all go through this one
+entry point, so there is a single source of truth for how a request maps
+to a simulator build.
+
+The historical per-kind helpers (:func:`run_smarco`, :func:`run_xeon`,
+:func:`compare`) remain as thin shims: they accept a ``RunRequest`` as
+their first argument, and their old kwargs signatures still work but
+emit :class:`DeprecationWarning`.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, Optional
+import warnings
+from dataclasses import dataclass, replace
+from typing import Any, Dict, Optional, Union
 
-from ..config import SmarCoConfig, XeonConfig, smarco_scaled, xeon_default
+from ..config import SmarCoConfig, XeonConfig, smarco_default
+from ..core.ports import FixedLatencyPort
+from ..core.tcg import TCGCore
+from ..errors import ConfigError
+from ..exp.request import RunRequest
 from ..power.energy import PowerModel, XeonPowerModel
-from ..workloads.base import WorkloadProfile, get_profile
+from ..sim.engine import Simulator
+from ..sim.rng import RngTree
+from ..sim.stats import StatsRegistry
+from ..workloads.base import get_profile
+from .results import DictResult, result_from_dict
 from .smarco import SmarCoChip, SmarcoRunResult
 from .xeon import XeonRunResult, XeonSystem
 
-__all__ = ["ComparisonResult", "run_smarco", "run_xeon", "compare"]
+__all__ = [
+    "TcgRunResult",
+    "ComparisonResult",
+    "RunOutcome",
+    "execute",
+    "run_smarco",
+    "run_xeon",
+    "compare",
+]
 
 
 @dataclass
-class ComparisonResult:
+class TcgRunResult(DictResult):
+    """Outcome of a single-core microbench (``kind="tcg"``, Fig 17)."""
+
+    workload: str
+    policy: str
+    threads: int
+    cycles: float
+    instructions: int
+
+    _COMPUTED = ("ipc",)
+
+    @property
+    def ipc(self) -> float:
+        return self.instructions / self.cycles if self.cycles else 0.0
+
+
+@dataclass
+class ComparisonResult(DictResult):
     """SmarCo-vs-Xeon outcome for one workload (one Fig 22 bar pair)."""
 
     workload: str
@@ -26,23 +73,198 @@ class ComparisonResult:
     smarco_watts: float
     xeon_watts: float
 
+    _COMPUTED = ("speedup", "energy_efficiency_gain")
+
     @property
     def speedup(self) -> float:
-        """SmarCo throughput over Xeon throughput (Fig 22 left bars)."""
+        """SmarCo throughput over Xeon throughput (Fig 22 left bars).
+
+        ``nan`` (never a silent ``0.0``) when the baseline did no work.
+        """
         if not self.xeon.throughput_ips:
-            return 0.0
+            return float("nan")
         return self.smarco.throughput_ips / self.xeon.throughput_ips
 
     @property
     def energy_efficiency_gain(self) -> float:
-        """(perf/W SmarCo) / (perf/W Xeon) (Fig 22 right bars)."""
+        """(perf/W SmarCo) / (perf/W Xeon) (Fig 22 right bars).
+
+        ``nan`` when either side's perf/W is undefined (zero baseline
+        throughput or zero billed watts).
+        """
+        if not (self.xeon.throughput_ips and self.xeon_watts
+                and self.smarco_watts):
+            return float("nan")
         smarco_eff = self.smarco.throughput_ips / self.smarco_watts
         xeon_eff = self.xeon.throughput_ips / self.xeon_watts
-        return smarco_eff / xeon_eff if xeon_eff else 0.0
+        return smarco_eff / xeon_eff
+
+    def to_dict(self) -> Dict[str, Any]:
+        out = {
+            "type": type(self).__name__,
+            "workload": self.workload,
+            "smarco": self.smarco.to_dict(),
+            "xeon": self.xeon.to_dict(),
+            "smarco_watts": self.smarco_watts,
+            "xeon_watts": self.xeon_watts,
+        }
+        for name in self._COMPUTED:
+            out[name] = getattr(self, name)
+        return out
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "ComparisonResult":
+        return cls(
+            workload=data["workload"],
+            smarco=SmarcoRunResult.from_dict(data["smarco"]),
+            xeon=XeonRunResult.from_dict(data["xeon"]),
+            smarco_watts=data["smarco_watts"],
+            xeon_watts=data["xeon_watts"],
+        )
+
+
+@dataclass
+class RunOutcome:
+    """What :func:`execute` returns: the result plus the stats dump."""
+
+    request: RunRequest
+    result: DictResult
+    stats: Dict[str, float]
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "request": self.request.snapshot(),
+            "result": self.result.to_dict(),
+            "stats": self.stats,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "RunOutcome":
+        from ..exp.request import request_from_snapshot
+
+        return cls(
+            request=request_from_snapshot(data["request"]),
+            result=result_from_dict(data["result"]),
+            stats=dict(data["stats"]),
+        )
+
+
+# -- the dispatcher ----------------------------------------------------------------
+
+
+def execute(request: RunRequest) -> RunOutcome:
+    """Build the system a request describes, run it, and collect stats."""
+    request.validate()
+    if request.kind == "tcg":
+        return _execute_tcg(request)
+    if request.kind == "smarco":
+        return _execute_smarco(request)
+    if request.kind == "xeon":
+        return _execute_xeon(request)
+    if request.kind == "compare":
+        return _execute_compare(request)
+    raise ConfigError(f"unknown run kind {request.kind!r}")  # pragma: no cover
+
+
+def _execute_tcg(request: RunRequest) -> RunOutcome:
+    """One TCG core behind a fixed-latency memory port (the Fig 17 rig)."""
+    profile = get_profile(request.workload)
+    sim = Simulator()
+    registry = StatsRegistry()
+    port = FixedLatencyPort(sim, request.mem_latency)
+    core = TCGCore(sim, 0, port, policy=request.core_policy,
+                   registry=registry)
+    rng_tree = RngTree(request.seed)
+    n = request.threads_per_core
+    for t in range(n):
+        core.add_thread(profile.stream(
+            request.instrs_per_thread,
+            rng_tree.stream(f"{request.workload}.{t}"),
+            thread_id=t, gang_size=n, gang_rank=t,
+        ))
+    core.start()
+    sim.run()
+    result = TcgRunResult(
+        workload=request.workload,
+        policy=request.core_policy,
+        threads=n,
+        # elapsed, not sim.now: core.ipc is defined over start->finish
+        cycles=core.elapsed,
+        instructions=core.instructions,
+    )
+    return RunOutcome(request=request, result=result, stats=registry.dump())
+
+
+def _execute_smarco(request: RunRequest) -> RunOutcome:
+    profile = get_profile(request.workload)
+    chip = SmarCoChip(request.smarco_config, seed=request.seed,
+                      core_policy=request.core_policy,
+                      realtime_fraction=request.realtime_fraction)
+    chip.load_profile(profile, request.threads_per_core,
+                      request.instrs_per_thread,
+                      total_threads=request.total_threads,
+                      shared_code=request.shared_code)
+    result = chip.run()
+    return RunOutcome(request=request, result=result,
+                      stats=chip.registry.dump())
+
+
+def _execute_xeon(request: RunRequest) -> RunOutcome:
+    profile = get_profile(request.workload)
+    system = XeonSystem(request.xeon_config, seed=request.seed)
+    result = system.run_profile(profile, request.xeon_threads,
+                                request.xeon_instrs_per_thread,
+                                stagger_creation=request.stagger_creation)
+    return RunOutcome(request=request, result=result,
+                      stats=system.registry.dump())
+
+
+def _execute_compare(request: RunRequest) -> RunOutcome:
+    """One Fig 22 (or Fig 26, via ``technology_nm=40``) data point.
+
+    Energy accounting is conservative: SmarCo is billed the *full-chip*
+    power (paper Table 1's 240 W class) even when the simulated geometry
+    is scaled down, with a 0.5 activity floor — the paper's workloads
+    keep the chip busy.
+    """
+    smarco_outcome = _execute_smarco(replace(request, kind="smarco"))
+    xeon_outcome = _execute_xeon(replace(request, kind="xeon"))
+    smarco_result = smarco_outcome.result
+    xeon_result = xeon_outcome.result
+
+    smarco_power = PowerModel(
+        request.power_config if request.power_config is not None
+        else smarco_default())
+    xeon_power = XeonPowerModel(request.xeon_config)
+    result = ComparisonResult(
+        workload=request.workload,
+        smarco=smarco_result,
+        xeon=xeon_result,
+        smarco_watts=smarco_power.total_watts(
+            utilization=max(0.5, smarco_result.utilization),
+            technology_nm=request.technology_nm,
+        ),
+        xeon_watts=xeon_power.total_watts(
+            utilization=max(0.1, xeon_result.utilization)),
+    )
+    stats: Dict[str, float] = {}
+    stats.update({f"smarco.{k}": v for k, v in smarco_outcome.stats.items()})
+    stats.update({f"xeon.{k}": v for k, v in xeon_outcome.stats.items()})
+    return RunOutcome(request=request, result=result, stats=stats)
+
+
+# -- legacy per-kind helpers (thin shims over execute) -----------------------------
+
+
+def _warn_kwargs(name: str) -> None:
+    warnings.warn(
+        f"{name}(workload, **kwargs) is deprecated; build a "
+        f"repro.exp.RunRequest and pass it as the only argument",
+        DeprecationWarning, stacklevel=3)
 
 
 def run_smarco(
-    workload: str,
+    workload: Union[RunRequest, str],
     config: Optional[SmarCoConfig] = None,
     threads_per_core: int = 8,
     instrs_per_thread: int = 600,
@@ -50,31 +272,41 @@ def run_smarco(
     core_policy: str = "inpair",
     realtime_fraction: float = 0.0,
 ) -> SmarcoRunResult:
-    """Build a chip, load a named workload profile, run to completion."""
-    profile = get_profile(workload)
-    chip = SmarCoChip(config, seed=seed, core_policy=core_policy,
-                      realtime_fraction=realtime_fraction)
-    chip.load_profile(profile, threads_per_core, instrs_per_thread)
-    return chip.run()
+    """Run a named workload on a SmarCo chip (prefer passing a RunRequest)."""
+    if isinstance(workload, RunRequest):
+        return _execute_smarco(replace(workload, kind="smarco")).result
+    _warn_kwargs("run_smarco")
+    request = RunRequest(
+        kind="smarco", workload=workload, seed=seed, smarco_config=config,
+        threads_per_core=threads_per_core,
+        instrs_per_thread=instrs_per_thread,
+        core_policy=core_policy, realtime_fraction=realtime_fraction,
+    )
+    return _execute_smarco(request).result
 
 
 def run_xeon(
-    workload: str,
+    workload: Union[RunRequest, str],
     config: Optional[XeonConfig] = None,
     n_threads: int = 48,
     instrs_per_thread: int = 40_000,
     seed: int = 0,
     stagger_creation: bool = True,
 ) -> XeonRunResult:
-    """Run a named workload on the baseline system."""
-    profile = get_profile(workload)
-    system = XeonSystem(config, seed=seed)
-    return system.run_profile(profile, n_threads, instrs_per_thread,
-                              stagger_creation=stagger_creation)
+    """Run a named workload on the baseline (prefer passing a RunRequest)."""
+    if isinstance(workload, RunRequest):
+        return _execute_xeon(replace(workload, kind="xeon")).result
+    _warn_kwargs("run_xeon")
+    request = RunRequest(
+        kind="xeon", workload=workload, seed=seed, xeon_config=config,
+        xeon_threads=n_threads, xeon_instrs_per_thread=instrs_per_thread,
+        stagger_creation=stagger_creation,
+    )
+    return _execute_xeon(request).result
 
 
 def compare(
-    workload: str,
+    workload: Union[RunRequest, str],
     smarco_config: Optional[SmarCoConfig] = None,
     xeon_config: Optional[XeonConfig] = None,
     smarco_threads_per_core: int = 8,
@@ -85,31 +317,17 @@ def compare(
     technology_nm: Optional[int] = None,
     power_config: Optional[SmarCoConfig] = None,
 ) -> ComparisonResult:
-    """One Fig 22 (or Fig 26, via ``technology_nm=40``) data point.
-
-    Energy accounting is conservative: SmarCo is billed the *full-chip*
-    power (paper Table 1's 240 W class) even when the simulated geometry
-    is scaled down, with a 0.5 activity floor — the paper's workloads
-    keep the chip busy.
-    """
-    smarco_result = run_smarco(workload, smarco_config,
-                               smarco_threads_per_core,
-                               smarco_instrs_per_thread, seed)
-    xeon_result = run_xeon(workload, xeon_config, xeon_threads,
-                           xeon_instrs_per_thread, seed)
-    from ..config import smarco_default
-
-    smarco_power = PowerModel(
-        power_config if power_config is not None else smarco_default())
-    xeon_power = XeonPowerModel(xeon_config)
-    return ComparisonResult(
-        workload=workload,
-        smarco=smarco_result,
-        xeon=xeon_result,
-        smarco_watts=smarco_power.total_watts(
-            utilization=max(0.5, smarco_result.utilization),
-            technology_nm=technology_nm,
-        ),
-        xeon_watts=xeon_power.total_watts(
-            utilization=max(0.1, xeon_result.utilization)),
+    """SmarCo vs Xeon on one workload (prefer passing a RunRequest)."""
+    if isinstance(workload, RunRequest):
+        return _execute_compare(replace(workload, kind="compare")).result
+    _warn_kwargs("compare")
+    request = RunRequest(
+        kind="compare", workload=workload, seed=seed,
+        smarco_config=smarco_config, xeon_config=xeon_config,
+        threads_per_core=smarco_threads_per_core,
+        instrs_per_thread=smarco_instrs_per_thread,
+        xeon_threads=xeon_threads,
+        xeon_instrs_per_thread=xeon_instrs_per_thread,
+        technology_nm=technology_nm, power_config=power_config,
     )
+    return _execute_compare(request).result

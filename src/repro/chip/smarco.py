@@ -34,6 +34,7 @@ from ..sim.engine import Simulator
 from ..sim.rng import RngTree
 from ..sim.stats import StatsRegistry
 from ..workloads.base import WorkloadProfile
+from .results import DictResult
 
 __all__ = ["SmarCoChip", "SmarcoRunResult"]
 
@@ -43,7 +44,7 @@ UNCACHED_GANG_BASE = 0x9000_0000_0000
 
 
 @dataclass
-class SmarcoRunResult:
+class SmarcoRunResult(DictResult):
     """Measured outcome of one workload run on the chip."""
 
     cycles: float
@@ -56,6 +57,8 @@ class SmarcoRunResult:
     mean_request_latency: float
     noc_bandwidth_utilization: float
     mact_request_reduction: float
+
+    _COMPUTED = ("ipc", "throughput_ips", "utilization")
 
     @property
     def ipc(self) -> float:

@@ -20,12 +20,13 @@ from ..sim.engine import Simulator
 from ..sim.rng import RngTree
 from ..sim.stats import StatsRegistry
 from ..workloads.base import WorkloadProfile
+from .results import DictResult
 
 __all__ = ["XeonSystem", "XeonRunResult"]
 
 
 @dataclass
-class XeonRunResult:
+class XeonRunResult(DictResult):
     """Measured outcome of one workload run on the baseline."""
 
     cycles: float
@@ -37,6 +38,8 @@ class XeonRunResult:
     busy_fraction: float
     miss_ratios: Dict[str, float]
     effective_latency: Dict[str, float]
+
+    _COMPUTED = ("throughput_ips", "utilization")
 
     @property
     def throughput_ips(self) -> float:

@@ -7,21 +7,30 @@ Installed as ``repro-smarco`` (see pyproject) or runnable via
     repro-smarco run kmp --sub-rings 4 --instrs 300
     repro-smarco xeon kmp --threads 48
     repro-smarco compare wordcount
+    repro-smarco sweep kmp wordcount --seeds 0 1 2 --workers 2
+    repro-smarco report
     repro-smarco area-power
     repro-smarco cdn
+
+Every run-shaped command builds a :class:`repro.exp.RunRequest` and goes
+through the unified ``repro.chip.run.execute`` entry point; ``sweep``
+fans a request grid across worker processes (``--workers``, defaulting
+to the ``REPRO_WORKERS`` environment variable) with result caching.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 from typing import List, Optional
 
-from .analysis import render_table
-from .chip import SmarCoChip, compare, run_xeon
+from .analysis import render_result, render_table
+from .chip.run import compare, execute, run_xeon
 from .config import smarco_scaled
+from .exp import ExperimentSpec, RunRequest
 from .power import AreaModel, PowerModel
-from .workloads import CdnModel, all_profiles, get_profile
+from .workloads import CdnModel, all_profiles
 
 __all__ = ["main", "build_parser"]
 
@@ -62,12 +71,46 @@ def build_parser() -> argparse.ArgumentParser:
     cmp_p.add_argument("--instrs", type=int, default=250)
     cmp_p.add_argument("--seed", type=int, default=0)
 
+    sweep_p = sub.add_parser(
+        "sweep",
+        help="run a workload x seed x policy grid through the parallel "
+             "experiment runner (cached, multi-process)")
+    sweep_p.add_argument("workloads", nargs="+")
+    sweep_p.add_argument("--kind", default="smarco",
+                         choices=("smarco", "xeon", "compare", "tcg"))
+    sweep_p.add_argument("--name", default="cli-sweep",
+                         help="spec name (labels the telemetry records)")
+    sweep_p.add_argument("--seeds", type=int, nargs="+", default=[0])
+    sweep_p.add_argument("--policies", nargs="+", default=None,
+                         choices=("inpair", "blocking", "coarse"),
+                         help="add a core-policy axis to the grid")
+    sweep_p.add_argument("--sub-rings", type=int, default=2)
+    sweep_p.add_argument("--cores", type=int, default=8,
+                         help="cores per sub-ring")
+    sweep_p.add_argument("--threads-per-core", type=int, default=8)
+    sweep_p.add_argument("--instrs", type=int, default=200,
+                         help="instructions per thread (SmarCo side)")
+    sweep_p.add_argument("--xeon-threads", type=int, default=16)
+    sweep_p.add_argument("--xeon-instrs", type=int, default=10_000)
+    sweep_p.add_argument("--workers", type=int, default=None,
+                         help="worker processes (default: $REPRO_WORKERS, "
+                              "else serial)")
+    sweep_p.add_argument("--out", default="results",
+                         help="base directory for runs/ and cache/")
+    sweep_p.add_argument("--no-cache", action="store_true",
+                         help="always re-simulate, never read/write cache")
+    sweep_p.add_argument("--detail", action="store_true",
+                         help="print the full result of every point")
+
     sub.add_parser("area-power", help="print the Table 1 breakdown")
     sub.add_parser("cdn", help="print the Fig 2 CDN sweep")
 
     rep_p = sub.add_parser(
         "report", help="assemble benchmarks/results/ into one markdown report")
     rep_p.add_argument("--results-dir", default="benchmarks/results")
+    rep_p.add_argument("--runs-dir", default=None,
+                       help="sweep telemetry directory "
+                            "(default: <results-dir>/runs)")
     rep_p.add_argument("--output", default=None,
                        help="write to a file instead of stdout")
     return parser
@@ -85,13 +128,14 @@ def _cmd_list_workloads() -> int:
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
-    chip = SmarCoChip(smarco_scaled(args.sub_rings, args.cores),
-                      seed=args.seed, core_policy=args.policy)
-    chip.load_profile(get_profile(args.workload),
-                      threads_per_core=args.threads_per_core,
-                      instrs_per_thread=args.instrs,
-                      shared_code=args.shared_code)
-    result = chip.run()
+    request = RunRequest(
+        kind="smarco", workload=args.workload, seed=args.seed,
+        smarco_config=smarco_scaled(args.sub_rings, args.cores),
+        threads_per_core=args.threads_per_core,
+        instrs_per_thread=args.instrs,
+        core_policy=args.policy, shared_code=args.shared_code,
+    )
+    result = execute(request).result
     print(render_table(["metric", "value"], [
         ["cores", f"{result.cores_done}/{result.total_cores} done"],
         ["cycles", f"{result.cycles:,.0f}"],
@@ -107,8 +151,10 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
 
 def _cmd_xeon(args: argparse.Namespace) -> int:
-    result = run_xeon(args.workload, n_threads=args.threads,
-                      instrs_per_thread=args.instrs, seed=args.seed)
+    result = run_xeon(RunRequest(
+        kind="xeon", workload=args.workload, seed=args.seed,
+        xeon_threads=args.threads, xeon_instrs_per_thread=args.instrs,
+    ))
     print(render_table(["metric", "value"], [
         ["threads", result.threads],
         ["cycles", f"{result.cycles:,.0f}"],
@@ -121,10 +167,11 @@ def _cmd_xeon(args: argparse.Namespace) -> int:
 
 
 def _cmd_compare(args: argparse.Namespace) -> int:
-    result = compare(args.workload,
-                     smarco_config=smarco_scaled(args.sub_rings),
-                     smarco_instrs_per_thread=args.instrs,
-                     seed=args.seed)
+    result = compare(RunRequest(
+        kind="compare", workload=args.workload, seed=args.seed,
+        smarco_config=smarco_scaled(args.sub_rings),
+        instrs_per_thread=args.instrs,
+    ))
     print(render_table(["metric", "value"], [
         ["SmarCo throughput", f"{result.smarco.throughput_ips / 1e9:.2f} G/s"],
         ["Xeon throughput", f"{result.xeon.throughput_ips / 1e9:.2f} G/s"],
@@ -133,6 +180,38 @@ def _cmd_compare(args: argparse.Namespace) -> int:
         ["Xeon power", f"{result.xeon_watts:.0f} W"],
         ["energy-efficiency gain", f"{result.energy_efficiency_gain:.2f}x"],
     ], title=f"SmarCo vs Xeon: {args.workload}"))
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from .exp import Runner, summarize_runs
+
+    base = RunRequest(
+        kind=args.kind,
+        smarco_config=(smarco_scaled(args.sub_rings, args.cores)
+                       if args.kind in ("smarco", "compare") else None),
+        threads_per_core=args.threads_per_core,
+        instrs_per_thread=args.instrs,
+        xeon_threads=args.xeon_threads,
+        xeon_instrs_per_thread=args.xeon_instrs,
+    )
+    axes = {"workload": args.workloads, "seed": args.seeds}
+    if args.policies:
+        axes["core_policy"] = args.policies
+    spec = ExperimentSpec.grid(args.name, base, **axes)
+
+    runner = Runner(workers=args.workers, base_dir=args.out,
+                    use_cache=not args.no_cache)
+    sweep = runner.run(spec)
+
+    print(summarize_runs(sweep.records))
+    if args.detail:
+        for point, outcome in zip(sweep.records, sweep.outcomes):
+            print()
+            print(render_result(outcome.result, title=point.label))
+    print(f"\n{sweep.n_points} points | {sweep.hits} cache hits | "
+          f"{sweep.workers} workers | {sweep.wall_time_s:.2f}s | "
+          f"telemetry in {runner.runs_dir}")
     return 0
 
 
@@ -160,11 +239,16 @@ def _cmd_cdn() -> int:
 
 
 def _cmd_report(args: argparse.Namespace) -> int:
-    from pathlib import Path
-
     from .analysis import build_report
+    from .exp import load_records, summarize_runs
 
     text = build_report(Path(args.results_dir))
+    runs_dir = (Path(args.runs_dir) if args.runs_dir
+                else Path(args.results_dir) / "runs")
+    records = load_records(runs_dir)
+    if records:
+        text += ("\n## Sweep telemetry\n\n```\n"
+                 + summarize_runs(records) + "\n```\n")
     if args.output:
         Path(args.output).write_text(text + "\n")
         print(f"report written to {args.output}")
@@ -183,6 +267,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_xeon(args)
     if args.command == "compare":
         return _cmd_compare(args)
+    if args.command == "sweep":
+        return _cmd_sweep(args)
     if args.command == "area-power":
         return _cmd_area_power()
     if args.command == "cdn":

@@ -1,0 +1,127 @@
+"""The unified run request: one frozen, serialisable description of a run.
+
+Every way of running a simulation — a single TCG core, a SmarCo chip, the
+Xeon baseline, or a SmarCo-vs-Xeon comparison — is described by one
+:class:`RunRequest`.  ``repro.chip.run.execute`` consumes it, the sweep
+runner (`repro.exp.runner`) fans grids of them across worker processes,
+and the result cache keys on its canonical snapshot, so a request is the
+unit of reproducibility: same request (+ same code) => same result.
+
+Fields are a superset over the run kinds; each kind reads its own slice
+and ignores the rest (the unused fields still participate in the cache
+key, which is harmless: they are fixed defaults unless a sweep varies
+them).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Any, Dict, Optional
+
+from ..config import (
+    MACTConfig,
+    MemoryConfig,
+    RingConfig,
+    SchedulerConfig,
+    SmarCoConfig,
+    TCGConfig,
+    XeonConfig,
+)
+from ..errors import ConfigError
+
+__all__ = ["RunRequest", "RUN_KINDS", "request_from_snapshot"]
+
+#: Supported values of :attr:`RunRequest.kind`.
+RUN_KINDS = ("tcg", "smarco", "xeon", "compare")
+
+
+@dataclass(frozen=True)
+class RunRequest:
+    """A declarative, hashable description of one simulation run."""
+
+    kind: str = "smarco"
+    workload: str = "kmp"
+    seed: int = 0
+
+    # -- SmarCo chip (kind in {"smarco", "compare"}) --
+    smarco_config: Optional[SmarCoConfig] = None
+    threads_per_core: int = 8
+    instrs_per_thread: int = 600
+    core_policy: str = "inpair"
+    realtime_fraction: float = 0.0
+    total_threads: Optional[int] = None
+    shared_code: bool = False
+
+    # -- single TCG core (kind == "tcg"): a fixed-latency memory port --
+    mem_latency: float = 150.0
+
+    # -- Xeon baseline (kind in {"xeon", "compare"}) --
+    xeon_config: Optional[XeonConfig] = None
+    xeon_threads: int = 48
+    xeon_instrs_per_thread: int = 40_000
+    stagger_creation: bool = True
+
+    # -- comparison extras (kind == "compare") --
+    technology_nm: Optional[int] = None
+    power_config: Optional[SmarCoConfig] = None
+
+    def validate(self) -> None:
+        if self.kind not in RUN_KINDS:
+            raise ConfigError(f"unknown run kind {self.kind!r}")
+        if self.threads_per_core <= 0 or self.instrs_per_thread <= 0:
+            raise ConfigError("thread and instruction counts must be positive")
+        if self.xeon_threads <= 0 or self.xeon_instrs_per_thread <= 0:
+            raise ConfigError("Xeon thread and instruction counts must be positive")
+        if self.smarco_config is not None:
+            self.smarco_config.validate()
+        if self.xeon_config is not None:
+            self.xeon_config.validate()
+
+    def replace(self, **changes: Any) -> "RunRequest":
+        """A copy with ``changes`` applied (sweep axes use this)."""
+        return dataclasses.replace(self, **changes)
+
+    # -- serialisation -----------------------------------------------------------
+
+    def snapshot(self) -> Dict[str, Any]:
+        """A plain, JSON-ready dict; the cache key hashes its canonical form."""
+        out: Dict[str, Any] = {}
+        for f in dataclasses.fields(self):
+            value = getattr(self, f.name)
+            if dataclasses.is_dataclass(value):
+                value = dataclasses.asdict(value)
+            out[f.name] = value
+        return out
+
+
+def _smarco_config_from(data: Optional[Dict[str, Any]]) -> Optional[SmarCoConfig]:
+    if data is None:
+        return None
+    return SmarCoConfig(
+        sub_rings=data["sub_rings"],
+        cores_per_sub_ring=data["cores_per_sub_ring"],
+        frequency_ghz=data["frequency_ghz"],
+        tcg=TCGConfig(**data["tcg"]),
+        ring=RingConfig(**data["ring"]),
+        mact=MACTConfig(**data["mact"]),
+        memory=MemoryConfig(**data["memory"]),
+        scheduler=SchedulerConfig(**data["scheduler"]),
+        technology_nm=data["technology_nm"],
+    )
+
+
+def _xeon_config_from(data: Optional[Dict[str, Any]]) -> Optional[XeonConfig]:
+    if data is None:
+        return None
+    return XeonConfig(**data)
+
+
+def request_from_snapshot(data: Dict[str, Any]) -> RunRequest:
+    """Inverse of :meth:`RunRequest.snapshot` (worker processes use this)."""
+    payload = dict(data)
+    payload["smarco_config"] = _smarco_config_from(payload.get("smarco_config"))
+    payload["xeon_config"] = _xeon_config_from(payload.get("xeon_config"))
+    payload["power_config"] = _smarco_config_from(payload.get("power_config"))
+    names = {f.name for f in dataclasses.fields(RunRequest)}
+    return RunRequest(**{k: v for k, v in payload.items() if k in names})

@@ -1,0 +1,174 @@
+"""The parallel experiment runner.
+
+``Runner.run(spec)`` expands an :class:`ExperimentSpec` into sweep
+points, satisfies what it can from the content-addressed result cache,
+fans the remaining points out across ``workers`` processes (plain
+``multiprocessing``; ``workers=1`` is a deterministic serial fallback),
+and writes one telemetry record per point under ``<base_dir>/runs/``.
+
+Determinism: every simulation is fully seeded by its request, so a
+parallel sweep returns results bit-identical to a serial sweep of the
+same spec — workers only change wall-clock time, never outcomes.
+Results come back in point order regardless of completion order.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from ..chip.run import RunOutcome, execute
+from .cache import ResultCache, code_version, request_key
+from .request import request_from_snapshot
+from .spec import ExperimentSpec, SweepPoint
+from .telemetry import RunRecord, utc_now, write_record
+
+__all__ = ["Runner", "SweepResult", "resolve_workers"]
+
+#: Environment knob CI uses to pin worker count (e.g. ``REPRO_WORKERS=2``).
+WORKERS_ENV = "REPRO_WORKERS"
+
+
+def resolve_workers(workers: Optional[int] = None) -> int:
+    """Explicit argument wins; else ``$REPRO_WORKERS``; else serial."""
+    if workers is None:
+        raw = os.environ.get(WORKERS_ENV, "").strip()
+        try:
+            workers = int(raw) if raw else 1
+        except ValueError:
+            workers = 1
+    return max(1, workers)
+
+
+def _execute_payload(payload: Dict[str, Any]) -> Dict[str, Any]:
+    """Worker entry point: simulate one request from its snapshot."""
+    request = request_from_snapshot(payload["snapshot"])
+    start = time.perf_counter()
+    outcome = execute(request)
+    return {
+        "outcome": outcome.to_dict(),
+        "wall_time_s": time.perf_counter() - start,
+        "worker": f"pid{os.getpid()}",
+    }
+
+
+@dataclass
+class SweepResult:
+    """Everything one sweep produced, in point order."""
+
+    spec_name: str
+    outcomes: List[RunOutcome]
+    records: List[RunRecord]
+    hits: int
+    misses: int
+    wall_time_s: float
+    workers: int
+
+    @property
+    def results(self) -> List[Any]:
+        """The bare result objects (SmarcoRunResult etc.), in point order."""
+        return [outcome.result for outcome in self.outcomes]
+
+    @property
+    def n_points(self) -> int:
+        return len(self.outcomes)
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.n_points if self.n_points else 0.0
+
+
+class Runner:
+    """Run experiment specs through the cache and a worker pool."""
+
+    def __init__(
+        self,
+        workers: Optional[int] = None,
+        base_dir: os.PathLike = "results",
+        use_cache: bool = True,
+        version: Optional[str] = None,
+    ) -> None:
+        from pathlib import Path
+
+        base = Path(base_dir)
+        self.workers = resolve_workers(workers)
+        self.runs_dir = base / "runs"
+        self.cache = ResultCache(base / "cache")
+        self.use_cache = use_cache
+        self.version = version if version is not None else code_version()
+
+    def run(self, spec: ExperimentSpec) -> SweepResult:
+        points = spec.points()
+        sweep_start = time.perf_counter()
+        outcomes: List[Optional[RunOutcome]] = [None] * len(points)
+        records: List[Optional[RunRecord]] = [None] * len(points)
+        keys = [request_key(p.request, self.version) for p in points]
+
+        pending: List[SweepPoint] = []
+        for point, key in zip(points, keys):
+            cached = self.cache.get(key) if self.use_cache else None
+            if cached is not None:
+                outcomes[point.index] = RunOutcome.from_dict(cached)
+                records[point.index] = self._record(
+                    spec, point, key, cached, cache="hit",
+                    worker="cache", wall_time_s=0.0)
+            else:
+                pending.append(point)
+
+        executed = self._execute(pending)
+        for point, done in zip(pending, executed):
+            key = keys[point.index]
+            outcome_dict = done["outcome"]
+            if self.use_cache:
+                self.cache.put(key, outcome_dict)
+            outcomes[point.index] = RunOutcome.from_dict(outcome_dict)
+            records[point.index] = self._record(
+                spec, point, key, outcome_dict, cache="miss",
+                worker=done["worker"], wall_time_s=done["wall_time_s"])
+
+        for record in records:
+            write_record(self.runs_dir, record)
+        return SweepResult(
+            spec_name=spec.name,
+            outcomes=list(outcomes),
+            records=list(records),
+            hits=len(points) - len(pending),
+            misses=len(pending),
+            wall_time_s=time.perf_counter() - sweep_start,
+            workers=self.workers,
+        )
+
+    # -- internals ---------------------------------------------------------------
+
+    def _execute(self, pending: List[SweepPoint]) -> List[Dict[str, Any]]:
+        payloads = [{"snapshot": p.request.snapshot()} for p in pending]
+        if self.workers <= 1 or len(pending) <= 1:
+            return [dict(_execute_payload(payload), worker="serial")
+                    for payload in payloads]
+        methods = multiprocessing.get_all_start_methods()
+        ctx = multiprocessing.get_context(
+            "fork" if "fork" in methods else None)
+        n = min(self.workers, len(pending))
+        with ctx.Pool(processes=n) as pool:
+            return pool.map(_execute_payload, payloads, chunksize=1)
+
+    def _record(self, spec: ExperimentSpec, point: SweepPoint, key: str,
+                outcome_dict: Dict[str, Any], cache: str, worker: str,
+                wall_time_s: float) -> RunRecord:
+        return RunRecord(
+            run_id=key[:12],
+            spec=spec.name,
+            index=point.index,
+            label=point.label,
+            cache=cache,
+            worker=worker,
+            wall_time_s=wall_time_s,
+            code_version=self.version,
+            timestamp=utc_now(),
+            request=outcome_dict["request"],
+            result=outcome_dict["result"],
+            stats=outcome_dict["stats"],
+        )

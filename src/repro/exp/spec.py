@@ -1,0 +1,113 @@
+"""Declarative experiment specifications.
+
+An :class:`ExperimentSpec` names a sweep and describes its points either
+as a **grid** (a base :class:`RunRequest` plus axes — workload x config x
+policy x seed x anything else that is a request field) or as an
+**explicit** tuple of requests (for sweeps whose fields are correlated,
+e.g. Fig 23 where instructions-per-thread shrinks as thread count grows).
+
+``spec.points()`` expands to an ordered list of :class:`SweepPoint`; the
+order is deterministic (axes in declaration order, values in given
+order), so benches can slice results positionally.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Iterable, List, Sequence, Tuple
+
+from ..errors import ConfigError
+from .request import RunRequest
+
+__all__ = ["ExperimentSpec", "SweepPoint"]
+
+_REQUEST_FIELDS = {f.name for f in dataclasses.fields(RunRequest)}
+
+
+def _short(value: Any) -> str:
+    """A compact human label for an axis value."""
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return type(value).__name__
+    text = str(value)
+    return text if len(text) <= 24 else text[:21] + "..."
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One expanded point of a sweep: its position, label and request."""
+
+    index: int
+    label: str
+    request: RunRequest
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """A named sweep: either ``base`` + ``axes`` or explicit ``requests``."""
+
+    name: str
+    base: RunRequest = field(default_factory=RunRequest)
+    #: ((field_name, (value, value, ...)), ...) — expanded as a cartesian
+    #: product in declaration order.
+    axes: Tuple[Tuple[str, Tuple[Any, ...]], ...] = ()
+    #: explicit points; when non-empty they override the grid entirely.
+    requests: Tuple[RunRequest, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigError("an experiment spec needs a name")
+        for axis, values in self.axes:
+            if axis not in _REQUEST_FIELDS:
+                raise ConfigError(f"unknown sweep axis {axis!r}")
+            if not values:
+                raise ConfigError(f"sweep axis {axis!r} has no values")
+
+    # -- constructors -----------------------------------------------------------
+
+    @classmethod
+    def grid(cls, name: str, base: RunRequest = None,
+             **axes: Iterable[Any]) -> "ExperimentSpec":
+        """Build a grid spec: ``grid("s", base, workload=[...], seed=[...])``."""
+        packed = tuple((axis, tuple(values)) for axis, values in axes.items())
+        return cls(name=name,
+                   base=base if base is not None else RunRequest(),
+                   axes=packed)
+
+    @classmethod
+    def explicit(cls, name: str,
+                 requests: Sequence[RunRequest]) -> "ExperimentSpec":
+        """Build a spec from an already-expanded request list."""
+        return cls(name=name, requests=tuple(requests))
+
+    # -- expansion --------------------------------------------------------------
+
+    @property
+    def n_points(self) -> int:
+        if self.requests:
+            return len(self.requests)
+        total = 1
+        for _axis, values in self.axes:
+            total *= len(values)
+        return total
+
+    def points(self) -> List[SweepPoint]:
+        """Ordered sweep points; every request is validated on the way out."""
+        out: List[SweepPoint] = []
+        if self.requests:
+            for i, request in enumerate(self.requests):
+                request.validate()
+                label = (f"{request.kind}:{request.workload}"
+                         f":s{request.seed}:{i:03d}")
+                out.append(SweepPoint(index=i, label=label, request=request))
+            return out
+        names = [axis for axis, _values in self.axes]
+        grids = [values for _axis, values in self.axes]
+        for i, combo in enumerate(itertools.product(*grids)):
+            request = self.base.replace(**dict(zip(names, combo)))
+            request.validate()
+            tags = ",".join(f"{n}={_short(v)}" for n, v in zip(names, combo))
+            label = f"{request.kind}:{tags or 'base'}:{i:03d}"
+            out.append(SweepPoint(index=i, label=label, request=request))
+        return out

@@ -1,0 +1,105 @@
+"""The shared to_dict / from_dict result protocol (chip/results.py)."""
+
+import json
+import math
+
+import pytest
+
+from repro.chip import (
+    ComparisonResult,
+    SmarcoRunResult,
+    TcgRunResult,
+    XeonRunResult,
+    result_from_dict,
+)
+
+
+def _smarco(instructions=4000, cycles=1000.0):
+    return SmarcoRunResult(
+        cycles=cycles, instructions=instructions, cores_done=4, total_cores=4,
+        frequency_ghz=1.5, mem_requests=120, mem_transactions=30,
+        mean_request_latency=200.0, noc_bandwidth_utilization=0.25,
+        mact_request_reduction=4.0)
+
+
+def _xeon(instructions=50_000, cycles=40_000.0):
+    return XeonRunResult(
+        cycles=cycles, instructions=instructions, threads=8,
+        frequency_ghz=2.6, idle_ratio=0.4, starvation_ratio=0.1,
+        busy_fraction=0.6, miss_ratios={"L1": 0.05, "L2": 0.2, "LLC": 0.5},
+        effective_latency={"L1": 6.0, "L2": 30.0, "LLC": 130.0})
+
+
+class TestRoundtrips:
+    def test_smarco_result(self):
+        result = _smarco()
+        data = result.to_dict()
+        assert data["type"] == "SmarcoRunResult"
+        # computed properties ride along for analysis/telemetry consumers
+        assert data["ipc"] == pytest.approx(result.ipc)
+        assert data["throughput_ips"] == pytest.approx(result.throughput_ips)
+        assert SmarcoRunResult.from_dict(data) == result
+        assert result_from_dict(data) == result
+
+    def test_xeon_result(self):
+        result = _xeon()
+        data = json.loads(json.dumps(result.to_dict()))
+        assert data["type"] == "XeonRunResult"
+        assert XeonRunResult.from_dict(data) == result
+        assert result_from_dict(data) == result
+
+    def test_tcg_result(self):
+        result = TcgRunResult(workload="kmp", policy="inpair", threads=8,
+                              cycles=500.0, instructions=1500)
+        data = result.to_dict()
+        assert data["ipc"] == pytest.approx(3.0)
+        assert result_from_dict(data) == result
+
+    def test_comparison_result_nests(self):
+        result = ComparisonResult(workload="kmp", smarco=_smarco(),
+                                  xeon=_xeon(), smarco_watts=240.0,
+                                  xeon_watts=165.0)
+        data = json.loads(json.dumps(result.to_dict()))
+        assert data["type"] == "ComparisonResult"
+        assert data["smarco"]["type"] == "SmarcoRunResult"
+        assert data["speedup"] == pytest.approx(result.speedup)
+        rebuilt = result_from_dict(data)
+        assert rebuilt == result
+        assert rebuilt.smarco.ipc == pytest.approx(result.smarco.ipc)
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(ValueError):
+            result_from_dict({"type": "MysteryResult"})
+
+
+class TestComparisonZeroBaseline:
+    """speedup / energy_efficiency_gain must be nan, never a silent 0.0."""
+
+    def test_speedup_nan_on_zero_xeon_throughput(self):
+        result = ComparisonResult(workload="kmp", smarco=_smarco(),
+                                  xeon=_xeon(instructions=0, cycles=0.0),
+                                  smarco_watts=240.0, xeon_watts=165.0)
+        assert math.isnan(result.speedup)
+
+    def test_energy_gain_nan_on_zero_xeon_throughput(self):
+        result = ComparisonResult(workload="kmp", smarco=_smarco(),
+                                  xeon=_xeon(instructions=0, cycles=0.0),
+                                  smarco_watts=240.0, xeon_watts=165.0)
+        assert math.isnan(result.energy_efficiency_gain)
+
+    def test_energy_gain_nan_on_zero_watts(self):
+        result = ComparisonResult(workload="kmp", smarco=_smarco(),
+                                  xeon=_xeon(), smarco_watts=0.0,
+                                  xeon_watts=165.0)
+        assert math.isnan(result.energy_efficiency_gain)
+        result = ComparisonResult(workload="kmp", smarco=_smarco(),
+                                  xeon=_xeon(), smarco_watts=240.0,
+                                  xeon_watts=0.0)
+        assert math.isnan(result.energy_efficiency_gain)
+
+    def test_healthy_path_is_finite(self):
+        result = ComparisonResult(workload="kmp", smarco=_smarco(),
+                                  xeon=_xeon(), smarco_watts=240.0,
+                                  xeon_watts=165.0)
+        assert math.isfinite(result.speedup) and result.speedup > 0
+        assert math.isfinite(result.energy_efficiency_gain)

@@ -52,6 +52,40 @@ def test_cdn_command(capsys):
     assert "400" in out
 
 
+def test_sweep_command(tmp_path, capsys):
+    argv = ["sweep", "kmp", "wordcount", "--seeds", "0", "1",
+            "--sub-rings", "1", "--cores", "4", "--threads-per-core", "4",
+            "--instrs", "80", "--out", str(tmp_path)]
+    assert main(argv) == 0
+    out = capsys.readouterr().out
+    assert "Sweep telemetry" in out
+    assert "4 points" in out and "0 cache hits" in out
+    assert len(list((tmp_path / "runs").glob("*.json"))) == 4
+
+    # warm rerun resolves every point from the cache
+    assert main(argv) == 0
+    assert "4 cache hits" in capsys.readouterr().out
+
+
+def test_sweep_detail_and_policy_axis(tmp_path, capsys):
+    assert main(["sweep", "kmp", "--policies", "inpair", "coarse",
+                 "--sub-rings", "1", "--cores", "4", "--instrs", "80",
+                 "--out", str(tmp_path), "--detail"]) == 0
+    out = capsys.readouterr().out
+    assert "2 points" in out
+    assert "throughput_ips" in out       # --detail prints full results
+
+
+def test_report_includes_sweep_telemetry(tmp_path, capsys):
+    main(["sweep", "kmp", "--sub-rings", "1", "--cores", "4",
+          "--instrs", "80", "--out", str(tmp_path)])
+    capsys.readouterr()
+    assert main(["report", "--results-dir", str(tmp_path),
+                 "--runs-dir", str(tmp_path / "runs")]) == 0
+    out = capsys.readouterr().out
+    assert "## Sweep telemetry" in out
+
+
 def test_unknown_workload_raises():
     from repro.errors import WorkloadError
 
