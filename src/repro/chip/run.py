@@ -18,7 +18,7 @@ emit :class:`DeprecationWarning`.
 from __future__ import annotations
 
 import warnings
-from dataclasses import dataclass, replace
+from dataclasses import dataclass, field, replace
 from typing import Any, Dict, Optional, Union
 
 from ..config import SmarCoConfig, XeonConfig, smarco_default
@@ -125,17 +125,31 @@ class ComparisonResult(DictResult):
 
 @dataclass
 class RunOutcome:
-    """What :func:`execute` returns: the result plus the stats dump."""
+    """What :func:`execute` returns: the result plus the stats dump.
+
+    ``stats`` is the flat registry dump; :meth:`stats_tree` nests it by
+    component path.  ``components`` is the simulated system's component
+    tree (:meth:`repro.sim.Component.tree_dict`) so per-run telemetry
+    records exactly what was wired to what.
+    """
 
     request: RunRequest
     result: DictResult
     stats: Dict[str, float]
+    components: Dict[str, Any] = field(default_factory=dict)
+
+    def stats_tree(self) -> Dict[str, Any]:
+        """The flat stats dump nested by dotted component path."""
+        from ..sim.stats import nest_flat_stats
+
+        return nest_flat_stats(self.stats)
 
     def to_dict(self) -> Dict[str, Any]:
         return {
             "request": self.request.snapshot(),
             "result": self.result.to_dict(),
             "stats": self.stats,
+            "components": self.components,
         }
 
     @classmethod
@@ -146,6 +160,8 @@ class RunOutcome:
             request=request_from_snapshot(data["request"]),
             result=result_from_dict(data["result"]),
             stats=dict(data["stats"]),
+            # tolerate cache files written before components existed
+            components=dict(data.get("components", {})),
         )
 
 
@@ -192,7 +208,8 @@ def _execute_tcg(request: RunRequest) -> RunOutcome:
         cycles=core.elapsed,
         instructions=core.instructions,
     )
-    return RunOutcome(request=request, result=result, stats=registry.dump())
+    return RunOutcome(request=request, result=result, stats=registry.dump(),
+                      components=core.tree_dict())
 
 
 def _execute_smarco(request: RunRequest) -> RunOutcome:
@@ -206,7 +223,8 @@ def _execute_smarco(request: RunRequest) -> RunOutcome:
                       shared_code=request.shared_code)
     result = chip.run()
     return RunOutcome(request=request, result=result,
-                      stats=chip.registry.dump())
+                      stats=chip.registry.dump(),
+                      components=chip.tree_dict())
 
 
 def _execute_xeon(request: RunRequest) -> RunOutcome:
@@ -216,7 +234,8 @@ def _execute_xeon(request: RunRequest) -> RunOutcome:
                                 request.xeon_instrs_per_thread,
                                 stagger_creation=request.stagger_creation)
     return RunOutcome(request=request, result=result,
-                      stats=system.registry.dump())
+                      stats=system.registry.dump(),
+                      components=system.tree_dict())
 
 
 def _execute_compare(request: RunRequest) -> RunOutcome:
@@ -247,10 +266,16 @@ def _execute_compare(request: RunRequest) -> RunOutcome:
         xeon_watts=xeon_power.total_watts(
             utilization=max(0.1, xeon_result.utilization)),
     )
+    # both systems are component roots ("chip." / "xeon." prefixes), so the
+    # two flat dumps merge without collision
     stats: Dict[str, float] = {}
-    stats.update({f"smarco.{k}": v for k, v in smarco_outcome.stats.items()})
-    stats.update({f"xeon.{k}": v for k, v in xeon_outcome.stats.items()})
-    return RunOutcome(request=request, result=result, stats=stats)
+    stats.update(smarco_outcome.stats)
+    stats.update(xeon_outcome.stats)
+    return RunOutcome(
+        request=request, result=result, stats=stats,
+        components={"smarco": smarco_outcome.components,
+                    "xeon": xeon_outcome.components},
+    )
 
 
 # -- legacy per-kind helpers (thin shims over execute) -----------------------------

@@ -8,6 +8,26 @@ Wires every subsystem together and simulates the complete memory path:
 Real-time reads may ride the star-shaped direct datapath instead
 (§3.5.2).  Remote-SPM requests travel core-to-core over the rings.
 
+The chip is a :class:`~repro.sim.component.Component` tree::
+
+    chip
+    ├── noc                 hierarchical ring network
+    ├── mem                 memory controllers + DRAM channels
+    ├── direct              (optional) star datapath
+    └── subring{s}
+        ├── mact            request collection table
+        ├── dma             sub-ring DMA engine
+        ├── spm{cid}        per-core scratchpads
+        └── core{cid}       TCG cores
+            └── prefetch    (optional) SPM stream prefetcher
+
+All cross-subsystem traffic flows over declared ports: cores issue on
+``core{cid}.mem_req`` into the chip's ``core_req`` fan-in; MACT batches
+leave on ``mact.batch_out`` into per-ring ``batch_in{s}`` ports; NoC
+deliveries feed MACTs through ``mact_feed{s}``; packets are injected
+through ``noc_out`` → ``noc.inject``.  ``chip.tree()`` renders the
+hierarchy; ``chip.find("subring*/mact")`` navigates it.
+
 The chip is the engine behind the headline experiments: Fig 19/20 (MACT),
 Fig 22 (performance & energy vs Xeon), Fig 23 (scalability), and the
 topology/direct-path ablations.
@@ -15,28 +35,29 @@ topology/direct-path ablations.
 
 from __future__ import annotations
 
+import functools
 from dataclasses import dataclass, field
 from typing import Dict, Generator, List, Optional
 
 from ..config import SmarCoConfig, smarco_scaled
-from ..core.ports import FunctionPort
 from ..core.tcg import TCGCore
 from ..errors import ConfigError
 from ..mem.controller import MemorySystem
 from ..mem.dma import DmaEngine
 from ..mem.mact import MACT, Batch
+from ..mem.prefetch import StreamPrefetcher
 from ..mem.request import MemRequest, Priority
 from ..mem.spm import Scratchpad, SpmAddressMap
 from ..noc.directpath import DirectDatapath
 from ..noc.hierring import HierarchicalRingNoC
 from ..noc.packet import NodeId, Packet, PacketKind
+from ..sim.component import Component
 from ..sim.engine import Simulator
 from ..sim.rng import RngTree
-from ..sim.stats import StatsRegistry
 from ..workloads.base import WorkloadProfile
 from .results import DictResult
 
-__all__ = ["SmarCoChip", "SmarcoRunResult"]
+__all__ = ["SmarCoChip", "SmarcoRunResult", "SubRing"]
 
 _BATCH_HEADER_BYTES = 8
 # per-sub-ring gang datasets live here (uncached streaming space)
@@ -78,7 +99,15 @@ class SmarcoRunResult(DictResult):
         return min(1.0, self.ipc / (4 * self.total_cores))
 
 
-class SmarCoChip:
+class SubRing(Component):
+    """One sub-ring cluster: its MACT, DMA engine, cores and SPMs."""
+
+    def __init__(self, ring_id: int, parent: Component) -> None:
+        super().__init__(f"subring{ring_id}", parent=parent)
+        self.ring_id = ring_id
+
+
+class SmarCoChip(Component):
     """A complete SmarCo processor instance."""
 
     def __init__(
@@ -88,76 +117,105 @@ class SmarCoChip:
         core_policy: str = "inpair",
         realtime_fraction: float = 0.0,
         spm_prefetch: bool = False,
+        name: str = "chip",
     ) -> None:
         self.config = config if config is not None else smarco_scaled(4)
         self.config.validate()
-        self.sim = Simulator()
-        self.registry = StatsRegistry()
+        super().__init__(name, sim=Simulator())
         self.rng = RngTree(seed)
         cfg = self.config
 
+        # -- chip-level ports (the seams between subsystems) ------------------
+        self.core_req = self.in_port(
+            "core_req", MemRequest, handler=self._on_core_request,
+            doc="fan-in of every core's mem_req port",
+        )
+        self.noc_out = self.out_port(
+            "noc_out", Packet, doc="fire-and-forget packet injection",
+        )
+        self._batch_in = [
+            self.in_port(f"batch_in{s}", Batch,
+                         handler=functools.partial(self._dispatch_batch, s),
+                         doc=f"packed batches leaving sub-ring {s}'s MACT")
+            for s in range(cfg.sub_rings)
+        ]
+        self._mact_feed = [
+            self.out_port(f"mact_feed{s}", MemRequest,
+                          doc=f"NoC-delivered requests entering MACT {s}")
+            for s in range(cfg.sub_rings)
+        ]
+
+        # -- subsystems --------------------------------------------------------
         self.noc = HierarchicalRingNoC(
             self.sim, cfg.sub_rings, cfg.cores_per_sub_ring,
-            cfg.memory.channels, cfg.ring, self.registry,
+            cfg.memory.channels, cfg.ring, parent=self,
         )
         self.memory = MemorySystem(self.sim, cfg.memory, cfg.frequency_ghz,
-                                   self.registry)
+                                   parent=self)
         self.direct: Optional[DirectDatapath] = None
         if cfg.ring.direct_datapath:
             self.direct = DirectDatapath(
                 self.sim, cfg.sub_rings,
                 latency=cfg.ring.direct_datapath_latency,
-                registry=self.registry,
+                parent=self,
             )
 
-        self.spms: Dict[int, Scratchpad] = {
-            cid: Scratchpad(cid, cfg.tcg.spm_bytes, cfg.tcg.spm_control_bytes,
-                            registry=self.registry)
-            for cid in range(cfg.total_cores)
-        }
-        self.spm_map = SpmAddressMap(self.spms)
-
+        self.subrings: List[SubRing] = [
+            SubRing(s, parent=self) for s in range(cfg.sub_rings)
+        ]
         self.macts: List[MACT] = [
-            MACT(self.sim,
-                 send=(lambda batch, ring=s: self._dispatch_batch(ring, batch)),
-                 config=cfg.mact, name=f"mact{s}", registry=self.registry)
+            MACT(self.sim, config=cfg.mact, parent=self.subrings[s])
             for s in range(cfg.sub_rings)
         ]
         # one DMA engine per sub-ring (SPM transfers + code prefetch, §3.5.1)
         self.dmas: List[DmaEngine] = [
-            DmaEngine(self.sim, name=f"dma{s}", registry=self.registry)
+            DmaEngine(self.sim, parent=self.subrings[s])
             for s in range(cfg.sub_rings)
         ]
 
-        self.req_latency = self.registry.accumulator("chip.req_latency")
-        # optional §7 extension: sequential-stream prefetch into SPM
-        self.prefetchers: List[Optional["StreamPrefetcher"]] = []
-        if spm_prefetch:
-            from ..mem.prefetch import StreamPrefetcher
+        self.spms: Dict[int, Scratchpad] = {
+            cid: Scratchpad(cid, cfg.tcg.spm_bytes, cfg.tcg.spm_control_bytes,
+                            parent=self.subrings[self.ring_of(cid)])
+            for cid in range(cfg.total_cores)
+        }
+        self.spm_map = SpmAddressMap(self.spms)
 
-            for cid in range(cfg.total_cores):
-                ring = cid // cfg.cores_per_sub_ring
-                self.prefetchers.append(StreamPrefetcher(
-                    cid,
-                    fetch=(lambda req, s=ring:
-                           self.macts[s].submit(req)),
-                    registry=self.registry,
-                ))
-        else:
-            self.prefetchers = [None] * cfg.total_cores
+        self.req_latency = self.stats.accumulator("req_latency")
         self.cores: List[TCGCore] = []
+        # optional §7 extension: sequential-stream prefetch into SPM
+        self.prefetchers: List[Optional[StreamPrefetcher]] = []
         for cid in range(cfg.total_cores):
-            port = FunctionPort(self.sim, self._make_submit(cid))
-            self.cores.append(TCGCore(
-                self.sim, cid, port, cfg.tcg, policy=core_policy,
+            core = TCGCore(
+                self.sim, cid, config=cfg.tcg, policy=core_policy,
                 spm_map=self.spm_map,
                 realtime_fraction=realtime_fraction,
                 rng=self.rng.stream(f"core{cid}.rt") if realtime_fraction else None,
-                registry=self.registry,
-            ))
+                parent=self.subrings[self.ring_of(cid)],
+            )
+            self.cores.append(core)
+            if spm_prefetch:
+                self.prefetchers.append(
+                    StreamPrefetcher(cid, parent=core, name="prefetch"))
+            else:
+                self.prefetchers.append(None)
         self._loaded = False
         self._shared_code = False
         self._code_payload = b""
+        self.elaborate()
+
+    def on_connect(self) -> None:
+        """Declare every cross-subsystem wire of Fig 4."""
+        for core in self.cores:
+            core.mem_req.connect(self.core_req)
+        self.noc_out.connect(self.noc.inject)
+        for s in range(self.config.sub_rings):
+            mact = self.macts[s]
+            mact.batch_out.connect(self._batch_in[s])
+            self._mact_feed[s].connect(mact.submit_in)
+        for prefetcher in self.prefetchers:
+            if prefetcher is not None:
+                ring = self.ring_of(prefetcher.core_id)
+                prefetcher.fetch_out.connect(self.macts[ring].submit_in)
 
     # -- topology helpers --------------------------------------------------------
 
@@ -170,19 +228,16 @@ class SmarCoChip:
 
     # -- the memory path ------------------------------------------------------------
 
-    def _make_submit(self, core_id: int):
-        def submit(request: MemRequest) -> None:
-            prev = request.on_complete
+    def _on_core_request(self, request: MemRequest) -> None:
+        """``core_req`` handler: account latency, then route."""
+        request.on_complete = functools.partial(
+            self._record_completion, request.on_complete)
+        self._route_request(request.core_id, request)
 
-            def record(req: MemRequest, now: float) -> None:
-                self.req_latency.add(now - req.issue_time)
-                if prev is not None:
-                    prev(req, now)
-
-            request.on_complete = record
-            self._route_request(core_id, request)
-
-        return submit
+    def _record_completion(self, prev, request: MemRequest, now: float) -> None:
+        self.req_latency.add(now - request.issue_time)
+        if prev is not None:
+            prev(request, now)
 
     def _route_request(self, core_id: int, request: MemRequest) -> None:
         ring = self.ring_of(core_id)
@@ -209,9 +264,17 @@ class SmarCoChip:
             src=self.core_node(core_id), dst=NodeId("bridge", ring=ring),
             size_bytes=max(1, request.size),
             kind=PacketKind.MEM_WRITE if request.is_write else PacketKind.MEM_READ,
-            on_delivered=lambda p, t, r=request, s=ring: self.macts[s].submit(r),
+            on_delivered=functools.partial(self._forward_to_mact, ring, request),
         )
-        self.noc.send(packet)
+        self.noc_out.send(packet)
+
+    def _forward_to_mact(self, ring: int, request: MemRequest,
+                         packet: Packet, now: float) -> None:
+        self._mact_feed[ring].send(request)
+
+    def _deliver_reply(self, request: MemRequest,
+                       packet: Packet, now: float) -> None:
+        request.complete(now)
 
     def _complete_now(self, request: MemRequest) -> None:
         request.complete(self.sim.now)
@@ -252,9 +315,9 @@ class SmarCoChip:
             final = Packet(
                 src=bridge, dst=self.core_node(req.core_id),
                 size_bytes=max(1, req.size), kind=PacketKind.MEM_REPLY,
-                on_delivered=lambda p, t, r=req: r.complete(t),
+                on_delivered=functools.partial(self._deliver_reply, req),
             )
-            self.noc.send(final)
+            self.noc_out.send(final)
 
     def _direct_read(self, ring: int, core_id: int,
                      request: MemRequest) -> Generator:
@@ -359,6 +422,10 @@ class SmarCoChip:
                     name=f"{profile.name}.{tid}",
                 )
 
+    def _start_ring_cores(self, cores, _payload) -> None:
+        for core in cores:
+            core.start()
+
     def run(self, max_cycles: Optional[float] = None) -> SmarcoRunResult:
         """Start every core and simulate to completion (or the horizon)."""
         if not self._loaded:
@@ -376,7 +443,7 @@ class SmarCoChip:
                 proc = self.dmas[ring].prefetch_fill(
                     spm, spm.base_addr, self._code_payload)
                 proc.done_signal.wait(
-                    lambda _p, cs=tuple(cores): [c.start() for c in cs])
+                    functools.partial(self._start_ring_cores, tuple(cores)))
         else:
             for core in active:
                 core.start()

@@ -16,6 +16,7 @@ from ..config import XeonConfig, xeon_default
 from ..core.ooo import OooCoreModel, SoftwareThread
 from ..errors import ConfigError
 from ..mem.hierarchy import CacheHierarchy
+from ..sim.component import Component
 from ..sim.engine import Simulator
 from ..sim.rng import RngTree
 from ..sim.stats import StatsRegistry
@@ -53,27 +54,27 @@ class XeonRunResult(DictResult):
         return min(1.0, self.busy_fraction)
 
 
-class XeonSystem:
+class XeonSystem(Component):
     """The baseline server processor."""
 
     def __init__(self, config: Optional[XeonConfig] = None, seed: int = 0,
-                 quantum_instrs: int = 20_000) -> None:
+                 quantum_instrs: int = 20_000, name: str = "xeon") -> None:
         self.config = config if config is not None else xeon_default()
         self.config.validate()
-        self.sim = Simulator()
-        self.registry = StatsRegistry()
+        super().__init__(name, sim=Simulator())
         self.rng = RngTree(seed)
-        self.llc = CacheHierarchy.make_shared_llc(self.config, self.registry)
+        self.llc = CacheHierarchy.make_shared_llc(self.config, self.stats)
         self.hierarchies: List[CacheHierarchy] = []
         self.cores: List[OooCoreModel] = []
         for cid in range(self.config.cores):
             hierarchy = CacheHierarchy(cid, self.config, shared_llc=self.llc,
-                                       registry=self.registry)
+                                       parent=self)
             self.hierarchies.append(hierarchy)
             self.cores.append(OooCoreModel(
                 self.sim, cid, hierarchy, self.config,
-                quantum_instrs=quantum_instrs, registry=self.registry,
+                quantum_instrs=quantum_instrs, parent=self,
             ))
+        self.elaborate()
 
     # -- running ------------------------------------------------------------------
 

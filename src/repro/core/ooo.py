@@ -25,6 +25,7 @@ from typing import Callable, Deque, Dict, Generator, List, Optional, Tuple
 from ..config import XeonConfig
 from ..errors import ConfigError
 from ..mem.hierarchy import CacheHierarchy
+from ..sim.component import Component
 from ..sim.engine import EventSignal, Simulator
 from ..sim.stats import StatsRegistry
 
@@ -81,7 +82,7 @@ class SoftwareThread:
         return self.instr_budget - self.executed
 
 
-class OooCoreModel:
+class OooCoreModel(Component):
     """One OoO/SMT core: contexts pull software threads off a run queue."""
 
     def __init__(
@@ -92,8 +93,11 @@ class OooCoreModel:
         config: Optional[XeonConfig] = None,
         quantum_instrs: int = 20_000,
         registry: Optional[StatsRegistry] = None,
+        parent: Optional[Component] = None,
+        name: Optional[str] = None,
     ) -> None:
-        self.sim = sim
+        super().__init__(name if name is not None else f"xcore{core_id}",
+                         parent=parent, sim=sim, registry=registry)
         self.core_id = core_id
         self.config = config if config is not None else XeonConfig()
         self.hierarchy = hierarchy
@@ -104,13 +108,11 @@ class OooCoreModel:
         self._started = False
         self._accepting = True
 
-        reg = registry if registry is not None else StatsRegistry()
-        name = f"xcore{core_id}"
-        self.instructions = reg.counter(f"{name}.instructions")
-        self.busy_cycles = reg.accumulator(f"{name}.busy")
-        self.mem_stall_cycles = reg.accumulator(f"{name}.mem_stall")
-        self.frontend_stall_cycles = reg.accumulator(f"{name}.frontend")
-        self.switch_cycles = reg.accumulator(f"{name}.switch")
+        self.instructions = self.stats.counter("instructions")
+        self.busy_cycles = self.stats.accumulator("busy")
+        self.mem_stall_cycles = self.stats.accumulator("mem_stall")
+        self.frontend_stall_cycles = self.stats.accumulator("frontend")
+        self.switch_cycles = self.stats.accumulator("switch")
 
     # -- thread management ----------------------------------------------------
 

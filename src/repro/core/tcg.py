@@ -35,9 +35,10 @@ from ..errors import ConfigError, SimulationError
 from ..mem.cache import Cache
 from ..mem.request import MemRequest, Priority
 from ..mem.spm import SpmAddressMap, SPM_REGION_BASE
+from ..sim.component import Component
 from ..sim.engine import EventSignal, Simulator
 from ..sim.stats import StatsRegistry
-from .ports import MemoryPort
+from .ports import FunctionPort, MemoryPort
 from .stream import CoreInstr
 from .thread import HardwareThread, ThreadState
 
@@ -51,14 +52,20 @@ UNCACHED_BASE = 0x8000_0000_0000
 _POLICIES = ("inpair", "blocking", "coarse")
 
 
-class TCGCore:
-    """One Thread Core Group."""
+class TCGCore(Component):
+    """One Thread Core Group.
+
+    Misses leave the core through ``self.port``.  When no explicit port is
+    supplied, the core issues through its declared ``mem_req`` output port
+    and the chip wires that to the memory path; unit rigs instead pass a
+    :class:`~repro.core.ports.FixedLatencyPort` (or similar) directly.
+    """
 
     def __init__(
         self,
         sim: Simulator,
         core_id: int,
-        port: MemoryPort,
+        port: Optional[MemoryPort] = None,
         config: Optional[TCGConfig] = None,
         policy: str = "inpair",
         spm_map: Optional[SpmAddressMap] = None,
@@ -69,14 +76,24 @@ class TCGCore:
         rng=None,
         registry: Optional[StatsRegistry] = None,
         trace=None,
+        parent: Optional[Component] = None,
+        name: Optional[str] = None,
     ) -> None:
         if policy not in _POLICIES:
             raise ConfigError(f"unknown TCG policy {policy!r}")
         if realtime_fraction and rng is None:
             raise ConfigError("realtime_fraction needs an rng")
-        self.sim = sim
+        super().__init__(name if name is not None else f"core{core_id}",
+                         parent=parent, sim=sim, registry=registry,
+                         trace=trace)
         self.core_id = core_id
-        self.port = port
+        self.mem_req = self.out_port(
+            "mem_req", MemRequest, optional=port is not None,
+            doc="misses and posted writes bound for the memory path",
+        )
+        self.port: MemoryPort = (
+            port if port is not None else FunctionPort(sim, self.mem_req.send)
+        )
         self.config = config if config is not None else TCGConfig()
         self.policy = policy
         self.spm_map = spm_map
@@ -85,27 +102,23 @@ class TCGCore:
         self.icache_miss_penalty = icache_miss_penalty
         self.realtime_fraction = realtime_fraction
         self._rng = rng
-        #: optional repro.sim.TraceBuffer for handoff/block/wake events
-        self.trace = trace
 
-        reg = registry if registry is not None else StatsRegistry()
-        name = f"core{core_id}"
-        self.dcache = Cache(f"{name}.dcache", self.config.dcache_bytes,
+        self.dcache = Cache("dcache", self.config.dcache_bytes,
                             self.config.cache_line_bytes,
-                            self.config.cache_ways, reg)
-        self.icache = Cache(f"{name}.icache", self.config.icache_bytes,
+                            self.config.cache_ways, self.stats)
+        self.icache = Cache("icache", self.config.icache_bytes,
                             self.config.cache_line_bytes,
-                            self.config.cache_ways, reg)
-        self.spm_hits = reg.counter(f"{name}.spm_hits")
-        self.uncached_accesses = reg.counter(f"{name}.uncached")
-        self.switch_count = reg.counter(f"{name}.switches")
-        self.retired = reg.counter(f"{name}.retired")
+                            self.config.cache_ways, self.stats)
+        self.spm_hits = self.stats.counter("spm_hits")
+        self.uncached_accesses = self.stats.counter("uncached")
+        self.switch_count = self.stats.counter("switches")
+        self.retired = self.stats.counter("retired")
 
         self.threads: List[HardwareThread] = []
         self._slots: List[List[HardwareThread]] = []
         self._slot_wake: List[EventSignal] = []
         self._coarse_pool: Deque[HardwareThread] = deque()
-        self._coarse_wake = sim.signal(f"{name}.coarse_wake")
+        self._coarse_wake = sim.signal(f"core{core_id}.coarse_wake")
         self._shared_segments: List[Tuple[int, int]] = []
         self._last_fetch_line = -1
         self.started = False
@@ -211,8 +224,7 @@ class TCGCore:
 
     def _emit(self, event: str, thread: HardwareThread) -> None:
         if self.trace is not None:
-            self.trace.emit(self.sim.now, f"core{self.core_id}", event,
-                            thread.name)
+            self.trace.emit(self.sim.now, self.path, event, thread.name)
 
     def _data_returned(self, thread: HardwareThread, slot_id: int) -> None:
         thread.unblock()

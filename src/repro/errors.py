@@ -42,6 +42,12 @@ class NocError(ReproError):
     """A packet could not be routed or a link/router invariant broke."""
 
 
+class WiringError(ReproError):
+    """The component hierarchy or its port wiring is malformed (duplicate
+    child names, unconnected required ports, type-incompatible wires, or a
+    lifecycle method called out of phase)."""
+
+
 class SchedulerError(ReproError):
     """A task-scheduler invariant was violated (e.g. duplicate task id)."""
 

@@ -21,6 +21,7 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional
 
 from ..chip.run import RunOutcome, execute
+from ..sim.stats import nest_flat_stats
 from .cache import ResultCache, code_version, request_key
 from .request import request_from_snapshot
 from .spec import ExperimentSpec, SweepPoint
@@ -171,4 +172,6 @@ class Runner:
             request=outcome_dict["request"],
             result=outcome_dict["result"],
             stats=outcome_dict["stats"],
+            stats_tree=nest_flat_stats(outcome_dict["stats"]),
+            components=outcome_dict.get("components", {}),
         )

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import dataclasses
 import json
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from datetime import datetime, timezone
 from pathlib import Path
 from typing import Any, Dict, List
@@ -38,6 +38,10 @@ class RunRecord:
     request: Dict[str, Any]     # RunRequest.snapshot()
     result: Dict[str, Any]      # result.to_dict()
     stats: Dict[str, float]     # StatsRegistry.dump()
+    #: the flat dump nested by dotted component path (chip → noc → ...)
+    stats_tree: Dict[str, Any] = field(default_factory=dict)
+    #: the simulated system's component tree (Component.tree_dict())
+    components: Dict[str, Any] = field(default_factory=dict)
 
     def to_dict(self) -> Dict[str, Any]:
         return dataclasses.asdict(self)

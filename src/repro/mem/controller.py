@@ -16,6 +16,7 @@ from __future__ import annotations
 from typing import List, Optional
 
 from ..config import MemoryConfig
+from ..sim.component import Component
 from ..sim.engine import Simulator
 from ..sim.stats import StatsRegistry
 from .dram import DramChannel
@@ -26,7 +27,7 @@ __all__ = ["MemoryController", "MemorySystem"]
 INTERLEAVE_BYTES = 64
 
 
-class MemoryController:
+class MemoryController(Component):
     """One controller + DDR channel pair on the main ring."""
 
     def __init__(
@@ -36,15 +37,16 @@ class MemoryController:
         config: Optional[MemoryConfig] = None,
         frequency_ghz: float = 1.5,
         registry: Optional[StatsRegistry] = None,
+        parent: Optional[Component] = None,
     ) -> None:
+        super().__init__(f"mc{controller_id}", parent=parent, sim=sim,
+                         registry=registry)
         self.controller_id = controller_id
-        self.sim = sim
         self.config = config if config is not None else MemoryConfig()
         self.channel = DramChannel(
-            controller_id, self.config, frequency_ghz, registry
+            controller_id, self.config, frequency_ghz, self.stats
         )
-        reg = registry if registry is not None else StatsRegistry()
-        self.queued = reg.counter(f"mc{controller_id}.requests")
+        self.queued = self.stats.counter("requests")
 
     def submit(self, request: MemRequest) -> float:
         """Admit a request; returns (and schedules) its finish time."""
@@ -54,7 +56,7 @@ class MemoryController:
         return finish
 
 
-class MemorySystem:
+class MemorySystem(Component):
     """All memory controllers of the chip, with line interleaving."""
 
     def __init__(
@@ -63,11 +65,13 @@ class MemorySystem:
         config: Optional[MemoryConfig] = None,
         frequency_ghz: float = 1.5,
         registry: Optional[StatsRegistry] = None,
+        parent: Optional[Component] = None,
+        name: str = "mem",
     ) -> None:
-        self.sim = sim
+        super().__init__(name, parent=parent, sim=sim, registry=registry)
         self.config = config if config is not None else MemoryConfig()
         self.controllers = [
-            MemoryController(i, sim, self.config, frequency_ghz, registry)
+            MemoryController(i, sim, self.config, frequency_ghz, parent=self)
             for i in range(self.config.channels)
         ]
 

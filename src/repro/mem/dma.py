@@ -18,6 +18,7 @@ from __future__ import annotations
 from typing import Generator, Optional
 
 from ..errors import MemoryError_
+from ..sim.component import Component
 from ..sim.engine import Process, Simulator
 from ..sim.stats import StatsRegistry
 from .spm import Scratchpad
@@ -25,7 +26,7 @@ from .spm import Scratchpad
 __all__ = ["DmaEngine"]
 
 
-class DmaEngine:
+class DmaEngine(Component):
     """One DMA engine (a sub-ring resource, serialised FIFO)."""
 
     def __init__(
@@ -35,17 +36,19 @@ class DmaEngine:
         bytes_per_cycle: int = 32,
         setup_latency: int = 8,
         registry: Optional[StatsRegistry] = None,
+        parent: Optional[Component] = None,
     ) -> None:
         if bytes_per_cycle <= 0:
             raise MemoryError_("DMA bandwidth must be positive")
-        self.sim = sim
-        self.name = name
+        super().__init__(name, parent=parent, sim=sim, registry=registry)
         self.bytes_per_cycle = bytes_per_cycle
         self.setup_latency = setup_latency
         self._busy_until = 0.0
-        reg = registry if registry is not None else StatsRegistry()
-        self.transfers = reg.counter(f"{name}.transfers")
-        self.bytes_moved = reg.counter(f"{name}.bytes")
+        self.transfers = self.stats.counter("transfers")
+        self.bytes_moved = self.stats.counter("bytes")
+
+    def on_reset(self) -> None:
+        self._busy_until = 0.0
 
     def transfer_cycles(self, size: int) -> int:
         """Pure transfer time for ``size`` bytes (excluding queueing)."""

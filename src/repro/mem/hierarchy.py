@@ -10,6 +10,7 @@ from __future__ import annotations
 from typing import Dict, List, NamedTuple, Optional
 
 from ..config import XeonConfig
+from ..sim.component import Component
 from ..sim.stats import StatsRegistry
 from .cache import Cache
 
@@ -22,7 +23,7 @@ class HierarchyResult(NamedTuple):
     l1_hit: bool
 
 
-class CacheHierarchy:
+class CacheHierarchy(Component):
     """One core's slice of the Xeon cache hierarchy.
 
     The LLC is shared: pass the same :class:`Cache` object to every
@@ -35,17 +36,20 @@ class CacheHierarchy:
         config: Optional[XeonConfig] = None,
         shared_llc: Optional[Cache] = None,
         registry: Optional[StatsRegistry] = None,
+        parent: Optional[Component] = None,
+        name: Optional[str] = None,
     ) -> None:
         cfg = config if config is not None else XeonConfig()
+        super().__init__(name if name is not None else f"core{core_id}",
+                         parent=parent, registry=registry)
         self.config = cfg
         self.core_id = core_id
-        reg = registry if registry is not None else StatsRegistry()
         line = cfg.cache_line_bytes
-        self.l1d = Cache(f"core{core_id}.l1d", cfg.l1d_bytes, line, ways=8, registry=reg)
-        self.l1i = Cache(f"core{core_id}.l1i", cfg.l1i_bytes, line, ways=8, registry=reg)
-        self.l2 = Cache(f"core{core_id}.l2", cfg.l2_bytes, line, ways=8, registry=reg)
+        self.l1d = Cache("l1d", cfg.l1d_bytes, line, ways=8, registry=self.stats)
+        self.l1i = Cache("l1i", cfg.l1i_bytes, line, ways=8, registry=self.stats)
+        self.l2 = Cache("l2", cfg.l2_bytes, line, ways=8, registry=self.stats)
         self.llc = shared_llc if shared_llc is not None else Cache(
-            f"core{core_id}.llc", cfg.llc_bytes, line, ways=16, registry=reg
+            "llc", cfg.llc_bytes, line, ways=16, registry=self.stats
         )
 
     @staticmethod

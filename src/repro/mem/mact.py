@@ -21,6 +21,7 @@ from collections import OrderedDict
 from typing import Callable, Dict, List, Optional, Tuple
 
 from ..config import MACTConfig
+from ..sim.component import Component
 from ..sim.engine import Simulator
 from ..sim.stats import StatsRegistry
 from .request import MemRequest, Priority
@@ -78,11 +79,14 @@ class MACTLine:
         return bin(self.bitmap).count("1")
 
 
-class MACT:
+class MACT(Component):
     """The collection table, as a DES component.
 
-    ``send(batch)`` is the downstream hook — the sub-ring wires it to the
-    memory path (NoC injection or direct controller submission).  When
+    Requests arrive on the ``submit`` input port (or via :meth:`submit`
+    directly); packed batches leave on the ``batch_out`` output port — the
+    chip wires it to the memory path (NoC injection or direct controller
+    submission).  A plain ``send(batch)`` callable may be passed instead
+    of wiring the port, which keeps unit rigs one-liners.  When
     ``config.enabled`` is False every request is forwarded unbatched,
     giving the conventional baseline of Fig 20.
     """
@@ -90,25 +94,34 @@ class MACT:
     def __init__(
         self,
         sim: Simulator,
-        send: Callable[[Batch], None],
+        send: Optional[Callable[[Batch], None]] = None,
         config: Optional[MACTConfig] = None,
         name: str = "mact",
         registry: Optional[StatsRegistry] = None,
+        parent: Optional[Component] = None,
     ) -> None:
-        self.sim = sim
-        self.send = send
+        super().__init__(name, parent=parent, sim=sim, registry=registry)
         self.config = config if config is not None else MACTConfig()
-        self.name = name
         self._lines: "OrderedDict[Tuple[bool, int], MACTLine]" = OrderedDict()
         self._generation = 0
-        reg = registry if registry is not None else StatsRegistry()
-        self.requests_in = reg.counter(f"{name}.requests_in")
-        self.batches_out = reg.counter(f"{name}.batches_out")
-        self.bypasses = reg.counter(f"{name}.bypasses")
-        self.flush_full = reg.counter(f"{name}.flush_full")
-        self.flush_deadline = reg.counter(f"{name}.flush_deadline")
-        self.flush_capacity = reg.counter(f"{name}.flush_capacity")
-        self.occupancy = reg.time_weighted(f"{name}.occupancy")
+        self.submit_in = self.in_port("submit", MemRequest,
+                                      handler=self.submit)
+        self.batch_out = self.out_port("batch_out", Batch)
+        if send is not None:
+            # legacy hook: route the port into a caller-supplied function
+            sink = self.in_port("batch_sink", Batch, handler=send)
+            self.batch_out.connect(sink)
+        self.requests_in = self.stats.counter("requests_in")
+        self.batches_out = self.stats.counter("batches_out")
+        self.bypasses = self.stats.counter("bypasses")
+        self.flush_full = self.stats.counter("flush_full")
+        self.flush_deadline = self.stats.counter("flush_deadline")
+        self.flush_capacity = self.stats.counter("flush_capacity")
+        self.occupancy = self.stats.time_weighted("occupancy")
+
+    def on_reset(self) -> None:
+        self._lines.clear()
+        self._generation = 0
 
     # -- submission -------------------------------------------------------------
 
@@ -152,7 +165,7 @@ class MACT:
         batch = Batch(request.addr, request.size, request.is_write,
                       [request], reason)
         self.batches_out.inc()
-        self.send(batch)
+        self.batch_out.send(batch)
 
     def _deadline_expired(self, key: Tuple[bool, int], generation: int) -> None:
         line = self._lines.get(key)
@@ -174,8 +187,8 @@ class MACT:
         }[reason]
         counter.inc()
         self.batches_out.inc()
-        self.send(Batch(line.base_addr, self.config.line_span_bytes,
-                        line.is_write, line.requests, reason))
+        self.batch_out.send(Batch(line.base_addr, self.config.line_span_bytes,
+                                  line.is_write, line.requests, reason))
 
     def flush_all(self) -> int:
         """Drain every pending line (end-of-run); returns lines flushed."""

@@ -20,6 +20,7 @@ from dataclasses import dataclass
 from typing import Callable, List, Optional
 
 from ..errors import ConfigError
+from ..sim.component import Component
 from ..sim.stats import StatsRegistry
 from .request import MemRequest
 
@@ -57,38 +58,49 @@ class _StreamTracker:
         return self.confidence >= 2
 
 
-class StreamPrefetcher:
+class StreamPrefetcher(Component):
     """Per-core sequential prefetcher into SPM.
 
-    ``fetch(request)`` is the downstream hook: the chip wires it to the
-    memory path; the supplied request's completion marks the window
-    ready.
+    Window fills leave on the ``fetch_out`` output port, which the chip
+    wires to the sub-ring's MACT; the fill request's completion marks the
+    window ready.  A plain ``fetch(request)`` callable may be passed
+    instead of wiring the port (unit rigs).
     """
 
     def __init__(
         self,
         core_id: int,
-        fetch: Callable[[MemRequest], None],
+        fetch: Optional[Callable[[MemRequest], None]] = None,
         window_bytes: int = 256,
         max_windows: int = 8,
         max_trackers: int = 4,
         sequential_slack: int = 64,
         registry: Optional[StatsRegistry] = None,
+        parent: Optional[Component] = None,
+        name: Optional[str] = None,
     ) -> None:
         if window_bytes <= 0 or max_windows <= 0:
             raise ConfigError("prefetcher needs positive window geometry")
+        super().__init__(name if name is not None else f"pf{core_id}",
+                         parent=parent, registry=registry)
         self.core_id = core_id
-        self.fetch = fetch
+        self.fetch_out = self.out_port("fetch_out", MemRequest)
+        if fetch is not None:
+            sink = self.in_port("fetch_sink", MemRequest, handler=fetch)
+            self.fetch_out.connect(sink)
         self.window_bytes = window_bytes
         self.max_windows = max_windows
         self.max_trackers = max_trackers
         self.sequential_slack = sequential_slack
         self._windows: List[PrefetchWindow] = []
         self._trackers: List[_StreamTracker] = []
-        reg = registry if registry is not None else StatsRegistry()
-        self.hits = reg.counter(f"pf{core_id}.hits")
-        self.misses = reg.counter(f"pf{core_id}.misses")
-        self.issued = reg.counter(f"pf{core_id}.issued")
+        self.hits = self.stats.counter("hits")
+        self.misses = self.stats.counter("misses")
+        self.issued = self.stats.counter("issued")
+
+    def on_reset(self) -> None:
+        self._windows.clear()
+        self._trackers.clear()
 
     # -- lookup ------------------------------------------------------------
 
@@ -128,7 +140,7 @@ class StreamPrefetcher:
             on_complete=lambda req, t, w=window: self._filled(w, t),
         )
         self.issued.inc()
-        self.fetch(request)
+        self.fetch_out.send(request)
 
     def _filled(self, window: PrefetchWindow, now: float) -> None:
         window.ready_at = now

@@ -20,6 +20,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from ..errors import MemoryError_
+from ..sim.component import Component
 from ..sim.stats import StatsRegistry
 
 __all__ = ["Scratchpad", "SpmAddressMap", "SPM_REGION_BASE"]
@@ -36,7 +37,7 @@ DMA_SIZE_OFFSET = 16
 DMA_KICK_OFFSET = 24
 
 
-class Scratchpad:
+class Scratchpad(Component):
     """One core's SPM: data array + control-register window."""
 
     def __init__(
@@ -46,9 +47,13 @@ class Scratchpad:
         control_bytes: int = 256,
         base_addr: Optional[int] = None,
         registry: Optional[StatsRegistry] = None,
+        parent: Optional[Component] = None,
+        name: Optional[str] = None,
     ) -> None:
         if control_bytes >= size_bytes:
             raise MemoryError_("SPM control window larger than the SPM")
+        super().__init__(name if name is not None else f"spm{core_id}",
+                         parent=parent, registry=registry)
         self.core_id = core_id
         self.size_bytes = size_bytes
         self.control_bytes = control_bytes
@@ -57,9 +62,11 @@ class Scratchpad:
             else SPM_REGION_BASE + core_id * size_bytes
         )
         self._data = bytearray(size_bytes)
-        reg = registry if registry is not None else StatsRegistry()
-        self.reads = reg.counter(f"spm{core_id}.reads")
-        self.writes = reg.counter(f"spm{core_id}.writes")
+        self.reads = self.stats.counter("reads")
+        self.writes = self.stats.counter("writes")
+
+    def on_reset(self) -> None:
+        self._data = bytearray(self.size_bytes)
 
     # -- address ranges --------------------------------------------------------
 

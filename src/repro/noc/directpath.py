@@ -12,6 +12,7 @@ from __future__ import annotations
 from typing import Generator, List, Optional
 
 from ..errors import NocError
+from ..sim.component import Component
 from ..sim.engine import Process, Simulator
 from ..sim.stats import StatsRegistry
 from .link import SlicedLink
@@ -20,7 +21,7 @@ from .packet import Packet
 __all__ = ["DirectDatapath"]
 
 
-class DirectDatapath:
+class DirectDatapath(Component):
     """Per-sub-ring star links into the memory controllers."""
 
     def __init__(
@@ -30,18 +31,20 @@ class DirectDatapath:
         link_bytes: int = 8,
         latency: int = 4,
         registry: Optional[StatsRegistry] = None,
+        parent: Optional[Component] = None,
+        name: str = "direct",
     ) -> None:
         if sub_rings < 1:
             raise NocError("direct datapath needs >=1 sub-ring")
-        self.sim = sim
+        super().__init__(name, parent=parent, sim=sim, registry=registry)
         self.latency = latency
         self.links: List[SlicedLink] = [
-            SlicedLink(f"direct{s}", link_bytes, link_bytes, "monolithic", registry)
+            SlicedLink(f"link{s}", link_bytes, link_bytes, "monolithic",
+                       self.stats)
             for s in range(sub_rings)
         ]
-        reg = registry if registry is not None else StatsRegistry()
-        self.delivered = reg.counter("direct.delivered")
-        self.lat_stat = reg.accumulator("direct.latency")
+        self.delivered = self.stats.counter("delivered")
+        self.lat_stat = self.stats.accumulator("latency")
 
     def eligible(self, packet: Packet) -> bool:
         """Only control messages and real-time reads ride the star path."""

@@ -16,6 +16,7 @@ from typing import Dict, Generator, List, Optional, Tuple
 
 from ..config import RingConfig
 from ..errors import NocError
+from ..sim.component import Component
 from ..sim.engine import Process, Simulator
 from ..sim.stats import StatsRegistry
 from .packet import NodeId, Packet
@@ -24,8 +25,13 @@ from .ring import Ring
 __all__ = ["HierarchicalRingNoC"]
 
 
-class HierarchicalRingNoC:
-    """The full on-chip network of the SmarCo chip."""
+class HierarchicalRingNoC(Component):
+    """The full on-chip network of the SmarCo chip.
+
+    Packets enter either through :meth:`send` (returns the routing
+    :class:`~repro.sim.engine.Process` to block on) or fire-and-forget
+    through the ``inject`` input port.
+    """
 
     def __init__(
         self,
@@ -35,11 +41,14 @@ class HierarchicalRingNoC:
         mem_channels: int,
         config: Optional[RingConfig] = None,
         registry: Optional[StatsRegistry] = None,
+        parent: Optional[Component] = None,
+        name: str = "noc",
     ) -> None:
         if mem_channels > sub_rings:
             raise NocError("more memory controllers than main-ring bridge slots")
-        self.sim = sim
+        super().__init__(name, parent=parent, sim=sim, registry=registry)
         self.config = config if config is not None else RingConfig()
+        self.inject = self.in_port("inject", Packet, handler=self.send)
         self.num_sub_rings = sub_rings
         self.cores_per_sub_ring = cores_per_sub_ring
 
@@ -62,21 +71,20 @@ class HierarchicalRingNoC:
 
         self.main_ring = Ring.from_config(
             sim, "main", len(self.main_stops), self.config,
-            is_main=True, registry=registry,
+            is_main=True, registry=self.stats,
         )
 
         # -- sub-rings: cores 0..n-1, bridge at the last stop.
         self.sub_ring_nets: List[Ring] = [
             Ring.from_config(
                 sim, f"sub{s}", cores_per_sub_ring + 1, self.config,
-                is_main=False, registry=registry,
+                is_main=False, registry=self.stats,
             )
             for s in range(sub_rings)
         ]
 
-        reg = registry if registry is not None else StatsRegistry()
-        self.delivered = reg.counter("noc.delivered")
-        self.latency = reg.accumulator("noc.latency")
+        self.delivered = self.stats.counter("delivered")
+        self.latency = self.stats.accumulator("latency")
 
     def _add_main_stop(self, node: NodeId) -> None:
         self._main_stop_of[node] = len(self.main_stops)

@@ -1,14 +1,21 @@
-"""Discrete-event simulation kernel: engine, stats, RNG streams, tracing."""
+"""Discrete-event simulation kernel: engine, components, stats, RNG, tracing."""
 
+from .component import Component, InputPort, OutputPort, Port, Wire
 from .engine import EventSignal, Process, Simulator
 from .rng import RngTree, derive_seed
-from .stats import Accumulator, Counter, Histogram, StatsRegistry, TimeWeighted
+from .stats import (Accumulator, Counter, Histogram, StatsRegistry,
+                    StatsScope, TimeWeighted, nest_flat_stats)
 from .trace import TraceBuffer, TraceRecord
 
 __all__ = [
     "Simulator",
     "EventSignal",
     "Process",
+    "Component",
+    "Port",
+    "InputPort",
+    "OutputPort",
+    "Wire",
     "RngTree",
     "derive_seed",
     "Counter",
@@ -16,6 +23,8 @@ __all__ = [
     "Histogram",
     "TimeWeighted",
     "StatsRegistry",
+    "StatsScope",
+    "nest_flat_stats",
     "TraceBuffer",
     "TraceRecord",
 ]

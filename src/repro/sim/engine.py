@@ -106,7 +106,12 @@ class Process:
         if isinstance(yielded, EventSignal):
             yielded.wait(self._step)
         elif isinstance(yielded, Process):
-            yielded.done_signal.wait(self._step)
+            if yielded.finished:
+                # already done: resume immediately with its result instead
+                # of waiting on a done_signal that will never fire again
+                self.sim.schedule(0, self._step, yielded.result)
+            else:
+                yielded.done_signal.wait(self._step)
         elif isinstance(yielded, (int, float)):
             if yielded < 0:
                 raise SimulationError(
@@ -132,7 +137,7 @@ class Simulator:
     """
 
     def __init__(self) -> None:
-        self.now: int = 0
+        self.now: float = 0.0
         self._queue: List[Tuple[float, int, Callable, tuple]] = []
         self._seq = 0
         self._running = False

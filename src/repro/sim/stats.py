@@ -17,6 +17,8 @@ __all__ = [
     "Histogram",
     "TimeWeighted",
     "StatsRegistry",
+    "StatsScope",
+    "nest_flat_stats",
 ]
 
 
@@ -256,3 +258,90 @@ class StatsRegistry:
         for stat in self._stats.values():
             out.update(stat.snapshot())
         return out
+
+    def dump_nested(self) -> Dict[str, object]:
+        """Snapshot as nested dicts keyed by hierarchical path segments.
+
+        ``chip.subring0.mact.requests_in`` becomes
+        ``{"chip": {"subring0": {"mact": {"requests_in": value}}}}`` —
+        the per-component view the experiment telemetry records alongside
+        the flat dump.
+        """
+        return nest_flat_stats(self.dump())
+
+    def scope(self, prefix: str) -> "StatsScope":
+        """A view of this registry that prefixes every name with ``prefix``."""
+        return StatsScope(self, prefix)
+
+
+def nest_flat_stats(flat: Dict[str, float]) -> Dict[str, object]:
+    """Fold a flat ``{dotted.name: value}`` dump into nested dicts.
+
+    Histogram bin keys (``name[<=8]``) stay attached to their leaf.  When
+    a name is both a leaf and a prefix of deeper names, the scalar is
+    stored under the ``"_value"`` key of the inner dict.
+    """
+    root: Dict[str, object] = {}
+    for name, value in flat.items():
+        # keep "[...]" bin labels (which may contain dots) atomic
+        bracket = name.find("[")
+        head = name if bracket < 0 else name[:bracket]
+        parts = head.split(".")
+        if bracket >= 0:
+            parts[-1] += name[bracket:]
+        node = root
+        for part in parts[:-1]:
+            nxt = node.get(part)
+            if not isinstance(nxt, dict):
+                nxt = {} if nxt is None else {"_value": nxt}
+                node[part] = nxt
+            node = nxt
+        leaf = parts[-1]
+        existing = node.get(leaf)
+        if isinstance(existing, dict):
+            existing["_value"] = value
+        else:
+            node[leaf] = value
+    return root
+
+
+class StatsScope:
+    """A path-scoped view of a :class:`StatsRegistry`.
+
+    Components hold one of these (``component.stats``) so every stat they
+    create is registered under ``<component path>.<stat name>`` in the
+    shared registry.  The factory API mirrors :class:`StatsRegistry`, so a
+    scope can be passed anywhere a registry is expected.
+    """
+
+    __slots__ = ("registry", "prefix")
+
+    def __init__(self, registry: StatsRegistry, prefix: str = "") -> None:
+        self.registry = registry
+        self.prefix = prefix
+
+    def qualify(self, name: str) -> str:
+        return f"{self.prefix}.{name}" if self.prefix else name
+
+    def register(self, stat) -> "StatsScope":
+        stat.name = self.qualify(stat.name)
+        self.registry.register(stat)
+        return self
+
+    def counter(self, name: str) -> Counter:
+        return self.registry.counter(self.qualify(name))
+
+    def accumulator(self, name: str) -> Accumulator:
+        return self.registry.accumulator(self.qualify(name))
+
+    def histogram(self, name: str, edges: Sequence[float]) -> Histogram:
+        return self.registry.histogram(self.qualify(name), edges)
+
+    def time_weighted(self, name: str, initial: float = 0.0) -> TimeWeighted:
+        return self.registry.time_weighted(self.qualify(name), initial)
+
+    def scope(self, name: str) -> "StatsScope":
+        return StatsScope(self.registry, self.qualify(name))
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"StatsScope({self.prefix!r})"

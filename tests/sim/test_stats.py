@@ -5,7 +5,15 @@ import math
 import pytest
 from hypothesis import given, strategies as st
 
-from repro.sim import Accumulator, Counter, Histogram, StatsRegistry, TimeWeighted
+from repro.sim import (
+    Accumulator,
+    Counter,
+    Histogram,
+    StatsRegistry,
+    StatsScope,
+    TimeWeighted,
+    nest_flat_stats,
+)
 
 
 class TestCounter:
@@ -145,3 +153,82 @@ class TestStatsRegistry:
         reg = StatsRegistry()
         c = reg.counter("x")
         assert reg.get("x") is c
+
+
+class TestNestedDump:
+    def test_nest_splits_dotted_names(self):
+        nested = nest_flat_stats({
+            "chip.subring0.mact.requests_in": 5,
+            "chip.subring0.mact.batches_out": 2,
+            "chip.noc.delivered": 9,
+        })
+        assert nested == {
+            "chip": {
+                "subring0": {"mact": {"requests_in": 5, "batches_out": 2}},
+                "noc": {"delivered": 9},
+            }
+        }
+
+    def test_histogram_bin_labels_stay_atomic(self):
+        # "(2,4.5]" contains a dot that must not split into path segments
+        nested = nest_flat_stats({
+            "chip.gran.count": 3,
+            "chip.gran[<=2]": 0.5,
+            "chip.gran[(2,4.5]]": 0.5,
+        })
+        chip = nested["chip"]
+        assert chip["gran"] == {"count": 3}
+        assert chip["gran[<=2]"] == 0.5 and chip["gran[(2,4.5]]"] == 0.5
+
+    def test_leaf_and_prefix_collision_uses_value_key(self):
+        # "lat" is both a scalar and a prefix of "lat.count" — order-independent
+        for flat in ({"a.lat": 1.0, "a.lat.count": 2},
+                     {"a.lat.count": 2, "a.lat": 1.0}):
+            nested = nest_flat_stats(dict(flat))
+            assert nested["a"]["lat"] == {"_value": 1.0, "count": 2}
+
+    def test_registry_dump_nested_matches_flat(self):
+        reg = StatsRegistry()
+        reg.counter("chip.core0.retired").inc(11)
+        reg.counter("chip.noc.delivered").inc(3)
+        assert reg.dump_nested() == nest_flat_stats(reg.dump())
+        assert reg.dump_nested()["chip"]["core0"]["retired"] == 11
+
+
+class TestStatsScope:
+    def test_counter_registers_under_prefix(self):
+        reg = StatsRegistry()
+        scope = reg.scope("chip.subring0.mact")
+        c = scope.counter("requests_in")
+        c.inc(4)
+        assert reg.dump()["chip.subring0.mact.requests_in"] == 4
+        assert c.name == "chip.subring0.mact.requests_in"
+
+    def test_nested_scopes_compose(self):
+        reg = StatsRegistry()
+        chip = StatsScope(reg, "chip")
+        mact = chip.scope("subring1").scope("mact")
+        assert mact.qualify("x") == "chip.subring1.mact.x"
+        mact.accumulator("latency").add(2.0)
+        assert reg.dump()["chip.subring1.mact.latency.mean"] == 2.0
+
+    def test_empty_prefix_is_transparent(self):
+        reg = StatsRegistry()
+        scope = StatsScope(reg)
+        scope.counter("free").inc()
+        assert reg.dump()["free"] == 1
+
+    def test_register_qualifies_external_stat(self):
+        reg = StatsRegistry()
+        scope = reg.scope("mem")
+        h = Histogram("gran", [4])
+        scope.register(h)
+        h.add(3)
+        assert h.name == "mem.gran"
+        assert reg.dump()["mem.gran.count"] == 1
+
+    def test_scope_collisions_still_rejected(self):
+        reg = StatsRegistry()
+        reg.scope("chip").counter("x")
+        with pytest.raises(ValueError):
+            reg.scope("chip").counter("x")
