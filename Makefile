@@ -9,10 +9,17 @@ REPRO_WORKERS ?= 2
 
 export PYTHONPATH := src
 
-.PHONY: test bench-smoke bench clean
+.PHONY: test lint bench-smoke bench clean
 
 test:
 	$(PYTHON) -m pytest -x -q
+
+# Static checks over the transaction-lifecycle layers (ruff + mypy come
+# from the `lint` extra; CI installs them, local runs need `pip install
+# -e '.[lint]'` once).
+lint:
+	$(PYTHON) -m ruff check src/repro/mem src/repro/noc
+	$(PYTHON) -m mypy src/repro/mem src/repro/noc
 
 bench-smoke:
 	REPRO_WORKERS=$(REPRO_WORKERS) $(PYTHON) -m pytest -q -p no:cacheprovider benchmarks -k "fig17 or fig19"

@@ -1,5 +1,12 @@
 """Analysis helpers: metrics and table rendering for the benches."""
 
+from .breakdown import (
+    BreakdownRow,
+    LatencyBreakdown,
+    render_breakdown,
+    rows_from_stats,
+    summarize_breakdown,
+)
 from .metrics import crossover_index, geometric_mean, normalize, speedup
 from .report import build_report, collect_results
 from .tables import render_result, render_series, render_table
@@ -14,4 +21,9 @@ __all__ = [
     "render_result",
     "build_report",
     "collect_results",
+    "BreakdownRow",
+    "LatencyBreakdown",
+    "render_breakdown",
+    "rows_from_stats",
+    "summarize_breakdown",
 ]

@@ -39,6 +39,7 @@ import functools
 from dataclasses import dataclass, field
 from typing import Dict, Generator, List, Optional
 
+from ..analysis.breakdown import LatencyBreakdown
 from ..config import SmarCoConfig, smarco_scaled
 from ..core.tcg import TCGCore
 from ..errors import ConfigError
@@ -46,7 +47,7 @@ from ..mem.controller import MemorySystem
 from ..mem.dma import DmaEngine
 from ..mem.mact import MACT, Batch
 from ..mem.prefetch import StreamPrefetcher
-from ..mem.request import MemRequest, Priority
+from ..mem.request import MemRequest, Priority, TraceSampler
 from ..mem.spm import Scratchpad, SpmAddressMap
 from ..noc.directpath import DirectDatapath
 from ..noc.hierring import HierarchicalRingNoC
@@ -181,6 +182,10 @@ class SmarCoChip(Component):
         self.spm_map = SpmAddressMap(self.spms)
 
         self.req_latency = self.stats.accumulator("req_latency")
+        # hop-stamped transaction sampling (tentpole): which core requests
+        # carry a trace, and where completed traces are aggregated
+        self._trace_sampler = TraceSampler(cfg.trace_sample_rate)
+        self.breakdown = LatencyBreakdown(self.registry)
         self.cores: List[TCGCore] = []
         # optional §7 extension: sequential-stream prefetch into SPM
         self.prefetchers: List[Optional[StreamPrefetcher]] = []
@@ -229,15 +234,26 @@ class SmarCoChip(Component):
     # -- the memory path ------------------------------------------------------------
 
     def _on_core_request(self, request: MemRequest) -> None:
-        """``core_req`` handler: account latency, then route."""
+        """``core_req`` handler: maybe trace, account latency, then route."""
+        if self._trace_sampler.sample():
+            trace = request.start_trace()
+            trace.advance("issue", self.cores[request.core_id].path,
+                          request.issue_time)
         request.on_complete = functools.partial(
             self._record_completion, request.on_complete)
         self._route_request(request.core_id, request)
 
     def _record_completion(self, prev, request: MemRequest, now: float) -> None:
         self.req_latency.add(now - request.issue_time)
+        if request.trace is not None:
+            self.breakdown.record(request)
         if prev is not None:
             prev(request, now)
+
+    @staticmethod
+    def _pkt_traces(*requests: MemRequest) -> tuple:
+        """Hop traces a packet must carry for the given riding requests."""
+        return tuple(r.trace for r in requests if r.trace is not None)
 
     def _route_request(self, core_id: int, request: MemRequest) -> None:
         ring = self.ring_of(core_id)
@@ -248,7 +264,8 @@ class SmarCoChip(Component):
             return
         prefetcher = self.prefetchers[core_id]
         if prefetcher is not None and not request.is_write:
-            if prefetcher.lookup(request.addr, request.size, self.sim.now):
+            if prefetcher.lookup(request.addr, request.size, self.sim.now,
+                                 request=request):
                 # data already staged in SPM by the stream prefetcher
                 self.sim.schedule(self.config.tcg.spm_hit_latency + 1,
                                   self._complete_now, request)
@@ -265,6 +282,7 @@ class SmarCoChip(Component):
             size_bytes=max(1, request.size),
             kind=PacketKind.MEM_WRITE if request.is_write else PacketKind.MEM_READ,
             on_delivered=functools.partial(self._forward_to_mact, ring, request),
+            traces=self._pkt_traces(request),
         )
         self.noc_out.send(packet)
 
@@ -288,17 +306,21 @@ class SmarCoChip(Component):
         mc_node = NodeId("mc", index=mc.controller_id)
         bridge = NodeId("bridge", ring=ring)
 
+        member_traces = self._pkt_traces(*batch.requests)
+
         # command (reads) or command+data (writes) to the controller
         out_size = _BATCH_HEADER_BYTES + (covered if batch.is_write else 0)
         out_pkt = Packet(src=bridge, dst=mc_node, size_bytes=out_size,
                          kind=PacketKind.MEM_WRITE if batch.is_write
-                         else PacketKind.MEM_READ)
+                         else PacketKind.MEM_READ,
+                         traces=member_traces)
         yield self.noc.send(out_pkt)
 
-        # DRAM access for the packed transaction
+        # DRAM access for the packed transaction; the members' hop chains
+        # ride the proxy request through the controller
         dram_req = MemRequest(addr=batch.base_addr, size=covered,
                               is_write=batch.is_write)
-        finish = mc.submit(dram_req)
+        finish = mc.submit(dram_req, carried=batch.requests)
         yield max(0.0, finish - self.sim.now)
 
         if batch.is_write:
@@ -309,13 +331,15 @@ class SmarCoChip(Component):
         # data back to the bridge, then per-request delivery on the sub-ring
         reply = Packet(src=mc_node, dst=bridge,
                        size_bytes=_BATCH_HEADER_BYTES + covered,
-                       kind=PacketKind.MEM_REPLY)
+                       kind=PacketKind.MEM_REPLY,
+                       traces=member_traces)
         yield self.noc.send(reply)
         for req in batch.requests:
             final = Packet(
                 src=bridge, dst=self.core_node(req.core_id),
                 size_bytes=max(1, req.size), kind=PacketKind.MEM_REPLY,
                 on_delivered=functools.partial(self._deliver_reply, req),
+                traces=self._pkt_traces(req),
             )
             self.noc_out.send(final)
 
@@ -323,17 +347,19 @@ class SmarCoChip(Component):
                      request: MemRequest) -> Generator:
         out = Packet(src=self.core_node(core_id),
                      dst=NodeId("mc", index=0), size_bytes=8,
-                     kind=PacketKind.MEM_READ, realtime=True)
+                     kind=PacketKind.MEM_READ, realtime=True,
+                     traces=self._pkt_traces(request))
         yield self.direct.send(out, ring)
         mc = self.memory.controller_for(request.addr)
         dram_req = MemRequest(addr=request.addr, size=request.size,
                               is_write=False)
-        finish = mc.submit(dram_req)
+        finish = mc.submit(dram_req, carried=(request,))
         yield max(0.0, finish - self.sim.now)
         back = Packet(src=NodeId("mc", index=mc.controller_id),
                       dst=self.core_node(core_id),
                       size_bytes=max(1, request.size),
-                      kind=PacketKind.MEM_REPLY, realtime=True)
+                      kind=PacketKind.MEM_REPLY, realtime=True,
+                      traces=self._pkt_traces(request))
         yield self.direct.send(back, ring)
         request.complete(self.sim.now)
 
@@ -342,14 +368,17 @@ class SmarCoChip(Component):
         there = Packet(src=self.core_node(core_id),
                        dst=self.core_node(owner.core_id),
                        size_bytes=max(1, request.size),
-                       kind=PacketKind.SPM_TRANSFER)
+                       kind=PacketKind.SPM_TRANSFER,
+                       traces=self._pkt_traces(request))
         yield self.noc.send(there)
-        yield self.config.tcg.spm_hit_latency
+        yield owner.serve_remote(request, self.sim.now,
+                                 self.config.tcg.spm_hit_latency)
         if not request.is_write:
             back = Packet(src=self.core_node(owner.core_id),
                           dst=self.core_node(core_id),
                           size_bytes=max(1, request.size),
-                          kind=PacketKind.SPM_TRANSFER)
+                          kind=PacketKind.SPM_TRANSFER,
+                          traces=self._pkt_traces(request))
             yield self.noc.send(back)
         request.complete(self.sim.now)
 

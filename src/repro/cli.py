@@ -57,6 +57,10 @@ def build_parser() -> argparse.ArgumentParser:
                        choices=("inpair", "blocking", "coarse"))
     run_p.add_argument("--shared-code", action="store_true",
                        help="DMA-prefetch the instruction segment (3.1.2)")
+    run_p.add_argument("--trace-rate", type=float, default=0.0,
+                       metavar="RATE",
+                       help="fraction of requests to hop-trace (0 disables; "
+                            "prints the per-stage latency breakdown)")
 
     xeon_p = sub.add_parser("xeon", help="run a workload on the Xeon baseline")
     xeon_p.add_argument("workload")
@@ -113,6 +117,9 @@ def build_parser() -> argparse.ArgumentParser:
                             "(default: <results-dir>/runs)")
     rep_p.add_argument("--output", default=None,
                        help="write to a file instead of stdout")
+    rep_p.add_argument("--breakdown", action="store_true",
+                       help="add the per-stage latency breakdown aggregated "
+                            "over traced sweep runs")
     return parser
 
 
@@ -128,14 +135,20 @@ def _cmd_list_workloads() -> int:
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
+    import dataclasses
+
+    config = smarco_scaled(args.sub_rings, args.cores)
+    if args.trace_rate:
+        config = dataclasses.replace(config, trace_sample_rate=args.trace_rate)
     request = RunRequest(
         kind="smarco", workload=args.workload, seed=args.seed,
-        smarco_config=smarco_scaled(args.sub_rings, args.cores),
+        smarco_config=config,
         threads_per_core=args.threads_per_core,
         instrs_per_thread=args.instrs,
         core_policy=args.policy, shared_code=args.shared_code,
     )
-    result = execute(request).result
+    outcome = execute(request)
+    result = outcome.result
     print(render_table(["metric", "value"], [
         ["cores", f"{result.cores_done}/{result.total_cores} done"],
         ["cycles", f"{result.cycles:,.0f}"],
@@ -147,6 +160,11 @@ def _cmd_run(args: argparse.Namespace) -> int:
         ["mean request latency", f"{result.mean_request_latency:.0f} cycles"],
         ["NoC bandwidth util", f"{result.noc_bandwidth_utilization:.1%}"],
     ], title=f"SmarCo run: {args.workload}"))
+    if args.trace_rate:
+        from .analysis import render_breakdown, rows_from_stats
+
+        print()
+        print(render_breakdown(rows_from_stats(outcome.stats)))
     return 0
 
 
@@ -249,6 +267,16 @@ def _cmd_report(args: argparse.Namespace) -> int:
     if records:
         text += ("\n## Sweep telemetry\n\n```\n"
                  + summarize_runs(records) + "\n```\n")
+    if args.breakdown:
+        from .analysis import render_breakdown, summarize_breakdown
+
+        rows = summarize_breakdown(records)
+        if rows:
+            text += ("\n## Latency breakdown\n\n```\n"
+                     + render_breakdown(rows) + "\n```\n")
+        else:
+            text += ("\n## Latency breakdown\n\nNo traced runs found "
+                     "(set `trace_sample_rate` > 0 in the sweep config).\n")
     if args.output:
         Path(args.output).write_text(text + "\n")
         print(f"report written to {args.output}")

@@ -197,6 +197,9 @@ class SmarCoConfig:
     memory: MemoryConfig = field(default_factory=MemoryConfig)
     scheduler: SchedulerConfig = field(default_factory=SchedulerConfig)
     technology_nm: int = 32             # Table 1 evaluates at 32nm
+    #: fraction of core requests that carry a HopTrace (0.0 = tracing off;
+    #: sampled deterministically, see repro.mem.request.TraceSampler)
+    trace_sample_rate: float = 0.0
 
     @property
     def total_cores(self) -> int:
@@ -225,6 +228,8 @@ class SmarCoConfig:
             raise ConfigError(
                 "memory channels must not exceed main-ring stops (sub_rings)"
             )
+        if not 0.0 <= self.trace_sample_rate <= 1.0:
+            raise ConfigError("trace_sample_rate must be in [0, 1]")
         self.tcg.validate()
         self.ring.validate()
         self.mact.validate()

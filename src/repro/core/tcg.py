@@ -105,7 +105,8 @@ class TCGCore(Component):
 
         self.dcache = Cache("dcache", self.config.dcache_bytes,
                             self.config.cache_line_bytes,
-                            self.config.cache_ways, self.stats)
+                            self.config.cache_ways, self.stats,
+                            hit_latency=self.config.dcache_hit_latency)
         self.icache = Cache("icache", self.config.icache_bytes,
                             self.config.cache_line_bytes,
                             self.config.cache_ways, self.stats)
@@ -113,6 +114,10 @@ class TCGCore(Component):
         self.uncached_accesses = self.stats.counter("uncached")
         self.switch_count = self.stats.counter("switches")
         self.retired = self.stats.counter("retired")
+        # in-pair park/resume accounting: block -> data-back, and
+        # data-back -> actually re-picked by the slot
+        self.park_cycles = self.stats.accumulator("park_cycles")
+        self.resume_wait = self.stats.accumulator("resume_wait")
 
         self.threads: List[HardwareThread] = []
         self._slots: List[List[HardwareThread]] = []
@@ -228,6 +233,8 @@ class TCGCore(Component):
 
     def _data_returned(self, thread: HardwareThread, slot_id: int) -> None:
         thread.unblock()
+        thread.ready_at = self.sim.now
+        self.park_cycles.add(self.sim.now - thread.blocked_at)
         self._emit("wake", thread)
         self._wake_slot(slot_id)
 
@@ -247,6 +254,15 @@ class TCGCore(Component):
                 self.switch_count.inc()
                 self._emit("switch", thread)
                 yield self.config.thread_switch_latency
+            if thread.ready_at is not None:
+                self.resume_wait.add(self.sim.now - thread.ready_at)
+                if thread.resume_trace is not None:
+                    # out-of-chain record: the request already completed,
+                    # this is how long its thread then waited for the slot
+                    thread.resume_trace.stamp(
+                        "resume", self.path, thread.ready_at, self.sim.now)
+                thread.ready_at = None
+                thread.resume_trace = None
             thread.state = ThreadState.RUNNING
             prev = thread
             blocked = yield from self._run_thread(thread, slot_id)
@@ -280,8 +296,11 @@ class TCGCore(Component):
                     self.port.issue(req)
             if blocking is not None:
                 thread.block()
+                thread.blocked_at = self.sim.now
                 self._emit("block", thread)
                 signal = self.port.issue(blocking)
+                # the chip may have attached a trace during issue
+                thread.resume_trace = blocking.trace
                 signal.wait(
                     lambda _p, th=thread, s=slot_id: self._data_returned(th, s)
                 )

@@ -28,6 +28,7 @@ class HardwareThread:
     __slots__ = (
         "thread_id", "pair_id", "name", "state", "_stream", "retired",
         "switches", "misses", "data_ready", "finish_time",
+        "blocked_at", "ready_at", "resume_trace",
     )
 
     def __init__(self, thread_id: int, pair_id: int,
@@ -42,6 +43,10 @@ class HardwareThread:
         self.misses = 0
         self.data_ready = True       # no outstanding miss
         self.finish_time: Optional[float] = None
+        # park/resume accounting for the in-pair handoff (set by the core)
+        self.blocked_at = 0.0
+        self.ready_at: Optional[float] = None
+        self.resume_trace = None     # the blocking request's HopTrace
 
     def next_instr(self) -> Optional[CoreInstr]:
         """Fetch the next instruction, or None at end-of-stream."""

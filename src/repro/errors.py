@@ -38,6 +38,11 @@ class MemoryError_(ReproError):
     shadowing the builtin :class:`MemoryError`."""
 
 
+class MemoryModelError(MemoryError_):
+    """A memory-model lifecycle invariant was violated: a request was
+    completed twice, or a hop trace was stamped out of time order."""
+
+
 class NocError(ReproError):
     """A packet could not be routed or a link/router invariant broke."""
 

@@ -108,6 +108,7 @@ def _smarco_config_from(data: Optional[Dict[str, Any]]) -> Optional[SmarCoConfig
         memory=MemoryConfig(**data["memory"]),
         scheduler=SchedulerConfig(**data["scheduler"]),
         technology_nm=data["technology_nm"],
+        trace_sample_rate=data.get("trace_sample_rate", 0.0),
     )
 
 

@@ -10,7 +10,7 @@ hierarchy.
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Dict, List, Optional, Tuple
+from typing import List, Optional, Tuple
 
 from ..errors import ConfigError
 from ..sim.stats import StatsRegistry
@@ -43,6 +43,7 @@ class Cache:
         line_bytes: int = 64,
         ways: int = 4,
         registry: Optional[StatsRegistry] = None,
+        hit_latency: float = 0.0,
     ) -> None:
         if size_bytes % (line_bytes * ways):
             raise ConfigError(
@@ -52,6 +53,7 @@ class Cache:
         self.size_bytes = size_bytes
         self.line_bytes = line_bytes
         self.ways = ways
+        self.hit_latency = hit_latency
         self.num_sets = size_bytes // (line_bytes * ways)
         # each set: OrderedDict tag -> dirty flag; first item is LRU
         self._sets: List[OrderedDict] = [OrderedDict() for _ in range(self.num_sets)]

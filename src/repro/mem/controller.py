@@ -13,7 +13,7 @@ the 4-channel aggregate bandwidth reachable).
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import Optional, Sequence
 
 from ..config import MemoryConfig
 from ..sim.component import Component
@@ -48,12 +48,23 @@ class MemoryController(Component):
         )
         self.queued = self.stats.counter("requests")
 
-    def submit(self, request: MemRequest) -> float:
-        """Admit a request; returns (and schedules) its finish time."""
+    def submit(self, request: MemRequest,
+               carried: Sequence[MemRequest] = ()) -> float:
+        """Admit a request; returns (and schedules) its finish time.
+
+        ``carried`` are the transactions riding this access (the member
+        requests of a MACT batch, or the original request when ``request``
+        is a chip-forged proxy) — their hop chains advance into the
+        ``dram`` stage here.
+        """
         self.queued.inc()
-        finish = self.channel.access(request.addr, request.size, self.sim.now)
-        self.sim.schedule_at(finish, request.complete, finish)
-        return finish
+        now = self.sim.now
+        request.trace_advance("dram", self.path, now)
+        for rider in carried:
+            rider.trace_advance("dram", self.path, now)
+        detail = self.channel.access_detail(request.addr, request.size, now)
+        self.sim.schedule_at(detail.finish, request.complete, detail.finish)
+        return detail.finish
 
 
 class MemorySystem(Component):
@@ -79,8 +90,9 @@ class MemorySystem(Component):
         index = (addr // INTERLEAVE_BYTES) % len(self.controllers)
         return self.controllers[index]
 
-    def submit(self, request: MemRequest) -> float:
-        return self.controller_for(request.addr).submit(request)
+    def submit(self, request: MemRequest,
+               carried: Sequence[MemRequest] = ()) -> float:
+        return self.controller_for(request.addr).submit(request, carried)
 
     @property
     def total_requests(self) -> int:

@@ -21,6 +21,7 @@ from ..errors import MemoryError_
 from ..sim.component import Component
 from ..sim.engine import Process, Simulator
 from ..sim.stats import StatsRegistry
+from .request import HopTrace
 from .spm import Scratchpad
 
 __all__ = ["DmaEngine"]
@@ -46,6 +47,7 @@ class DmaEngine(Component):
         self._busy_until = 0.0
         self.transfers = self.stats.counter("transfers")
         self.bytes_moved = self.stats.counter("bytes")
+        self.queue_wait = self.stats.accumulator("queue_wait")
 
     def on_reset(self) -> None:
         self._busy_until = 0.0
@@ -61,16 +63,27 @@ class DmaEngine(Component):
         src_addr: int,
         dst_addr: int,
         size: int,
+        trace: Optional[HopTrace] = None,
     ) -> Process:
-        """Start an SPM→SPM copy; returns the transfer process."""
+        """Start an SPM→SPM copy; returns the transfer process.
+
+        A caller-supplied ``trace`` gets the transfer's queue and transfer
+        legs stamped as closed ``dma_queue``/``dma_xfer`` records.
+        """
         if size <= 0:
             raise MemoryError_(f"DMA size must be positive, got {size}")
 
         def worker() -> Generator:
             # Serialise on the engine.
-            wait = max(0.0, self._busy_until - self.sim.now)
+            now = self.sim.now
+            wait = max(0.0, self._busy_until - now)
             duration = self.transfer_cycles(size)
-            self._busy_until = self.sim.now + wait + duration
+            self._busy_until = now + wait + duration
+            self.queue_wait.add(wait)
+            if trace is not None:
+                trace.stamp("dma_queue", self.path, now, now + wait)
+                trace.stamp("dma_xfer", self.path, now + wait,
+                            now + wait + duration)
             yield wait + duration
             payload = src.read_bytes(src_addr, size)
             dst.write_bytes(dst_addr, payload)
@@ -89,7 +102,8 @@ class DmaEngine(Component):
         src_addr, dst_addr, size = src.dma_descriptor()
         return self.copy(src, dst, src_addr, dst_addr, size)
 
-    def prefetch_fill(self, dst: Scratchpad, dst_addr: int, payload: bytes) -> Process:
+    def prefetch_fill(self, dst: Scratchpad, dst_addr: int, payload: bytes,
+                      trace: Optional[HopTrace] = None) -> Process:
         """Memory→SPM fill (instruction-segment prefetch, §3.1.2).
 
         Main memory is functionally a byte source here; timing charges the
@@ -99,9 +113,15 @@ class DmaEngine(Component):
             raise MemoryError_("prefetch payload must be non-empty")
 
         def worker() -> Generator:
-            wait = max(0.0, self._busy_until - self.sim.now)
+            now = self.sim.now
+            wait = max(0.0, self._busy_until - now)
             duration = self.transfer_cycles(len(payload))
-            self._busy_until = self.sim.now + wait + duration
+            self._busy_until = now + wait + duration
+            self.queue_wait.add(wait)
+            if trace is not None:
+                trace.stamp("dma_queue", self.path, now, now + wait)
+                trace.stamp("dma_xfer", self.path, now + wait,
+                            now + wait + duration)
             yield wait + duration
             dst.write_bytes(dst_addr, payload)
             self.transfers.inc()

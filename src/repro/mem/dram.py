@@ -9,12 +9,21 @@ aggregate peak bandwidth matches the paper's 136.5 GB/s.
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+from typing import NamedTuple, Optional, Tuple
 
 from ..config import MemoryConfig
 from ..sim.stats import StatsRegistry
 
-__all__ = ["DramBank", "DramChannel"]
+__all__ = ["DramBank", "DramChannel", "AccessDetail"]
+
+
+class AccessDetail(NamedTuple):
+    """Timing breakdown of one channel access."""
+
+    finish: float       # data-back time
+    bank_wait: float    # queueing behind the bank's busy window
+    bus_wait: float     # queueing behind the shared data bus
+    row_hit: bool
 
 ROW_BYTES = 2048  # open-row (page) size per bank
 
@@ -73,6 +82,8 @@ class DramChannel:
         self.requests = reg.counter(f"dram{channel_id}.requests")
         self.bytes_moved = reg.counter(f"dram{channel_id}.bytes")
         self.latency = reg.accumulator(f"dram{channel_id}.latency")
+        self.bank_wait = reg.accumulator(f"dram{channel_id}.bank_wait")
+        self.bus_wait = reg.accumulator(f"dram{channel_id}.bus_wait")
 
     def _locate(self, addr: int) -> Tuple[DramBank, int]:
         row_global = addr // ROW_BYTES
@@ -84,20 +95,27 @@ class DramChannel:
 
     def access(self, addr: int, size: int, now: float) -> float:
         """Service one access; returns its finish (data-back) time."""
+        return self.access_detail(addr, size, now).finish
+
+    def access_detail(self, addr: int, size: int, now: float) -> AccessDetail:
+        """Service one access; returns its full timing breakdown."""
         bank, row = self._locate(addr)
-        finish, _hit = bank.access(
+        bank_wait = max(0.0, bank.busy_until - now)
+        data_ready, hit = bank.access(
             row, now, self.config.row_hit_latency, self.config.row_miss_latency,
             self.config.row_hit_occupancy, self.config.row_miss_occupancy,
         )
         # Data transfer occupies the channel bus after the bank is ready.
         burst_cycles = max(1.0, size / self.bytes_per_cycle)
-        start_xfer = max(finish, self._bus_free)
+        start_xfer = max(data_ready, self._bus_free)
         finish = start_xfer + burst_cycles
         self._bus_free = finish
         self.requests.inc()
         self.bytes_moved.inc(size)
         self.latency.add(finish - now)
-        return finish
+        self.bank_wait.add(bank_wait)
+        self.bus_wait.add(start_xfer - data_ready)
+        return AccessDetail(finish, bank_wait, start_xfer - data_ready, hit)
 
     @property
     def row_hit_ratio(self) -> float:

@@ -7,12 +7,13 @@ latency — exactly the two quantities Fig 1(c)/(d) plots per level.
 
 from __future__ import annotations
 
-from typing import Dict, List, NamedTuple, Optional
+from typing import Dict, NamedTuple, Optional
 
 from ..config import XeonConfig
 from ..sim.component import Component
 from ..sim.stats import StatsRegistry
 from .cache import Cache
+from .request import MemRequest
 
 __all__ = ["HierarchyResult", "CacheHierarchy"]
 
@@ -45,11 +46,15 @@ class CacheHierarchy(Component):
         self.config = cfg
         self.core_id = core_id
         line = cfg.cache_line_bytes
-        self.l1d = Cache("l1d", cfg.l1d_bytes, line, ways=8, registry=self.stats)
-        self.l1i = Cache("l1i", cfg.l1i_bytes, line, ways=8, registry=self.stats)
-        self.l2 = Cache("l2", cfg.l2_bytes, line, ways=8, registry=self.stats)
+        self.l1d = Cache("l1d", cfg.l1d_bytes, line, ways=8, registry=self.stats,
+                         hit_latency=cfg.l1_hit_latency)
+        self.l1i = Cache("l1i", cfg.l1i_bytes, line, ways=8, registry=self.stats,
+                         hit_latency=cfg.l1_hit_latency)
+        self.l2 = Cache("l2", cfg.l2_bytes, line, ways=8, registry=self.stats,
+                        hit_latency=cfg.l2_hit_latency)
         self.llc = shared_llc if shared_llc is not None else Cache(
-            "llc", cfg.llc_bytes, line, ways=16, registry=self.stats
+            "llc", cfg.llc_bytes, line, ways=16, registry=self.stats,
+            hit_latency=cfg.llc_hit_latency,
         )
 
     @staticmethod
@@ -57,7 +62,7 @@ class CacheHierarchy(Component):
                         registry: Optional[StatsRegistry] = None) -> Cache:
         cfg = config if config is not None else XeonConfig()
         return Cache("llc", cfg.llc_bytes, cfg.cache_line_bytes, ways=16,
-                     registry=registry)
+                     registry=registry, hit_latency=cfg.llc_hit_latency)
 
     def access(self, addr: int, is_write: bool = False,
                is_instruction: bool = False) -> HierarchyResult:
@@ -71,6 +76,34 @@ class CacheHierarchy(Component):
         if self.llc.access(addr, is_write).hit:
             return HierarchyResult("LLC", cfg.llc_hit_latency, False)
         return HierarchyResult("MEM", cfg.dram_latency, False)
+
+    def access_traced(self, addr: int, request: MemRequest, now: float,
+                      is_write: bool = False,
+                      is_instruction: bool = False) -> HierarchyResult:
+        """:meth:`access`, plus per-level hop attribution on the request.
+
+        Each probed level gets one closed hop whose duration is that
+        level's marginal latency contribution, so the walk's hops sum to
+        the returned total latency.
+        """
+        cfg = self.config
+        result = self.access(addr, is_write, is_instruction)
+        trace = request.trace
+        if trace is None:
+            return result
+        l1 = self.l1i if is_instruction else self.l1d
+        boundaries = [("cache", f"{self.path}.{l1.name}", cfg.l1_hit_latency)]
+        if result.level != "L1":
+            boundaries.append(("cache", f"{self.path}.l2", cfg.l2_hit_latency))
+        if result.level in ("LLC", "MEM"):
+            boundaries.append(("cache", f"{self.path}.llc", cfg.llc_hit_latency))
+        if result.level == "MEM":
+            boundaries.append(("dram", f"{self.path}.mem", cfg.dram_latency))
+        prev = 0.0
+        for stage, component, cumulative in boundaries:
+            trace.stamp(stage, component, now + prev, now + cumulative)
+            prev = cumulative
+        return result
 
     def miss_ratios(self) -> Dict[str, float]:
         """Per-level miss ratios {L1, L2, LLC} (L1 = data side)."""

@@ -56,7 +56,8 @@ class Batch:
 class MACTLine:
     """One table line: bitmap of wanted bytes + its constituent requests."""
 
-    __slots__ = ("base_addr", "is_write", "bitmap", "created_at", "requests", "generation")
+    __slots__ = ("base_addr", "is_write", "bitmap", "created_at", "requests",
+                 "arrivals", "generation")
 
     def __init__(self, base_addr: int, is_write: bool, created_at: float,
                  generation: int) -> None:
@@ -65,6 +66,7 @@ class MACTLine:
         self.bitmap = 0
         self.created_at = created_at
         self.requests: List[MemRequest] = []
+        self.arrivals: List[float] = []  # per-request arrival times
         self.generation = generation    # guards stale deadline events
 
     def merge(self, request: MemRequest, span_bytes: int) -> bool:
@@ -118,6 +120,7 @@ class MACT(Component):
         self.flush_deadline = self.stats.counter("flush_deadline")
         self.flush_capacity = self.stats.counter("flush_capacity")
         self.occupancy = self.stats.time_weighted("occupancy")
+        self.collect_wait = self.stats.accumulator("collect_wait")
 
     def on_reset(self) -> None:
         self._lines.clear()
@@ -128,6 +131,7 @@ class MACT(Component):
     def submit(self, request: MemRequest) -> None:
         """Accept one memory request from a core."""
         self.requests_in.inc()
+        request.trace_advance("collect", self.path, self.sim.now)
         if not self.config.enabled:
             self._send_single(request, reason="disabled")
             return
@@ -156,12 +160,15 @@ class MACT(Component):
                 self.config.threshold_cycles,
                 self._deadline_expired, key, line.generation,
             )
+        line.arrivals.append(self.sim.now)
         if line.merge(request, span):
             self._flush(key, reason="full")
 
     # -- flush paths --------------------------------------------------------------
 
     def _send_single(self, request: MemRequest, reason: str) -> None:
+        request.trace_annotate(reason)
+        self.collect_wait.add(0.0)
         batch = Batch(request.addr, request.size, request.is_write,
                       [request], reason)
         self.batches_out.inc()
@@ -186,6 +193,10 @@ class MACT(Component):
             "capacity": self.flush_capacity,
         }[reason]
         counter.inc()
+        now = self.sim.now
+        for req, arrived in zip(line.requests, line.arrivals):
+            self.collect_wait.add(now - arrived)
+            req.trace_annotate(reason)
         self.batches_out.inc()
         self.batch_out.send(Batch(line.base_addr, self.config.line_span_bytes,
                                   line.is_write, line.requests, reason))

@@ -97,6 +97,7 @@ class StreamPrefetcher(Component):
         self.hits = self.stats.counter("hits")
         self.misses = self.stats.counter("misses")
         self.issued = self.stats.counter("issued")
+        self.fill_latency = self.stats.accumulator("fill_latency")
 
     def on_reset(self) -> None:
         self._windows.clear()
@@ -104,11 +105,18 @@ class StreamPrefetcher(Component):
 
     # -- lookup ------------------------------------------------------------
 
-    def lookup(self, addr: int, size: int, now: float) -> bool:
-        """True when the access is covered by a ready window (SPM hit)."""
+    def lookup(self, addr: int, size: int, now: float,
+               request: Optional[MemRequest] = None) -> bool:
+        """True when the access is covered by a ready window (SPM hit).
+
+        Passing the demand ``request`` stamps its hop chain with the
+        SPM-speed ``prefetch`` service stage on a hit.
+        """
         for window in self._windows:
             if window.covers(addr, size) and window.ready_at <= now:
                 self.hits.inc()
+                if request is not None:
+                    request.trace_advance("prefetch", self.path, now)
                 return True
         self.misses.inc()
         return False
@@ -137,13 +145,15 @@ class StreamPrefetcher(Component):
         request = MemRequest(
             addr=start, size=self.window_bytes, is_write=False,
             core_id=self.core_id,
-            on_complete=lambda req, t, w=window: self._filled(w, t),
+            on_complete=lambda req, t, w=window, t0=now: self._filled(w, t, t0),
         )
         self.issued.inc()
         self.fetch_out.send(request)
 
-    def _filled(self, window: PrefetchWindow, now: float) -> None:
+    def _filled(self, window: PrefetchWindow, now: float,
+                launched_at: float) -> None:
         window.ready_at = now
+        self.fill_latency.add(now - launched_at)
 
     # -- introspection ----------------------------------------------------------
 

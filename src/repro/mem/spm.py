@@ -16,12 +16,12 @@ Each TCG core owns a 128 KB SPM that is:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Optional, Tuple
 
 from ..errors import MemoryError_
 from ..sim.component import Component
 from ..sim.stats import StatsRegistry
+from .request import MemRequest
 
 __all__ = ["Scratchpad", "SpmAddressMap", "SPM_REGION_BASE"]
 
@@ -64,6 +64,7 @@ class Scratchpad(Component):
         self._data = bytearray(size_bytes)
         self.reads = self.stats.counter("reads")
         self.writes = self.stats.counter("writes")
+        self.remote_accesses = self.stats.counter("remote_accesses")
 
     def on_reset(self) -> None:
         self._data = bytearray(self.size_bytes)
@@ -117,6 +118,17 @@ class Scratchpad(Component):
         off = self._offset(addr, len(data))
         self.writes.inc()
         self._data[off:off + len(data)] = data
+
+    def serve_remote(self, request: MemRequest, now: float,
+                     latency: float) -> float:
+        """Account a remote core's access landing here; returns ``latency``.
+
+        The chip's remote-SPM path calls this at array-access time so the
+        access is attributed to the owning SPM (count + hop stamp).
+        """
+        self.remote_accesses.inc()
+        request.trace_advance("spm", self.path, now)
+        return latency
 
     # -- DMA control registers ---------------------------------------------------
 

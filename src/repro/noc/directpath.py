@@ -64,7 +64,12 @@ class DirectDatapath(Component):
 
     def _fly(self, packet: Packet, sub_ring: int) -> Generator:
         link = self.links[sub_ring]
-        finish = link.transmit(packet.size_bytes, self.sim.now)
+        start, finish = link.reserve(packet.size_bytes, self.sim.now)
+        if packet.traces:
+            component = f"{self.path}.link{sub_ring}"
+            if start > self.sim.now:
+                packet.advance_traces("link_wait", component, self.sim.now)
+            packet.advance_traces("direct", component, start)
         yield max(0.0, finish - self.sim.now) + self.latency
         self.delivered.inc()
         self.lat_stat.add(self.sim.now - packet.created_at)

@@ -12,7 +12,7 @@ the controller stop.  Every leg models link contention through
 
 from __future__ import annotations
 
-from typing import Dict, Generator, List, Optional, Tuple
+from typing import Dict, Generator, List, Optional
 
 from ..config import RingConfig
 from ..errors import NocError
@@ -140,6 +140,9 @@ class HierarchicalRingNoC(Component):
                     self.sub_stop(NodeId("bridge", ring=src_ring)), final=False,
                 )
                 yield leg
+                if packet.traces:
+                    packet.advance_traces(
+                        "bridge", f"{self.path}.bridge{src_ring}", self.sim.now)
                 yield bridge_latency
                 main_src = self.main_stop(NodeId("bridge", ring=src_ring))
             else:
@@ -156,6 +159,9 @@ class HierarchicalRingNoC(Component):
 
             # Leg 3: destination sub-ring (if destination is a core).
             if dst_ring is not None:
+                if packet.traces:
+                    packet.advance_traces(
+                        "bridge", f"{self.path}.bridge{dst_ring}", self.sim.now)
                 yield bridge_latency
                 leg = self.sub_ring_nets[dst_ring].send(
                     packet, self.sub_stop(NodeId("bridge", ring=dst_ring)),

@@ -21,7 +21,7 @@ direction + 2 bidirectional; sub-ring = 1 + 2).
 from __future__ import annotations
 
 import math
-from typing import List, Optional, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 from ..errors import NocError
 from ..sim.stats import StatsRegistry
@@ -56,6 +56,10 @@ class SlicedLink:
         self.n_slices = max(1, width_bytes // slice_bytes)
         self.slice_bytes = width_bytes / self.n_slices
         self._slice_free: List[float] = [0.0] * self.n_slices
+        #: set to a list to record every reservation as
+        #: ``(chosen_slice_indices, start, finish)`` (tests/debugging)
+        self.reservation_log: Optional[
+            List[Tuple[Tuple[int, ...], float, float]]] = None
         reg = registry if registry is not None else StatsRegistry()
         self.packets = reg.counter(f"{name}.packets")
         self.bytes_moved = reg.counter(f"{name}.bytes")
@@ -65,28 +69,43 @@ class SlicedLink:
 
     def transmit(self, size_bytes: int, now: float) -> float:
         """Reserve capacity for one packet; returns its link-exit time."""
+        return self.reserve(size_bytes, now)[1]
+
+    def reserve(self, size_bytes: int, now: float) -> Tuple[float, float]:
+        """Reserve capacity for one packet; returns ``(start, finish)``.
+
+        ``start - now`` is the per-slice wait the packet spends queued for
+        its narrow channels (hop traces stamp it as ``link_wait``).
+        """
         if size_bytes <= 0:
             raise NocError(f"packet size must be positive, got {size_bytes}")
         slices_needed = math.ceil(size_bytes / self.slice_bytes)
         if self.policy == "monolithic":
-            finish = self._transmit_monolithic(slices_needed, now)
+            start, finish = self._transmit_monolithic(slices_needed, now)
         elif self.policy == "greedy":
-            finish = self._transmit_greedy(slices_needed, now)
+            start, finish = self._transmit_greedy(slices_needed, now)
         else:
-            finish = self._transmit_firstfit(slices_needed, now)
+            start, finish = self._transmit_firstfit(slices_needed, now)
         self.packets.inc()
         self.bytes_moved.inc(size_bytes)
-        return finish
+        return start, finish
 
-    def _transmit_monolithic(self, slices_needed: int, now: float) -> float:
+    def _record(self, chosen: Sequence[int], start: float, finish: float) -> None:
+        if self.reservation_log is not None:
+            self.reservation_log.append((tuple(chosen), start, finish))
+
+    def _transmit_monolithic(self, slices_needed: int,
+                             now: float) -> Tuple[float, float]:
         cycles = math.ceil(slices_needed / self.n_slices)
         start = max(now, max(self._slice_free))
         self.wait_cycles.add(start - now)
         finish = start + cycles
         self._slice_free = [finish] * self.n_slices
-        return finish
+        self._record(range(self.n_slices), start, finish)
+        return start, finish
 
-    def _transmit_greedy(self, slices_needed: int, now: float) -> float:
+    def _transmit_greedy(self, slices_needed: int,
+                         now: float) -> Tuple[float, float]:
         k = min(slices_needed, self.n_slices)
         cycles = math.ceil(slices_needed / k)
         # earliest-free k slices (the self-governed channels the packet
@@ -98,9 +117,11 @@ class SlicedLink:
         finish = start + cycles
         for i in chosen:
             self._slice_free[i] = finish
-        return finish
+        self._record(chosen, start, finish)
+        return start, finish
 
-    def _transmit_firstfit(self, slices_needed: int, now: float) -> float:
+    def _transmit_firstfit(self, slices_needed: int,
+                           now: float) -> Tuple[float, float]:
         k = min(slices_needed, self.n_slices)
         cycles = math.ceil(slices_needed / k)
         # contiguous block with the minimal start time
@@ -114,7 +135,8 @@ class SlicedLink:
         finish = best_start + cycles
         for i in range(best_base, best_base + k):
             self._slice_free[i] = finish
-        return finish
+        self._record(range(best_base, best_base + k), best_start, finish)
+        return best_start, finish
 
     # -- introspection --------------------------------------------------------
 
@@ -172,10 +194,23 @@ class RingSegment:
 
     def transmit(self, direction: str, size_bytes: int, now: float) -> float:
         """Send using the fixed link, borrowing the bidi pool if it's freer."""
+        return self.transmit_detail(direction, size_bytes, now)[1]
+
+    def transmit_detail(self, direction: str, size_bytes: int,
+                        now: float) -> Tuple[float, float]:
+        """Like :meth:`transmit` but returns ``(start, finish)``.
+
+        The bidi pool is only borrowed when the fixed link is actually busy
+        at ``now`` — a freer bidi pool must not steal traffic from an idle
+        fixed datapath (that would serialise both directions through the
+        shared pool under light load).
+        """
         fixed = self.link(direction)
-        if self.bidi is not None and self.bidi.next_free() < fixed.next_free():
-            return self.bidi.transmit(size_bytes, now)
-        return fixed.transmit(size_bytes, now)
+        link = fixed
+        if (self.bidi is not None and fixed.next_free() > now
+                and self.bidi.next_free() < fixed.next_free()):
+            link = self.bidi
+        return link.reserve(size_bytes, now)
 
     def next_free(self, direction: str) -> float:
         fixed = self.link(direction).next_free()

@@ -9,7 +9,6 @@ default, matching mesh designs like Tile64.
 
 from __future__ import annotations
 
-import math
 from typing import Dict, Generator, List, Optional, Tuple
 
 from ..errors import NocError

@@ -11,7 +11,10 @@ from __future__ import annotations
 import enum
 import itertools
 from dataclasses import dataclass, field
-from typing import Any, Callable, Optional, Tuple
+from typing import TYPE_CHECKING, Any, Callable, Optional, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..mem.request import HopTrace
 
 __all__ = ["NodeId", "PacketKind", "Packet"]
 
@@ -59,6 +62,14 @@ class Packet:
     hops: int = 0
     on_delivered: Optional[Callable[["Packet", float], None]] = None
     pkt_id: int = field(default_factory=lambda: next(_packet_ids))
+    #: hop traces of the transactions riding this packet (a MACT batch
+    #: packet carries one per member request); empty = untraced
+    traces: Tuple["HopTrace", ...] = ()
+
+    def advance_traces(self, stage: str, component: str, now: float) -> None:
+        """Advance every riding transaction's hop chain (NoC legs)."""
+        for trace in self.traces:
+            trace.advance(stage, component, now)
 
     @property
     def latency(self) -> Optional[float]:

@@ -10,12 +10,12 @@ send packets based on the congestion condition".
 
 from __future__ import annotations
 
-from typing import Dict, Generator, List, Optional, Tuple
+from typing import Generator, List, Optional, Tuple
 
 from ..config import RingConfig
 from ..errors import NocError
 from ..sim.engine import Process, Simulator
-from ..sim.stats import StatsRegistry
+from ..sim.stats import StatsRegistry, StatsScope
 from .link import RingSegment
 from .packet import Packet
 
@@ -58,6 +58,9 @@ class Ring:
             for i in range(num_stops)
         ]
         reg = registry if registry is not None else StatsRegistry()
+        # Fully-qualified component path for hop stamping (a chip-built ring
+        # receives a StatsScope; a bare ring just uses its name).
+        self.qualname = reg.qualify(name) if isinstance(reg, StatsScope) else name
         self.delivered = reg.counter(f"{name}.delivered")
         self.latency = reg.accumulator(f"{name}.latency")
         self.hop_count = reg.accumulator(f"{name}.hops")
@@ -140,9 +143,16 @@ class Ring:
         hops = 0
         direction = self.choose_direction(src, dst)
         while stop != dst:
+            if packet.traces:
+                packet.advance_traces("router", self.qualname, self.sim.now)
             yield self.router_latency
             segment, nxt = self._next_segment(stop, direction)
-            finish = segment.transmit(direction, packet.size_bytes, self.sim.now)
+            start, finish = segment.transmit_detail(
+                direction, packet.size_bytes, self.sim.now)
+            if packet.traces:
+                if start > self.sim.now:
+                    packet.advance_traces("link_wait", self.qualname, self.sim.now)
+                packet.advance_traces("link_xfer", self.qualname, start)
             yield max(0.0, finish - self.sim.now) + self.hop_latency
             stop = nxt
             hops += 1

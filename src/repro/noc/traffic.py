@@ -9,8 +9,8 @@ cycle.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Tuple
 
 from ..errors import WorkloadError
 from ..sim.engine import Simulator

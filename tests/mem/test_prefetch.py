@@ -15,7 +15,8 @@ def make_pf(**kwargs):
 
 def complete_all(fetched, at=10.0):
     for req in fetched:
-        req.complete(at)
+        if req.finish_time is None:
+            req.complete(at)
 
 
 class TestTraining:

@@ -1,0 +1,177 @@
+"""Transaction lifecycle tests: hop traces, completion rules, sampling."""
+
+import pytest
+
+from repro.errors import MemoryModelError
+from repro.mem.request import Hop, HopTrace, MemRequest, TraceSampler
+
+
+def make_request(**kw):
+    defaults = dict(addr=0x100, size=8, is_write=False)
+    defaults.update(kw)
+    return MemRequest(**defaults)
+
+
+class TestHopTrace:
+    def test_advance_chain_tiles_the_lifetime(self):
+        """advance() closes the open hop where the next one opens, so the
+        chain partitions the lifetime with no gaps or overlaps."""
+        trace = HopTrace()
+        trace.advance("issue", "chip.core0", 0.0)
+        trace.advance("router", "chip.noc.sub0", 3.0)
+        trace.advance("dram", "chip.mem.mc0", 10.0)
+        trace.close(50.0)
+        recs = trace.records()
+        assert recs == [
+            ("issue", "chip.core0", 0.0, 3.0),
+            ("router", "chip.noc.sub0", 3.0, 10.0),
+            ("dram", "chip.mem.mc0", 10.0, 50.0),
+        ]
+        assert trace.total_cycles() == 50.0
+
+    def test_open_hop_is_the_unclosed_tail(self):
+        trace = HopTrace()
+        assert trace.open_hop is None
+        hop = trace.advance("issue", "c", 1.0)
+        assert trace.open_hop is hop
+        trace.close(2.0)
+        assert trace.open_hop is None
+
+    def test_advance_before_open_hop_entered_raises(self):
+        trace = HopTrace()
+        trace.advance("issue", "c", 10.0)
+        with pytest.raises(MemoryModelError):
+            trace.advance("router", "n", 5.0)
+
+    def test_zero_width_hops_allowed(self):
+        # same-cycle handoffs are legal (e.g. issue stamped at sim.now)
+        trace = HopTrace()
+        trace.advance("issue", "c", 4.0)
+        trace.advance("collect", "m", 4.0)
+        trace.close(4.0)
+        assert trace.total_cycles() == 0.0
+
+    def test_close_without_open_hop_is_noop(self):
+        trace = HopTrace()
+        trace.close(5.0)
+        assert len(trace) == 0
+
+    def test_annotate_targets_open_hop_only(self):
+        trace = HopTrace()
+        trace.advance("collect", "m", 0.0)
+        trace.annotate("line_full")
+        trace.close(8.0)
+        trace.annotate("too late")
+        assert trace.hops[0].note == "line_full"
+
+    def test_stamp_appends_closed_out_of_chain_record(self):
+        trace = HopTrace()
+        trace.advance("issue", "c", 0.0)
+        trace.close(10.0)
+        trace.stamp("resume", "chip.core0", 10.0, 13.0)
+        assert trace.hops[-1] == Hop("resume", "chip.core0", 10.0, 13.0)
+        # a stamp never reopens the chain
+        assert trace.open_hop is None
+
+    def test_stamp_rejects_negative_duration(self):
+        trace = HopTrace()
+        with pytest.raises(MemoryModelError):
+            trace.stamp("dma_xfer", "d", 5.0, 4.0)
+
+    def test_open_hop_excluded_from_totals(self):
+        trace = HopTrace()
+        trace.advance("issue", "c", 0.0)
+        trace.advance("dram", "m", 7.0)      # still open
+        assert trace.total_cycles() == 7.0
+        assert trace.stage_totals() == {"issue": 7.0}
+
+    def test_stage_totals_merge_repeated_stages(self):
+        trace = HopTrace()
+        trace.advance("router", "a", 0.0)
+        trace.advance("dram", "m", 2.0)
+        trace.advance("router", "b", 5.0)
+        trace.close(6.0)
+        assert trace.stage_totals() == {"router": 3.0, "dram": 3.0}
+
+
+class TestMemRequestLifecycle:
+    def test_complete_sets_finish_and_fires_callback(self):
+        seen = []
+        req = make_request(issue_time=2.0,
+                           on_complete=lambda r, t: seen.append((r, t)))
+        req.complete(42.0)
+        assert req.finish_time == 42.0
+        assert req.latency == 40.0
+        assert seen == [(req, 42.0)]
+
+    def test_double_complete_raises(self):
+        """Regression: a second complete() used to be silently swallowed,
+        hiding real accounting bugs.  It is now a lifecycle error."""
+        req = make_request()
+        req.complete(5.0)
+        with pytest.raises(MemoryModelError, match="completed twice"):
+            req.complete(20.0)
+        # the first completion stands untouched
+        assert req.finish_time == 5.0
+
+    def test_double_complete_does_not_refire_callback(self):
+        calls = []
+        req = make_request(on_complete=lambda r, t: calls.append(t))
+        req.complete(5.0)
+        with pytest.raises(MemoryModelError):
+            req.complete(6.0)
+        assert calls == [5.0]
+
+    def test_complete_closes_the_trace(self):
+        req = make_request(issue_time=0.0)
+        trace = req.start_trace()
+        trace.advance("issue", "chip.core0", 0.0)
+        req.complete(9.0)
+        assert trace.open_hop is None
+        assert trace.total_cycles() == req.latency == 9.0
+
+    def test_trace_helpers_are_noops_when_untraced(self):
+        req = make_request()
+        req.trace_advance("dram", "chip.mem.mc0", 3.0)
+        req.trace_annotate("nothing")
+        assert req.trace is None
+
+    def test_trace_helpers_delegate_when_traced(self):
+        req = make_request()
+        req.start_trace()
+        req.trace_advance("collect", "chip.subring0.mact", 1.0)
+        req.trace_annotate("timeout")
+        assert req.trace.hops[0].stage == "collect"
+        assert req.trace.hops[0].note == "timeout"
+
+
+class TestTraceSampler:
+    def test_rate_bounds_validated(self):
+        with pytest.raises(MemoryModelError):
+            TraceSampler(-0.1)
+        with pytest.raises(MemoryModelError):
+            TraceSampler(1.5)
+
+    def test_rate_zero_never_samples(self):
+        sampler = TraceSampler(0.0)
+        assert not any(sampler.sample() for _ in range(1000))
+
+    def test_rate_one_always_samples(self):
+        sampler = TraceSampler(1.0)
+        assert all(sampler.sample() for _ in range(1000))
+
+    @pytest.mark.parametrize("rate", [0.1, 0.25, 0.5, 0.75])
+    def test_fractional_rate_hits_exact_count(self, rate):
+        """The Bresenham accumulator spreads samples evenly: over n
+        requests exactly round(n * rate) are chosen, with no RNG."""
+        n = 1000
+        sampler = TraceSampler(rate)
+        picks = sum(sampler.sample() for _ in range(n))
+        assert picks == round(n * rate)
+
+    def test_sampling_is_deterministic(self):
+        first, second = TraceSampler(0.3), TraceSampler(0.3)
+        a = [first.sample() for _ in range(50)]
+        b = [second.sample() for _ in range(50)]
+        assert a == b
+        assert any(a) and not all(a)

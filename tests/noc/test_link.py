@@ -127,6 +127,96 @@ class TestThroughputOrdering:
         assert greedy.transmit(probe, 0) <= ff.transmit(probe, 0)
 
 
+class TestPolicyOrderingProperties:
+    """Per-packet theorems relating the three allocators.
+
+    From *identical* slice occupancy, a probe packet finishes no later
+    under greedy (scatter anywhere) than under first-fit (contiguous
+    block) than under monolithic (whole width).  The ordering is only a
+    theorem per packet from mirrored state — whole-sequence allocations
+    diverge between policies — so each probe copies the warmed-up state
+    into all three links before measuring.
+    """
+
+    WARMUP = st.lists(
+        st.tuples(st.sampled_from([2, 4, 6, 8, 14, 16, 32]),
+                  st.integers(min_value=0, max_value=2)),
+        min_size=0, max_size=12)
+
+    @given(warmup=WARMUP, probe=st.sampled_from([2, 4, 6, 8, 10, 14, 16, 32]))
+    @settings(max_examples=60, deadline=None)
+    def test_greedy_firstfit_monolithic_finish_ordering(self, warmup, probe):
+        greedy = SlicedLink("g", 16, 2, policy="greedy")
+        now = 0.0
+        for size, gap in warmup:
+            now += gap
+            greedy.transmit(size, now)
+        ff = SlicedLink("f", 16, 2, policy="firstfit")
+        mono = SlicedLink("m", 16, 2, policy="monolithic")
+        ff._slice_free = list(greedy._slice_free)
+        mono._slice_free = list(greedy._slice_free)
+        t_greedy = greedy.transmit(probe, now)
+        t_ff = ff.transmit(probe, now)
+        t_mono = mono.transmit(probe, now)
+        assert t_greedy <= t_ff <= t_mono
+
+    @given(warmup=WARMUP, probe=st.sampled_from([2, 4, 6, 8, 10, 14, 16, 32]))
+    @settings(max_examples=60, deadline=None)
+    def test_start_times_ordered_too(self, warmup, probe):
+        # the same dominance holds for the queuing delay (reserve start)
+        greedy = SlicedLink("g", 16, 2, policy="greedy")
+        now = 0.0
+        for size, gap in warmup:
+            now += gap
+            greedy.transmit(size, now)
+        ff = SlicedLink("f", 16, 2, policy="firstfit")
+        mono = SlicedLink("m", 16, 2, policy="monolithic")
+        ff._slice_free = list(greedy._slice_free)
+        mono._slice_free = list(greedy._slice_free)
+        assert (greedy.reserve(probe, now)[0]
+                <= ff.reserve(probe, now)[0]
+                <= mono.reserve(probe, now)[0])
+
+
+class TestReservationLog:
+    @given(policy=st.sampled_from(["greedy", "firstfit", "monolithic"]),
+           packets=st.lists(
+               st.tuples(st.sampled_from([1, 2, 4, 6, 8, 16, 32]),
+                         st.integers(min_value=0, max_value=3)),
+               min_size=1, max_size=40))
+    @settings(max_examples=60, deadline=None)
+    def test_per_slice_reservations_never_overlap(self, policy, packets):
+        """No two reservations may hold the same slice at the same time,
+        whatever the policy and arrival pattern."""
+        link = SlicedLink("l", 16, 2, policy=policy)
+        link.reservation_log = []
+        now = 0.0
+        for size, gap in packets:
+            now += gap
+            link.transmit(size, now)
+        assert len(link.reservation_log) == len(packets)
+        per_slice = {}
+        for slices, start, finish in link.reservation_log:
+            assert finish > start
+            for i in slices:
+                per_slice.setdefault(i, []).append((start, finish))
+        for intervals in per_slice.values():
+            intervals.sort()
+            for (_, f1), (s2, _) in zip(intervals, intervals[1:]):
+                assert f1 <= s2
+
+    def test_log_disabled_by_default(self):
+        link = SlicedLink("l", 16, 2)
+        link.transmit(4, 0)
+        assert link.reservation_log is None
+
+    def test_log_records_chosen_slices(self):
+        link = SlicedLink("l", 16, 2, policy="firstfit")
+        link.reservation_log = []
+        link.transmit(6, 0)                  # 3 slices, contiguous from 0
+        assert link.reservation_log == [((0, 1, 2), 0.0, 1.0)]
+
+
 class TestStatsAndUtilization:
     def test_bytes_and_packets_counted(self):
         link = SlicedLink("l", 16, 2)
@@ -171,6 +261,39 @@ class TestRingSegment:
                           slice_bytes=2)
         assert seg.transmit("cw", 8, 0) == 1.0
         assert seg.transmit("cw", 8, 0) == 2.0
+
+    def test_idle_fixed_link_is_not_bypassed_for_freer_bidi(self):
+        """Regression: the bidi pool used to be borrowed whenever it was
+        *freer* than the fixed link, even if the fixed link was idle at
+        ``now`` — serialising both directions through the shared pool
+        under light load.  Borrowing now requires the fixed link to be
+        actually busy at ``now``."""
+        seg = RingSegment("s", 8, fixed_per_dir=1, bidi_datapaths=2,
+                          slice_bytes=2)
+        seg.transmit("cw", 8, 0)            # fixed cw busy till 1
+        # at t=5 the fixed link is idle again; its next_free()==1 is
+        # "later" than the untouched bidi pool's 0, but it must be used
+        start, finish = seg.transmit_detail("cw", 8, 5)
+        assert (start, finish) == (5.0, 6.0)
+        assert seg.cw.packets.value == 2
+        assert seg.bidi.packets.value == 0
+
+    def test_bidi_borrowed_only_while_fixed_busy(self):
+        seg = RingSegment("s", 8, fixed_per_dir=1, bidi_datapaths=2,
+                          slice_bytes=2)
+        seg.transmit("cw", 8, 0)
+        start, finish = seg.transmit_detail("cw", 8, 0)   # fixed busy now
+        assert (start, finish) == (0.0, 1.0)
+        assert seg.bidi.packets.value == 1
+
+    def test_busy_bidi_does_not_attract_traffic(self):
+        # bidi busier than the fixed link: stay on the fixed link
+        seg = RingSegment("s", 8, fixed_per_dir=1, bidi_datapaths=1,
+                          slice_bytes=2)
+        seg.bidi.transmit(8, 0)             # bidi busy till 1
+        seg.transmit("cw", 8, 0)            # fixed idle: use it
+        assert seg.cw.packets.value == 1
+        assert seg.bidi.packets.value == 1  # only the warm-up packet
 
     def test_unknown_direction(self):
         seg = RingSegment("s", 8, 1, 0, 2)
