@@ -21,7 +21,7 @@ import warnings
 from dataclasses import dataclass, field, replace
 from typing import Any, Dict, Optional, Union
 
-from ..config import SmarCoConfig, XeonConfig, smarco_default
+from ..config import AuditConfig, SmarCoConfig, XeonConfig, smarco_default
 from ..core.ports import FixedLatencyPort
 from ..core.tcg import TCGCore
 from ..errors import ConfigError
@@ -137,6 +137,9 @@ class RunOutcome:
     result: DictResult
     stats: Dict[str, float]
     components: Dict[str, Any] = field(default_factory=dict)
+    #: invariant audit report (:meth:`repro.sim.Auditor.summary`), or None
+    #: when the run was not audited
+    audit: Optional[Dict[str, Any]] = None
 
     def stats_tree(self) -> Dict[str, Any]:
         """The flat stats dump nested by dotted component path."""
@@ -150,6 +153,7 @@ class RunOutcome:
             "result": self.result.to_dict(),
             "stats": self.stats,
             "components": self.components,
+            "audit": self.audit,
         }
 
     @classmethod
@@ -162,27 +166,47 @@ class RunOutcome:
             stats=dict(data["stats"]),
             # tolerate cache files written before components existed
             components=dict(data.get("components", {})),
+            audit=data.get("audit"),
         )
 
 
 # -- the dispatcher ----------------------------------------------------------------
 
 
-def execute(request: RunRequest) -> RunOutcome:
-    """Build the system a request describes, run it, and collect stats."""
+def execute(request: RunRequest,
+            audit: Optional[AuditConfig] = None) -> RunOutcome:
+    """Build the system a request describes, run it, and collect stats.
+
+    ``audit=None`` defers to the ``REPRO_AUDIT`` environment variable
+    (unset/off means no auditing); pass an explicit
+    :class:`~repro.config.AuditConfig` to override.  An audited run adds
+    no simulation events — results match the unaudited run exactly — and
+    attaches the auditor's report as ``RunOutcome.audit``.
+    """
     request.validate()
     if request.kind == "tcg":
-        return _execute_tcg(request)
+        return _execute_tcg(request, audit)
     if request.kind == "smarco":
-        return _execute_smarco(request)
+        return _execute_smarco(request, audit)
     if request.kind == "xeon":
-        return _execute_xeon(request)
+        return _execute_xeon(request, audit)
     if request.kind == "compare":
-        return _execute_compare(request)
+        return _execute_compare(request, audit)
     raise ConfigError(f"unknown run kind {request.kind!r}")  # pragma: no cover
 
 
-def _execute_tcg(request: RunRequest) -> RunOutcome:
+def _make_auditor(audit: Optional[AuditConfig]):
+    """Resolve the effective audit config; None when auditing is off."""
+    cfg = audit if audit is not None else AuditConfig.from_env()
+    if not cfg.enabled:
+        return None
+    from ..sim.invariants import Auditor
+
+    return Auditor(cfg)
+
+
+def _execute_tcg(request: RunRequest,
+                 audit: Optional[AuditConfig] = None) -> RunOutcome:
     """One TCG core behind a fixed-latency memory port (the Fig 17 rig)."""
     profile = get_profile(request.workload)
     sim = Simulator()
@@ -190,6 +214,9 @@ def _execute_tcg(request: RunRequest) -> RunOutcome:
     port = FixedLatencyPort(sim, request.mem_latency)
     core = TCGCore(sim, 0, port, policy=request.core_policy,
                    registry=registry)
+    auditor = _make_auditor(audit)
+    if auditor is not None:
+        auditor.install(core)
     rng_tree = RngTree(request.seed)
     n = request.threads_per_core
     for t in range(n):
@@ -200,6 +227,8 @@ def _execute_tcg(request: RunRequest) -> RunOutcome:
         ))
     core.start()
     sim.run()
+    if auditor is not None:
+        auditor.end_of_run(sim.now)
     result = TcgRunResult(
         workload=request.workload,
         policy=request.core_policy,
@@ -209,36 +238,54 @@ def _execute_tcg(request: RunRequest) -> RunOutcome:
         instructions=core.instructions,
     )
     return RunOutcome(request=request, result=result, stats=registry.dump(),
-                      components=core.tree_dict())
+                      components=core.tree_dict(),
+                      audit=auditor.summary() if auditor is not None else None)
 
 
-def _execute_smarco(request: RunRequest) -> RunOutcome:
+def _execute_smarco(request: RunRequest,
+                    audit: Optional[AuditConfig] = None) -> RunOutcome:
     profile = get_profile(request.workload)
     chip = SmarCoChip(request.smarco_config, seed=request.seed,
                       core_policy=request.core_policy,
                       realtime_fraction=request.realtime_fraction)
+    auditor = _make_auditor(audit)
+    if auditor is not None:
+        auditor.install(chip)
     chip.load_profile(profile, request.threads_per_core,
                       request.instrs_per_thread,
                       total_threads=request.total_threads,
                       shared_code=request.shared_code)
     result = chip.run()
+    if auditor is not None:
+        auditor.end_of_run(chip.sim.now)
     return RunOutcome(request=request, result=result,
                       stats=chip.registry.dump(),
-                      components=chip.tree_dict())
+                      components=chip.tree_dict(),
+                      audit=auditor.summary() if auditor is not None else None)
 
 
-def _execute_xeon(request: RunRequest) -> RunOutcome:
+def _execute_xeon(request: RunRequest,
+                  audit: Optional[AuditConfig] = None) -> RunOutcome:
     profile = get_profile(request.workload)
     system = XeonSystem(request.xeon_config, seed=request.seed)
+    auditor = _make_auditor(audit)
+    if auditor is not None:
+        # the baseline declares no checkers yet; install() is a no-op walk
+        # and the summary records zero checks
+        auditor.install(system)
     result = system.run_profile(profile, request.xeon_threads,
                                 request.xeon_instrs_per_thread,
                                 stagger_creation=request.stagger_creation)
+    if auditor is not None:
+        auditor.end_of_run(system.sim.now)
     return RunOutcome(request=request, result=result,
                       stats=system.registry.dump(),
-                      components=system.tree_dict())
+                      components=system.tree_dict(),
+                      audit=auditor.summary() if auditor is not None else None)
 
 
-def _execute_compare(request: RunRequest) -> RunOutcome:
+def _execute_compare(request: RunRequest,
+                     audit: Optional[AuditConfig] = None) -> RunOutcome:
     """One Fig 22 (or Fig 26, via ``technology_nm=40``) data point.
 
     Energy accounting is conservative: SmarCo is billed the *full-chip*
@@ -246,8 +293,8 @@ def _execute_compare(request: RunRequest) -> RunOutcome:
     is scaled down, with a 0.5 activity floor — the paper's workloads
     keep the chip busy.
     """
-    smarco_outcome = _execute_smarco(replace(request, kind="smarco"))
-    xeon_outcome = _execute_xeon(replace(request, kind="xeon"))
+    smarco_outcome = _execute_smarco(replace(request, kind="smarco"), audit)
+    xeon_outcome = _execute_xeon(replace(request, kind="xeon"), audit)
     smarco_result = smarco_outcome.result
     xeon_result = xeon_outcome.result
 
@@ -271,10 +318,15 @@ def _execute_compare(request: RunRequest) -> RunOutcome:
     stats: Dict[str, float] = {}
     stats.update(smarco_outcome.stats)
     stats.update(xeon_outcome.stats)
+    combined_audit = None
+    if smarco_outcome.audit is not None or xeon_outcome.audit is not None:
+        combined_audit = {"smarco": smarco_outcome.audit,
+                          "xeon": xeon_outcome.audit}
     return RunOutcome(
         request=request, result=result, stats=stats,
         components={"smarco": smarco_outcome.components,
                     "xeon": xeon_outcome.components},
+        audit=combined_audit,
     )
 
 

@@ -206,7 +206,12 @@ class SmarCoChip(Component):
         self._loaded = False
         self._shared_code = False
         self._code_payload = b""
+        self._audit = None              # set by attach_audit
         self.elaborate()
+
+    def attach_audit(self, auditor) -> None:
+        if auditor.register_chip(self):
+            self._audit = auditor
 
     def on_connect(self) -> None:
         """Declare every cross-subsystem wire of Fig 4."""
@@ -241,10 +246,14 @@ class SmarCoChip(Component):
                           request.issue_time)
         request.on_complete = functools.partial(
             self._record_completion, request.on_complete)
+        if self._audit is not None:
+            self._audit.request_issued(request, self.sim.now)
         self._route_request(request.core_id, request)
 
     def _record_completion(self, prev, request: MemRequest, now: float) -> None:
         self.req_latency.add(now - request.issue_time)
+        if self._audit is not None:
+            self._audit.request_completed(request, now)
         if request.trace is not None:
             self.breakdown.record(request)
         if prev is not None:
@@ -494,5 +503,6 @@ class SmarCoChip(Component):
             mem_transactions=batches,
             mean_request_latency=self.req_latency.mean,
             noc_bandwidth_utilization=self.noc.bandwidth_utilization(self.sim.now),
-            mact_request_reduction=(requests_in / batches) if batches else 0.0,
+            mact_request_reduction=(requests_in / batches) if batches
+            else float("nan"),
         )

@@ -27,7 +27,7 @@ from typing import List, Optional
 
 from .analysis import render_result, render_table
 from .chip.run import compare, execute, run_xeon
-from .config import smarco_scaled
+from .config import AuditConfig, smarco_scaled
 from .exp import ExperimentSpec, RunRequest
 from .power import AreaModel, PowerModel
 from .workloads import CdnModel, all_profiles
@@ -61,6 +61,10 @@ def build_parser() -> argparse.ArgumentParser:
                        metavar="RATE",
                        help="fraction of requests to hop-trace (0 disables; "
                             "prints the per-stage latency breakdown)")
+    run_p.add_argument("--audit", action="store_true",
+                       help="enable the runtime invariant audit layer "
+                            "(fails loudly on any violation; results are "
+                            "identical to an unaudited run)")
 
     xeon_p = sub.add_parser("xeon", help="run a workload on the Xeon baseline")
     xeon_p.add_argument("workload")
@@ -106,6 +110,20 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_p.add_argument("--detail", action="store_true",
                          help="print the full result of every point")
 
+    soak_p = sub.add_parser(
+        "soak",
+        help="run N seeded-random audited configurations and report any "
+             "invariant violations")
+    soak_p.add_argument("--runs", type=int, default=10)
+    soak_p.add_argument("--seed", type=int, default=0)
+    soak_p.add_argument("--workers", type=int, default=None,
+                        help="worker processes (default: $REPRO_WORKERS, "
+                             "else serial)")
+    soak_p.add_argument("--out", default="results/soak",
+                        help="base directory for telemetry records")
+    soak_p.add_argument("--instrs", type=int, default=120,
+                        help="instructions per thread in each random run")
+
     sub.add_parser("area-power", help="print the Table 1 breakdown")
     sub.add_parser("cdn", help="print the Fig 2 CDN sweep")
 
@@ -147,7 +165,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
         instrs_per_thread=args.instrs,
         core_policy=args.policy, shared_code=args.shared_code,
     )
-    outcome = execute(request)
+    audit_cfg = AuditConfig(enabled=True) if args.audit else None
+    outcome = execute(request, audit=audit_cfg)
     result = outcome.result
     print(render_table(["metric", "value"], [
         ["cores", f"{result.cores_done}/{result.total_cores} done"],
@@ -165,6 +184,9 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
         print()
         print(render_breakdown(rows_from_stats(outcome.stats)))
+    if outcome.audit is not None:
+        print(f"\naudit: clean, {outcome.audit['total_checks']:,} "
+              f"invariant checks performed")
     return 0
 
 
@@ -233,6 +255,15 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_soak(args: argparse.Namespace) -> int:
+    from .exp import run_soak
+
+    report = run_soak(runs=args.runs, seed=args.seed, workers=args.workers,
+                      base_dir=args.out, instrs=args.instrs)
+    print(report.render())
+    return 0 if report.ok else 1
+
+
 def _cmd_area_power() -> int:
     area = AreaModel().breakdown()
     power = PowerModel().breakdown()
@@ -297,6 +328,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_compare(args)
     if args.command == "sweep":
         return _cmd_sweep(args)
+    if args.command == "soak":
+        return _cmd_soak(args)
     if args.command == "area-power":
         return _cmd_area_power()
     if args.command == "cdn":

@@ -15,6 +15,8 @@ from typing import Tuple
 from .errors import ConfigError
 
 __all__ = [
+    "AUDIT_ENV",
+    "AuditConfig",
     "TCGConfig",
     "RingConfig",
     "MACTConfig",
@@ -30,6 +32,56 @@ __all__ = [
 KB = 1024
 MB = 1024 * KB
 GB = 1024 * MB
+
+
+#: Environment knob: ``REPRO_AUDIT=1`` turns fail-fast audits on,
+#: ``REPRO_AUDIT=collect`` gathers violations without raising,
+#: empty / ``0`` / ``off`` leaves auditing disabled.
+AUDIT_ENV = "REPRO_AUDIT"
+
+_AUDIT_OFF_VALUES = ("", "0", "off", "false", "no")
+_AUDIT_COLLECT_VALUES = ("collect", "report")
+
+
+@dataclass(frozen=True)
+class AuditConfig:
+    """Runtime invariant audit layer (``repro.sim.invariants``).
+
+    Opt-in: the default is fully disabled and an audits-off run is
+    bit-identical to a run of a build without the audit layer — checkers
+    only observe (counters, registered hooks), never schedule events.
+    ``fail_fast=True`` raises :class:`~repro.errors.AuditError` at the
+    first violation; otherwise violations are collected (up to
+    ``max_violations``) and reported in the run outcome.
+    """
+
+    enabled: bool = False
+    fail_fast: bool = True
+    # per-checker switches
+    request_conservation: bool = True
+    link_conservation: bool = True
+    mact_consistency: bool = True
+    thread_fsm: bool = True
+    trace_tiling: bool = True
+    max_violations: int = 100
+
+    def validate(self) -> None:
+        if self.max_violations <= 0:
+            raise ConfigError("max_violations must be positive")
+
+    @classmethod
+    def from_env(cls, value: "str | None" = None) -> "AuditConfig":
+        """Build from ``$REPRO_AUDIT`` (or an explicit ``value``)."""
+        import os
+
+        if value is None:
+            value = os.environ.get(AUDIT_ENV, "")
+        text = value.strip().lower()
+        if text in _AUDIT_OFF_VALUES:
+            return cls(enabled=False)
+        if text in _AUDIT_COLLECT_VALUES:
+            return cls(enabled=True, fail_fast=False)
+        return cls(enabled=True, fail_fast=True)
 
 
 @dataclass(frozen=True)

@@ -131,6 +131,17 @@ class TCGCore(Component):
         self.finish_time: Optional[float] = None
         #: fired (with the core) when the last thread finishes
         self.done_signal = sim.signal(f"core{core_id}.done")
+        self._audit = None              # set by attach_audit
+        self._thread_observer = None
+
+    def attach_audit(self, auditor) -> None:
+        observer = auditor.register_core(self)
+        if observer is None:
+            return
+        self._audit = auditor
+        self._thread_observer = observer
+        for thread in self.threads:
+            thread.observer = observer
 
     # -- configuration -----------------------------------------------------------
 
@@ -151,6 +162,8 @@ class TCGCore(Component):
         # become their friends (pairing engages past 4 threads, Fig 17).
         thread = HardwareThread(tid, pair_id=tid % self.config.running_threads,
                                 stream=stream, name=name)
+        if self._thread_observer is not None:
+            thread.observer = self._thread_observer
         self.threads.append(thread)
         return thread
 
@@ -221,6 +234,12 @@ class TCGCore(Component):
             return prev, True
         return None, True
 
+    def slot_threads(self, slot_id: int) -> Tuple[HardwareThread, ...]:
+        """Threads bound to one slot (empty under the coarse global pool)."""
+        if self.policy == "coarse" or not self._slots:
+            return ()
+        return tuple(self._slots[slot_id])
+
     def _wake_slot(self, slot_id: int) -> None:
         if self.policy == "coarse":
             self._coarse_wake.fire()
@@ -242,13 +261,20 @@ class TCGCore(Component):
         wake = (self._coarse_wake if self.policy == "coarse"
                 else self._slot_wake[slot_id])
         prev: Optional[HardwareThread] = None
+        idle = False        # the slot just slept on its wake signal
         while True:
             thread, any_alive = self._pick(slot_id, prev)
             if not any_alive:
                 break
             if thread is None:
+                idle = True
                 yield wake
                 continue
+            if self._audit is not None:
+                # at pick time, before any yield: prev may legally unblock
+                # during the switch-latency wait below
+                self._audit.thread_picked(self, slot_id, thread, prev, idle)
+            idle = False
             if prev is not None and thread is not prev:
                 thread.switches += 1
                 self.switch_count.inc()

@@ -28,7 +28,7 @@ class HardwareThread:
     __slots__ = (
         "thread_id", "pair_id", "name", "state", "_stream", "retired",
         "switches", "misses", "data_ready", "finish_time",
-        "blocked_at", "ready_at", "resume_trace",
+        "blocked_at", "ready_at", "resume_trace", "observer",
     )
 
     def __init__(self, thread_id: int, pair_id: int,
@@ -47,9 +47,14 @@ class HardwareThread:
         self.blocked_at = 0.0
         self.ready_at: Optional[float] = None
         self.resume_trace = None     # the blocking request's HopTrace
+        #: optional FSM-legality observer (repro.sim.invariants); its
+        #: ``pre_*`` hooks run before each transition
+        self.observer = None
 
     def next_instr(self) -> Optional[CoreInstr]:
         """Fetch the next instruction, or None at end-of-stream."""
+        if self.observer is not None:
+            self.observer.pre_retire(self)
         try:
             instr = next(self._stream)
         except StopIteration:
@@ -63,14 +68,20 @@ class HardwareThread:
         return self.state is not ThreadState.DONE and self.data_ready
 
     def block(self) -> None:
+        if self.observer is not None:
+            self.observer.pre_block(self)
         self.state = ThreadState.WAITING
         self.data_ready = False
         self.misses += 1
 
     def unblock(self) -> None:
+        if self.observer is not None:
+            self.observer.pre_unblock(self)
         self.data_ready = True
 
     def finish(self, now: float) -> None:
+        if self.observer is not None:
+            self.observer.pre_finish(self)
         self.state = ThreadState.DONE
         self.finish_time = now
 

@@ -53,6 +53,11 @@ class WiringError(ReproError):
     lifecycle method called out of phase)."""
 
 
+class AuditError(ReproError):
+    """A runtime invariant checker (``repro.sim.invariants``) detected a
+    model-consistency violation while auditing a simulation."""
+
+
 class SchedulerError(ReproError):
     """A task-scheduler invariant was violated (e.g. duplicate task id)."""
 

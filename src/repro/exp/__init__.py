@@ -34,6 +34,9 @@ __all__ = [
     "RunRecord",
     "load_records",
     "summarize_runs",
+    "SoakReport",
+    "random_request",
+    "run_soak",
 ]
 
 _LAZY = {
@@ -46,6 +49,9 @@ _LAZY = {
     "RunRecord": "telemetry",
     "load_records": "telemetry",
     "summarize_runs": "telemetry",
+    "SoakReport": "soak",
+    "random_request": "soak",
+    "run_soak": "soak",
 }
 
 

@@ -174,4 +174,5 @@ class Runner:
             stats=outcome_dict["stats"],
             stats_tree=nest_flat_stats(outcome_dict["stats"]),
             components=outcome_dict.get("components", {}),
+            audit=outcome_dict.get("audit"),
         )

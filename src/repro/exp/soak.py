@@ -1,0 +1,155 @@
+"""Randomized soak harness: many audited runs over random chip shapes.
+
+``run_soak`` draws N seeded-random configurations — chip geometry, MACT
+thresholds, trace sampling rates, scheduling policies — and pushes them
+through the :class:`~repro.exp.runner.Runner` with the invariant audit
+layer in *collect* mode (``REPRO_AUDIT=collect``), so a single sweep
+exercises the checkers across a far wider state space than any
+hand-written test.  Every violation any run collected is gathered into
+one :class:`SoakReport`; a clean soak is the acceptance signal the CI
+smoke step (``repro-smarco soak --runs 10``) asserts on.
+
+The harness deliberately bypasses the result cache: a cached outcome
+would skip the simulation — and with it every runtime check.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..config import MACTConfig, MemoryConfig, SmarCoConfig
+from .request import RunRequest
+from .runner import Runner
+from .spec import ExperimentSpec
+
+__all__ = ["SoakReport", "random_request", "run_soak"]
+
+#: audit mode the soak forces for its runs (collect, don't raise: one bad
+#: run must not mask violations in the remaining ones)
+_SOAK_AUDIT_MODE = "collect"
+
+# modest synthetic kernels; the heavyweight splash2 profiles would blow
+# the smoke-step wall-clock budget without adding checker coverage
+_WORKLOADS = ("kmeans", "kmp", "rnc", "search", "terasort", "wordcount")
+
+
+def random_request(rng: random.Random, index: int,
+                   instrs: int = 120) -> RunRequest:
+    """One random-but-valid SmarCo run description.
+
+    All draws come from ``rng``, so a soak is reproducible from its seed.
+    """
+    sub_rings = rng.choice((1, 2, 3))
+    cores = rng.choice((2, 4, 8))
+    mact = MACTConfig(
+        enabled=rng.random() < 0.9,
+        lines=rng.choice((4, 16, 64)),
+        line_span_bytes=rng.choice((32, 64)),
+        threshold_cycles=rng.choice((4, 8, 16, 32, 64)),
+    )
+    config = SmarCoConfig(
+        sub_rings=sub_rings,
+        cores_per_sub_ring=cores,
+        mact=mact,
+        memory=MemoryConfig(channels=rng.randint(1, sub_rings)),
+        trace_sample_rate=rng.choice((0.0, 0.25, 1.0)),
+    )
+    policy = rng.choice(("inpair", "inpair", "blocking", "coarse"))
+    threads = rng.choice((1, 2, 4, 8))
+    if policy == "blocking":
+        threads = min(threads, 4)
+    return RunRequest(
+        kind="smarco",
+        workload=rng.choice(_WORKLOADS),
+        seed=rng.randrange(2 ** 31),
+        smarco_config=config,
+        threads_per_core=threads,
+        instrs_per_thread=instrs,
+        core_policy=policy,
+        realtime_fraction=rng.choice((0.0, 0.0, 0.1)),
+    )
+
+
+@dataclass
+class SoakReport:
+    """What a soak sweep found, ready for CLI rendering / CI gating."""
+
+    runs: int
+    clean_runs: int
+    total_checks: int
+    #: ``(point label, violation dict)`` for every violation collected
+    violations: List[Tuple[str, Dict[str, Any]]] = field(default_factory=list)
+    wall_time_s: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return self.clean_runs == self.runs and not self.violations
+
+    def render(self) -> str:
+        lines = [
+            f"soak: {self.runs} runs, {self.clean_runs} clean, "
+            f"{self.total_checks} invariant checks "
+            f"({self.wall_time_s:.1f}s)"
+        ]
+        for label, violation in self.violations:
+            lines.append(
+                f"  VIOLATION {label}: [{violation.get('checker')}] "
+                f"{violation.get('component')} @ {violation.get('time')}: "
+                f"{violation.get('message')}")
+        if self.ok:
+            lines.append("  all invariants held")
+        return "\n".join(lines)
+
+
+def run_soak(
+    runs: int = 10,
+    seed: int = 0,
+    workers: Optional[int] = None,
+    base_dir: os.PathLike = "results/soak",
+    instrs: int = 120,
+) -> SoakReport:
+    """Run ``runs`` random audited configurations and report violations."""
+    rng = random.Random(seed)
+    requests = [random_request(rng, i, instrs) for i in range(runs)]
+    spec = ExperimentSpec.explicit(f"soak-s{seed}", requests)
+    # cache off: the point is to *execute* the checkers, not replay results
+    runner = Runner(workers=workers, base_dir=base_dir, use_cache=False)
+
+    saved = os.environ.get("REPRO_AUDIT")
+    os.environ["REPRO_AUDIT"] = _SOAK_AUDIT_MODE
+    try:
+        # workers inherit the env at pool start, after the override above
+        sweep = runner.run(spec)
+    finally:
+        if saved is None:
+            os.environ.pop("REPRO_AUDIT", None)
+        else:
+            os.environ["REPRO_AUDIT"] = saved
+
+    clean = 0
+    total_checks = 0
+    violations: List[Tuple[str, Dict[str, Any]]] = []
+    for record, outcome in zip(sweep.records, sweep.outcomes):
+        summary = outcome.audit or {}
+        total_checks += int(summary.get("total_checks", 0))
+        if summary.get("clean"):
+            clean += 1
+        for violation in summary.get("violations", ()):
+            violations.append((record.label, violation))
+        dropped = int(summary.get("dropped_violations", 0))
+        if dropped:
+            violations.append((record.label, {
+                "checker": "audit", "component": "auditor", "time": 0.0,
+                "message": f"{dropped} further violations dropped "
+                           f"(max_violations reached)"}))
+    return SoakReport(
+        runs=len(requests),
+        clean_runs=clean,
+        total_checks=total_checks,
+        violations=violations,
+        wall_time_s=sweep.wall_time_s,
+    )

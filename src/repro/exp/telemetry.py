@@ -15,7 +15,7 @@ import json
 from dataclasses import dataclass, field
 from datetime import datetime, timezone
 from pathlib import Path
-from typing import Any, Dict, List
+from typing import Any, Dict, List, Optional
 
 from ..analysis.tables import render_table
 
@@ -42,6 +42,8 @@ class RunRecord:
     stats_tree: Dict[str, Any] = field(default_factory=dict)
     #: the simulated system's component tree (Component.tree_dict())
     components: Dict[str, Any] = field(default_factory=dict)
+    #: invariant audit report (Auditor.summary()); None for unaudited runs
+    audit: Optional[Dict[str, Any]] = None
 
     def to_dict(self) -> Dict[str, Any]:
         return dataclasses.asdict(self)

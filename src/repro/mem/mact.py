@@ -32,15 +32,23 @@ __all__ = ["MACTLine", "MACT", "Batch"]
 class Batch:
     """One packed transaction leaving the MACT for memory."""
 
-    __slots__ = ("base_addr", "span_bytes", "is_write", "requests", "reason")
+    __slots__ = ("base_addr", "span_bytes", "is_write", "requests", "reason",
+                 "unique_bytes")
 
     def __init__(self, base_addr: int, span_bytes: int, is_write: bool,
-                 requests: List[MemRequest], reason: str) -> None:
+                 requests: List[MemRequest], reason: str,
+                 unique_bytes: Optional[int] = None) -> None:
         self.base_addr = base_addr
         self.span_bytes = span_bytes
         self.is_write = is_write
         self.requests = requests
-        self.reason = reason            # "full" | "deadline" | "capacity"
+        # "full" | "deadline" | "capacity" | "drain" (line flushes),
+        # "disabled" | "bypass" (unbatched single sends)
+        self.reason = reason
+        #: distinct bytes the line's bitmap covers; ``wanted_bytes`` counts
+        #: every member's size, so overlapping members double-count there.
+        self.unique_bytes = (unique_bytes if unique_bytes is not None
+                             else self.wanted_bytes)
 
     @property
     def wanted_bytes(self) -> int:
@@ -116,15 +124,22 @@ class MACT(Component):
         self.requests_in = self.stats.counter("requests_in")
         self.batches_out = self.stats.counter("batches_out")
         self.bypasses = self.stats.counter("bypasses")
+        self.splits = self.stats.counter("splits")
         self.flush_full = self.stats.counter("flush_full")
         self.flush_deadline = self.stats.counter("flush_deadline")
         self.flush_capacity = self.stats.counter("flush_capacity")
+        self.flush_drain = self.stats.counter("flush_drain")
         self.occupancy = self.stats.time_weighted("occupancy")
         self.collect_wait = self.stats.accumulator("collect_wait")
+        self._audit = None              # set by attach_audit
 
     def on_reset(self) -> None:
         self._lines.clear()
         self._generation = 0
+
+    def attach_audit(self, auditor) -> None:
+        if auditor.register_mact(self):
+            self._audit = auditor
 
     # -- submission -------------------------------------------------------------
 
@@ -142,11 +157,46 @@ class MACT(Component):
 
         span = self.config.line_span_bytes
         base = request.line_base(span)
-        # A request crossing a line boundary is split architecture-side; we
-        # model the common case and clamp to the line end.
         if request.addr + request.size > base + span:
-            request.size = base + span - request.addr
+            # A request crossing a line boundary is split architecture-side
+            # into line-local sub-requests; the caller's request object is
+            # never mutated and completes when its last piece does.
+            self._submit_split(request, span)
+            return
+        self._collect(request, base, span)
 
+    def _submit_split(self, request: MemRequest, span: int) -> None:
+        self.splits.inc()
+        request.trace_annotate("split")
+        pieces = []
+        addr, remaining = request.addr, request.size
+        while remaining > 0:
+            base = (addr // span) * span
+            take = min(remaining, base + span - addr)
+            pieces.append((addr, take, base))
+            addr += take
+            remaining -= take
+        state = [len(pieces)]
+
+        def _piece_done(_child: MemRequest, now: float,
+                        parent: MemRequest = request,
+                        state: List[int] = state) -> None:
+            state[0] -= 1
+            if state[0] == 0:
+                # sim time is monotonic, so the last piece carries the
+                # max finish time of the split
+                parent.complete(now)
+
+        for piece_addr, size, base in pieces:
+            child = MemRequest(
+                addr=piece_addr, size=size, is_write=request.is_write,
+                core_id=request.core_id, priority=request.priority,
+                issue_time=request.issue_time, on_complete=_piece_done,
+                meta=request,
+            )
+            self._collect(child, base, span)
+
+    def _collect(self, request: MemRequest, base: int, span: int) -> None:
         key = (request.is_write, base)
         line = self._lines.get(key)
         if line is None:
@@ -161,6 +211,8 @@ class MACT(Component):
                 self._deadline_expired, key, line.generation,
             )
         line.arrivals.append(self.sim.now)
+        if self._audit is not None:
+            self._audit.mact_collected(self, line, request)
         if line.merge(request, span):
             self._flush(key, reason="full")
 
@@ -191,22 +243,26 @@ class MACT(Component):
             "full": self.flush_full,
             "deadline": self.flush_deadline,
             "capacity": self.flush_capacity,
+            "drain": self.flush_drain,
         }[reason]
         counter.inc()
         now = self.sim.now
+        if self._audit is not None:
+            self._audit.mact_flushed(self, line, reason, now)
         for req, arrived in zip(line.requests, line.arrivals):
             self.collect_wait.add(now - arrived)
             req.trace_annotate(reason)
         self.batches_out.inc()
         self.batch_out.send(Batch(line.base_addr, self.config.line_span_bytes,
-                                  line.is_write, line.requests, reason))
+                                  line.is_write, line.requests, reason,
+                                  unique_bytes=line.covered_bytes()))
 
     def flush_all(self) -> int:
         """Drain every pending line (end-of-run); returns lines flushed."""
         count = 0
         while self._lines:
-            self._flush_oldest()
-            # _flush_oldest counts as "capacity"; that's fine for draining.
+            key = next(iter(self._lines))
+            self._flush(key, reason="drain")
             count += 1
         return count
 
@@ -218,9 +274,13 @@ class MACT(Component):
 
     @property
     def request_reduction(self) -> float:
-        """Ratio of input requests to output transactions (>1 is a win)."""
+        """Ratio of input requests to output transactions (>1 is a win).
+
+        ``nan`` (never a fake ``0.0``) when no batches were emitted, per
+        the zero-baseline convention of ``repro.chip.results``.
+        """
         out = self.batches_out.value
-        return self.requests_in.value / out if out else 0.0
+        return self.requests_in.value / out if out else float("nan")
 
     def __repr__(self) -> str:  # pragma: no cover
         return f"MACT({self.name}, pending={len(self._lines)})"

@@ -43,8 +43,14 @@ class DirectDatapath(Component):
                        self.stats)
             for s in range(sub_rings)
         ]
+        self.injected = self.stats.counter("injected")
         self.delivered = self.stats.counter("delivered")
         self.lat_stat = self.stats.accumulator("latency")
+
+    def attach_audit(self, auditor) -> None:
+        auditor.register_flow(self.path, self.injected, self.delivered)
+        for link in self.links:
+            auditor.register_link(link)
 
     def eligible(self, packet: Packet) -> bool:
         """Only control messages and real-time reads ride the star path."""
@@ -59,6 +65,7 @@ class DirectDatapath(Component):
         if not 0 <= sub_ring < len(self.links):
             raise NocError(f"sub-ring {sub_ring} has no direct link")
         packet.created_at = self.sim.now
+        self.injected.inc()
         return self.sim.spawn(self._fly(packet, sub_ring),
                               f"direct.pkt{packet.pkt_id}")
 

@@ -83,8 +83,18 @@ class HierarchicalRingNoC(Component):
             for s in range(sub_rings)
         ]
 
+        self.injected = self.stats.counter("injected")
         self.delivered = self.stats.counter("delivered")
         self.latency = self.stats.accumulator("latency")
+
+    def attach_audit(self, auditor) -> None:
+        auditor.register_flow(self.path, self.injected, self.delivered)
+        for ring in [self.main_ring] + self.sub_ring_nets:
+            for seg in ring.segments:
+                auditor.register_link(seg.cw)
+                auditor.register_link(seg.ccw)
+                if seg.bidi is not None:
+                    auditor.register_link(seg.bidi)
 
     def _add_main_stop(self, node: NodeId) -> None:
         self._main_stop_of[node] = len(self.main_stops)
@@ -118,6 +128,7 @@ class HierarchicalRingNoC(Component):
     def send(self, packet: Packet) -> Process:
         """Route ``packet`` from ``packet.src`` to ``packet.dst``."""
         packet.created_at = self.sim.now
+        self.injected.inc()
         return self.sim.spawn(self._route(packet), f"noc.pkt{packet.pkt_id}")
 
     def _route(self, packet: Packet) -> Generator:

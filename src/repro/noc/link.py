@@ -60,6 +60,9 @@ class SlicedLink:
         #: ``(chosen_slice_indices, start, finish)`` (tests/debugging)
         self.reservation_log: Optional[
             List[Tuple[Tuple[int, ...], float, float]]] = None
+        #: set by the audit layer to observe every reservation as
+        #: ``hook(link, size_bytes, start, finish, now)``
+        self.audit_hook = None
         reg = registry if registry is not None else StatsRegistry()
         self.packets = reg.counter(f"{name}.packets")
         self.bytes_moved = reg.counter(f"{name}.bytes")
@@ -88,6 +91,8 @@ class SlicedLink:
             start, finish = self._transmit_firstfit(slices_needed, now)
         self.packets.inc()
         self.bytes_moved.inc(size_bytes)
+        if self.audit_hook is not None:
+            self.audit_hook(self, size_bytes, start, finish, now)
         return start, finish
 
     def _record(self, chosen: Sequence[int], start: float, finish: float) -> None:
@@ -143,6 +148,10 @@ class SlicedLink:
     def next_free(self) -> float:
         """Earliest time any slice is free (congestion estimate)."""
         return min(self._slice_free)
+
+    def busy_until(self) -> float:
+        """Latest reserved slice-cycle (the link is fully idle after it)."""
+        return max(self._slice_free)
 
     def utilization(self, now: float) -> float:
         """Delivered bytes / peak deliverable bytes in [0, now]."""

@@ -2,6 +2,7 @@
 
 from .component import Component, InputPort, OutputPort, Port, Wire
 from .engine import EventSignal, Process, Simulator
+from .invariants import Auditor, Violation
 from .rng import RngTree, derive_seed
 from .stats import (Accumulator, Counter, Histogram, StatsRegistry,
                     StatsScope, TimeWeighted, nest_flat_stats)
@@ -27,4 +28,6 @@ __all__ = [
     "nest_flat_stats",
     "TraceBuffer",
     "TraceRecord",
+    "Auditor",
+    "Violation",
 ]

@@ -354,6 +354,16 @@ class Component:
     def on_reset(self) -> None:
         """Clear per-run state so the component can simulate again."""
 
+    def attach_audit(self, auditor: Any) -> None:
+        """Hook for the runtime invariant audit layer.
+
+        ``repro.sim.invariants.Auditor.install`` walks the tree and calls
+        this on every component; subclasses that expose checkable
+        invariants (MACT, TCG cores, the NoC, the chip) override it to
+        register themselves.  The default is a no-op so auditing stays
+        strictly opt-in.
+        """
+
     # -- scoped tracing --------------------------------------------------------
 
     def emit_trace(self, event: str, payload: Any = None) -> None:

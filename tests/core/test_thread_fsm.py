@@ -1,0 +1,153 @@
+"""HardwareThread pair state-machine tests, with and without the audit
+observer (satellite of the invariant-audit PR)."""
+
+import pytest
+
+from repro.config import AuditConfig
+from repro.core import CoreInstr, FixedLatencyPort, TCGCore, ThreadState
+from repro.core.thread import HardwareThread
+from repro.core.tcg import UNCACHED_BASE
+from repro.errors import AuditError
+from repro.sim import Auditor, Simulator
+
+
+def alu_stream(n):
+    return iter([CoreInstr("alu")] * n)
+
+
+def uncached_load_stream(n, base=UNCACHED_BASE, stride=4):
+    return iter([CoreInstr("load", addr=base + i * stride, size=4)
+                 for i in range(n)])
+
+
+def make_thread(n_instrs=4):
+    return HardwareThread(0, pair_id=0, stream=alu_stream(n_instrs))
+
+
+def make_audited_core(policy="inpair", latency=50, fail_fast=True):
+    sim = Simulator()
+    port = FixedLatencyPort(sim, latency)
+    core = TCGCore(sim, 0, port, policy=policy)
+    auditor = Auditor(AuditConfig(enabled=True, fail_fast=fail_fast))
+    auditor.install(core)
+    return sim, core, auditor
+
+
+class TestBareStateMachine:
+    """The raw thread FSM: legal transition sequences."""
+
+    def test_lifecycle_running_waiting_done(self):
+        t = make_thread()
+        assert t.state is ThreadState.WAITING and t.data_ready
+        t.state = ThreadState.RUNNING   # scheduler claims it
+        t.block()
+        assert t.state is ThreadState.WAITING and not t.data_ready
+        assert not t.runnable
+        t.unblock()
+        assert t.data_ready and t.runnable
+        t.state = ThreadState.RUNNING
+        t.finish(42.0)
+        assert t.state is ThreadState.DONE and t.finish_time == 42.0
+        assert not t.runnable
+
+    def test_block_counts_misses(self):
+        t = make_thread()
+        t.state = ThreadState.RUNNING
+        t.block()
+        t.unblock()
+        t.state = ThreadState.RUNNING
+        t.block()
+        assert t.misses == 2
+
+    def test_observer_defaults_to_none(self):
+        assert make_thread().observer is None
+
+
+class TestObservedTransitions:
+    """The FSM observer flags every illegal transition."""
+
+    def _observed_thread(self):
+        sim = Simulator()
+        core = TCGCore(sim, 0, FixedLatencyPort(sim, 10))
+        auditor = Auditor(AuditConfig(enabled=True, fail_fast=True))
+        auditor.install(core)
+        t = core.add_thread(alu_stream(4))
+        assert t.observer is not None
+        return t, auditor
+
+    def test_block_while_waiting_raises(self):
+        t, _ = self._observed_thread()
+        with pytest.raises(AuditError, match="block"):
+            t.block()               # never entered RUNNING
+
+    def test_unblock_without_miss_raises(self):
+        t, _ = self._observed_thread()
+        with pytest.raises(AuditError, match="unblock"):
+            t.unblock()             # data_ready already True
+
+    def test_finish_while_waiting_raises(self):
+        t, _ = self._observed_thread()
+        with pytest.raises(AuditError, match="finish"):
+            t.finish(1.0)
+
+    def test_fetch_after_done_raises(self):
+        t, _ = self._observed_thread()
+        t.state = ThreadState.RUNNING
+        t.finish(1.0)
+        with pytest.raises(AuditError, match="after DONE"):
+            t.next_instr()
+
+    def test_legal_sequence_passes_and_counts(self):
+        t, auditor = self._observed_thread()
+        t.state = ThreadState.RUNNING
+        t.block()
+        t.unblock()
+        t.state = ThreadState.RUNNING
+        t.finish(2.0)
+        assert auditor.checks["thread_fsm"] == 3
+
+    def test_threads_added_before_install_get_the_observer(self):
+        sim = Simulator()
+        core = TCGCore(sim, 0, FixedLatencyPort(sim, 10))
+        early = core.add_thread(alu_stream(4))
+        assert early.observer is None
+        auditor = Auditor(AuditConfig(enabled=True))
+        auditor.install(core)
+        assert early.observer is not None
+
+
+class TestAuditedScheduling:
+    """Whole-core runs under each policy stay violation-free."""
+
+    @pytest.mark.parametrize("policy,n_threads", [
+        ("inpair", 8), ("blocking", 4), ("coarse", 8),
+    ])
+    def test_memory_heavy_run_is_clean(self, policy, n_threads):
+        sim, core, auditor = make_audited_core(policy=policy, fail_fast=False)
+        for i in range(n_threads):
+            core.add_thread(uncached_load_stream(20, stride=64 * (i + 1)))
+        core.start()
+        sim.run()
+        auditor.end_of_run(sim.now)
+        assert auditor.clean, [str(v) for v in auditor.violations]
+        assert auditor.checks["thread_fsm"] > 0
+        assert core.done
+
+    def test_inpair_resume_requires_friend_miss(self):
+        """The paper's takeover rule holds across a full in-pair run where
+        both threads of the pair alternate misses."""
+        sim, core, auditor = make_audited_core(policy="inpair")
+        core.add_thread(uncached_load_stream(15))
+        core.add_thread(uncached_load_stream(15, base=UNCACHED_BASE + 0x10000))
+        core.start()
+        sim.run()          # fail_fast: any illegal resume raises AuditError
+        assert core.done
+        assert auditor.checks["thread_fsm"] > 0
+
+    def test_fsm_checker_can_be_disabled(self):
+        sim = Simulator()
+        core = TCGCore(sim, 0, FixedLatencyPort(sim, 10))
+        auditor = Auditor(AuditConfig(enabled=True, thread_fsm=False))
+        auditor.install(core)
+        t = core.add_thread(alu_stream(4))
+        assert t.observer is None

@@ -1,0 +1,75 @@
+"""Soak harness tests: deterministic generation, audited execution."""
+
+import random
+
+from repro.exp import RunRequest
+from repro.exp.soak import SoakReport, random_request, run_soak
+
+
+class TestRandomRequest:
+    def test_deterministic_from_seed(self):
+        a = [random_request(random.Random(7), i) for i in range(5)]
+        b = [random_request(random.Random(7), i) for i in range(5)]
+        assert [r.snapshot() for r in a] == [r.snapshot() for r in b]
+
+    def test_requests_are_valid_and_varied(self):
+        rng = random.Random(0)
+        requests = [random_request(rng, i) for i in range(30)]
+        for r in requests:
+            assert isinstance(r, RunRequest)
+            r.validate()                     # geometry/threads all legal
+            assert r.kind == "smarco"
+        assert len({r.smarco_config.sub_rings for r in requests}) > 1
+        assert len({r.core_policy for r in requests}) > 1
+        assert len({r.smarco_config.mact.threshold_cycles
+                    for r in requests}) > 1
+
+    def test_blocking_policy_respects_slot_limit(self):
+        rng = random.Random(0)
+        for i in range(200):
+            r = random_request(rng, i)
+            if r.core_policy == "blocking":
+                assert r.threads_per_core <= 4
+
+
+class TestSoakReport:
+    def test_clean_report_is_ok(self):
+        report = SoakReport(runs=3, clean_runs=3, total_checks=100)
+        assert report.ok
+        assert "all invariants held" in report.render()
+
+    def test_violations_make_it_not_ok(self):
+        report = SoakReport(
+            runs=3, clean_runs=2, total_checks=100,
+            violations=[("pt-001", {"checker": "mact_consistency",
+                                    "component": "chip.subring0.mact",
+                                    "time": 9.0, "message": "bad bitmap"})])
+        assert not report.ok
+        text = report.render()
+        assert "VIOLATION" in text and "bad bitmap" in text
+
+
+class TestRunSoak:
+    def test_small_soak_is_clean(self, tmp_path, monkeypatch):
+        monkeypatch.delenv("REPRO_AUDIT", raising=False)
+        report = run_soak(runs=3, seed=1, base_dir=tmp_path, instrs=60)
+        assert report.runs == 3
+        assert report.ok, report.render()
+        assert report.total_checks > 0
+        # the env override did not leak out of the soak
+        import os
+
+        assert "REPRO_AUDIT" not in os.environ
+
+    def test_soak_restores_existing_env(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_AUDIT", "off")
+        run_soak(runs=1, seed=2, base_dir=tmp_path, instrs=40)
+        import os
+
+        assert os.environ["REPRO_AUDIT"] == "off"
+
+    def test_soak_reproducible(self, tmp_path):
+        a = run_soak(runs=2, seed=9, base_dir=tmp_path / "a", instrs=40)
+        b = run_soak(runs=2, seed=9, base_dir=tmp_path / "b", instrs=40)
+        assert a.total_checks == b.total_checks
+        assert a.clean_runs == b.clean_runs

@@ -57,12 +57,29 @@ class TestCollection:
         mact.submit(req(0x40))
         assert mact.pending_lines == 2
 
-    def test_request_crossing_line_boundary_is_clamped(self):
+    def test_request_crossing_line_boundary_is_split(self):
         sim, mact, batches = make_mact(line_span_bytes=64)
-        mact.submit(req(0x3C, size=16))          # crosses 0x40
+        parent = req(0x3C, size=16)              # crosses 0x40
+        mact.submit(parent)
         sim.run(until=100)
-        assert len(batches) == 1
-        assert batches[0].requests[0].size == 4  # clamped to line end
+        assert parent.size == 16                 # caller's request untouched
+        assert mact.splits.value == 1
+        assert len(batches) == 2                 # one line-local piece each
+        pieces = sorted((r.addr, r.size) for b in batches for r in b.requests)
+        assert pieces == [(0x3C, 4), (0x40, 12)]
+        assert all(r.meta is parent for b in batches for r in b.requests)
+
+    def test_split_parent_completes_with_its_last_piece(self):
+        sim, mact, batches = make_mact(line_span_bytes=64)
+        parent = req(0x3C, size=16)
+        mact.submit(parent)
+        sim.run(until=100)
+        children = [r for b in batches for r in b.requests]
+        children.sort(key=lambda r: r.addr)
+        children[0].complete(110.0)
+        assert parent.finish_time is None        # one piece still in flight
+        children[1].complete(125.0)
+        assert parent.finish_time == 125.0       # joined on the last piece
 
 
 class TestDeadline:
@@ -132,6 +149,10 @@ class TestCapacity:
         mact.submit(req(0x100))
         assert mact.flush_all() == 2
         assert mact.pending_lines == 0 and len(batches) == 2
+        # drains are their own flush reason, not conflated with capacity
+        assert all(b.reason == "drain" for b in batches)
+        assert mact.flush_drain.value == 2
+        assert mact.flush_capacity.value == 0
 
 
 class TestStats:
@@ -156,15 +177,25 @@ class TestStats:
         sim = Simulator()
         batches = []
         mact = MACT(sim, batches.append, MACTConfig(lines=8, threshold_cycles=16))
-        submitted = []
+        submitted = {}
         for addr, size in accesses:
             r = req(addr, size=size)
-            submitted.append(r.req_id)
+            submitted[r.req_id] = (addr, size)
             mact.submit(r)
         sim.run(until=10_000)
         mact.flush_all()
-        out_ids = [r.req_id for b in batches for r in b.requests]
-        assert sorted(out_ids) == sorted(submitted)
+        # boundary-crossers leave as several line-local pieces tagged with
+        # the original request via meta; per origin, the pieces must cover
+        # the original byte range exactly once
+        covered = {rid: set() for rid in submitted}
+        for b in batches:
+            for r in b.requests:
+                origin = r.meta.req_id if isinstance(r.meta, MemRequest) else r.req_id
+                span = set(range(r.addr, r.addr + r.size))
+                assert not (covered[origin] & span), "byte left twice"
+                covered[origin] |= span
+        for rid, (addr, size) in submitted.items():
+            assert covered[rid] == set(range(addr, addr + size))
 
     @given(st.lists(st.tuples(st.integers(0, 100),           # arrival gap
                               st.integers(0, 2047),          # address
@@ -181,7 +212,10 @@ class TestStats:
 
         def send(batch):
             for r in batch.requests:
-                exits[r.req_id] = sim.now
+                # pieces of a split request report under their origin; sim
+                # time is monotonic so the last piece records the max exit
+                origin = r.meta.req_id if isinstance(r.meta, MemRequest) else r.req_id
+                exits[origin] = sim.now
 
         mact = MACT(sim, send, MACTConfig(lines=16,
                                           threshold_cycles=threshold))

@@ -1,0 +1,93 @@
+"""Overlapping/duplicate-byte submissions to one MACT line (satellite of
+the invariant-audit PR).
+
+Several threads of a gang may want the same bytes of a shared dataset, so
+one line can legally hold members whose byte ranges overlap.  The bitmap
+deduplicates coverage; ``Batch.wanted_bytes`` intentionally double-counts
+(it measures demand), ``Batch.unique_bytes`` measures the line's actual
+coverage, and the audit layer's union check must accept overlap.
+"""
+
+from repro.config import AuditConfig, MACTConfig
+from repro.mem import MACT, MemRequest
+from repro.sim import Auditor, Simulator
+
+
+def make_mact(**cfg_kwargs):
+    sim = Simulator()
+    batches = []
+    mact = MACT(sim, batches.append, MACTConfig(**cfg_kwargs))
+    return sim, mact, batches
+
+
+def req(addr, size=4):
+    return MemRequest(addr=addr, size=size, is_write=False)
+
+
+class TestOverlappingMembers:
+    def test_duplicate_submission_merges_into_one_line(self):
+        sim, mact, batches = make_mact(line_span_bytes=64)
+        mact.submit(req(0x100, size=4))
+        mact.submit(req(0x100, size=4))          # same bytes again
+        assert mact.pending_lines == 1
+        sim.run()
+        assert len(batches) == 1
+        assert len(batches[0].requests) == 2     # both members ride the batch
+
+    def test_wanted_bytes_double_counts_but_unique_bytes_does_not(self):
+        sim, mact, batches = make_mact(line_span_bytes=64)
+        mact.submit(req(0x100, size=4))
+        mact.submit(req(0x100, size=4))          # exact duplicate
+        mact.submit(req(0x102, size=4))          # partial overlap: 2 new bytes
+        sim.run()
+        (batch,) = batches
+        assert batch.wanted_bytes == 12          # 4 + 4 + 4, demand-side
+        assert batch.unique_bytes == 6           # bytes 0x100..0x105 once
+
+    def test_disjoint_members_have_equal_counts(self):
+        sim, mact, batches = make_mact(line_span_bytes=64)
+        mact.submit(req(0x100, size=4))
+        mact.submit(req(0x108, size=2))
+        sim.run()
+        (batch,) = batches
+        assert batch.wanted_bytes == batch.unique_bytes == 6
+
+    def test_overlap_can_fill_the_bitmap_only_once(self):
+        sim, mact, batches = make_mact(line_span_bytes=8)
+        mact.submit(req(0x100, size=6))
+        mact.submit(req(0x102, size=6))          # overlaps, completes the line
+        assert len(batches) == 1 and batches[0].reason == "full"
+        assert batches[0].unique_bytes == 8
+
+    def test_single_send_batches_report_their_own_size(self):
+        sim, mact, batches = make_mact(enabled=False)
+        mact.submit(req(0x100, size=4))
+        assert batches[0].unique_bytes == batches[0].wanted_bytes == 4
+
+
+class TestOverlapUnderAudit:
+    def test_overlapping_line_passes_the_union_check(self):
+        sim, mact, batches = make_mact(line_span_bytes=64, threshold_cycles=8)
+        auditor = Auditor(AuditConfig(enabled=True, fail_fast=False))
+        auditor.install(mact)
+        mact.submit(req(0x100, size=4))
+        mact.submit(req(0x100, size=4))
+        mact.submit(req(0x102, size=8))
+        sim.run()
+        mact.flush_all()
+        auditor.end_of_run(sim.now)
+        assert auditor.clean, [str(v) for v in auditor.violations]
+
+    def test_split_pieces_of_one_parent_may_overlap_nothing(self):
+        """A boundary-crossing request's pieces land in different lines,
+        each line-local — the audit's member check accepts all of them."""
+        sim, mact, batches = make_mact(line_span_bytes=32, threshold_cycles=8)
+        auditor = Auditor(AuditConfig(enabled=True, fail_fast=False))
+        auditor.install(mact)
+        mact.submit(req(0x1C, size=40))          # spans three 32B lines
+        sim.run()
+        mact.flush_all()
+        auditor.end_of_run(sim.now)
+        assert auditor.clean, [str(v) for v in auditor.violations]
+        pieces = sorted((r.addr, r.size) for b in batches for r in b.requests)
+        assert pieces == [(0x1C, 4), (0x20, 32), (0x40, 4)]
