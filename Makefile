@@ -9,7 +9,7 @@ REPRO_WORKERS ?= 2
 
 export PYTHONPATH := src
 
-.PHONY: test lint bench-smoke bench clean
+.PHONY: test lint bench-smoke bench perf perf-smoke docs-cli linkcheck-docs clean
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -26,6 +26,30 @@ bench-smoke:
 
 bench:
 	REPRO_WORKERS=$(REPRO_WORKERS) $(PYTHON) -m pytest -q -p no:cacheprovider benchmarks
+
+# Full microbenchmark suite; writes results/perf/BENCH_<timestamp>.json
+# (see docs/performance.md for the record schema and compare gate).
+perf:
+	$(PYTHON) -m repro.cli perf
+
+# CI gate: tiny suite, compared against the checked-in baseline with a
+# generous threshold (CI machines vary widely; tight thresholds belong
+# on one quiet machine comparing its own records).
+PERF_BASELINE ?= benchmarks/results/perf/BENCH_baseline_tiny.json
+PERF_THRESHOLD ?= 75
+perf-smoke:
+	$(PYTHON) -m repro.cli perf --size tiny --repeat 3 --out results/perf
+	$(PYTHON) -m repro.cli perf --compare $(PERF_BASELINE) \
+		"$$(ls -t results/perf/BENCH_*.json | head -1)" \
+		--threshold $(PERF_THRESHOLD)
+
+# Regenerate the generated CLI reference from the live argparse tree.
+docs-cli:
+	$(PYTHON) -m repro.cli --dump-docs > docs/cli.md
+
+# Fail on dead relative links in any tracked markdown file.
+linkcheck-docs:
+	$(PYTHON) tools/check_doc_links.py
 
 clean:
 	rm -rf .pytest_cache benchmarks/results/cache benchmarks/results/runs results

@@ -35,11 +35,32 @@ from .workloads import CdnModel, all_profiles
 __all__ = ["main", "build_parser"]
 
 
+class _DumpDocsAction(argparse.Action):
+    """``--dump-docs``: print the markdown CLI reference and exit.
+
+    Behaves like ``--help`` (no subcommand required) so the docs tree can
+    be regenerated with ``python -m repro.cli --dump-docs > docs/cli.md``.
+    """
+
+    def __init__(self, option_strings, dest, **kwargs):
+        super().__init__(option_strings, dest, nargs=0,
+                         default=argparse.SUPPRESS, **kwargs)
+
+    def __call__(self, parser, namespace, values, option_string=None):
+        from .docgen import render_cli_docs
+
+        print(render_cli_docs(parser), end="")
+        parser.exit(0)
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-smarco",
         description="SmarCo (HPCA 2018) many-core simulator",
     )
+    parser.add_argument("--dump-docs", action=_DumpDocsAction,
+                        help="print a markdown reference for every "
+                             "subcommand (generates docs/cli.md) and exit")
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("list-workloads", help="list available workload profiles")
@@ -123,6 +144,36 @@ def build_parser() -> argparse.ArgumentParser:
                         help="base directory for telemetry records")
     soak_p.add_argument("--instrs", type=int, default=120,
                         help="instructions per thread in each random run")
+
+    perf_p = sub.add_parser(
+        "perf",
+        help="run the simulator microbenchmark suite and record a "
+             "BENCH_<timestamp>.json (or --compare two records)")
+    perf_p.add_argument("--size", default="default",
+                        choices=("tiny", "small", "default"),
+                        help="suite workload size (tiny = CI smoke)")
+    perf_p.add_argument("--repeat", type=int, default=3,
+                        help="timing repeats per kernel (best-of-N)")
+    perf_p.add_argument("--kernels", nargs="+", default=None,
+                        metavar="KERNEL",
+                        help="run only these kernels (default: all)")
+    perf_p.add_argument("--out", default="results/perf",
+                        help="directory for BENCH_<timestamp>.json")
+    perf_p.add_argument("--no-write", action="store_true",
+                        help="print the suite results without writing a "
+                             "BENCH file")
+    perf_p.add_argument("--profile", metavar="KERNEL", default=None,
+                        help="run one kernel under cProfile and print the "
+                             "top functions instead of timing the suite")
+    perf_p.add_argument("--top", type=int, default=20,
+                        help="rows per cProfile table (with --profile)")
+    perf_p.add_argument("--compare", nargs=2,
+                        metavar=("BASELINE", "CURRENT"), default=None,
+                        help="diff two BENCH files; exit 1 when any kernel "
+                             "regressed more than --threshold percent")
+    perf_p.add_argument("--threshold", type=float, default=30.0,
+                        metavar="PCT",
+                        help="units/sec regression tolerance for --compare")
 
     sub.add_parser("area-power", help="print the Table 1 breakdown")
     sub.add_parser("cdn", help="print the Fig 2 CDN sweep")
@@ -264,6 +315,35 @@ def _cmd_soak(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+def _cmd_perf(args: argparse.Namespace) -> int:
+    from .exp.cache import code_version
+    from .perf import (BenchRecord, compare_benches, load_bench, peak_rss_kb,
+                       profile_kernel, run_suite)
+
+    if args.compare:
+        comparison = compare_benches(load_bench(Path(args.compare[0])),
+                                     load_bench(Path(args.compare[1])),
+                                     threshold_pct=args.threshold)
+        print(comparison.render())
+        return 0 if comparison.ok else 1
+    if args.profile:
+        result, report = profile_kernel(args.profile, size=args.size,
+                                        top=args.top)
+        print(report)
+        print(f"kernel result: {result}")
+        return 0
+    kernels = run_suite(size=args.size, repeat=args.repeat,
+                        only=args.kernels)
+    record = BenchRecord(code_digest=code_version(), size=args.size,
+                         repeat=args.repeat, kernels=kernels,
+                         peak_rss_kb=peak_rss_kb())
+    print(record.render())
+    if not args.no_write:
+        path = record.write(Path(args.out))
+        print(f"\nBENCH record written to {path}")
+    return 0
+
+
 def _cmd_area_power() -> int:
     area = AreaModel().breakdown()
     power = PowerModel().breakdown()
@@ -330,6 +410,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_sweep(args)
     if args.command == "soak":
         return _cmd_soak(args)
+    if args.command == "perf":
+        return _cmd_perf(args)
     if args.command == "area-power":
         return _cmd_area_power()
     if args.command == "cdn":

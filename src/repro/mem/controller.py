@@ -59,9 +59,11 @@ class MemoryController(Component):
         """
         self.queued.inc()
         now = self.sim.now
-        request.trace_advance("dram", self.path, now)
+        if request.trace is not None:
+            request.trace.advance("dram", self.path, now)
         for rider in carried:
-            rider.trace_advance("dram", self.path, now)
+            if rider.trace is not None:
+                rider.trace.advance("dram", self.path, now)
         detail = self.channel.access_detail(request.addr, request.size, now)
         self.sim.schedule_at(detail.finish, request.complete, detail.finish)
         return detail.finish

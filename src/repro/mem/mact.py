@@ -28,6 +28,16 @@ from .request import MemRequest, Priority
 
 __all__ = ["MACTLine", "MACT", "Batch"]
 
+try:
+    _popcount = int.bit_count        # Python >= 3.10
+except AttributeError:  # pragma: no cover - exercised only on 3.9
+    def _popcount(value: int) -> int:
+        return bin(value).count("1")
+
+#: span_bytes -> all-ones mask; built once instead of materialising a
+#: span-wide integer ((1 << 2048) - 1 for the default line) on every merge
+_FULL_MASKS: Dict[int, int] = {}
+
 
 class Batch:
     """One packed transaction leaving the MACT for memory."""
@@ -80,13 +90,15 @@ class MACTLine:
     def merge(self, request: MemRequest, span_bytes: int) -> bool:
         """Set bitmap bits for the request; True if the bitmap is now full."""
         lo = request.addr - self.base_addr
-        mask = ((1 << request.size) - 1) << lo
-        self.bitmap |= mask
+        self.bitmap |= ((1 << request.size) - 1) << lo
         self.requests.append(request)
-        return self.bitmap == (1 << span_bytes) - 1
+        full = _FULL_MASKS.get(span_bytes)
+        if full is None:
+            full = _FULL_MASKS[span_bytes] = (1 << span_bytes) - 1
+        return self.bitmap == full
 
     def covered_bytes(self) -> int:
-        return bin(self.bitmap).count("1")
+        return _popcount(self.bitmap)
 
 
 class MACT(Component):
@@ -146,7 +158,8 @@ class MACT(Component):
     def submit(self, request: MemRequest) -> None:
         """Accept one memory request from a core."""
         self.requests_in.inc()
-        request.trace_advance("collect", self.path, self.sim.now)
+        if request.trace is not None:
+            request.trace.advance("collect", self.path, self.sim.now)
         if not self.config.enabled:
             self._send_single(request, reason="disabled")
             return

@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import enum
 import itertools
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional
 
 from ..errors import MemoryModelError
@@ -165,25 +165,46 @@ class TraceSampler:
         return False
 
 
-@dataclass
 class MemRequest:
     """One memory access travelling through the chip.
 
     ``on_complete(request, finish_time)`` is invoked when the data is back
     at the requester (loads) or accepted by memory (stores).
+
+    A plain ``__slots__`` class rather than a dataclass: every load/store
+    in a chip run allocates one, so instance size and attribute access
+    cost are on the hot path.
     """
 
-    addr: int
-    size: int
-    is_write: bool
-    core_id: int = 0
-    priority: Priority = Priority.NORMAL
-    issue_time: float = 0.0
-    on_complete: Optional[Callable[["MemRequest", float], None]] = None
-    req_id: int = field(default_factory=lambda: next(_request_ids))
-    meta: Any = None
-    finish_time: Optional[float] = None
-    trace: Optional[HopTrace] = None
+    __slots__ = ("addr", "size", "is_write", "core_id", "priority",
+                 "issue_time", "on_complete", "req_id", "meta",
+                 "finish_time", "trace")
+
+    def __init__(
+        self,
+        addr: int,
+        size: int,
+        is_write: bool,
+        core_id: int = 0,
+        priority: Priority = Priority.NORMAL,
+        issue_time: float = 0.0,
+        on_complete: Optional[Callable[["MemRequest", float], None]] = None,
+        req_id: Optional[int] = None,
+        meta: Any = None,
+        finish_time: Optional[float] = None,
+        trace: Optional[HopTrace] = None,
+    ) -> None:
+        self.addr = addr
+        self.size = size
+        self.is_write = is_write
+        self.core_id = core_id
+        self.priority = priority
+        self.issue_time = issue_time
+        self.on_complete = on_complete
+        self.req_id = next(_request_ids) if req_id is None else req_id
+        self.meta = meta
+        self.finish_time = finish_time
+        self.trace = trace
 
     @property
     def latency(self) -> Optional[float]:

@@ -56,6 +56,10 @@ class SlicedLink:
         self.n_slices = max(1, width_bytes // slice_bytes)
         self.slice_bytes = width_bytes / self.n_slices
         self._slice_free: List[float] = [0.0] * self.n_slices
+        # size_bytes -> (slices_needed, k, cycles); traffic uses a handful
+        # of distinct packet sizes, so the ceil arithmetic is paid once per
+        # size instead of once per reservation
+        self._fit_cache: dict = {}
         #: set to a list to record every reservation as
         #: ``(chosen_slice_indices, start, finish)`` (tests/debugging)
         self.reservation_log: Optional[
@@ -80,15 +84,24 @@ class SlicedLink:
         ``start - now`` is the per-slice wait the packet spends queued for
         its narrow channels (hop traces stamp it as ``link_wait``).
         """
-        if size_bytes <= 0:
-            raise NocError(f"packet size must be positive, got {size_bytes}")
-        slices_needed = math.ceil(size_bytes / self.slice_bytes)
-        if self.policy == "monolithic":
-            start, finish = self._transmit_monolithic(slices_needed, now)
-        elif self.policy == "greedy":
-            start, finish = self._transmit_greedy(slices_needed, now)
+        fit = self._fit_cache.get(size_bytes)
+        if fit is None:
+            if size_bytes <= 0:
+                raise NocError(
+                    f"packet size must be positive, got {size_bytes}")
+            slices_needed = math.ceil(size_bytes / self.slice_bytes)
+            k = min(slices_needed, self.n_slices)
+            # ceil(needed / k) == ceil(needed / n_slices) for the
+            # monolithic case too: under-width packets give 1 either way
+            cycles = -(-slices_needed // k)
+            fit = self._fit_cache[size_bytes] = (slices_needed, k, cycles)
+        slices_needed, k, cycles = fit
+        if self.policy == "greedy":
+            start, finish = self._transmit_greedy(k, cycles, now)
+        elif self.policy == "monolithic":
+            start, finish = self._transmit_monolithic(cycles, now)
         else:
-            start, finish = self._transmit_firstfit(slices_needed, now)
+            start, finish = self._transmit_firstfit(k, cycles, now)
         self.packets.inc()
         self.bytes_moved.inc(size_bytes)
         if self.audit_hook is not None:
@@ -99,9 +112,8 @@ class SlicedLink:
         if self.reservation_log is not None:
             self.reservation_log.append((tuple(chosen), start, finish))
 
-    def _transmit_monolithic(self, slices_needed: int,
+    def _transmit_monolithic(self, cycles: int,
                              now: float) -> Tuple[float, float]:
-        cycles = math.ceil(slices_needed / self.n_slices)
         start = max(now, max(self._slice_free))
         self.wait_cycles.add(start - now)
         finish = start + cycles
@@ -109,26 +121,30 @@ class SlicedLink:
         self._record(range(self.n_slices), start, finish)
         return start, finish
 
-    def _transmit_greedy(self, slices_needed: int,
+    def _transmit_greedy(self, k: int, cycles: int,
                          now: float) -> Tuple[float, float]:
-        k = min(slices_needed, self.n_slices)
-        cycles = math.ceil(slices_needed / k)
-        # earliest-free k slices (the self-governed channels the packet
-        # "really needs"; the rest remain free for other packets)
-        order = sorted(range(self.n_slices), key=self._slice_free.__getitem__)
-        chosen = order[:k]
-        start = max(now, max(self._slice_free[i] for i in chosen))
+        free = self._slice_free
+        if k == self.n_slices:
+            # whole-width packet: every slice is chosen, no ordering needed
+            chosen: Sequence[int] = range(k)
+            start = max(free)
+        else:
+            # earliest-free k slices (the self-governed channels the packet
+            # "really needs"; the rest remain free for other packets)
+            order = sorted(range(self.n_slices), key=free.__getitem__)
+            chosen = order[:k]
+            start = free[chosen[-1]]     # latest-free of the chosen
+        if now > start:
+            start = now
         self.wait_cycles.add(start - now)
         finish = start + cycles
         for i in chosen:
-            self._slice_free[i] = finish
+            free[i] = finish
         self._record(chosen, start, finish)
         return start, finish
 
-    def _transmit_firstfit(self, slices_needed: int,
+    def _transmit_firstfit(self, k: int, cycles: int,
                            now: float) -> Tuple[float, float]:
-        k = min(slices_needed, self.n_slices)
-        cycles = math.ceil(slices_needed / k)
         # contiguous block with the minimal start time
         best_start = math.inf
         best_base = 0

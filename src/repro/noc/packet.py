@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import enum
 import itertools
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any, Callable, Optional, Tuple
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -47,24 +47,48 @@ class NodeId:
         return f"{self.kind}[{self.ring}.{self.index}]"
 
 
-@dataclass
 class Packet:
-    """One message travelling the NoC."""
+    """One message travelling the NoC.
 
-    src: NodeId
-    dst: NodeId
-    size_bytes: int
-    kind: PacketKind = PacketKind.CONTROL
-    realtime: bool = False
-    payload: Any = None
-    created_at: float = 0.0
-    delivered_at: Optional[float] = None
-    hops: int = 0
-    on_delivered: Optional[Callable[["Packet", float], None]] = None
-    pkt_id: int = field(default_factory=lambda: next(_packet_ids))
-    #: hop traces of the transactions riding this packet (a MACT batch
-    #: packet carries one per member request); empty = untraced
-    traces: Tuple["HopTrace", ...] = ()
+    A plain ``__slots__`` class rather than a dataclass: packets are the
+    single most-allocated object in a chip run, and slots cut both the
+    per-instance memory and the attribute-access cost on the ring/link
+    hot paths.
+    """
+
+    __slots__ = ("src", "dst", "size_bytes", "kind", "realtime", "payload",
+                 "created_at", "delivered_at", "hops", "on_delivered",
+                 "pkt_id", "traces")
+
+    def __init__(
+        self,
+        src: NodeId,
+        dst: NodeId,
+        size_bytes: int,
+        kind: PacketKind = PacketKind.CONTROL,
+        realtime: bool = False,
+        payload: Any = None,
+        created_at: float = 0.0,
+        delivered_at: Optional[float] = None,
+        hops: int = 0,
+        on_delivered: Optional[Callable[["Packet", float], None]] = None,
+        pkt_id: Optional[int] = None,
+        traces: Tuple["HopTrace", ...] = (),
+    ) -> None:
+        self.src = src
+        self.dst = dst
+        self.size_bytes = size_bytes
+        self.kind = kind
+        self.realtime = realtime
+        self.payload = payload
+        self.created_at = created_at
+        self.delivered_at = delivered_at
+        self.hops = hops
+        self.on_delivered = on_delivered
+        self.pkt_id = next(_packet_ids) if pkt_id is None else pkt_id
+        #: hop traces of the transactions riding this packet (a MACT batch
+        #: packet carries one per member request); empty = untraced
+        self.traces = traces
 
     def advance_traces(self, stage: str, component: str, now: float) -> None:
         """Advance every riding transaction's hop chain (NoC legs)."""

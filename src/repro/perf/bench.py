@@ -1,0 +1,249 @@
+"""BENCH records: the simulator's own performance trajectory.
+
+A *bench record* is the JSON snapshot one ``repro-smarco perf`` invocation
+writes — wall time, events/sec and work-units/sec for every kernel in the
+micro-suite, plus enough provenance (code digest, python version, platform,
+peak RSS) to interpret the numbers later.  Files are named
+``BENCH_<UTC timestamp>.json`` so a results directory sorts into a
+trajectory; :func:`compare_benches` diffs two records and flags
+regressions, which is what the ``perf --compare`` CI gate runs.
+
+Schema (``"schema": "repro.perf/1"``)::
+
+    {
+      "schema": "repro.perf/1",
+      "created": "2026-08-05T12:00:00Z",      # UTC, second resolution
+      "code_digest": "0a1b...",               # repro.exp.cache.code_version()
+      "size": "tiny" | "small" | "default",
+      "repeat": 3,                            # best-of-N timing discipline
+      "host": {"python": "3.11.7", "platform": "Linux-...", "machine": "x86_64"},
+      "peak_rss_kb": 123456,                  # ru_maxrss after the suite
+      "kernels": {
+        "<kernel>": {
+          "wall_s": 0.42,                     # best-of-N wall time
+          "events": 100000,                   # simulator events executed
+          "events_per_sec": 238095.2,
+          "units": 100000,                    # kernel-specific work units
+          "unit": "events",                   # what `units` counts
+          "units_per_sec": 238095.2,
+          ...                                 # kernel-specific extras
+        }, ...
+      }
+    }
+
+Every field the comparator reads is covered by
+``tests/perf/test_bench_schema.py``'s round-trip test.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional
+
+from ..errors import ConfigError
+
+__all__ = [
+    "SCHEMA",
+    "BenchRecord",
+    "KernelComparison",
+    "BenchComparison",
+    "compare_benches",
+    "load_bench",
+    "peak_rss_kb",
+]
+
+SCHEMA = "repro.perf/1"
+
+
+def peak_rss_kb() -> int:
+    """Peak resident set size of this process in KiB (0 if unknown)."""
+    try:
+        import resource
+    except ImportError:  # pragma: no cover - non-POSIX
+        return 0
+    rss = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    # Linux reports KiB; macOS reports bytes.
+    if platform.system() == "Darwin":  # pragma: no cover - linux CI
+        rss //= 1024
+    return int(rss)
+
+
+def _host_info() -> Dict[str, str]:
+    return {
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+    }
+
+
+@dataclass
+class BenchRecord:
+    """One ``perf`` invocation's results, serialisable to a BENCH file."""
+
+    code_digest: str
+    size: str
+    repeat: int
+    kernels: Dict[str, Dict[str, Any]] = field(default_factory=dict)
+    created: str = ""
+    host: Dict[str, str] = field(default_factory=_host_info)
+    peak_rss_kb: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.created:
+            self.created = time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime())
+
+    # -- (de)serialisation --------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "schema": SCHEMA,
+            "created": self.created,
+            "code_digest": self.code_digest,
+            "size": self.size,
+            "repeat": self.repeat,
+            "host": dict(self.host),
+            "peak_rss_kb": self.peak_rss_kb,
+            "kernels": {name: dict(data)
+                        for name, data in self.kernels.items()},
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "BenchRecord":
+        schema = data.get("schema")
+        if schema != SCHEMA:
+            raise ConfigError(
+                f"not a BENCH record (schema {schema!r}, expected {SCHEMA!r})")
+        return cls(
+            code_digest=data["code_digest"],
+            size=data["size"],
+            repeat=data["repeat"],
+            kernels={name: dict(k) for name, k in data["kernels"].items()},
+            created=data["created"],
+            host=dict(data.get("host", {})),
+            peak_rss_kb=int(data.get("peak_rss_kb", 0)),
+        )
+
+    def write(self, out_dir: Path) -> Path:
+        """Write ``BENCH_<timestamp>.json`` under ``out_dir``."""
+        out_dir = Path(out_dir)
+        out_dir.mkdir(parents=True, exist_ok=True)
+        stamp = self.created.replace("-", "").replace(":", "")
+        path = out_dir / f"BENCH_{stamp}.json"
+        path.write_text(json.dumps(self.to_dict(), indent=2, sort_keys=True)
+                        + "\n")
+        return path
+
+    # -- presentation -------------------------------------------------------
+
+    def render(self) -> str:
+        lines = [
+            f"perf suite [{self.size}] x{self.repeat}  "
+            f"code={self.code_digest}  rss={self.peak_rss_kb} KiB",
+            f"{'kernel':<22} {'wall s':>9} {'events/s':>12} "
+            f"{'units/s':>12} unit",
+        ]
+        for name, k in self.kernels.items():
+            lines.append(
+                f"{name:<22} {k['wall_s']:>9.4f} {k['events_per_sec']:>12,.0f}"
+                f" {k['units_per_sec']:>12,.0f} {k['unit']}")
+        return "\n".join(lines)
+
+
+def load_bench(path: Path) -> BenchRecord:
+    """Load and validate one BENCH file."""
+    try:
+        data = json.loads(Path(path).read_text())
+    except (OSError, ValueError) as exc:
+        raise ConfigError(f"cannot read BENCH file {path}: {exc}") from exc
+    return BenchRecord.from_dict(data)
+
+
+# -- comparison (the CI regression gate) ------------------------------------
+
+
+@dataclass
+class KernelComparison:
+    """units/sec movement of one kernel between two BENCH records."""
+
+    name: str
+    baseline_ups: float
+    current_ups: float
+    #: >1 is faster than baseline, <1 slower
+    ratio: float
+    regressed: bool
+
+    @property
+    def change_pct(self) -> float:
+        return (self.ratio - 1.0) * 100.0
+
+
+@dataclass
+class BenchComparison:
+    """The ``perf --compare`` verdict over two BENCH records."""
+
+    baseline: BenchRecord
+    current: BenchRecord
+    threshold_pct: float
+    kernels: List[KernelComparison] = field(default_factory=list)
+    #: kernels present in only one of the two records
+    missing: List[str] = field(default_factory=list)
+
+    @property
+    def regressions(self) -> List[KernelComparison]:
+        return [k for k in self.kernels if k.regressed]
+
+    @property
+    def ok(self) -> bool:
+        return not self.regressions
+
+    def render(self) -> str:
+        lines = [
+            f"perf compare  baseline={self.baseline.created} "
+            f"({self.baseline.code_digest})  current={self.current.created} "
+            f"({self.current.code_digest})  threshold={self.threshold_pct:g}%",
+            f"{'kernel':<22} {'baseline u/s':>14} {'current u/s':>14} "
+            f"{'change':>9}",
+        ]
+        for k in self.kernels:
+            flag = "  REGRESSED" if k.regressed else ""
+            lines.append(
+                f"{k.name:<22} {k.baseline_ups:>14,.0f} "
+                f"{k.current_ups:>14,.0f} {k.change_pct:>+8.1f}%{flag}")
+        for name in self.missing:
+            lines.append(f"{name:<22} (present in only one record, skipped)")
+        lines.append("verdict: " + ("ok" if self.ok else
+                                    f"{len(self.regressions)} regression(s)"))
+        return "\n".join(lines)
+
+
+def compare_benches(baseline: BenchRecord, current: BenchRecord,
+                    threshold_pct: float = 30.0) -> BenchComparison:
+    """Diff two BENCH records kernel-by-kernel.
+
+    A kernel *regresses* when its units/sec drops more than
+    ``threshold_pct`` percent below the baseline.  Kernels present in only
+    one record are reported but never fail the comparison (the suite is
+    allowed to grow).
+    """
+    if threshold_pct <= 0:
+        raise ConfigError(
+            f"threshold must be positive percent, got {threshold_pct}")
+    comparison = BenchComparison(baseline=baseline, current=current,
+                                 threshold_pct=threshold_pct)
+    names = set(baseline.kernels) | set(current.kernels)
+    for name in sorted(names):
+        if name not in baseline.kernels or name not in current.kernels:
+            comparison.missing.append(name)
+            continue
+        base_ups = float(baseline.kernels[name]["units_per_sec"])
+        cur_ups = float(current.kernels[name]["units_per_sec"])
+        ratio = cur_ups / base_ups if base_ups else float("inf")
+        regressed = ratio < 1.0 - threshold_pct / 100.0
+        comparison.kernels.append(KernelComparison(
+            name=name, baseline_ups=base_ups, current_ups=cur_ups,
+            ratio=ratio, regressed=regressed))
+    return comparison

@@ -17,8 +17,8 @@ is globally meaningful.
 
 from __future__ import annotations
 
-import heapq
-from typing import Any, Callable, Generator, Iterable, List, Optional, Tuple
+from heapq import heappop, heappush
+from typing import Any, Callable, Generator, List, Optional, Tuple
 
 from ..errors import SimulationError
 
@@ -134,7 +134,23 @@ class Simulator:
 
     Events scheduled for the same cycle run in FIFO order of scheduling,
     which makes runs deterministic for a fixed seed.
+
+    Internally there are two event stores with one logical ordering (by
+    ``(time, scheduling sequence)``): a binary heap for future events and
+    a FIFO *due lane* for zero-delay events.  About half of all schedules
+    in a chip run are zero-delay (signal fires, process wakeups, port
+    sends), and the due lane turns their O(log n) heap sift into a list
+    append/index.  The global FIFO tie-break is preserved exactly: every
+    event carries its scheduling sequence number, and a due entry only
+    runs once no heap event at the current time with a smaller sequence
+    remains.
     """
+
+    __slots__ = ("now", "_queue", "_seq", "_running", "events_executed",
+                 "_due", "_due_head")
+
+    #: consumed due-lane prefix is garbage-collected past this length
+    _DUE_COMPACT = 8192
 
     def __init__(self) -> None:
         self.now: float = 0.0
@@ -142,15 +158,23 @@ class Simulator:
         self._seq = 0
         self._running = False
         self.events_executed = 0
+        #: zero-delay events due at the current time: (seq, fn, args)
+        self._due: List[Tuple[int, Callable, tuple]] = []
+        self._due_head = 0      # consumed prefix of _due
 
     # -- scheduling ---------------------------------------------------------
 
     def schedule(self, delay: float, fn: Callable, *args: Any) -> None:
         """Run ``fn(*args)`` after ``delay`` cycles (0 allowed)."""
-        if delay < 0:
-            raise SimulationError(f"cannot schedule {delay} cycles in the past")
-        self._seq += 1
-        heapq.heappush(self._queue, (self.now + delay, self._seq, fn, args))
+        if delay:
+            if delay < 0:
+                raise SimulationError(
+                    f"cannot schedule {delay} cycles in the past")
+            self._seq = seq = self._seq + 1
+            heappush(self._queue, (self.now + delay, seq, fn, args))
+        else:
+            self._seq = seq = self._seq + 1
+            self._due.append((seq, fn, args))
 
     def schedule_at(self, when: float, fn: Callable, *args: Any) -> None:
         """Run ``fn(*args)`` at absolute time ``when`` (must be >= now)."""
@@ -158,8 +182,8 @@ class Simulator:
             raise SimulationError(
                 f"cannot schedule at {when}, current time is {self.now}"
             )
-        self._seq += 1
-        heapq.heappush(self._queue, (when, self._seq, fn, args))
+        self._seq = seq = self._seq + 1
+        heappush(self._queue, (when, seq, fn, args))
 
     def spawn(self, gen: Generator, name: str = "proc") -> Process:
         """Start a generator process immediately (first step at ``now``)."""
@@ -185,30 +209,122 @@ class Simulator:
             raise SimulationError("Simulator.run() is not reentrant")
         self._running = True
         executed = 0
+        # Same-time events run in FIFO (_seq) order across both stores, so
+        # the fast path is observably identical to the general one.
+        # Scheduling into the past is impossible, which makes the
+        # unconditional clock store in the fast path safe.
+        # ``events_executed`` is folded in once per call; ``step()`` keeps
+        # per-event accounting.
+        queue = self._queue
+        due = self._due
+        due_head = self._due_head
+        pop = heappop
+        compact = self._DUE_COMPACT
         try:
-            while self._queue:
-                when, _seq, fn, args = self._queue[0]
-                if until is not None and when > until:
-                    break
-                heapq.heappop(self._queue)
-                if when > self.now:
-                    self.now = when
-                fn(*args)
-                executed += 1
-                self.events_executed += 1
-                if max_events is not None and executed >= max_events:
-                    break
+            if until is None and max_events is None:
+                # Hot path: drain everything (the overwhelmingly common
+                # call shape).  The executed count falls out of the seq
+                # counter: everything pending or scheduled gets run.
+                seq0 = self._seq
+                pending0 = len(queue) + len(due) - due_head
+                try:
+                    while True:
+                        if due_head < len(due):
+                            if queue:
+                                head = queue[0]
+                                # a heap event at the current time that was
+                                # scheduled before the due entry goes first
+                                if (head[0] == self.now
+                                        and head[1] < due[due_head][0]):
+                                    pop(queue)
+                                    head[2](*head[3])
+                                    continue
+                            _sq, fn, args = due[due_head]
+                            due_head += 1
+                            if due_head >= compact:
+                                del due[:due_head]
+                                due_head = 0
+                            fn(*args)
+                            continue
+                        if due_head:
+                            del due[:due_head]
+                            due_head = 0
+                        if not queue:
+                            break
+                        when, _sq, fn, args = pop(queue)
+                        self.now = when
+                        fn(*args)
+                finally:
+                    executed = (pending0 + (self._seq - seq0)
+                                - (len(queue) + len(due) - due_head))
+            else:
+                while True:
+                    if max_events is not None and executed >= max_events:
+                        break
+                    if (due_head < len(due)
+                            and (until is None or self.now <= until)):
+                        if queue:
+                            head = queue[0]
+                            if (head[0] == self.now
+                                    and head[1] < due[due_head][0]):
+                                pop(queue)
+                                head[2](*head[3])
+                                executed += 1
+                                continue
+                        _sq, fn, args = due[due_head]
+                        due_head += 1
+                        fn(*args)
+                        executed += 1
+                        continue
+                    if not queue:
+                        break
+                    when = queue[0][0]
+                    if until is not None and when > until:
+                        break
+                    _w, _sq, fn, args = pop(queue)
+                    if when > self.now:
+                        self.now = when
+                    fn(*args)
+                    executed += 1
             if until is not None and self.now < until and not self._interrupted():
                 self.now = until
         finally:
+            if due_head:
+                del due[:due_head]
+            self._due_head = 0
+            self.events_executed += executed
             self._running = False
         return executed
 
+    def _step_due(self) -> bool:
+        """Run the head of the due lane (helper for :meth:`step`)."""
+        due = self._due
+        head = self._due_head
+        _sq, fn, args = due[head]
+        self._due_head = head + 1
+        if self._due_head == len(due):
+            del due[:]
+            self._due_head = 0
+        fn(*args)
+        self.events_executed += 1
+        return True
+
     def step(self) -> bool:
         """Execute exactly one event.  Returns False if the queue is empty."""
-        if not self._queue:
+        queue = self._queue
+        if self._due_head < len(self._due):
+            if queue:
+                head = queue[0]
+                if (head[0] == self.now
+                        and head[1] < self._due[self._due_head][0]):
+                    heappop(queue)
+                    head[2](*head[3])
+                    self.events_executed += 1
+                    return True
+            return self._step_due()
+        if not queue:
             return False
-        when, _seq, fn, args = heapq.heappop(self._queue)
+        when, _seq, fn, args = heappop(queue)
         if when > self.now:
             self.now = when
         fn(*args)
@@ -217,14 +333,16 @@ class Simulator:
 
     def peek(self) -> Optional[float]:
         """Time of the next pending event, or None when idle."""
+        if self._due_head < len(self._due):
+            return self.now
         return self._queue[0][0] if self._queue else None
 
     def pending(self) -> int:
         """Number of events currently queued."""
-        return len(self._queue)
+        return len(self._queue) + len(self._due) - self._due_head
 
     def _interrupted(self) -> bool:
         return False
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return f"Simulator(now={self.now}, pending={len(self._queue)})"
+        return f"Simulator(now={self.now}, pending={self.pending()})"

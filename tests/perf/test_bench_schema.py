@@ -1,0 +1,92 @@
+"""BENCH record schema: round-trip, validation, file naming."""
+
+import json
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.perf import SCHEMA, BenchRecord, load_bench
+
+
+def make_record(**kernels):
+    """A synthetic BenchRecord with one entry per ``name=units_per_sec``."""
+    return BenchRecord(
+        code_digest="cafe" * 4,
+        size="tiny",
+        repeat=2,
+        created="2026-08-05T12:00:00Z",
+        peak_rss_kb=1024,
+        kernels={
+            name: {
+                "wall_s": 1.0,
+                "events": 1000,
+                "events_per_sec": 1000.0,
+                "units": int(ups),
+                "unit": "widgets",
+                "units_per_sec": float(ups),
+            }
+            for name, ups in kernels.items()
+        },
+    )
+
+
+class TestRoundTrip:
+    def test_to_dict_from_dict_is_identity(self):
+        record = make_record(alpha=100.0, beta=250.0)
+        clone = BenchRecord.from_dict(record.to_dict())
+        assert clone.to_dict() == record.to_dict()
+
+    def test_every_comparator_field_survives(self):
+        record = make_record(alpha=123.5)
+        data = record.to_dict()
+        assert data["schema"] == SCHEMA
+        assert data["code_digest"] == "cafe" * 4
+        assert data["size"] == "tiny"
+        assert data["repeat"] == 2
+        assert data["peak_rss_kb"] == 1024
+        kernel = data["kernels"]["alpha"]
+        assert kernel["units_per_sec"] == 123.5
+        assert kernel["unit"] == "widgets"
+
+    def test_wrong_schema_rejected(self):
+        data = make_record(alpha=1.0).to_dict()
+        data["schema"] = "repro.perf/999"
+        with pytest.raises(ConfigError, match="schema"):
+            BenchRecord.from_dict(data)
+
+    def test_created_autofilled_when_blank(self):
+        record = BenchRecord(code_digest="d", size="tiny", repeat=1)
+        assert record.created.endswith("Z")
+        assert "T" in record.created
+
+
+class TestFiles:
+    def test_write_then_load(self, tmp_path):
+        record = make_record(alpha=42.0)
+        path = record.write(tmp_path)
+        assert path.name == "BENCH_20260805T120000Z.json"
+        loaded = load_bench(path)
+        assert loaded.to_dict() == record.to_dict()
+
+    def test_written_file_is_sorted_json(self, tmp_path):
+        path = make_record(alpha=1.0).write(tmp_path)
+        data = json.loads(path.read_text())
+        assert list(data) == sorted(data)
+
+    def test_load_rejects_garbage(self, tmp_path):
+        bad = tmp_path / "BENCH_bad.json"
+        bad.write_text("{not json")
+        with pytest.raises(ConfigError, match="cannot read"):
+            load_bench(bad)
+
+    def test_load_rejects_missing_file(self, tmp_path):
+        with pytest.raises(ConfigError, match="cannot read"):
+            load_bench(tmp_path / "absent.json")
+
+
+class TestRender:
+    def test_render_mentions_every_kernel(self):
+        record = make_record(alpha=10.0, beta=20.0)
+        text = record.render()
+        assert "alpha" in text and "beta" in text
+        assert "tiny" in text

@@ -1,0 +1,80 @@
+"""The ``perf --compare`` regression gate on synthetic slow/fast pairs."""
+
+import pytest
+
+from repro.cli import main
+from repro.errors import ConfigError
+from repro.perf import compare_benches
+
+from .test_bench_schema import make_record
+
+
+class TestCompareBenches:
+    def test_flags_2x_slowdown(self):
+        baseline = make_record(engine=1000.0)
+        current = make_record(engine=500.0)       # injected 2x slowdown
+        comparison = compare_benches(baseline, current, threshold_pct=30.0)
+        assert not comparison.ok
+        (reg,) = comparison.regressions
+        assert reg.name == "engine"
+        assert reg.ratio == pytest.approx(0.5)
+        assert reg.change_pct == pytest.approx(-50.0)
+
+    def test_improvement_passes(self):
+        comparison = compare_benches(make_record(engine=1000.0),
+                                     make_record(engine=2000.0))
+        assert comparison.ok
+        assert comparison.kernels[0].change_pct == pytest.approx(100.0)
+
+    def test_within_threshold_drop_passes(self):
+        comparison = compare_benches(make_record(engine=1000.0),
+                                     make_record(engine=800.0),
+                                     threshold_pct=30.0)
+        assert comparison.ok
+        assert not comparison.kernels[0].regressed
+
+    def test_mixed_kernels_only_slow_one_flagged(self):
+        baseline = make_record(engine=1000.0, link=1000.0)
+        current = make_record(engine=400.0, link=1100.0)
+        comparison = compare_benches(baseline, current)
+        assert [k.name for k in comparison.regressions] == ["engine"]
+
+    def test_missing_kernels_reported_but_never_fail(self):
+        baseline = make_record(engine=1000.0, retired=1.0)
+        current = make_record(engine=1000.0, brand_new=1.0)
+        comparison = compare_benches(baseline, current)
+        assert comparison.ok
+        assert sorted(comparison.missing) == ["brand_new", "retired"]
+
+    def test_bad_threshold_rejected(self):
+        with pytest.raises(ConfigError, match="threshold"):
+            compare_benches(make_record(a=1.0), make_record(a=1.0),
+                            threshold_pct=0)
+
+    def test_render_marks_regressions(self):
+        comparison = compare_benches(make_record(engine=1000.0),
+                                     make_record(engine=100.0))
+        text = comparison.render()
+        assert "REGRESSED" in text
+        assert "1 regression(s)" in text
+
+
+class TestCompareCli:
+    def write_pair(self, tmp_path):
+        baseline = make_record(engine=1000.0)
+        slow = make_record(engine=500.0)
+        slow.created = "2026-08-05T13:00:00Z"    # distinct BENCH filename
+        return baseline.write(tmp_path), slow.write(tmp_path)
+
+    def test_cli_fails_on_2x_slowdown(self, tmp_path, capsys):
+        base_path, slow_path = self.write_pair(tmp_path)
+        rc = main(["perf", "--compare", str(base_path), str(slow_path)])
+        assert rc == 1
+        assert "REGRESSED" in capsys.readouterr().out
+
+    def test_cli_passes_within_threshold(self, tmp_path, capsys):
+        base_path, slow_path = self.write_pair(tmp_path)
+        rc = main(["perf", "--compare", str(base_path), str(slow_path),
+                   "--threshold", "60"])
+        assert rc == 0
+        assert "verdict: ok" in capsys.readouterr().out

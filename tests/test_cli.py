@@ -96,3 +96,24 @@ def test_unknown_workload_raises():
 def test_parser_requires_command():
     with pytest.raises(SystemExit):
         build_parser().parse_args([])
+
+
+def test_dump_docs_exits_zero(capsys):
+    with pytest.raises(SystemExit) as exc:
+        main(["--dump-docs"])
+    assert exc.value.code == 0
+    out = capsys.readouterr().out
+    assert "CLI reference" in out
+    for command in ("run", "sweep", "soak", "perf"):
+        assert f"## `{command}`" in out
+
+
+def test_committed_cli_docs_are_fresh(capsys):
+    """docs/cli.md must match the live parser (regenerate: make docs-cli)."""
+    from pathlib import Path
+
+    from repro.docgen import render_cli_docs
+
+    committed = Path(__file__).resolve().parent.parent / "docs" / "cli.md"
+    assert committed.read_text() == render_cli_docs(build_parser()), (
+        "docs/cli.md is stale — run `make docs-cli`")

@@ -1,0 +1,66 @@
+#!/usr/bin/env python
+"""Fail on dead *relative* links in the repo's markdown files.
+
+Checks every ``[text](target)`` whose target is a relative path (external
+URLs and pure anchors are skipped) against the working tree, resolving
+relative to the file containing the link.  Inline code spans and fenced
+code blocks are ignored so documentation *about* link syntax doesn't
+trip the checker.
+
+Usage: python tools/check_doc_links.py [root]   (default: repo root)
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+LINK = re.compile(r"\[[^\]^\[]*\]\(([^)\s]+)\)")
+FENCE = re.compile(r"^(```|~~~)")
+SKIP_DIRS = {".git", "__pycache__", ".pytest_cache", "results", "node_modules"}
+
+
+def iter_markdown(root: Path):
+    for path in sorted(root.rglob("*.md")):
+        if not SKIP_DIRS.intersection(p.name for p in path.parents):
+            yield path
+
+
+def strip_code(text: str) -> str:
+    """Blank out fenced code blocks and inline code spans."""
+    out_lines = []
+    in_fence = False
+    for line in text.splitlines():
+        if FENCE.match(line.strip()):
+            in_fence = not in_fence
+            out_lines.append("")
+            continue
+        out_lines.append("" if in_fence else re.sub(r"`[^`]*`", "", line))
+    return "\n".join(out_lines)
+
+
+def check(root: Path) -> int:
+    dead = []
+    for md in iter_markdown(root):
+        for target in LINK.findall(strip_code(md.read_text())):
+            if target.startswith(("http://", "https://", "mailto:", "#")):
+                continue
+            path_part = target.split("#", 1)[0]
+            if not path_part:
+                continue
+            resolved = (md.parent / path_part).resolve()
+            if not resolved.exists():
+                dead.append((md.relative_to(root), target))
+    for md, target in dead:
+        print(f"DEAD LINK  {md}: ({target})")
+    if dead:
+        print(f"{len(dead)} dead relative link(s)")
+        return 1
+    print("all relative markdown links resolve")
+    return 0
+
+
+if __name__ == "__main__":
+    root = Path(sys.argv[1]) if len(sys.argv) > 1 else Path(__file__).resolve().parent.parent
+    sys.exit(check(root))
