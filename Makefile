@@ -9,7 +9,7 @@ REPRO_WORKERS ?= 2
 
 export PYTHONPATH := src
 
-.PHONY: test lint bench-smoke bench perf perf-smoke docs-cli linkcheck-docs clean
+.PHONY: test lint bench-smoke bench perf perf-smoke sweep-policies docs-cli linkcheck-docs clean
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -42,6 +42,14 @@ perf-smoke:
 	$(PYTHON) -m repro.cli perf --compare $(PERF_BASELINE) \
 		"$$(ls -t results/perf/BENCH_*.json | head -1)" \
 		--threshold $(PERF_THRESHOLD)
+
+# Scheduler policy zoo smoke: every registered policy x every adversarial
+# scenario through the cached runner with the invariant audit layer armed;
+# prints the who-wins-where table (see docs/scheduling.md).
+sweep-policies:
+	REPRO_AUDIT=collect REPRO_WORKERS=$(REPRO_WORKERS) $(PYTHON) -m repro.cli \
+		sweep kmp --kind sched --tasks 48 --contexts 16 \
+		--name sweep-policies --out results/sched
 
 # Regenerate the generated CLI reference from the live argparse tree.
 docs-cli:

@@ -10,6 +10,13 @@ from .breakdown import (
 from .metrics import crossover_index, geometric_mean, normalize, speedup
 from .report import build_report, collect_results
 from .tables import render_result, render_series, render_table
+from .winners import (
+    PolicyCell,
+    WinnersMatrix,
+    render_winners,
+    sched_results_from_records,
+    winners_matrix,
+)
 
 __all__ = [
     "speedup",
@@ -26,4 +33,9 @@ __all__ = [
     "render_breakdown",
     "rows_from_stats",
     "summarize_breakdown",
+    "PolicyCell",
+    "WinnersMatrix",
+    "winners_matrix",
+    "render_winners",
+    "sched_results_from_records",
 ]

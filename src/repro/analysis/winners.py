@@ -1,0 +1,152 @@
+"""Who-wins-where analysis of scheduler policy sweeps.
+
+A ``kind="sched"`` sweep races every registered policy against every
+adversarial scenario; this module folds its telemetry (or raw
+``SchedRunResult`` dicts) into a policy × scenario matrix and declares a
+winner per scenario: highest mean deadline-success rate, ties broken by
+lower mean makespan (finish the same fraction sooner and you win).
+
+The matrix is the headline table of the scheduling chapter of the
+report — it shows the design-space claim of the related work directly:
+no single allocation policy dominates every workload shape.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Tuple
+
+from .tables import render_table
+
+__all__ = [
+    "PolicyCell",
+    "WinnersMatrix",
+    "sched_results_from_records",
+    "winners_matrix",
+    "render_winners",
+]
+
+#: success-rate ties closer than this are decided on makespan
+_TIE_EPS = 1e-9
+
+
+@dataclass(frozen=True)
+class PolicyCell:
+    """Aggregate of every run of one (policy, scenario) pair."""
+
+    policy: str
+    scenario: str
+    runs: int
+    success_rate: float        # mean deadline-success rate over runs
+    makespan: float            # mean makespan over runs
+    p99_response: float        # mean p99 response time over runs
+
+
+@dataclass(frozen=True)
+class WinnersMatrix:
+    """The folded sweep: cells plus the per-scenario verdicts."""
+
+    policies: Tuple[str, ...]
+    scenarios: Tuple[str, ...]
+    cells: Dict[Tuple[str, str], PolicyCell]
+    winners: Dict[str, str]            # scenario -> winning policy
+    overall: Optional[str]             # most scenario wins (None when empty)
+
+    def cell(self, policy: str, scenario: str) -> Optional[PolicyCell]:
+        return self.cells.get((policy, scenario))
+
+
+def sched_results_from_records(records: Iterable[Any]) -> List[Dict[str, Any]]:
+    """The ``SchedRunResult`` dicts inside a pile of telemetry records.
+
+    Accepts :class:`~repro.exp.telemetry.RunRecord` objects (their
+    ``result`` dicts are inspected) and ignores every other run kind, so
+    a mixed ``results/runs/`` directory can be fed in unfiltered.
+    """
+    out: List[Dict[str, Any]] = []
+    for record in records:
+        result = getattr(record, "result", record)
+        if isinstance(result, Mapping) and result.get("type") == "SchedRunResult":
+            out.append(dict(result))
+    return out
+
+
+def winners_matrix(results: Iterable[Mapping[str, Any]]) -> WinnersMatrix:
+    """Fold raw ``SchedRunResult`` dicts into the who-wins-where matrix."""
+    sums: Dict[Tuple[str, str], List[float]] = {}
+    for r in results:
+        key = (str(r["policy"]), str(r["scenario"]))
+        agg = sums.setdefault(key, [0.0, 0.0, 0.0, 0.0])
+        agg[0] += 1
+        agg[1] += float(r["deadline_success_rate"])
+        agg[2] += float(r["makespan"])
+        agg[3] += float(r.get("p99_response", 0.0))
+
+    cells: Dict[Tuple[str, str], PolicyCell] = {}
+    for (policy, scenario), (n, succ, mk, p99) in sums.items():
+        cells[(policy, scenario)] = PolicyCell(
+            policy=policy, scenario=scenario, runs=int(n),
+            success_rate=succ / n, makespan=mk / n, p99_response=p99 / n)
+
+    policies = tuple(sorted({p for p, _ in cells}))
+    scenarios = tuple(sorted({s for _, s in cells}))
+    winners: Dict[str, str] = {}
+    for scenario in scenarios:
+        ranked = sorted(
+            (c for c in cells.values() if c.scenario == scenario),
+            # higher success first; inside a tie band, lower makespan first
+            key=lambda c: (-round(c.success_rate / _TIE_EPS) * _TIE_EPS,
+                           c.makespan, c.policy))
+        if ranked:
+            winners[scenario] = ranked[0].policy
+
+    overall = None
+    if winners:
+        tally: Dict[str, int] = {}
+        for policy in winners.values():
+            tally[policy] = tally.get(policy, 0) + 1
+        overall = sorted(
+            tally, key=lambda p: (-tally[p],
+                                  -_mean_success(cells, p, scenarios), p))[0]
+    return WinnersMatrix(policies=policies, scenarios=scenarios,
+                         cells=cells, winners=winners, overall=overall)
+
+
+def _mean_success(cells: Dict[Tuple[str, str], PolicyCell], policy: str,
+                  scenarios: Tuple[str, ...]) -> float:
+    have = [cells[(policy, s)].success_rate
+            for s in scenarios if (policy, s) in cells]
+    return sum(have) / len(have) if have else 0.0
+
+
+def render_winners(results: Iterable[Mapping[str, Any]],
+                   title: str = "Policy vs scenario: deadline success rate "
+                                "(* = scenario winner)") -> str:
+    """The comparison table ``report`` prints.
+
+    One row per policy, one column per scenario; each cell is the mean
+    deadline-success rate, the scenario winner's cell starred.  A
+    verdict block follows: the winner of each scenario and the overall
+    winner (most scenarios won).
+    """
+    matrix = winners_matrix(results)
+    if not matrix.cells:
+        return "No sched sweep runs found."
+    rows = []
+    for policy in matrix.policies:
+        row: List[Any] = [policy]
+        for scenario in matrix.scenarios:
+            cell = matrix.cell(policy, scenario)
+            if cell is None:
+                row.append("-")
+                continue
+            star = "*" if matrix.winners.get(scenario) == policy else ""
+            row.append(f"{cell.success_rate:.3f}{star}")
+        rows.append(row)
+    text = render_table(["policy"] + list(matrix.scenarios), rows, title=title)
+    verdicts = [f"{scenario}: {matrix.winners[scenario]}"
+                for scenario in matrix.scenarios if scenario in matrix.winners]
+    text += "\n\nwinners: " + "; ".join(verdicts)
+    if matrix.overall is not None:
+        text += f"\noverall: {matrix.overall} (most scenarios won)"
+    return text

@@ -50,6 +50,7 @@ def result_from_dict(data: Dict[str, Any]) -> DictResult:
     """Rebuild any registered result from its ``to_dict`` form."""
     # ensure every result class has registered itself
     from . import run, smarco, xeon  # noqa: F401
+    from ..sched import scenarios  # noqa: F401
 
     type_name = data.get("type")
     if type_name not in _RESULT_TYPES:

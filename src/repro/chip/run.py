@@ -192,6 +192,8 @@ def execute(request: RunRequest,
         return _execute_xeon(request, audit)
     if request.kind == "compare":
         return _execute_compare(request, audit)
+    if request.kind == "sched":
+        return _execute_sched(request, audit)
     raise ConfigError(f"unknown run kind {request.kind!r}")  # pragma: no cover
 
 
@@ -328,6 +330,30 @@ def _execute_compare(request: RunRequest,
                     "xeon": xeon_outcome.components},
         audit=combined_audit,
     )
+
+
+def _execute_sched(request: RunRequest,
+                   audit: Optional[AuditConfig] = None) -> RunOutcome:
+    """One (policy, scenario) race on the audited scenario testbed."""
+    from ..sched.scenarios import run_sched_scenario
+
+    registry = StatsRegistry()
+    auditor = _make_auditor(audit)
+    sched_config = (request.smarco_config.scheduler
+                    if request.smarco_config is not None else None)
+    result = run_sched_scenario(
+        policy=request.sched_policy,
+        scenario=request.sched_scenario,
+        seed=request.seed,
+        workload=request.workload,
+        tasks=request.sched_tasks,
+        contexts=request.sched_contexts,
+        config=sched_config,
+        registry=registry,
+        auditor=auditor,
+    )
+    return RunOutcome(request=request, result=result, stats=registry.dump(),
+                      audit=auditor.summary() if auditor is not None else None)
 
 
 # -- legacy per-kind helpers (thin shims over execute) -----------------------------

@@ -8,6 +8,8 @@ Installed as ``repro-smarco`` (see pyproject) or runnable via
     repro-smarco xeon kmp --threads 48
     repro-smarco compare wordcount
     repro-smarco sweep kmp wordcount --seeds 0 1 2 --workers 2
+    repro-smarco sweep kmp --kind sched --sched-policies laxity fifo
+    repro-smarco policies list
     repro-smarco report
     repro-smarco area-power
     repro-smarco cdn
@@ -106,7 +108,8 @@ def build_parser() -> argparse.ArgumentParser:
              "experiment runner (cached, multi-process)")
     sweep_p.add_argument("workloads", nargs="+")
     sweep_p.add_argument("--kind", default="smarco",
-                         choices=("smarco", "xeon", "compare", "tcg"))
+                         choices=("smarco", "xeon", "compare", "tcg",
+                                  "sched"))
     sweep_p.add_argument("--name", default="cli-sweep",
                          help="spec name (labels the telemetry records)")
     sweep_p.add_argument("--seeds", type=int, nargs="+", default=[0])
@@ -121,6 +124,19 @@ def build_parser() -> argparse.ArgumentParser:
                          help="instructions per thread (SmarCo side)")
     sweep_p.add_argument("--xeon-threads", type=int, default=16)
     sweep_p.add_argument("--xeon-instrs", type=int, default=10_000)
+    sweep_p.add_argument("--sched-policies", nargs="+", default=None,
+                         metavar="POLICY",
+                         help="scheduler policies to race (--kind sched; "
+                              "default: every registered policy)")
+    sweep_p.add_argument("--scenarios", nargs="+", default=None,
+                         metavar="SCENARIO",
+                         help="adversarial scenarios to race through "
+                              "(--kind sched; default: every registered "
+                              "scenario)")
+    sweep_p.add_argument("--tasks", type=int, default=128,
+                         help="tasks per sched run (--kind sched)")
+    sweep_p.add_argument("--contexts", type=int, default=64,
+                         help="thread contexts per sched run (--kind sched)")
     sweep_p.add_argument("--workers", type=int, default=None,
                          help="worker processes (default: $REPRO_WORKERS, "
                               "else serial)")
@@ -175,6 +191,16 @@ def build_parser() -> argparse.ArgumentParser:
                         metavar="PCT",
                         help="units/sec regression tolerance for --compare")
 
+    pol_p = sub.add_parser(
+        "policies",
+        help="inspect the scheduler policy registry and scenario catalogue")
+    pol_sub = pol_p.add_subparsers(dest="policies_command", required=True)
+    pol_sub.add_parser("list",
+                       help="one line per registered policy and scenario")
+    pol_desc = pol_sub.add_parser(
+        "describe", help="full registry card of one policy")
+    pol_desc.add_argument("name", help="a registered policy name")
+
     sub.add_parser("area-power", help="print the Table 1 breakdown")
     sub.add_parser("cdn", help="print the Fig 2 CDN sweep")
 
@@ -190,6 +216,39 @@ def build_parser() -> argparse.ArgumentParser:
                        help="add the per-stage latency breakdown aggregated "
                             "over traced sweep runs")
     return parser
+
+
+def _cmd_policies(args: argparse.Namespace) -> int:
+    from .sched import policy_summaries, scenario_summaries
+
+    if args.policies_command == "list":
+        rows = [[card["name"], card["decision_overhead"], card["summary"]]
+                for card in policy_summaries()]
+        print(render_table(["policy", "overhead", "summary"], rows,
+                           title="Registered scheduler policies"))
+        print()
+        rows = [[s["name"], s["summary"]] for s in scenario_summaries()]
+        print(render_table(["scenario", "summary"], rows,
+                           title="Adversarial scenarios"))
+        return 0
+    from .errors import SchedulerError
+    from .sched import get_policy
+
+    try:
+        card = get_policy(args.name).describe()
+    except SchedulerError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    print(render_table(["field", "value"], [
+        ["name", card["name"]],
+        ["class", card["class"]],
+        ["decision overhead", f"{card['decision_overhead']} cycles"],
+        ["summary", card["summary"]],
+    ], title=f"Policy: {card['name']}"))
+    if card["doc"]:
+        print()
+        print(card["doc"])
+    return 0
 
 
 def _cmd_list_workloads() -> int:
@@ -285,10 +344,17 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         instrs_per_thread=args.instrs,
         xeon_threads=args.xeon_threads,
         xeon_instrs_per_thread=args.xeon_instrs,
+        sched_tasks=args.tasks,
+        sched_contexts=args.contexts,
     )
     axes = {"workload": args.workloads, "seed": args.seeds}
     if args.policies:
         axes["core_policy"] = args.policies
+    if args.kind == "sched":
+        from .sched import list_policies, list_scenarios
+
+        axes["sched_policy"] = args.sched_policies or list_policies()
+        axes["sched_scenario"] = args.scenarios or list_scenarios()
     spec = ExperimentSpec.grid(args.name, base, **axes)
 
     runner = Runner(workers=args.workers, base_dir=args.out,
@@ -296,6 +362,11 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     sweep = runner.run(spec)
 
     print(summarize_runs(sweep.records))
+    if args.kind == "sched":
+        from .analysis import render_winners, sched_results_from_records
+
+        print()
+        print(render_winners(sched_results_from_records(sweep.records)))
     if args.detail:
         for point, outcome in zip(sweep.records, sweep.outcomes):
             print()
@@ -378,6 +449,12 @@ def _cmd_report(args: argparse.Namespace) -> int:
     if records:
         text += ("\n## Sweep telemetry\n\n```\n"
                  + summarize_runs(records) + "\n```\n")
+        from .analysis import render_winners, sched_results_from_records
+
+        sched_runs = sched_results_from_records(records)
+        if sched_runs:
+            text += ("\n## Scheduler policy zoo — who wins where\n\n```\n"
+                     + render_winners(sched_runs) + "\n```\n")
     if args.breakdown:
         from .analysis import render_breakdown, summarize_breakdown
 
@@ -412,6 +489,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_soak(args)
     if args.command == "perf":
         return _cmd_perf(args)
+    if args.command == "policies":
+        return _cmd_policies(args)
     if args.command == "area-power":
         return _cmd_area_power()
     if args.command == "cdn":

@@ -224,13 +224,20 @@ class MemoryConfig:
 class SchedulerConfig:
     """Laxity-aware task scheduler (paper §3.7)."""
 
-    policy: str = "laxity"              # "laxity" | "deadline" | "fifo"
+    policy: str = "laxity"              # any repro.sched.list_policies() name
     dispatch_latency: int = 8           # cycles to dispatch a task to a thread
     chain_table_entries: int = 256      # per sub-ring RAM chain-table slots
 
     def validate(self) -> None:
-        if self.policy not in ("laxity", "deadline", "fifo"):
-            raise ConfigError(f"unknown scheduler policy {self.policy!r}")
+        # lazy import: repro.sched imports this module at load time, so the
+        # registry can only be consulted from inside the call
+        from .sched.policy import list_policies
+
+        known = list_policies()
+        if self.policy not in known:
+            raise ConfigError(
+                f"unknown scheduler policy {self.policy!r}; "
+                f"registered: {', '.join(known)}")
 
 
 @dataclass(frozen=True)

@@ -28,12 +28,12 @@ from ..config import (
     TCGConfig,
     XeonConfig,
 )
-from ..errors import ConfigError
+from ..errors import ConfigError, SchedulerError
 
 __all__ = ["RunRequest", "RUN_KINDS", "request_from_snapshot"]
 
 #: Supported values of :attr:`RunRequest.kind`.
-RUN_KINDS = ("tcg", "smarco", "xeon", "compare")
+RUN_KINDS = ("tcg", "smarco", "xeon", "compare", "sched")
 
 
 @dataclass(frozen=True)
@@ -66,9 +66,27 @@ class RunRequest:
     technology_nm: Optional[int] = None
     power_config: Optional[SmarCoConfig] = None
 
+    # -- scheduler policy race (kind == "sched") --
+    sched_policy: str = "laxity"
+    sched_scenario: str = "uniform"
+    sched_tasks: int = 128
+    sched_contexts: int = 64
+
     def validate(self) -> None:
         if self.kind not in RUN_KINDS:
             raise ConfigError(f"unknown run kind {self.kind!r}")
+        if self.kind == "sched":
+            # fail at request time, not inside a worker process
+            from ..sched.policy import get_policy
+            from ..sched.scenarios import get_scenario
+
+            try:
+                get_policy(self.sched_policy)
+                get_scenario(self.sched_scenario)
+            except SchedulerError as exc:
+                raise ConfigError(str(exc)) from None
+            if self.sched_tasks <= 0 or self.sched_contexts <= 0:
+                raise ConfigError("sched runs need >=1 task and context")
         if self.threads_per_core <= 0 or self.instrs_per_thread <= 0:
             raise ConfigError("thread and instruction counts must be positive")
         if self.xeon_threads <= 0 or self.xeon_instrs_per_thread <= 0:

@@ -15,6 +15,8 @@ Each kernel isolates one simulator hot path:
   :class:`~repro.noc.hierring.HierarchicalRingNoC` (bridge chains);
 * ``mact_batching``    — a seeded request stream through the MACT
   (bitmap merge, deadline timers, capacity evictions);
+* ``sched_assign``     — the scheduler dispatch hot loop (submit /
+  assign / release-context) across every registered policy;
 * ``chip_fig17``       — the Fig 17 single-TCG rig through
   :func:`repro.chip.run.execute` (also yields the golden result digest);
 * ``chip_fig23``       — a scaled-down Fig 23 full-chip run (golden
@@ -54,6 +56,7 @@ SIZES: Dict[str, Dict[str, Dict[str, int]]] = {
         "ring_saturation": {"packets": 1_000},
         "hierring_saturation": {"packets": 400},
         "mact_batching": {"requests": 5_000},
+        "sched_assign": {"tasks": 400},
         "chip_fig17": {"instrs": 60},
         "chip_fig23": {"instrs": 40},
     },
@@ -64,6 +67,7 @@ SIZES: Dict[str, Dict[str, Dict[str, int]]] = {
         "ring_saturation": {"packets": 8_000},
         "hierring_saturation": {"packets": 3_000},
         "mact_batching": {"requests": 50_000},
+        "sched_assign": {"tasks": 3_000},
         "chip_fig17": {"instrs": 300},
         "chip_fig23": {"instrs": 120},
     },
@@ -74,6 +78,7 @@ SIZES: Dict[str, Dict[str, Dict[str, int]]] = {
         "ring_saturation": {"packets": 30_000},
         "hierring_saturation": {"packets": 10_000},
         "mact_batching": {"requests": 200_000},
+        "sched_assign": {"tasks": 12_000},
         "chip_fig17": {"instrs": 600},
         "chip_fig23": {"instrs": 250},
     },
@@ -282,6 +287,51 @@ def _k_mact_batching(params: Dict[str, int]) -> Dict[str, Any]:
             "batches": len(batches)}
 
 
+def _k_sched_assign(params: Dict[str, int]) -> Dict[str, Any]:
+    """The scheduler dispatch hot loop across every registered policy.
+
+    Seeded task windows stream through submit -> assign -> release for
+    each policy in registry order (windowed so the laxity chain tables
+    stay under their hardware capacity).  An order-sensitive checksum of
+    the assignment sequence keeps the kernel's determinism contract: any
+    ordering change in any policy shows up as a result mismatch.
+    """
+    from ..sched.policy import create_policy, list_policies
+    from ..sched.task import Task, TaskPriority
+    from ..sim.rng import RngTree
+
+    n = params["tasks"]               # per policy
+    contexts, window = 32, 128
+    assignments = 0
+    checksum = 0
+    for name in list_policies():
+        sched = create_policy(name)
+        rng = RngTree(2025).stream(f"bench.{name}")
+        for cid in range(contexts):
+            sched.release_context(cid)
+        submitted = 0
+        while submitted < n or sched.pending:
+            while submitted < n and sched.pending < window:
+                pri = (TaskPriority.HIGH if rng.random() < 0.25
+                       else TaskPriority.NORMAL)
+                sched.submit(Task(
+                    work_cycles=rng.uniform(1_000, 90_000),
+                    deadline=1_000_000, priority=pri,
+                    payload={"criticality": rng.random()}))
+                submitted += 1
+            pair = sched.assign()
+            if pair is None:
+                raise ConfigError(
+                    f"sched_assign: {name} stalled with "
+                    f"{sched.pending} pending tasks")
+            context, task = pair
+            assignments += 1
+            checksum = (checksum * 31 + int(task.work_cycles)) % (1 << 61)
+            sched.release_context(context)
+    return {"events": 0, "units": assignments, "unit": "assigns",
+            "checksum": checksum}
+
+
 def _k_chip_fig17(params: Dict[str, int]) -> Dict[str, Any]:
     """The Fig 17 rig: one TCG core, fixed-latency memory, fixed seed."""
     from ..chip.run import execute
@@ -316,6 +366,7 @@ KERNELS: Dict[str, Callable[[Dict[str, int]], Dict[str, Any]]] = {
     "ring_saturation": _k_ring_saturation,
     "hierring_saturation": _k_hierring_saturation,
     "mact_batching": _k_mact_batching,
+    "sched_assign": _k_sched_assign,
     "chip_fig17": _k_chip_fig17,
     "chip_fig23": _k_chip_fig23,
 }

@@ -18,7 +18,6 @@ from typing import Generator, List, Optional, Sequence
 from ..errors import SchedulerError
 from ..sim.engine import Simulator
 from ..sim.stats import StatsRegistry
-from .policies import DeadlineScheduler, FifoScheduler, LaxityScheduler, make_scheduler
 from .task import Task
 
 __all__ = ["MainScheduler", "SchedulerTestbed", "TestbedResult"]

@@ -1,4 +1,4 @@
-"""Task-scheduling policies.
+"""The paper's task-scheduling policies, on the pluggable policy API.
 
 * :class:`LaxityScheduler` — the paper's hardware scheduler: per-sub-ring
   chain tables (high-priority + normal) ordered by static slack
@@ -11,115 +11,89 @@
   cycles.
 * :class:`FifoScheduler` — arrival order, no deadline awareness.
 
-All policies expose the same interface: ``submit(task)`` and
-``next_task()``; a testbed or chip binds them to execution contexts.
+All three are registered with :mod:`repro.sched.policy` (``"laxity"``,
+``"deadline"``, ``"fifo"``) and share the full
+:class:`~repro.sched.policy.SchedulerPolicy` surface — including the
+context lifecycle that used to be laxity-only.  The related-work policies
+live in :mod:`repro.sched.zoo`.
 """
 
 from __future__ import annotations
 
+import warnings
 from collections import deque
-from typing import Deque, Optional, Tuple
+from typing import Deque, Optional
 
 from ..config import SchedulerConfig
 from ..sim.stats import StatsRegistry
 from .chains import ChainTable
+from .policy import SchedulerPolicy, create_policy, register_policy
 from .task import Task, TaskPriority
 
-__all__ = ["LaxityScheduler", "DeadlineScheduler", "FifoScheduler", "make_scheduler"]
+__all__ = ["LaxityScheduler", "DeadlineScheduler", "FifoScheduler",
+           "make_scheduler"]
 
 
-class LaxityScheduler:
+@register_policy("laxity")
+class LaxityScheduler(SchedulerPolicy):
     """Hardware laxity-aware scheduler of one sub-ring (Fig 16).
 
     Three chain tables, as the figure draws them: the *null thread chain*
-    (free thread contexts, FIFO), the *normal thread chain*, and the
-    *high-priority thread chain* (both sorted by static slack).
+    (free thread contexts, FIFO — provided by the policy base class), the
+    *normal thread chain*, and the *high-priority thread chain* (both
+    sorted by static slack).
     """
 
+    summary = ("paper 3.7: least static slack first via RAM chain tables "
+               "(HIGH chain preempts NORMAL)")
     #: cycles per scheduling decision (RAM chain head pop + thread attach)
     decision_overhead = 4
 
-    def __init__(self, name: str = "laxity",
-                 config: Optional[SchedulerConfig] = None,
-                 registry: Optional[StatsRegistry] = None) -> None:
-        cfg = config if config is not None else SchedulerConfig()
-        entries = cfg.chain_table_entries
-        self.name = name
-        self.high = ChainTable(f"{name}.high", key=lambda t: t.static_slack,
+    def _setup(self) -> None:
+        entries = self.config.chain_table_entries
+        self.high = ChainTable(f"{self.name}.high",
+                               key=lambda t: t.static_slack,
                                capacity=entries)
-        self.normal = ChainTable(f"{name}.normal", key=lambda t: t.static_slack,
+        self.normal = ChainTable(f"{self.name}.normal",
+                                 key=lambda t: t.static_slack,
                                  capacity=entries)
-        self._null_chain: Deque[int] = deque()     # free thread contexts
-        reg = registry if registry is not None else StatsRegistry()
-        self.submitted = reg.counter(f"{name}.submitted")
-        self.dispatched = reg.counter(f"{name}.dispatched")
 
-    def submit(self, task: Task) -> None:
-        self.submitted.inc()
+    def _enqueue(self, task: Task) -> None:
         table = self.high if task.priority is TaskPriority.HIGH else self.normal
         table.insert(task)
 
-    def next_task(self) -> Optional[Task]:
+    def _select(self) -> Optional[Task]:
         """Highest-priority, least-slack task (None when idle)."""
         task = self.high.pop_head()
         if task is None:
             task = self.normal.pop_head()
-        if task is not None:
-            self.dispatched.inc()
         return task
-
-    # -- null thread chain (free contexts) -------------------------------
-
-    def release_context(self, context_id: int) -> None:
-        """A thread context finished its task: append to the null chain."""
-        self._null_chain.append(context_id)
-
-    def acquire_context(self) -> Optional[int]:
-        """Pop a free thread context (None when every context is busy)."""
-        return self._null_chain.popleft() if self._null_chain else None
-
-    @property
-    def free_contexts(self) -> int:
-        return len(self._null_chain)
-
-    def assign(self) -> Optional[Tuple[int, Task]]:
-        """One hardware dispatch step: pair the best pending task with a
-        free context.  Returns None when either chain is empty."""
-        if not self._null_chain or not self.pending:
-            return None
-        context = self.acquire_context()
-        task = self.next_task()
-        return context, task
 
     @property
     def pending(self) -> int:
         return len(self.high) + len(self.normal)
 
 
-class DeadlineScheduler:
+@register_policy("deadline")
+class DeadlineScheduler(SchedulerPolicy):
     """Software EDF baseline with per-decision OS overhead."""
 
+    summary = ("software EDF baseline: earliest deadline first, FIFO "
+               "tie-break, OS-scale decision cost")
     decision_overhead = 200
 
-    def __init__(self, name: str = "deadline",
-                 registry: Optional[StatsRegistry] = None) -> None:
-        self.name = name
+    def _setup(self) -> None:
         self._queue: Deque[Task] = deque()
-        reg = registry if registry is not None else StatsRegistry()
-        self.submitted = reg.counter(f"{name}.submitted")
-        self.dispatched = reg.counter(f"{name}.dispatched")
 
-    def submit(self, task: Task) -> None:
-        self.submitted.inc()
+    def _enqueue(self, task: Task) -> None:
         self._queue.append(task)
 
-    def next_task(self) -> Optional[Task]:
+    def _select(self) -> Optional[Task]:
         if not self._queue:
             return None
         # EDF with FIFO tie-break: min deadline, earliest arrival wins
         best = min(self._queue, key=lambda t: (t.deadline, t.arrival, t.task_id))
         self._queue.remove(best)
-        self.dispatched.inc()
         return best
 
     @property
@@ -127,27 +101,22 @@ class DeadlineScheduler:
         return len(self._queue)
 
 
-class FifoScheduler:
+@register_policy("fifo")
+class FifoScheduler(SchedulerPolicy):
     """Arrival-order baseline."""
 
+    summary = "arrival order, no deadline awareness"
     decision_overhead = 50
 
-    def __init__(self, name: str = "fifo",
-                 registry: Optional[StatsRegistry] = None) -> None:
-        self.name = name
+    def _setup(self) -> None:
         self._queue: Deque[Task] = deque()
-        reg = registry if registry is not None else StatsRegistry()
-        self.submitted = reg.counter(f"{name}.submitted")
-        self.dispatched = reg.counter(f"{name}.dispatched")
 
-    def submit(self, task: Task) -> None:
-        self.submitted.inc()
+    def _enqueue(self, task: Task) -> None:
         self._queue.append(task)
 
-    def next_task(self) -> Optional[Task]:
+    def _select(self) -> Optional[Task]:
         if not self._queue:
             return None
-        self.dispatched.inc()
         return self._queue.popleft()
 
     @property
@@ -158,13 +127,16 @@ class FifoScheduler:
 def make_scheduler(policy: str, name: Optional[str] = None,
                    config: Optional[SchedulerConfig] = None,
                    registry: Optional[StatsRegistry] = None):
-    """Factory keyed by :class:`~repro.config.SchedulerConfig` policy."""
-    if policy == "laxity":
-        return LaxityScheduler(name or "laxity", config, registry)
-    if policy == "deadline":
-        return DeadlineScheduler(name or "deadline", registry)
-    if policy == "fifo":
-        return FifoScheduler(name or "fifo", registry)
-    from ..errors import SchedulerError
+    """Deprecated string-dispatch factory; use the policy registry.
 
-    raise SchedulerError(f"unknown scheduling policy {policy!r}")
+    Kept as a warning shim (in the style of the ``run.py`` kwargs shims):
+    it delegates to :func:`repro.sched.policy.create_policy`, which also
+    knows every policy registered after this factory was written.
+    """
+    warnings.warn(
+        "make_scheduler(policy) is deprecated; use "
+        "repro.sched.create_policy(policy) / get_policy(policy) — the "
+        "registry also covers plug-in policies",
+        DeprecationWarning, stacklevel=2)
+    return create_policy(policy, instance_name=name, config=config,
+                         registry=registry)

@@ -1,0 +1,170 @@
+"""Related-work allocation policies (the "policy zoo").
+
+Two competing thread-to-core allocation strategies from the literature,
+implemented on the same :class:`~repro.sched.policy.SchedulerPolicy`
+surface as the paper's laxity scheduler so the sweep harness can race
+them head-to-head across adversarial scenarios:
+
+* :class:`SmtBalanceScheduler` (``"smt-balance"``) — the
+  throughput-balance member of the SMT allocation-policy family
+  (arXiv 2507.00855): instead of a single global priority order it
+  balances *served work* across execution contexts, pairing starved
+  contexts with long tasks and well-fed contexts with short ones so no
+  context's throughput collapses under a skewed task-size distribution.
+* :class:`CriticalityScheduler` (``"criticality"``) — data-criticality
+  aware placement (arXiv 2101.00055): tasks whose data path is most
+  latency-critical are scheduled first.  The criticality signal is the
+  expected memory-stall share of a task — in this repo derived from the
+  hop-stamped per-layer latency data of the transaction tracing layer
+  (:func:`criticality_from_breakdown` folds
+  :class:`~repro.analysis.breakdown.BreakdownRow` aggregates into the
+  per-task signal; scenario generators stamp it into ``task.payload``).
+"""
+
+from __future__ import annotations
+
+from bisect import insort
+from typing import Iterable, List, Optional, Tuple
+
+from .policy import SchedulerPolicy, register_policy
+from .task import Task
+
+__all__ = ["SmtBalanceScheduler", "CriticalityScheduler",
+           "task_criticality", "criticality_from_breakdown"]
+
+
+@register_policy("smt-balance")
+class SmtBalanceScheduler(SchedulerPolicy):
+    """Throughput-balance allocation (SMT policy family, arXiv 2507.00855).
+
+    Keeps the pending queue sorted by work and serves it from *both
+    ends*: a context whose served work is below the fleet mean receives
+    the longest pending task (it has throughput headroom to burn), a
+    context above the mean receives the shortest (keep it cycling).
+    Without context knowledge (plain ``next_task``) the policy
+    alternates ends, which equalises the per-slot service rate the same
+    way.  All tie-breaks are ``task_id``-ordered, so scheduling is
+    deterministic under fixed seeds.
+    """
+
+    summary = ("SMT-family throughput balance: serve the work-sorted "
+               "queue from both ends to equalise per-context service")
+    decision_overhead = 12        # hardware table + per-context accumulators
+
+    def _setup(self) -> None:
+        # (work, task_id, task), ascending — head is shortest
+        self._queue: List[Tuple[float, int, Task]] = []
+        self._ctx_work: dict = {}
+        self._long_turn = True    # next_task alternation state
+
+    def _enqueue(self, task: Task) -> None:
+        insort(self._queue, (task.work_cycles, task.task_id, task))
+
+    def _pop(self, longest: bool) -> Optional[Task]:
+        if not self._queue:
+            return None
+        _work, _tid, task = self._queue.pop(-1 if longest else 0)
+        return task
+
+    def _select(self) -> Optional[Task]:
+        task = self._pop(longest=self._long_turn)
+        if task is not None:
+            self._long_turn = not self._long_turn
+        return task
+
+    @property
+    def pending(self) -> int:
+        return len(self._queue)
+
+    # -- allocation-aware dispatch ----------------------------------------
+
+    def _on_release(self, context_id: int) -> None:
+        self._ctx_work.setdefault(context_id, 0.0)
+
+    def assign(self) -> Optional[Tuple[int, Task]]:
+        """Pair the most-starved free context with the balancing task."""
+        if not self._null_chain or not self._queue:
+            return None
+        # most-starved free context, FIFO-stable on ties
+        context = min(self._null_chain,
+                      key=lambda c: (self._ctx_work.get(c, 0.0),
+                                     self._null_chain.index(c)))
+        self._null_chain.remove(context)
+        served = self._ctx_work.get(context, 0.0)
+        mean = (sum(self._ctx_work.values()) / len(self._ctx_work)
+                if self._ctx_work else 0.0)
+        task = self._pop(longest=served <= mean)
+        self.dispatched.inc()
+        self._ctx_work[context] = served + task.work_cycles
+        return context, task
+
+
+def task_criticality(task: Task) -> float:
+    """The data-criticality signal carried by a task.
+
+    Scenario generators (and any chip-level feeder) stamp
+    ``task.payload["criticality"]`` — expected memory-stall cycles per
+    unit of work, derived from hop-trace latency aggregates.  Tasks
+    without a stamp fall back to 0 (pure-compute: least critical).
+    """
+    payload = task.payload
+    if isinstance(payload, dict):
+        try:
+            return float(payload.get("criticality", 0.0))
+        except (TypeError, ValueError):
+            return 0.0
+    return 0.0
+
+
+def criticality_from_breakdown(rows: Iterable) -> float:
+    """Fold per-layer latency rows into one mean-stall-cycles signal.
+
+    ``rows`` is any iterable of
+    :class:`~repro.analysis.breakdown.BreakdownRow`-shaped objects (the
+    PR 3 hop-trace aggregates).  Returns the hop-count-weighted mean hop
+    latency — the cycles one memory transaction spends per layer on
+    average, i.e. what one unit of data-criticality costs.  Feed it to a
+    scenario (or multiply by a task's expected transaction count) to
+    stamp ``payload["criticality"]``.
+    """
+    total = 0.0
+    count = 0
+    for row in rows:
+        total += row.count * row.mean
+        count += row.count
+    return total / count if count else 0.0
+
+
+@register_policy("criticality")
+class CriticalityScheduler(SchedulerPolicy):
+    """Data-criticality-aware placement (arXiv 2101.00055).
+
+    Most-critical-first: tasks whose memory path is most
+    latency-critical (largest expected stall share, per
+    :func:`task_criticality`) dispatch ahead of compute-bound tasks,
+    overlapping their long memory phases with everyone else's compute.
+    Ties break on static slack (keep the laxity guarantee inside one
+    criticality class), then ``task_id``.
+    """
+
+    summary = ("data-criticality placement: largest expected memory-stall "
+               "share first, slack tie-break")
+    decision_overhead = 20        # criticality table lookup + compare
+
+    def _setup(self) -> None:
+        # (-criticality, static_slack, task_id, task): ascending sort
+        # puts the most-critical, least-slack task at the head
+        self._queue: List[Tuple[float, float, int, Task]] = []
+
+    def _enqueue(self, task: Task) -> None:
+        insort(self._queue, (-task_criticality(task), task.static_slack,
+                             task.task_id, task))
+
+    def _select(self) -> Optional[Task]:
+        if not self._queue:
+            return None
+        return self._queue.pop(0)[3]
+
+    @property
+    def pending(self) -> int:
+        return len(self._queue)

@@ -95,13 +95,17 @@ class TestDeadlineScheduler:
 
 class TestFactory:
     def test_make_each_policy(self):
-        assert isinstance(make_scheduler("laxity"), LaxityScheduler)
-        assert isinstance(make_scheduler("deadline"), DeadlineScheduler)
-        assert isinstance(make_scheduler("fifo"), FifoScheduler)
+        with pytest.warns(DeprecationWarning):
+            assert isinstance(make_scheduler("laxity"), LaxityScheduler)
+        with pytest.warns(DeprecationWarning):
+            assert isinstance(make_scheduler("deadline"), DeadlineScheduler)
+        with pytest.warns(DeprecationWarning):
+            assert isinstance(make_scheduler("fifo"), FifoScheduler)
 
     def test_unknown_policy(self):
-        with pytest.raises(SchedulerError):
-            make_scheduler("lottery")
+        with pytest.warns(DeprecationWarning):
+            with pytest.raises(SchedulerError):
+                make_scheduler("lottery")
 
 
 class TestMainScheduler:
