@@ -9,7 +9,7 @@ REPRO_WORKERS ?= 2
 
 export PYTHONPATH := src
 
-.PHONY: test lint bench-smoke bench perf perf-smoke sweep-policies docs-cli linkcheck-docs clean
+.PHONY: test lint bench-smoke bench perf perf-smoke ckpt-smoke sweep-policies docs-cli linkcheck-docs clean
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -42,6 +42,23 @@ perf-smoke:
 	$(PYTHON) -m repro.cli perf --compare $(PERF_BASELINE) \
 		"$$(ls -t results/perf/BENCH_*.json | head -1)" \
 		--threshold $(PERF_THRESHOLD)
+
+# Checkpoint/restore smoke: the bit-identical-resume digest tests for all
+# three session kinds, then the CLI checkpoint lifecycle and a warm-started
+# sweep end to end (see docs/checkpointing.md).
+ckpt-smoke:
+	$(PYTHON) -m pytest -q -p no:cacheprovider \
+		tests/chip/test_session_restore.py tests/exp/test_warm_sweep.py
+	$(PYTHON) -m repro.cli checkpoint save results/ckpt/smoke.ckpt.gz \
+		--cycles 800 --kind smarco --workload kmp --seed 3 \
+		--sub-rings 2 --cores 4 --threads-per-core 4 --instrs 120
+	$(PYTHON) -m repro.cli checkpoint info results/ckpt/smoke.ckpt.gz
+	$(PYTHON) -m repro.cli checkpoint restore results/ckpt/smoke.ckpt.gz
+	REPRO_WORKERS=$(REPRO_WORKERS) $(PYTHON) -m repro.cli \
+		sweep kmp --kind sched --tasks 24 --contexts 8 \
+		--sched-policies laxity --scenarios deadline-storm \
+		--run-cycles 300000 600000 --warm-start --warm-cycles 50000 \
+		--name ckpt-smoke --out results/ckpt
 
 # Scheduler policy zoo smoke: every registered policy x every adversarial
 # scenario through the cached runner with the invariant audit layer armed;

@@ -89,6 +89,22 @@ class LatencyBreakdown:
             acc.add(hop.duration)
             self._hists[key].add(hop.duration)
 
+    def state_dict(self) -> Dict[str, object]:
+        """Lazy-key bootstrap + record count (stat values travel with the
+        registry; re-creating the lazily-registered stats here is what lets
+        the registry restore find them by name)."""
+        return {"recorded": self.recorded, "keys": sorted(self._accs)}
+
+    def load_state(self, state: Dict[str, object]) -> None:
+        self.recorded = state["recorded"]
+        for key in state["keys"]:
+            if key in self._accs:
+                continue
+            component, stage = key.split(_HOP_MARK, 1)
+            self._accs[key] = self.registry.accumulator(key)
+            self._hists[key] = self.registry.histogram(
+                f"{component}{_HIST_MARK}{stage}", self.edges)
+
     def rows(self) -> List[BreakdownRow]:
         out = []
         for key, acc in self._accs.items():

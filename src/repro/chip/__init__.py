@@ -10,10 +10,13 @@ from .run import (
     run_smarco,
     run_xeon,
 )
+from .session import SESSION_KINDS, RunSession
 from .smarco import SmarCoChip, SmarcoRunResult
 from .xeon import XeonRunResult, XeonSystem
 
 __all__ = [
+    "RunSession",
+    "SESSION_KINDS",
     "SmarCoChip",
     "SmarcoRunResult",
     "XeonSystem",

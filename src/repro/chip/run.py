@@ -257,7 +257,7 @@ def _execute_smarco(request: RunRequest,
                       request.instrs_per_thread,
                       total_threads=request.total_threads,
                       shared_code=request.shared_code)
-    result = chip.run()
+    result = chip.run(max_cycles=request.run_cycles)
     if auditor is not None:
         auditor.end_of_run(chip.sim.now)
     return RunOutcome(request=request, result=result,
@@ -275,9 +275,11 @@ def _execute_xeon(request: RunRequest,
         # the baseline declares no checkers yet; install() is a no-op walk
         # and the summary records zero checks
         auditor.install(system)
-    result = system.run_profile(profile, request.xeon_threads,
-                                request.xeon_instrs_per_thread,
-                                stagger_creation=request.stagger_creation)
+    system.load_profile(profile, request.xeon_threads,
+                        request.xeon_instrs_per_thread,
+                        stagger_creation=request.stagger_creation)
+    system.sim.run(until=request.run_cycles)
+    result = system.collect_result()
     if auditor is not None:
         auditor.end_of_run(system.sim.now)
     return RunOutcome(request=request, result=result,
@@ -335,13 +337,13 @@ def _execute_compare(request: RunRequest,
 def _execute_sched(request: RunRequest,
                    audit: Optional[AuditConfig] = None) -> RunOutcome:
     """One (policy, scenario) race on the audited scenario testbed."""
-    from ..sched.scenarios import run_sched_scenario
+    from ..sched.scenarios import collect_sched_result, prepare_sched_scenario
 
     registry = StatsRegistry()
     auditor = _make_auditor(audit)
     sched_config = (request.smarco_config.scheduler
                     if request.smarco_config is not None else None)
-    result = run_sched_scenario(
+    run = prepare_sched_scenario(
         policy=request.sched_policy,
         scenario=request.sched_scenario,
         seed=request.seed,
@@ -352,6 +354,14 @@ def _execute_sched(request: RunRequest,
         registry=registry,
         auditor=auditor,
     )
+    if request.run_cycles is not None:
+        # bounded horizon: an audit would flag the deliberately
+        # unfinished tasks, so the audited path requires a full run
+        run.bed.start()
+        run.sim.run(until=request.run_cycles)
+    else:
+        run.bed.run()
+    result = collect_sched_result(run)
     return RunOutcome(request=request, result=result, stats=registry.dump(),
                       audit=auditor.summary() if auditor is not None else None)
 

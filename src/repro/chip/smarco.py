@@ -37,7 +37,7 @@ from __future__ import annotations
 
 import functools
 from dataclasses import dataclass, field
-from typing import Dict, Generator, List, Optional
+from typing import Dict, List, Optional
 
 from ..analysis.breakdown import LatencyBreakdown
 from ..config import SmarCoConfig, smarco_scaled
@@ -55,6 +55,7 @@ from ..noc.packet import NodeId, Packet, PacketKind
 from ..sim.component import Component
 from ..sim.engine import Simulator
 from ..sim.rng import RngTree
+from ..sim.snapshot import snapshotable
 from ..workloads.base import WorkloadProfile
 from .results import DictResult
 
@@ -106,6 +107,165 @@ class SubRing(Component):
     def __init__(self, ring_id: int, parent: Component) -> None:
         super().__init__(f"subring{ring_id}", parent=parent)
         self.ring_id = ring_id
+
+
+@snapshotable
+class _BatchFlight:
+    """Explicit-state form of the packed-batch memory round trip.
+
+    Each phase is one resume of the old ``_batch_proc`` generator;
+    everything derivable from ``(ring, batch)`` is recomputed per step so
+    the flight state stays three fields.
+    """
+
+    __slots__ = ("chip", "ring", "batch", "phase")
+
+    def __init__(self, chip: "SmarCoChip", ring: int, batch: Batch) -> None:
+        self.chip = chip
+        self.ring = ring
+        self.batch = batch
+        self.phase = "command"
+
+    def _step(self, _payload=None) -> None:
+        chip = self.chip
+        sim = chip.sim
+        batch = self.batch
+        covered = max(1, batch.wanted_bytes)
+        mc = chip.memory.controller_for(batch.base_addr)
+        mc_node = NodeId("mc", index=mc.controller_id)
+        bridge = NodeId("bridge", ring=self.ring)
+        if self.phase == "command":
+            # command (reads) or command+data (writes) to the controller
+            out_size = _BATCH_HEADER_BYTES + (covered if batch.is_write else 0)
+            out_pkt = Packet(src=bridge, dst=mc_node, size_bytes=out_size,
+                             kind=PacketKind.MEM_WRITE if batch.is_write
+                             else PacketKind.MEM_READ,
+                             traces=chip._pkt_traces(*batch.requests))
+            self.phase = "dram"
+            chip.noc.send(out_pkt).wait(self._step)
+            return
+        if self.phase == "dram":
+            # DRAM access for the packed transaction; the members' hop
+            # chains ride the proxy request through the controller
+            dram_req = MemRequest(addr=batch.base_addr, size=covered,
+                                  is_write=batch.is_write)
+            finish = mc.submit(dram_req, carried=batch.requests)
+            self.phase = "reply"
+            sim.schedule(max(0.0, finish - sim.now), self._step, None)
+            return
+        if self.phase == "reply":
+            if batch.is_write:
+                for req in batch.requests:
+                    req.complete(sim.now)
+                return
+            # data back to the bridge, then per-request sub-ring delivery
+            reply = Packet(src=mc_node, dst=bridge,
+                           size_bytes=_BATCH_HEADER_BYTES + covered,
+                           kind=PacketKind.MEM_REPLY,
+                           traces=chip._pkt_traces(*batch.requests))
+            self.phase = "fanout"
+            chip.noc.send(reply).wait(self._step)
+            return
+        for req in batch.requests:
+            final = Packet(
+                src=bridge, dst=chip.core_node(req.core_id),
+                size_bytes=max(1, req.size), kind=PacketKind.MEM_REPLY,
+                on_delivered=functools.partial(chip._deliver_reply, req),
+                traces=chip._pkt_traces(req),
+            )
+            chip.noc_out.send(final)
+
+
+@snapshotable
+class _DirectReadFlight:
+    """Explicit-state form of the real-time direct-datapath read."""
+
+    __slots__ = ("chip", "ring", "core_id", "request", "phase")
+
+    def __init__(self, chip: "SmarCoChip", ring: int, core_id: int,
+                 request: MemRequest) -> None:
+        self.chip = chip
+        self.ring = ring
+        self.core_id = core_id
+        self.request = request
+        self.phase = "command"
+
+    def _step(self, _payload=None) -> None:
+        chip = self.chip
+        sim = chip.sim
+        request = self.request
+        if self.phase == "command":
+            out = Packet(src=chip.core_node(self.core_id),
+                         dst=NodeId("mc", index=0), size_bytes=8,
+                         kind=PacketKind.MEM_READ, realtime=True,
+                         traces=chip._pkt_traces(request))
+            self.phase = "dram"
+            chip.direct.send(out, self.ring).wait(self._step)
+            return
+        if self.phase == "dram":
+            mc = chip.memory.controller_for(request.addr)
+            dram_req = MemRequest(addr=request.addr, size=request.size,
+                                  is_write=False)
+            finish = mc.submit(dram_req, carried=(request,))
+            self.phase = "reply"
+            sim.schedule(max(0.0, finish - sim.now), self._step, None)
+            return
+        if self.phase == "reply":
+            mc = chip.memory.controller_for(request.addr)
+            back = Packet(src=NodeId("mc", index=mc.controller_id),
+                          dst=chip.core_node(self.core_id),
+                          size_bytes=max(1, request.size),
+                          kind=PacketKind.MEM_REPLY, realtime=True,
+                          traces=chip._pkt_traces(request))
+            self.phase = "done"
+            chip.direct.send(back, self.ring).wait(self._step)
+            return
+        request.complete(sim.now)
+
+
+@snapshotable
+class _RemoteSpmFlight:
+    """Explicit-state form of the core-to-core remote-SPM access."""
+
+    __slots__ = ("chip", "core_id", "owner", "request", "phase")
+
+    def __init__(self, chip: "SmarCoChip", core_id: int, owner: Scratchpad,
+                 request: MemRequest) -> None:
+        self.chip = chip
+        self.core_id = core_id
+        self.owner = owner
+        self.request = request
+        self.phase = "there"
+
+    def _step(self, _payload=None) -> None:
+        chip = self.chip
+        sim = chip.sim
+        request = self.request
+        if self.phase == "there":
+            there = Packet(src=chip.core_node(self.core_id),
+                           dst=chip.core_node(self.owner.core_id),
+                           size_bytes=max(1, request.size),
+                           kind=PacketKind.SPM_TRANSFER,
+                           traces=chip._pkt_traces(request))
+            self.phase = "serve"
+            chip.noc.send(there).wait(self._step)
+            return
+        if self.phase == "serve":
+            latency = self.owner.serve_remote(
+                request, sim.now, chip.config.tcg.spm_hit_latency)
+            self.phase = "back"
+            sim.schedule(latency, self._step, None)
+            return
+        if self.phase == "back" and not request.is_write:
+            back = Packet(src=chip.core_node(self.owner.core_id),
+                          dst=chip.core_node(self.core_id),
+                          size_bytes=max(1, request.size),
+                          kind=PacketKind.SPM_TRANSFER,
+                          traces=chip._pkt_traces(request))
+            self.phase = "done"
+            chip.noc.send(back).wait(self._step)
+            return
+        request.complete(sim.now)
 
 
 class SmarCoChip(Component):
@@ -204,6 +364,7 @@ class SmarCoChip(Component):
             else:
                 self.prefetchers.append(None)
         self._loaded = False
+        self._started = False
         self._shared_code = False
         self._code_payload = b""
         self._audit = None              # set by attach_audit
@@ -268,8 +429,8 @@ class SmarCoChip(Component):
         ring = self.ring_of(core_id)
         spm_owner = self.spm_map.owner_of(request.addr)
         if spm_owner is not None:
-            self.sim.spawn(self._remote_spm(core_id, spm_owner, request),
-                           f"rspm{request.req_id}")
+            flight = _RemoteSpmFlight(self, core_id, spm_owner, request)
+            self.sim.schedule(0, flight._step, None)
             return
         prefetcher = self.prefetchers[core_id]
         if prefetcher is not None and not request.is_write:
@@ -282,8 +443,8 @@ class SmarCoChip(Component):
             prefetcher.observe(request.addr, request.size, self.sim.now)
         if (self.direct is not None and not request.is_write
                 and request.priority is Priority.REALTIME):
-            self.sim.spawn(self._direct_read(ring, core_id, request),
-                           f"direct{request.req_id}")
+            flight = _DirectReadFlight(self, ring, core_id, request)
+            self.sim.schedule(0, flight._step, None)
             return
         # normal path: ride the sub-ring to the MACT at the bridge
         packet = Packet(
@@ -307,89 +468,8 @@ class SmarCoChip(Component):
         request.complete(self.sim.now)
 
     def _dispatch_batch(self, ring: int, batch: Batch) -> None:
-        self.sim.spawn(self._batch_proc(ring, batch), f"batch@{ring}")
-
-    def _batch_proc(self, ring: int, batch: Batch) -> Generator:
-        covered = max(1, batch.wanted_bytes)
-        mc = self.memory.controller_for(batch.base_addr)
-        mc_node = NodeId("mc", index=mc.controller_id)
-        bridge = NodeId("bridge", ring=ring)
-
-        member_traces = self._pkt_traces(*batch.requests)
-
-        # command (reads) or command+data (writes) to the controller
-        out_size = _BATCH_HEADER_BYTES + (covered if batch.is_write else 0)
-        out_pkt = Packet(src=bridge, dst=mc_node, size_bytes=out_size,
-                         kind=PacketKind.MEM_WRITE if batch.is_write
-                         else PacketKind.MEM_READ,
-                         traces=member_traces)
-        yield self.noc.send(out_pkt)
-
-        # DRAM access for the packed transaction; the members' hop chains
-        # ride the proxy request through the controller
-        dram_req = MemRequest(addr=batch.base_addr, size=covered,
-                              is_write=batch.is_write)
-        finish = mc.submit(dram_req, carried=batch.requests)
-        yield max(0.0, finish - self.sim.now)
-
-        if batch.is_write:
-            for req in batch.requests:
-                req.complete(self.sim.now)
-            return
-
-        # data back to the bridge, then per-request delivery on the sub-ring
-        reply = Packet(src=mc_node, dst=bridge,
-                       size_bytes=_BATCH_HEADER_BYTES + covered,
-                       kind=PacketKind.MEM_REPLY,
-                       traces=member_traces)
-        yield self.noc.send(reply)
-        for req in batch.requests:
-            final = Packet(
-                src=bridge, dst=self.core_node(req.core_id),
-                size_bytes=max(1, req.size), kind=PacketKind.MEM_REPLY,
-                on_delivered=functools.partial(self._deliver_reply, req),
-                traces=self._pkt_traces(req),
-            )
-            self.noc_out.send(final)
-
-    def _direct_read(self, ring: int, core_id: int,
-                     request: MemRequest) -> Generator:
-        out = Packet(src=self.core_node(core_id),
-                     dst=NodeId("mc", index=0), size_bytes=8,
-                     kind=PacketKind.MEM_READ, realtime=True,
-                     traces=self._pkt_traces(request))
-        yield self.direct.send(out, ring)
-        mc = self.memory.controller_for(request.addr)
-        dram_req = MemRequest(addr=request.addr, size=request.size,
-                              is_write=False)
-        finish = mc.submit(dram_req, carried=(request,))
-        yield max(0.0, finish - self.sim.now)
-        back = Packet(src=NodeId("mc", index=mc.controller_id),
-                      dst=self.core_node(core_id),
-                      size_bytes=max(1, request.size),
-                      kind=PacketKind.MEM_REPLY, realtime=True,
-                      traces=self._pkt_traces(request))
-        yield self.direct.send(back, ring)
-        request.complete(self.sim.now)
-
-    def _remote_spm(self, core_id: int, owner: Scratchpad,
-                    request: MemRequest) -> Generator:
-        there = Packet(src=self.core_node(core_id),
-                       dst=self.core_node(owner.core_id),
-                       size_bytes=max(1, request.size),
-                       kind=PacketKind.SPM_TRANSFER,
-                       traces=self._pkt_traces(request))
-        yield self.noc.send(there)
-        yield owner.serve_remote(request, self.sim.now,
-                                 self.config.tcg.spm_hit_latency)
-        if not request.is_write:
-            back = Packet(src=self.core_node(owner.core_id),
-                          dst=self.core_node(core_id),
-                          size_bytes=max(1, request.size),
-                          kind=PacketKind.SPM_TRANSFER,
-                          traces=self._pkt_traces(request))
-            yield self.noc.send(back)
-        request.complete(self.sim.now)
+        flight = _BatchFlight(self, ring, batch)
+        self.sim.schedule(0, flight._step, None)
 
     # -- workload loading & running ------------------------------------------------------
 
@@ -464,10 +544,13 @@ class SmarCoChip(Component):
         for core in cores:
             core.start()
 
-    def run(self, max_cycles: Optional[float] = None) -> SmarcoRunResult:
-        """Start every core and simulate to completion (or the horizon)."""
+    def start(self) -> None:
+        """Kick off every loaded core (idempotent across resumes)."""
         if not self._loaded:
             raise ConfigError("load a workload first")
+        if self._started:
+            return
+        self._started = True
         active = [core for core in self.cores if core.threads]
         if self._shared_code and self._code_payload:
             # §3.1.2: ONE segment per sub-ring is DMA-staged into SPM and
@@ -485,11 +568,24 @@ class SmarCoChip(Component):
         else:
             for core in active:
                 core.start()
+
+    def run_to(self, cycles: float) -> None:
+        """Simulate to an absolute cycle horizon (a clean snapshot point)."""
+        self.start()
+        self.sim.run(until=cycles)
+
+    def run(self, max_cycles: Optional[float] = None) -> SmarcoRunResult:
+        """Start every core and simulate to completion (or the horizon)."""
+        self.start()
         self.sim.run(until=max_cycles)
         for mact in self.macts:
             mact.flush_all()
         self.sim.run(until=max_cycles)
+        return self.collect_result()
 
+    def collect_result(self) -> SmarcoRunResult:
+        """Gather the run metrics at the current simulation time."""
+        active = [core for core in self.cores if core.threads]
         instructions = sum(core.instructions for core in active)
         requests_in = sum(m.requests_in.value for m in self.macts)
         batches = sum(m.batches_out.value for m in self.macts)
@@ -506,3 +602,23 @@ class SmarCoChip(Component):
             mact_request_reduction=(requests_in / batches) if batches
             else float("nan"),
         )
+
+    # -- snapshot protocol ---------------------------------------------------------
+
+    def extra_state(self) -> dict:
+        return {
+            "loaded": self._loaded,
+            "started": self._started,
+            "shared_code": self._shared_code,
+            "code_payload": self._code_payload,
+            "sampler": self._trace_sampler,
+            "breakdown": self.breakdown.state_dict(),
+        }
+
+    def load_extra_state(self, state: dict) -> None:
+        self._loaded = state["loaded"]
+        self._started = state["started"]
+        self._shared_code = state["shared_code"]
+        self._code_payload = state["code_payload"]
+        self._trace_sampler = state["sampler"]
+        self.breakdown.load_state(state["breakdown"])

@@ -74,20 +74,24 @@ class XeonSystem(Component):
                 self.sim, cid, hierarchy, self.config,
                 quantum_instrs=quantum_instrs, parent=self,
             ))
+        self._threads: List[SoftwareThread] = []
+        self._effective_ghz = self.config.frequency_ghz
         self.elaborate()
 
     # -- running ------------------------------------------------------------------
 
-    def run_profile(
+    def load_profile(
         self,
         profile: WorkloadProfile,
         n_threads: int,
         instrs_per_thread: int,
         stagger_creation: bool = True,
-    ) -> XeonRunResult:
-        """Run ``n_threads`` software threads of a workload to completion."""
+    ) -> None:
+        """Create and schedule ``n_threads`` software threads (no sim yet)."""
         if n_threads <= 0:
             raise ConfigError("need at least one thread")
+        if self._threads:
+            raise ConfigError("system already loaded")
         threads = []
         for j in range(n_threads):
             rng = self.rng.stream(f"xeon.t{j}")
@@ -102,14 +106,16 @@ class XeonSystem(Component):
                 data_sampler=profile.xeon_data_sampler(j, rng),
                 code_sampler=profile.xeon_code_sampler(rng, thread_id=j),
             ))
+        self._threads = threads
 
         # Turbo: with few active cores the Xeon clocks toward 3.4 GHz;
         # fully loaded it runs at the 2.2 GHz base (Table 2's range).
         cfg = self.config
         load = min(1.0, n_threads / cfg.cores)
-        effective_ghz = cfg.turbo_ghz - (cfg.turbo_ghz - cfg.frequency_ghz) * load
+        self._effective_ghz = (cfg.turbo_ghz
+                               - (cfg.turbo_ghz - cfg.frequency_ghz) * load)
 
-        create_cost = self.config.thread_create_cycles if stagger_creation else 0
+        create_cost = cfg.thread_create_cycles if stagger_creation else 0
         last_enqueue = 0.0
         for j, thread in enumerate(threads):
             core = self.cores[j % len(self.cores)]
@@ -119,21 +125,56 @@ class XeonSystem(Component):
         for core in self.cores:
             core.start()
             self.sim.schedule_at(last_enqueue, core.close)
-        self.sim.run()
 
+    def run_to(self, cycles: float) -> None:
+        """Simulate to an absolute cycle horizon (a clean snapshot point)."""
+        if not self._threads:
+            raise ConfigError("load a profile first")
+        self.sim.run(until=cycles)
+
+    def run_profile(
+        self,
+        profile: WorkloadProfile,
+        n_threads: int,
+        instrs_per_thread: int,
+        stagger_creation: bool = True,
+    ) -> XeonRunResult:
+        """Run ``n_threads`` software threads of a workload to completion."""
+        self.load_profile(profile, n_threads, instrs_per_thread,
+                          stagger_creation)
+        self.sim.run()
+        return self.collect_result()
+
+    def collect_result(self) -> XeonRunResult:
+        """Gather the run metrics at the current simulation time."""
+        threads = self._threads
         cycles = max((t.finish_time or 0.0) for t in threads)
         instructions = sum(t.executed for t in threads)
         return XeonRunResult(
             cycles=cycles,
             instructions=instructions,
-            threads=n_threads,
-            frequency_ghz=effective_ghz,
+            threads=len(threads),
+            frequency_ghz=self._effective_ghz,
             idle_ratio=self._aggregate_idle(),
             starvation_ratio=self._aggregate_starvation(),
             busy_fraction=self._busy_fraction(cycles),
             miss_ratios=self.miss_ratios(),
             effective_latency=self.effective_latencies(),
         )
+
+    # -- snapshot protocol ----------------------------------------------------------
+
+    def extra_state(self) -> dict:
+        return {
+            "threads": self._threads,
+            "effective_ghz": self._effective_ghz,
+            "llc": self.llc.state_dict(),
+        }
+
+    def load_extra_state(self, state: dict) -> None:
+        self._threads = list(state["threads"])
+        self._effective_ghz = state["effective_ghz"]
+        self.llc.load_state(state["llc"])
 
     # -- metrics ----------------------------------------------------------------------
 

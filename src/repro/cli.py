@@ -9,6 +9,11 @@ Installed as ``repro-smarco`` (see pyproject) or runnable via
     repro-smarco compare wordcount
     repro-smarco sweep kmp wordcount --seeds 0 1 2 --workers 2
     repro-smarco sweep kmp --kind sched --sched-policies laxity fifo
+    repro-smarco sweep kmp --warm-start --warm-cycles 2000 \
+        --run-cycles 4000 8000 16000
+    repro-smarco checkpoint save chip.ckpt.gz --cycles 5000
+    repro-smarco checkpoint info chip.ckpt.gz
+    repro-smarco checkpoint restore chip.ckpt.gz
     repro-smarco policies list
     repro-smarco report
     repro-smarco area-power
@@ -146,6 +151,60 @@ def build_parser() -> argparse.ArgumentParser:
                          help="always re-simulate, never read/write cache")
     sweep_p.add_argument("--detail", action="store_true",
                          help="print the full result of every point")
+    sweep_p.add_argument("--run-cycles", type=float, nargs="+", default=None,
+                         metavar="CYCLES",
+                         help="add a measurement-horizon axis: simulate "
+                              "each point to at most CYCLES cycles")
+    sweep_p.add_argument("--warm-start", action="store_true",
+                         help="share one post-warmup checkpoint across the "
+                              "--run-cycles horizons of each point "
+                              "(requires --warm-cycles and --run-cycles)")
+    sweep_p.add_argument("--warm-cycles", type=float, default=0.0,
+                         metavar="CYCLES",
+                         help="cycle at which --warm-start snapshots the "
+                              "shared warm-up prefix")
+
+    ckpt_p = sub.add_parser(
+        "checkpoint",
+        help="save, inspect and resume versioned simulation checkpoints")
+    ckpt_sub = ckpt_p.add_subparsers(dest="checkpoint_command", required=True)
+    ckpt_save = ckpt_sub.add_parser(
+        "save", help="build a run, simulate to a cycle, freeze it to disk")
+    ckpt_save.add_argument("path",
+                           help="output file (gzipped when it ends in .gz)")
+    ckpt_save.add_argument("--cycles", type=float, required=True,
+                           help="absolute cycle at which to snapshot")
+    ckpt_save.add_argument("--kind", default="smarco",
+                           choices=("smarco", "xeon", "sched"))
+    ckpt_save.add_argument("--workload", default="kmp")
+    ckpt_save.add_argument("--seed", type=int, default=0)
+    ckpt_save.add_argument("--sub-rings", type=int, default=2)
+    ckpt_save.add_argument("--cores", type=int, default=8,
+                           help="cores per sub-ring (kind smarco)")
+    ckpt_save.add_argument("--threads-per-core", type=int, default=8)
+    ckpt_save.add_argument("--instrs", type=int, default=200,
+                           help="instructions per thread (kind smarco)")
+    ckpt_save.add_argument("--xeon-threads", type=int, default=16)
+    ckpt_save.add_argument("--xeon-instrs", type=int, default=10_000)
+    ckpt_save.add_argument("--sched-policy", default="laxity")
+    ckpt_save.add_argument("--scenario", default="uniform")
+    ckpt_save.add_argument("--tasks", type=int, default=128,
+                           help="tasks (kind sched)")
+    ckpt_save.add_argument("--contexts", type=int, default=64,
+                           help="thread contexts (kind sched)")
+    ckpt_info = ckpt_sub.add_parser(
+        "info", help="print a checkpoint's header without rebuilding it")
+    ckpt_info.add_argument("path")
+    ckpt_restore = ckpt_sub.add_parser(
+        "restore", help="rebuild a checkpointed run and finish it")
+    ckpt_restore.add_argument("path")
+    ckpt_restore.add_argument("--run-cycles", type=float, default=None,
+                              help="finish at this horizon instead of "
+                                   "running to completion")
+    ckpt_restore.add_argument("--allow-code-skew", action="store_true",
+                              help="restore even if the simulator source "
+                                   "changed since the save (results may "
+                                   "not be reproducible)")
 
     soak_p = sub.add_parser(
         "soak",
@@ -336,6 +395,11 @@ def _cmd_compare(args: argparse.Namespace) -> int:
 def _cmd_sweep(args: argparse.Namespace) -> int:
     from .exp import Runner, summarize_runs
 
+    if args.warm_start and not (args.warm_cycles > 0 and args.run_cycles):
+        print("error: --warm-start needs --warm-cycles > 0 and a "
+              "--run-cycles axis (the warm-up prefix is shared across "
+              "measurement horizons)", file=sys.stderr)
+        return 1
     base = RunRequest(
         kind=args.kind,
         smarco_config=(smarco_scaled(args.sub_rings, args.cores)
@@ -346,6 +410,8 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         xeon_instrs_per_thread=args.xeon_instrs,
         sched_tasks=args.tasks,
         sched_contexts=args.contexts,
+        warm_cycles=args.warm_cycles if args.warm_start else 0.0,
+        warm_axes=("run_cycles",) if args.warm_start else (),
     )
     axes = {"workload": args.workloads, "seed": args.seeds}
     if args.policies:
@@ -355,11 +421,13 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
 
         axes["sched_policy"] = args.sched_policies or list_policies()
         axes["sched_scenario"] = args.scenarios or list_scenarios()
+    if args.run_cycles:
+        axes["run_cycles"] = args.run_cycles
     spec = ExperimentSpec.grid(args.name, base, **axes)
 
     runner = Runner(workers=args.workers, base_dir=args.out,
                     use_cache=not args.no_cache)
-    sweep = runner.run(spec)
+    sweep = runner.run(spec, warm_start=args.warm_start)
 
     print(summarize_runs(sweep.records))
     if args.kind == "sched":
@@ -372,8 +440,76 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             print()
             print(render_result(outcome.result, title=point.label))
     print(f"\n{sweep.n_points} points | {sweep.hits} cache hits | "
+          f"{sweep.warm_hits} warm starts | "
           f"{sweep.workers} workers | {sweep.wall_time_s:.2f}s | "
           f"telemetry in {runner.runs_dir}")
+    return 0
+
+
+def _cmd_checkpoint(args: argparse.Namespace) -> int:
+    from .chip.session import RunSession
+    from .errors import CheckpointError
+    from .sim.checkpoint import load_checkpoint
+
+    if args.checkpoint_command == "save":
+        request = RunRequest(
+            kind=args.kind, workload=args.workload, seed=args.seed,
+            smarco_config=(smarco_scaled(args.sub_rings, args.cores)
+                           if args.kind == "smarco" else None),
+            threads_per_core=args.threads_per_core,
+            instrs_per_thread=args.instrs,
+            xeon_threads=args.xeon_threads,
+            xeon_instrs_per_thread=args.xeon_instrs,
+            sched_policy=args.sched_policy,
+            sched_scenario=args.scenario,
+            sched_tasks=args.tasks,
+            sched_contexts=args.contexts,
+        )
+        session = RunSession(request)
+        session.run_to(args.cycles)
+        path = session.save(args.path)
+        print(f"checkpoint written to {path} "
+              f"(kind {request.kind}, cycle {session.now:,.0f})")
+        return 0
+
+    if args.checkpoint_command == "info":
+        try:
+            ckpt = load_checkpoint(Path(args.path))
+        except CheckpointError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+        head = ckpt.summary()
+        print(render_table(["field", "value"], [
+            ["format", head["format"]],
+            ["code digest", head["code_digest"]],
+            ["schema hash", head["schema"]],
+            ["kind", head["kind"]],
+            ["cycle", f"{head['cycle']:,.0f}"],
+            ["workload", head["workload"]],
+            ["seed", head["seed"]],
+            ["floating objects", head["objects"]],
+        ], title=f"Checkpoint: {args.path}"))
+        return 0
+
+    # restore
+    from .exp.request import request_from_snapshot
+
+    try:
+        ckpt = load_checkpoint(Path(args.path))
+        request = request_from_snapshot(ckpt.request)
+        if args.run_cycles is not None:
+            request = request.replace(run_cycles=args.run_cycles)
+        session = RunSession.restore(ckpt, request=request,
+                                     allow_code_skew=args.allow_code_skew)
+    except CheckpointError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    resumed_at = session.now
+    outcome = session.finish()
+    print(f"resumed at cycle {resumed_at:,.0f}, "
+          f"finished at cycle {session.now:,.0f}\n")
+    print(render_result(outcome.result,
+                        title=f"Resumed {session.kind} run"))
     return 0
 
 
@@ -485,6 +621,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_compare(args)
     if args.command == "sweep":
         return _cmd_sweep(args)
+    if args.command == "checkpoint":
+        return _cmd_checkpoint(args)
     if args.command == "soak":
         return _cmd_soak(args)
     if args.command == "perf":

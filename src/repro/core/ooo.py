@@ -20,13 +20,14 @@ Idle ratio (Fig 1a) falls out as ``1 - busy/total``.
 from __future__ import annotations
 
 from collections import deque
-from typing import Callable, Deque, Dict, Generator, List, Optional, Tuple
+from typing import Callable, Deque, Dict, List, Optional, Tuple
 
 from ..config import XeonConfig
 from ..errors import ConfigError
 from ..mem.hierarchy import CacheHierarchy
 from ..sim.component import Component
 from ..sim.engine import EventSignal, Simulator
+from ..sim.snapshot import register_snapshot_class, snapshotable
 from ..sim.stats import StatsRegistry
 
 __all__ = ["AccessSample", "SoftwareThread", "OooCoreModel"]
@@ -82,6 +83,67 @@ class SoftwareThread:
         return self.instr_budget - self.executed
 
 
+@snapshotable
+class _ContextEngine:
+    """Explicit-state form of one SMT context's scheduling loop.
+
+    Each phase boundary is one resume of the old ``_context_proc``
+    generator, issuing identical schedule/wait calls in identical order.
+    """
+
+    __slots__ = ("core", "ctx_id", "last_thread", "thread", "quantum",
+                 "phase")
+
+    def __init__(self, core: "OooCoreModel", ctx_id: int) -> None:
+        self.core = core
+        self.ctx_id = ctx_id
+        self.last_thread: Optional[SoftwareThread] = None
+        self.thread: Optional[SoftwareThread] = None
+        self.quantum = 0
+        self.phase = "pick"
+
+    def _step(self, _payload=None) -> None:
+        core = self.core
+        sim = core.sim
+        while True:
+            if self.phase == "pick":
+                if not core.run_queue:
+                    if not core._accepting:
+                        return                     # context drains and exits
+                    core._queue_wake.wait(self._step)
+                    return
+                thread = core.run_queue.popleft()
+                self.thread = thread
+                core.active_contexts += 1
+                self.phase = "run"
+                if self.last_thread is not thread and self.last_thread is not None:
+                    switch = core.config.context_switch_cycles
+                    core.switch_cycles.add(switch)
+                    self.last_thread = thread
+                    sim.schedule(switch, self._step, None)
+                    return
+                self.last_thread = thread
+                continue
+            if self.phase == "run":
+                thread = self.thread
+                self.quantum = min(core.quantum_instrs, thread.remaining)
+                cycles = core._quantum_cycles(thread, self.quantum)
+                self.phase = "retire"
+                sim.schedule(cycles, self._step, None)
+                return
+            # retire
+            thread = self.thread
+            thread.executed += self.quantum
+            core.instructions.inc(self.quantum)
+            core.active_contexts -= 1
+            if thread.done:
+                thread.finish_time = sim.now
+            else:
+                core.run_queue.append(thread)      # round-robin timeslice
+            self.thread = None
+            self.phase = "pick"
+
+
 class OooCoreModel(Component):
     """One OoO/SMT core: contexts pull software threads off a run queue."""
 
@@ -107,6 +169,7 @@ class OooCoreModel(Component):
         self.active_contexts = 0
         self._started = False
         self._accepting = True
+        self._contexts: List[_ContextEngine] = []
 
         self.instructions = self.stats.counter("instructions")
         self.busy_cycles = self.stats.accumulator("busy")
@@ -130,35 +193,29 @@ class OooCoreModel(Component):
             return
         self._started = True
         for ctx in range(self.config.smt_per_core):
-            self.sim.spawn(self._context_proc(ctx),
-                           f"xcore{self.core_id}.ctx{ctx}")
+            engine = _ContextEngine(self, ctx)
+            self._contexts.append(engine)
+            self.sim.schedule(0, engine._step, None)
+
+    # -- snapshot protocol ----------------------------------------------------
+
+    def extra_state(self) -> dict:
+        return {
+            "queue": list(self.run_queue),
+            "active_contexts": self.active_contexts,
+            "started": self._started,
+            "accepting": self._accepting,
+            "contexts": self._contexts,
+        }
+
+    def load_extra_state(self, state: dict) -> None:
+        self.run_queue = deque(state["queue"])
+        self.active_contexts = state["active_contexts"]
+        self._started = state["started"]
+        self._accepting = state["accepting"]
+        self._contexts = list(state["contexts"])
 
     # -- execution ---------------------------------------------------------------
-
-    def _context_proc(self, ctx_id: int) -> Generator:
-        last_thread: Optional[SoftwareThread] = None
-        while True:
-            while not self.run_queue:
-                if not self._accepting:
-                    return
-                yield self._queue_wake
-            thread = self.run_queue.popleft()
-            self.active_contexts += 1
-            if last_thread is not thread and last_thread is not None:
-                switch = self.config.context_switch_cycles
-                self.switch_cycles.add(switch)
-                yield switch
-            last_thread = thread
-            quantum = min(self.quantum_instrs, thread.remaining)
-            cycles = self._quantum_cycles(thread, quantum)
-            yield cycles
-            thread.executed += quantum
-            self.instructions.inc(quantum)
-            self.active_contexts -= 1
-            if thread.done:
-                thread.finish_time = self.sim.now
-            else:
-                self.run_queue.append(thread)      # round-robin timeslice
 
     def _quantum_cycles(self, thread: SoftwareThread, k: int) -> float:
         cfg = self.config
@@ -225,3 +282,6 @@ class OooCoreModel(Component):
         b = self.cycle_breakdown()
         denom = b["busy"] + b["frontend_stall"]
         return b["frontend_stall"] / denom if denom else 0.0
+
+
+register_snapshot_class(SoftwareThread)

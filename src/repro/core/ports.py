@@ -15,12 +15,33 @@ Three implementations cover every experiment:
 
 from __future__ import annotations
 
-from typing import Callable, Optional, Protocol
+from typing import Callable, Optional, Protocol  # noqa: F401
 
 from ..mem.request import MemRequest
 from ..sim.engine import EventSignal, Simulator
+from ..sim.snapshot import snapshotable
 
 __all__ = ["MemoryPort", "FixedLatencyPort", "FunctionPort"]
+
+
+@snapshotable
+class _CompletionChain:
+    """Completion hook linking a request's prior hook to a port signal.
+
+    A named object instead of a closure so in-flight requests can travel
+    through checkpoints.
+    """
+
+    __slots__ = ("prev", "signal")
+
+    def __init__(self, prev: Optional[Callable], signal: EventSignal) -> None:
+        self.prev = prev
+        self.signal = signal
+
+    def fire(self, req: MemRequest, now: float) -> None:
+        if self.prev is not None:
+            self.prev(req, now)
+        self.signal.fire(req)
 
 
 class MemoryPort(Protocol):
@@ -44,7 +65,9 @@ class FixedLatencyPort:
         self.issued += 1
         request.issue_time = self.sim.now
         lat = self._latency(request) if callable(self._latency) else self._latency
-        signal = self.sim.signal(f"mem.req{request.req_id}")
+        # unregistered: per-request signals are run state, not structure,
+        # so they travel through checkpoints by value
+        signal = EventSignal(self.sim, f"mem.req{request.req_id}")
 
         def complete() -> None:
             request.complete(self.sim.now)
@@ -70,14 +93,9 @@ class FunctionPort:
     def issue(self, request: MemRequest) -> EventSignal:
         self.issued += 1
         request.issue_time = self.sim.now
-        signal = self.sim.signal(f"mem.req{request.req_id}")
-        prev = request.on_complete
-
-        def chain(req: MemRequest, now: float) -> None:
-            if prev is not None:
-                prev(req, now)
-            signal.fire(req)
-
-        request.on_complete = chain
+        # unregistered, as in FixedLatencyPort: run state, not structure
+        signal = EventSignal(self.sim, f"mem.req{request.req_id}")
+        request.on_complete = _CompletionChain(request.on_complete,
+                                               signal).fire
         self._submit(request)
         return signal

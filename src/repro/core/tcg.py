@@ -27,6 +27,7 @@ line granularity.
 
 from __future__ import annotations
 
+import functools
 from collections import deque
 from typing import Deque, Dict, Generator, Iterator, List, Optional, Tuple
 
@@ -37,6 +38,7 @@ from ..mem.request import MemRequest, Priority
 from ..mem.spm import SpmAddressMap, SPM_REGION_BASE
 from ..sim.component import Component
 from ..sim.engine import EventSignal, Simulator
+from ..sim.snapshot import snapshotable
 from ..sim.stats import StatsRegistry
 from .ports import FunctionPort, MemoryPort
 from .stream import CoreInstr
@@ -50,6 +52,151 @@ __all__ = ["TCGCore", "UNCACHED_BASE"]
 UNCACHED_BASE = 0x8000_0000_0000
 
 _POLICIES = ("inpair", "blocking", "coarse")
+
+
+@snapshotable
+class _SlotEngine:
+    """Explicit-state form of the slot scheduling process.
+
+    One engine per slot replaces the old ``_slot_proc`` generator.  Each
+    ``_step`` call is one resume of that generator: it executes
+    synchronously through pick/dispatch/run until it must wait (a
+    thread-switch delay, an instruction bundle, an idle slot) and then
+    issues exactly one ``schedule``/``wait`` — the same calls, in the
+    same order, with the same sequence numbers the generator produced.
+    Being a plain object with field state, it survives a checkpoint.
+    """
+
+    __slots__ = ("core", "slot_id", "prev", "idle", "thread",
+                 "blocking", "posted", "phase")
+
+    def __init__(self, core: "TCGCore", slot_id: int) -> None:
+        self.core = core
+        self.slot_id = slot_id
+        self.prev: Optional[HardwareThread] = None
+        self.idle = False       # the slot just slept on its wake signal
+        self.thread: Optional[HardwareThread] = None
+        self.blocking: Optional[MemRequest] = None
+        self.posted: tuple = ()
+        self.phase = "pick"
+
+    def _wake_signal(self) -> EventSignal:
+        core = self.core
+        return (core._coarse_wake if core.policy == "coarse"
+                else core._slot_wake[self.slot_id])
+
+    def _step(self, _payload=None) -> None:
+        core = self.core
+        sim = core.sim
+        while True:
+            if self.phase == "pick":
+                thread, any_alive = core._pick(self.slot_id, self.prev)
+                if not any_alive:
+                    return                       # slot retires
+                if thread is None:
+                    self.idle = True
+                    self._wake_signal().wait(self._step)
+                    return
+                if core._audit is not None:
+                    # at pick time, before any yield: prev may legally
+                    # unblock during the switch-latency wait below
+                    core._audit.thread_picked(core, self.slot_id, thread,
+                                              self.prev, self.idle)
+                self.idle = False
+                self.thread = thread
+                self.phase = "dispatch"
+                if self.prev is not None and thread is not self.prev:
+                    thread.switches += 1
+                    core.switch_count.inc()
+                    core._emit("switch", thread)
+                    sim.schedule(core.config.thread_switch_latency,
+                                 self._step, None)
+                    return
+                continue
+            if self.phase == "dispatch":
+                thread = self.thread
+                if thread.ready_at is not None:
+                    core.resume_wait.add(sim.now - thread.ready_at)
+                    if thread.resume_trace is not None:
+                        # out-of-chain record: the request already
+                        # completed, this is how long its thread then
+                        # waited for the slot
+                        thread.resume_trace.stamp(
+                            "resume", core.path, thread.ready_at, sim.now)
+                    thread.ready_at = None
+                    thread.resume_trace = None
+                thread.state = ThreadState.RUNNING
+                self.prev = thread
+                self.phase = "run"
+                continue
+            if self.phase == "run":
+                # Non-interacting instructions (ALU, branches, cache/SPM
+                # hits) accumulate into one delay — exact under in-pair
+                # semantics, since a slot only switches threads at misses
+                # anyway.  The clock is synced before any request issues.
+                thread = self.thread
+                pending = 0.0
+                nxt = None
+                while True:
+                    instr = thread.next_instr()
+                    if instr is None:
+                        if pending:
+                            self.phase = "finish"
+                            sim.schedule(pending, self._step, None)
+                            return
+                        nxt = "finish"
+                        break
+                    core.retired.inc()
+                    cost, blocking, posted = core._execute(instr)
+                    pending += cost
+                    if posted or blocking is not None:
+                        if pending:
+                            self.blocking = blocking
+                            self.posted = posted
+                            self.phase = "issue"
+                            sim.schedule(pending, self._step, None)
+                            return
+                        nxt = self._issue(blocking, posted)
+                        if nxt is not None:
+                            break
+                if nxt is None:
+                    raise SimulationError("slot run loop fell through")
+                self.phase = nxt
+                continue
+            if self.phase == "issue":
+                blocking, posted = self.blocking, self.posted
+                self.blocking, self.posted = None, ()
+                nxt = self._issue(blocking, posted)
+                self.phase = nxt if nxt is not None else "run"
+                continue
+            if self.phase == "finish":
+                thread = self.thread
+                thread.finish(sim.now)
+                if thread.state is ThreadState.DONE:
+                    core._maybe_finish()
+                self.phase = "pick"
+                continue
+            raise SimulationError(f"slot engine in unknown phase {self.phase!r}")
+
+    def _issue(self, blocking: Optional[MemRequest],
+               posted: tuple) -> Optional[str]:
+        """Issue the flushed requests; returns the next phase when the
+        thread blocked, None to keep running it."""
+        core = self.core
+        for req in posted:
+            core.port.issue(req)
+        if blocking is None:
+            return None
+        thread = self.thread
+        thread.block()
+        thread.blocked_at = core.sim.now
+        core._emit("block", thread)
+        signal = core.port.issue(blocking)
+        # the chip may have attached a trace during issue
+        thread.resume_trace = blocking.trace
+        signal.wait(functools.partial(core._data_returned, thread,
+                                      self.slot_id))
+        return "pick"
 
 
 class TCGCore(Component):
@@ -120,7 +267,15 @@ class TCGCore(Component):
         self.resume_wait = self.stats.accumulator("resume_wait")
 
         self.threads: List[HardwareThread] = []
+        self._engines: List[_SlotEngine] = []
         self._slots: List[List[HardwareThread]] = []
+        # registered up front (never at start()) so the signal registry is
+        # purely structural: a fresh build and a mid-run snapshot of the
+        # same config expose identical signal sets to checkpoints
+        self._slot_wake_pool: List[EventSignal] = [
+            sim.signal(f"core{core_id}.slot{i}.wake")
+            for i in range(self.config.running_threads)
+        ]
         self._slot_wake: List[EventSignal] = []
         self._coarse_pool: Deque[HardwareThread] = deque()
         self._coarse_wake = sim.signal(f"core{core_id}.coarse_wake")
@@ -187,13 +342,10 @@ class TCGCore(Component):
             self._coarse_pool.extend(self.threads)
             self._slots = [[] for _ in range(min(n_slots, len(self.threads)))]
         self._slots = [s for s in self._slots if s or self.policy == "coarse"]
-        self._slot_wake = [
-            self.sim.signal(f"core{self.core_id}.slot{i}.wake")
-            for i in range(len(self._slots))
-        ]
+        self._slot_wake = self._slot_wake_pool[:len(self._slots)]
 
     def start(self) -> None:
-        """Spawn the slot processes.  Call once, then run the simulator."""
+        """Start the slot engines.  Call once, then run the simulator."""
         if self.started:
             raise SimulationError("core already started")
         if not self.threads:
@@ -202,8 +354,9 @@ class TCGCore(Component):
         self.start_time = self.sim.now
         self._build_slots()
         for slot_id in range(len(self._slots)):
-            self.sim.spawn(self._slot_proc(slot_id),
-                           f"core{self.core_id}.slot{slot_id}")
+            engine = _SlotEngine(self, slot_id)
+            self._engines.append(engine)
+            self.sim.schedule(0, engine._step, None)
 
     # -- scheduling ---------------------------------------------------------------
 
@@ -250,87 +403,13 @@ class TCGCore(Component):
         if self.trace is not None:
             self.trace.emit(self.sim.now, self.path, event, thread.name)
 
-    def _data_returned(self, thread: HardwareThread, slot_id: int) -> None:
+    def _data_returned(self, thread: HardwareThread, slot_id: int,
+                       _payload=None) -> None:
         thread.unblock()
         thread.ready_at = self.sim.now
         self.park_cycles.add(self.sim.now - thread.blocked_at)
         self._emit("wake", thread)
         self._wake_slot(slot_id)
-
-    def _slot_proc(self, slot_id: int) -> Generator:
-        wake = (self._coarse_wake if self.policy == "coarse"
-                else self._slot_wake[slot_id])
-        prev: Optional[HardwareThread] = None
-        idle = False        # the slot just slept on its wake signal
-        while True:
-            thread, any_alive = self._pick(slot_id, prev)
-            if not any_alive:
-                break
-            if thread is None:
-                idle = True
-                yield wake
-                continue
-            if self._audit is not None:
-                # at pick time, before any yield: prev may legally unblock
-                # during the switch-latency wait below
-                self._audit.thread_picked(self, slot_id, thread, prev, idle)
-            idle = False
-            if prev is not None and thread is not prev:
-                thread.switches += 1
-                self.switch_count.inc()
-                self._emit("switch", thread)
-                yield self.config.thread_switch_latency
-            if thread.ready_at is not None:
-                self.resume_wait.add(self.sim.now - thread.ready_at)
-                if thread.resume_trace is not None:
-                    # out-of-chain record: the request already completed,
-                    # this is how long its thread then waited for the slot
-                    thread.resume_trace.stamp(
-                        "resume", self.path, thread.ready_at, self.sim.now)
-                thread.ready_at = None
-                thread.resume_trace = None
-            thread.state = ThreadState.RUNNING
-            prev = thread
-            blocked = yield from self._run_thread(thread, slot_id)
-            if not blocked and thread.state is ThreadState.DONE:
-                self._maybe_finish()
-
-    def _run_thread(self, thread: HardwareThread, slot_id: int) -> Generator:
-        """Execute until the thread blocks (returns True) or ends (False).
-
-        Non-interacting instructions (ALU, branches, cache/SPM hits)
-        accumulate into one yield — exact under in-pair semantics, since a
-        slot only switches threads at misses anyway.  The clock is synced
-        before any request is issued so timestamps stay correct.
-        """
-        pending = 0.0
-        while True:
-            instr = thread.next_instr()
-            if instr is None:
-                if pending:
-                    yield pending
-                thread.finish(self.sim.now)
-                return False
-            self.retired.inc()
-            cost, blocking, posted = self._execute(instr)
-            pending += cost
-            if posted or blocking is not None:
-                if pending:
-                    yield pending
-                    pending = 0.0
-                for req in posted:
-                    self.port.issue(req)
-            if blocking is not None:
-                thread.block()
-                thread.blocked_at = self.sim.now
-                self._emit("block", thread)
-                signal = self.port.issue(blocking)
-                # the chip may have attached a trace during issue
-                thread.resume_trace = blocking.trace
-                signal.wait(
-                    lambda _p, th=thread, s=slot_id: self._data_returned(th, s)
-                )
-                return True
 
     def _maybe_finish(self) -> None:
         if all(t.state is ThreadState.DONE for t in self.threads):
@@ -430,6 +509,40 @@ class TCGCore(Component):
             posted.append(fill)                 # write-allocate, non-blocking
             return cost + cfg.dcache_hit_latency, None, tuple(posted)
         return cost + cfg.dcache_hit_latency, fill, tuple(posted)
+
+    # -- snapshot protocol -------------------------------------------------------------
+
+    def extra_state(self) -> dict:
+        return {
+            "threads": self.threads,
+            "engines": self._engines,
+            "slots": [list(slot) for slot in self._slots],
+            "coarse_pool": list(self._coarse_pool),
+            "shared_segments": list(self._shared_segments),
+            "last_fetch_line": self._last_fetch_line,
+            "started": self.started,
+            "start_time": self.start_time,
+            "finish_time": self.finish_time,
+            "dcache": self.dcache.state_dict(),
+            "icache": self.icache.state_dict(),
+        }
+
+    def load_extra_state(self, state: dict) -> None:
+        self.threads = list(state["threads"])
+        self._engines = list(state["engines"])
+        self._slots = [list(slot) for slot in state["slots"]]
+        self._coarse_pool = deque(state["coarse_pool"])
+        self._shared_segments = [tuple(seg)
+                                 for seg in state["shared_segments"]]
+        self._last_fetch_line = state["last_fetch_line"]
+        self.started = state["started"]
+        self.start_time = state["start_time"]
+        self.finish_time = state["finish_time"]
+        self.dcache.load_state(state["dcache"])
+        self.icache.load_state(state["icache"])
+        # slot wake signals are construction-time structure; re-derive the
+        # active prefix for the restored slot partition
+        self._slot_wake = self._slot_wake_pool[:len(self._slots)]
 
     # -- results ----------------------------------------------------------------------
 

@@ -10,6 +10,7 @@ from __future__ import annotations
 import enum
 from typing import Iterator, Optional
 
+from ..sim.snapshot import snapshotable
 from ..sim.stats import Counter
 from .stream import CoreInstr
 
@@ -22,6 +23,7 @@ class ThreadState(enum.Enum):
     DONE = "done"
 
 
+@snapshotable
 class HardwareThread:
     """One hardware thread bound to a TCG slot."""
 

@@ -64,3 +64,19 @@ class SchedulerError(ReproError):
 
 class WorkloadError(ReproError):
     """A workload generator was configured with impossible parameters."""
+
+
+class CheckpointError(ReproError):
+    """A simulation snapshot could not be captured or restored (live
+    state the codec cannot serialise, or a corrupt container)."""
+
+
+class CheckpointSchemaError(CheckpointError):
+    """The checkpoint's component-tree schema does not match the system
+    rebuilt from the request — the saved blob describes a different
+    structure and restoring it would silently corrupt state."""
+
+
+class CheckpointVersionError(CheckpointError):
+    """The checkpoint was written by a different format version or a
+    different code digest than the restoring process."""

@@ -26,6 +26,7 @@ __all__ = [
     "ExperimentSpec",
     "SweepPoint",
     "ResultCache",
+    "HIT_KINDS",
     "code_version",
     "request_key",
     "Runner",
@@ -41,6 +42,7 @@ __all__ = [
 
 _LAZY = {
     "ResultCache": "cache",
+    "HIT_KINDS": "cache",
     "code_version": "cache",
     "request_key": "cache",
     "Runner": "runner",

@@ -23,7 +23,13 @@ from typing import Any, Dict, Optional
 
 from .request import RunRequest
 
-__all__ = ["ResultCache", "canonical_json", "code_version", "request_key"]
+__all__ = ["ResultCache", "HIT_KINDS", "canonical_json", "code_version",
+           "request_key"]
+
+#: How a sweep point was satisfied: a full-run cache hit (result reused
+#: verbatim), a warm-start partial hit (post-warmup checkpoint restored,
+#: only the measurement suffix simulated), or a miss (full simulation).
+HIT_KINDS = ("hit", "warm", "miss")
 
 _PACKAGE_ROOT = Path(__file__).resolve().parents[1]
 _code_version_cache: Optional[str] = None
@@ -59,6 +65,21 @@ class ResultCache:
 
     def __init__(self, root: Path) -> None:
         self.root = Path(root)
+        #: per-kind satisfaction counters for this cache's lifetime; the
+        #: runner notes one kind per sweep point so telemetry can tell a
+        #: warm-start partial hit from a full-run hit
+        self.counters: Dict[str, int] = {kind: 0 for kind in HIT_KINDS}
+
+    def note(self, kind: str) -> None:
+        """Count how one sweep point was satisfied (see :data:`HIT_KINDS`)."""
+        if kind not in self.counters:
+            raise ValueError(f"unknown hit kind {kind!r}; "
+                             f"expected one of {HIT_KINDS}")
+        self.counters[kind] += 1
+
+    def hit_counts(self) -> Dict[str, int]:
+        """A copy of the per-kind counters (``hit`` / ``warm`` / ``miss``)."""
+        return dict(self.counters)
 
     def _path(self, key: str) -> Path:
         return self.root / key[:2] / f"{key}.json"

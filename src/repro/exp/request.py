@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import dataclasses
 from dataclasses import dataclass
-from typing import Any, Dict, Optional
+from typing import Any, Dict, Optional, Tuple
 
 from ..config import (
     MACTConfig,
@@ -72,6 +72,18 @@ class RunRequest:
     sched_tasks: int = 128
     sched_contexts: int = 64
 
+    # -- checkpoint / warm start (kinds with a RunSession) --
+    #: simulate at most this many cycles (None = run to completion); a
+    #: post-warm measurement-horizon axis for fig-style sweeps
+    run_cycles: Optional[float] = None
+    #: cycle at which a warm-started sweep snapshots the shared prefix
+    #: (0 disables warm starting for this request)
+    warm_cycles: float = 0.0
+    #: request fields asserted not to affect the first ``warm_cycles``
+    #: cycles; points differing only in these fields share one warm
+    #: checkpoint (see :meth:`warm_base`)
+    warm_axes: Tuple[str, ...] = ()
+
     def validate(self) -> None:
         if self.kind not in RUN_KINDS:
             raise ConfigError(f"unknown run kind {self.kind!r}")
@@ -95,10 +107,45 @@ class RunRequest:
             self.smarco_config.validate()
         if self.xeon_config is not None:
             self.xeon_config.validate()
+        if self.run_cycles is not None and self.run_cycles <= 0:
+            raise ConfigError("run_cycles must be positive (or None)")
+        if self.warm_cycles < 0:
+            raise ConfigError("warm_cycles must be >= 0")
+        if self.warm_cycles:
+            # session-capable kinds only (kept literal to avoid importing
+            # repro.chip from the request layer)
+            if self.kind not in ("smarco", "xeon", "sched"):
+                raise ConfigError(
+                    f"kind {self.kind!r} cannot warm-start: no run session")
+            if self.run_cycles is not None and self.run_cycles <= self.warm_cycles:
+                raise ConfigError(
+                    "run_cycles must exceed warm_cycles (the warm-up "
+                    "prefix must end before the measurement horizon)")
+        known = {f.name for f in dataclasses.fields(RunRequest)}
+        for axis in self.warm_axes:
+            if axis not in known:
+                raise ConfigError(f"unknown warm axis {axis!r}")
+            if axis in ("kind", "warm_cycles", "warm_axes"):
+                raise ConfigError(f"{axis!r} cannot be a warm axis")
 
     def replace(self, **changes: Any) -> "RunRequest":
         """A copy with ``changes`` applied (sweep axes use this)."""
         return dataclasses.replace(self, **changes)
+
+    def warm_base(self) -> "RunRequest":
+        """The request whose first ``warm_cycles`` cycles this run shares.
+
+        Every field named in ``warm_axes`` is reset to its class default,
+        so sweep points that differ only in warm axes collapse onto one
+        warm-base request — the runner simulates *that* request to
+        ``warm_cycles`` once, checkpoints it, and restores the checkpoint
+        into each point's own build.  The contract (documented in
+        ``docs/checkpointing.md``) is that warm axes must not influence
+        the simulation before ``warm_cycles``; structural divergence is
+        caught by the checkpoint schema hash at restore time.
+        """
+        defaults = {f.name: f.default for f in dataclasses.fields(RunRequest)}
+        return self.replace(**{axis: defaults[axis] for axis in self.warm_axes})
 
     # -- serialisation -----------------------------------------------------------
 
@@ -142,5 +189,7 @@ def request_from_snapshot(data: Dict[str, Any]) -> RunRequest:
     payload["smarco_config"] = _smarco_config_from(payload.get("smarco_config"))
     payload["xeon_config"] = _xeon_config_from(payload.get("xeon_config"))
     payload["power_config"] = _smarco_config_from(payload.get("power_config"))
+    # JSON round-trips tuples as lists; restore hashability
+    payload["warm_axes"] = tuple(payload.get("warm_axes") or ())
     names = {f.name for f in dataclasses.fields(RunRequest)}
     return RunRequest(**{k: v for k, v in payload.items() if k in names})

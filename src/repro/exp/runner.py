@@ -45,10 +45,21 @@ def resolve_workers(workers: Optional[int] = None) -> int:
 
 
 def _execute_payload(payload: Dict[str, Any]) -> Dict[str, Any]:
-    """Worker entry point: simulate one request from its snapshot."""
+    """Worker entry point: simulate one request from its snapshot.
+
+    With a ``warm`` checkpoint path, the worker restores the shared
+    post-warmup snapshot into the point's own build and simulates only
+    the measurement suffix instead of re-running the warm-up prefix.
+    """
     request = request_from_snapshot(payload["snapshot"])
     start = time.perf_counter()
-    outcome = execute(request)
+    warm = payload.get("warm")
+    if warm:
+        from ..chip.session import RunSession
+
+        outcome = RunSession.restore(warm, request=request).finish()
+    else:
+        outcome = execute(request)
     return {
         "outcome": outcome.to_dict(),
         "wall_time_s": time.perf_counter() - start,
@@ -67,6 +78,11 @@ class SweepResult:
     misses: int
     wall_time_s: float
     workers: int
+    #: points satisfied by restoring a shared post-warmup checkpoint
+    #: (a partial hit: only the measurement suffix was simulated)
+    warm_hits: int = 0
+    #: the cache's per-kind counters ("hit" / "warm" / "miss")
+    hit_counts: Dict[str, int] = field(default_factory=dict)
 
     @property
     def results(self) -> List[Any]:
@@ -98,10 +114,12 @@ class Runner:
         self.workers = resolve_workers(workers)
         self.runs_dir = base / "runs"
         self.cache = ResultCache(base / "cache")
+        self.warm_dir = base / "cache" / "warm"
         self.use_cache = use_cache
         self.version = version if version is not None else code_version()
 
-    def run(self, spec: ExperimentSpec) -> SweepResult:
+    def run(self, spec: ExperimentSpec,
+            warm_start: bool = False) -> SweepResult:
         points = spec.points()
         sweep_start = time.perf_counter()
         outcomes: List[Optional[RunOutcome]] = [None] * len(points)
@@ -112,6 +130,7 @@ class Runner:
         for point, key in zip(points, keys):
             cached = self.cache.get(key) if self.use_cache else None
             if cached is not None:
+                self.cache.note("hit")
                 outcomes[point.index] = RunOutcome.from_dict(cached)
                 records[point.index] = self._record(
                     spec, point, key, cached, cache="hit",
@@ -119,33 +138,76 @@ class Runner:
             else:
                 pending.append(point)
 
-        executed = self._execute(pending)
+        warm_paths = self._materialize_warm(pending) if warm_start else {}
+        executed = self._execute(pending, warm_paths)
         for point, done in zip(pending, executed):
             key = keys[point.index]
+            kind = "warm" if point.index in warm_paths else "miss"
+            self.cache.note(kind)
             outcome_dict = done["outcome"]
             if self.use_cache:
                 self.cache.put(key, outcome_dict)
             outcomes[point.index] = RunOutcome.from_dict(outcome_dict)
             records[point.index] = self._record(
-                spec, point, key, outcome_dict, cache="miss",
+                spec, point, key, outcome_dict, cache=kind,
                 worker=done["worker"], wall_time_s=done["wall_time_s"])
 
         for record in records:
             write_record(self.runs_dir, record)
+        counts = self.cache.hit_counts()
         return SweepResult(
             spec_name=spec.name,
             outcomes=list(outcomes),
             records=list(records),
             hits=len(points) - len(pending),
-            misses=len(pending),
+            misses=len(pending) - len(warm_paths),
             wall_time_s=time.perf_counter() - sweep_start,
             workers=self.workers,
+            warm_hits=len(warm_paths),
+            hit_counts=counts,
         )
 
     # -- internals ---------------------------------------------------------------
 
-    def _execute(self, pending: List[SweepPoint]) -> List[Dict[str, Any]]:
-        payloads = [{"snapshot": p.request.snapshot()} for p in pending]
+    def _materialize_warm(self,
+                          pending: List[SweepPoint]) -> Dict[int, str]:
+        """One shared post-warmup checkpoint per warm group.
+
+        Pending points with ``warm_cycles > 0`` are grouped by their
+        :meth:`~repro.exp.request.RunRequest.warm_base`; each group's
+        base is simulated to ``warm_cycles`` exactly once (or reused
+        from an earlier sweep on disk) and every point in the group is
+        mapped to the resulting checkpoint file.
+        """
+        from ..chip.session import SESSION_KINDS, RunSession
+
+        groups: Dict[str, List[SweepPoint]] = {}
+        bases: Dict[str, Any] = {}
+        for point in pending:
+            request = point.request
+            if request.warm_cycles <= 0 or request.kind not in SESSION_KINDS:
+                continue
+            base = request.warm_base()
+            wkey = request_key(base, self.version)
+            groups.setdefault(wkey, []).append(point)
+            bases[wkey] = base
+        warm_paths: Dict[int, str] = {}
+        for wkey, members in groups.items():
+            path = self.warm_dir / f"{wkey}.ckpt.gz"
+            if not path.is_file():
+                session = RunSession(bases[wkey])
+                session.run_to(bases[wkey].warm_cycles)
+                session.save(path)
+            for point in members:
+                warm_paths[point.index] = str(path)
+        return warm_paths
+
+    def _execute(self, pending: List[SweepPoint],
+                 warm_paths: Optional[Dict[int, str]] = None,
+                 ) -> List[Dict[str, Any]]:
+        warm_paths = warm_paths or {}
+        payloads = [{"snapshot": p.request.snapshot(),
+                     "warm": warm_paths.get(p.index)} for p in pending]
         if self.workers <= 1 or len(pending) <= 1:
             return [dict(_execute_payload(payload), worker="serial")
                     for payload in payloads]

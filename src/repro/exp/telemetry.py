@@ -30,7 +30,7 @@ class RunRecord:
     spec: str                   # owning ExperimentSpec name
     index: int                  # position within the sweep
     label: str                  # human-readable point label
-    cache: str                  # "hit" | "miss"
+    cache: str                  # "hit" (full-run) | "warm" (partial) | "miss"
     worker: str                 # "serial" or "pid<N>" of the worker process
     wall_time_s: float
     code_version: str
@@ -102,8 +102,11 @@ def summarize_runs(records: List[RunRecord]) -> str:
             f"{tput / 1e9:.2f} G/s" if tput else "-",
         ])
     hits = sum(1 for r in records if r.cache == "hit")
+    warm = sum(1 for r in records if r.cache == "warm")
     title = (f"Sweep telemetry: {len(records)} runs, "
              f"{hits} cache hits")
+    if warm:
+        title += f", {warm} warm starts"
     return render_table(
         ["spec", "point", "cache", "worker", "wall", "throughput"],
         rows, title=title)

@@ -116,6 +116,22 @@ class Cache:
             line_set.clear()
         return dirty
 
+    # -- snapshot protocol -----------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """Resident lines in LRU order (counters live in the registry)."""
+        return {"sets": [list(line_set.items()) for line_set in self._sets]}
+
+    def load_state(self, state: dict) -> None:
+        saved = state["sets"]
+        if len(saved) != len(self._sets):
+            raise ConfigError(
+                f"{self.name}: checkpoint has {len(saved)} sets, "
+                f"cache has {len(self._sets)}")
+        self._sets = [OrderedDict((int(tag), bool(dirty))
+                                  for tag, dirty in line_set)
+                      for line_set in saved]
+
     # -- introspection ---------------------------------------------------------
 
     @property

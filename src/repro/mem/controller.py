@@ -48,6 +48,31 @@ class MemoryController(Component):
         )
         self.queued = self.stats.counter("requests")
 
+    # -- snapshot protocol ----------------------------------------------------
+    # The channel/bank objects are structural (rebuilt from config); only
+    # their timing registers travel.
+
+    def extra_state(self) -> dict:
+        channel = self.channel
+        return {
+            "bus_free": channel._bus_free,
+            "banks": [
+                (bank.open_row, bank.busy_until, bank.row_hits,
+                 bank.row_misses)
+                for bank in channel.banks
+            ],
+        }
+
+    def load_extra_state(self, state: dict) -> None:
+        channel = self.channel
+        channel._bus_free = state["bus_free"]
+        for bank, (open_row, busy_until, hits, misses) in zip(
+                channel.banks, state["banks"]):
+            bank.open_row = open_row
+            bank.busy_until = busy_until
+            bank.row_hits = hits
+            bank.row_misses = misses
+
     def submit(self, request: MemRequest,
                carried: Sequence[MemRequest] = ()) -> float:
         """Admit a request; returns (and schedules) its finish time.

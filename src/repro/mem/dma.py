@@ -7,24 +7,78 @@ The paper uses DMA for two things we model:
 * instruction-segment prefetch into SPM for thread gangs running the same
   kernel (paper §3.1.2).
 
-A transfer is a simulation :class:`~repro.sim.engine.Process`: it reserves
-the engine, moves data at ``bytes_per_cycle``, then fires completion.  Data
-is *actually copied* when both endpoints are Scratchpads, so functional
-tests can verify payloads.
+A transfer runs as an explicit-state flight returning a
+:class:`~repro.sim.engine.Completion`: it reserves the engine, moves data
+at ``bytes_per_cycle``, then fires completion.  Data is *actually copied*
+when both endpoints are Scratchpads, so functional tests can verify
+payloads.
 """
 
 from __future__ import annotations
 
-from typing import Generator, Optional
+from typing import Optional
 
 from ..errors import MemoryError_
 from ..sim.component import Component
-from ..sim.engine import Process, Simulator
+from ..sim.engine import Completion, Simulator
+from ..sim.snapshot import snapshotable
 from ..sim.stats import StatsRegistry
 from .request import HopTrace
 from .spm import Scratchpad
 
 __all__ = ["DmaEngine"]
+
+
+@snapshotable
+class _DmaTransfer:
+    """Explicit-state form of the transfer process (one per copy/fill).
+
+    ``src`` is None for memory→SPM fills (``payload`` carries the bytes);
+    SPM→SPM copies read ``src`` at completion time, as the old generator
+    did.
+    """
+
+    __slots__ = ("engine", "src", "dst", "src_addr", "dst_addr", "size",
+                 "payload", "trace", "completion", "phase")
+
+    def __init__(self, engine: "DmaEngine", src: Optional[Scratchpad],
+                 dst: Scratchpad, src_addr: int, dst_addr: int, size: int,
+                 payload: Optional[bytes], trace: Optional[HopTrace],
+                 completion: Completion) -> None:
+        self.engine = engine
+        self.src = src
+        self.dst = dst
+        self.src_addr = src_addr
+        self.dst_addr = dst_addr
+        self.size = size
+        self.payload = payload
+        self.trace = trace
+        self.completion = completion
+        self.phase = "reserve"
+
+    def _step(self, _payload=None) -> None:
+        engine = self.engine
+        sim = engine.sim
+        if self.phase == "reserve":
+            # Serialise on the engine.
+            now = sim.now
+            wait = max(0.0, engine._busy_until - now)
+            duration = engine.transfer_cycles(self.size)
+            engine._busy_until = now + wait + duration
+            engine.queue_wait.add(wait)
+            if self.trace is not None:
+                self.trace.stamp("dma_queue", engine.path, now, now + wait)
+                self.trace.stamp("dma_xfer", engine.path, now + wait,
+                                 now + wait + duration)
+            self.phase = "move"
+            sim.schedule(wait + duration, self._step, None)
+            return
+        data = (self.payload if self.payload is not None
+                else self.src.read_bytes(self.src_addr, self.size))
+        self.dst.write_bytes(self.dst_addr, data)
+        engine.transfers.inc()
+        engine.bytes_moved.inc(self.size)
+        self.completion.finish(self.size)
 
 
 class DmaEngine(Component):
@@ -64,36 +118,22 @@ class DmaEngine(Component):
         dst_addr: int,
         size: int,
         trace: Optional[HopTrace] = None,
-    ) -> Process:
-        """Start an SPM→SPM copy; returns the transfer process.
+    ) -> Completion:
+        """Start an SPM→SPM copy; returns the transfer handle.
 
         A caller-supplied ``trace`` gets the transfer's queue and transfer
         legs stamped as closed ``dma_queue``/``dma_xfer`` records.
         """
         if size <= 0:
             raise MemoryError_(f"DMA size must be positive, got {size}")
+        completion = Completion(self.sim, f"{self.name}.copy")
+        transfer = _DmaTransfer(self, src, dst, src_addr, dst_addr, size,
+                                None, trace, completion)
+        self.sim.schedule(0, transfer._step, None)
+        return completion
 
-        def worker() -> Generator:
-            # Serialise on the engine.
-            now = self.sim.now
-            wait = max(0.0, self._busy_until - now)
-            duration = self.transfer_cycles(size)
-            self._busy_until = now + wait + duration
-            self.queue_wait.add(wait)
-            if trace is not None:
-                trace.stamp("dma_queue", self.path, now, now + wait)
-                trace.stamp("dma_xfer", self.path, now + wait,
-                            now + wait + duration)
-            yield wait + duration
-            payload = src.read_bytes(src_addr, size)
-            dst.write_bytes(dst_addr, payload)
-            self.transfers.inc()
-            self.bytes_moved.inc(size)
-            return size
-
-        return self.sim.spawn(worker(), f"{self.name}.copy")
-
-    def kick_from_descriptor(self, src: Scratchpad, dst: Scratchpad) -> Process:
+    def kick_from_descriptor(self, src: Scratchpad,
+                             dst: Scratchpad) -> Completion:
         """Start the transfer programmed in ``src``'s control registers.
 
         Models software writing {src, dst, size} into the SPM's top-256-byte
@@ -103,7 +143,7 @@ class DmaEngine(Component):
         return self.copy(src, dst, src_addr, dst_addr, size)
 
     def prefetch_fill(self, dst: Scratchpad, dst_addr: int, payload: bytes,
-                      trace: Optional[HopTrace] = None) -> Process:
+                      trace: Optional[HopTrace] = None) -> Completion:
         """Memory→SPM fill (instruction-segment prefetch, §3.1.2).
 
         Main memory is functionally a byte source here; timing charges the
@@ -111,21 +151,16 @@ class DmaEngine(Component):
         """
         if not payload:
             raise MemoryError_("prefetch payload must be non-empty")
+        completion = Completion(self.sim, f"{self.name}.prefetch")
+        transfer = _DmaTransfer(self, None, dst, 0, dst_addr, len(payload),
+                                payload, trace, completion)
+        self.sim.schedule(0, transfer._step, None)
+        return completion
 
-        def worker() -> Generator:
-            now = self.sim.now
-            wait = max(0.0, self._busy_until - now)
-            duration = self.transfer_cycles(len(payload))
-            self._busy_until = now + wait + duration
-            self.queue_wait.add(wait)
-            if trace is not None:
-                trace.stamp("dma_queue", self.path, now, now + wait)
-                trace.stamp("dma_xfer", self.path, now + wait,
-                            now + wait + duration)
-            yield wait + duration
-            dst.write_bytes(dst_addr, payload)
-            self.transfers.inc()
-            self.bytes_moved.inc(len(payload))
-            return len(payload)
+    # -- snapshot protocol -------------------------------------------------------
 
-        return self.sim.spawn(worker(), f"{self.name}.prefetch")
+    def extra_state(self) -> dict:
+        return {"busy_until": self._busy_until}
+
+    def load_extra_state(self, state: dict) -> None:
+        self._busy_until = state["busy_until"]

@@ -52,10 +52,32 @@ class CacheHierarchy(Component):
                          hit_latency=cfg.l1_hit_latency)
         self.l2 = Cache("l2", cfg.l2_bytes, line, ways=8, registry=self.stats,
                         hit_latency=cfg.l2_hit_latency)
+        self._llc_private = shared_llc is None
         self.llc = shared_llc if shared_llc is not None else Cache(
             "llc", cfg.llc_bytes, line, ways=16, registry=self.stats,
             hit_latency=cfg.llc_hit_latency,
         )
+
+    # -- snapshot protocol ------------------------------------------------------
+    # A shared LLC is serialised once by its owner (XeonSystem), not per
+    # hierarchy.
+
+    def extra_state(self) -> dict:
+        state = {
+            "l1d": self.l1d.state_dict(),
+            "l1i": self.l1i.state_dict(),
+            "l2": self.l2.state_dict(),
+        }
+        if self._llc_private:
+            state["llc"] = self.llc.state_dict()
+        return state
+
+    def load_extra_state(self, state: dict) -> None:
+        self.l1d.load_state(state["l1d"])
+        self.l1i.load_state(state["l1i"])
+        self.l2.load_state(state["l2"])
+        if self._llc_private and "llc" in state:
+            self.llc.load_state(state["llc"])
 
     @staticmethod
     def make_shared_llc(config: Optional[XeonConfig] = None,

@@ -23,10 +23,34 @@ from typing import Callable, Dict, List, Optional, Tuple
 from ..config import MACTConfig
 from ..sim.component import Component
 from ..sim.engine import Simulator
+from ..sim.snapshot import register_snapshot_class, snapshotable
 from ..sim.stats import StatsRegistry
 from .request import MemRequest, Priority
 
 __all__ = ["MACTLine", "MACT", "Batch"]
+
+
+@snapshotable
+class _SplitTracker:
+    """Completion counter for a line-boundary split (was a closure).
+
+    The parent request completes when its last architecture-side piece
+    does; as a plain object the tracker survives checkpoints, which the
+    old closure-with-cell-state could not.
+    """
+
+    __slots__ = ("parent", "remaining")
+
+    def __init__(self, parent: MemRequest, remaining: int) -> None:
+        self.parent = parent
+        self.remaining = remaining
+
+    def piece_done(self, _child: MemRequest, now: float) -> None:
+        self.remaining -= 1
+        if self.remaining == 0:
+            # sim time is monotonic, so the last piece carries the
+            # max finish time of the split
+            self.parent.complete(now)
 
 try:
     _popcount = int.bit_count        # Python >= 3.10
@@ -189,22 +213,14 @@ class MACT(Component):
             pieces.append((addr, take, base))
             addr += take
             remaining -= take
-        state = [len(pieces)]
-
-        def _piece_done(_child: MemRequest, now: float,
-                        parent: MemRequest = request,
-                        state: List[int] = state) -> None:
-            state[0] -= 1
-            if state[0] == 0:
-                # sim time is monotonic, so the last piece carries the
-                # max finish time of the split
-                parent.complete(now)
+        tracker = _SplitTracker(request, len(pieces))
 
         for piece_addr, size, base in pieces:
             child = MemRequest(
                 addr=piece_addr, size=size, is_write=request.is_write,
                 core_id=request.core_id, priority=request.priority,
-                issue_time=request.issue_time, on_complete=_piece_done,
+                issue_time=request.issue_time,
+                on_complete=tracker.piece_done,
                 meta=request,
             )
             self._collect(child, base, span)
@@ -279,6 +295,15 @@ class MACT(Component):
             count += 1
         return count
 
+    # -- snapshot protocol -------------------------------------------------------
+
+    def extra_state(self) -> dict:
+        return {"lines": self._lines, "generation": self._generation}
+
+    def load_extra_state(self, state: dict) -> None:
+        self._lines = OrderedDict(state["lines"])
+        self._generation = state["generation"]
+
     # -- introspection ----------------------------------------------------------
 
     @property
@@ -297,3 +322,7 @@ class MACT(Component):
 
     def __repr__(self) -> str:  # pragma: no cover
         return f"MACT({self.name}, pending={len(self._lines)})"
+
+
+register_snapshot_class(Batch)
+register_snapshot_class(MACTLine)

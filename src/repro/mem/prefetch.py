@@ -21,10 +21,27 @@ from typing import Callable, List, Optional
 
 from ..errors import ConfigError
 from ..sim.component import Component
+from ..sim.snapshot import register_snapshot_class, snapshotable
 from ..sim.stats import StatsRegistry
 from .request import MemRequest
 
 __all__ = ["PrefetchWindow", "StreamPrefetcher"]
+
+
+@snapshotable
+class _FillTicket:
+    """Carries a window fill's identity through its request (was a lambda)."""
+
+    __slots__ = ("prefetcher", "window", "launched_at")
+
+    def __init__(self, prefetcher: "StreamPrefetcher",
+                 window: "PrefetchWindow", launched_at: float) -> None:
+        self.prefetcher = prefetcher
+        self.window = window
+        self.launched_at = launched_at
+
+    def filled(self, _request: MemRequest, now: float) -> None:
+        self.prefetcher._filled(self.window, now, self.launched_at)
 
 
 @dataclass
@@ -142,10 +159,11 @@ class StreamPrefetcher(Component):
         self._windows.append(window)
         if len(self._windows) > self.max_windows:
             self._windows.pop(0)
+        ticket = _FillTicket(self, window, now)
         request = MemRequest(
             addr=start, size=self.window_bytes, is_write=False,
             core_id=self.core_id,
-            on_complete=lambda req, t, w=window, t0=now: self._filled(w, t, t0),
+            on_complete=ticket.filled,
         )
         self.issued.inc()
         self.fetch_out.send(request)
@@ -154,6 +172,15 @@ class StreamPrefetcher(Component):
                 launched_at: float) -> None:
         window.ready_at = now
         self.fill_latency.add(now - launched_at)
+
+    # -- snapshot protocol --------------------------------------------------------
+
+    def extra_state(self) -> dict:
+        return {"windows": self._windows, "trackers": self._trackers}
+
+    def load_extra_state(self, state: dict) -> None:
+        self._windows = list(state["windows"])
+        self._trackers = list(state["trackers"])
 
     # -- introspection ----------------------------------------------------------
 
@@ -165,3 +192,7 @@ class StreamPrefetcher(Component):
     @property
     def resident_windows(self) -> int:
         return len(self._windows)
+
+
+register_snapshot_class(PrefetchWindow)
+register_snapshot_class(_StreamTracker)

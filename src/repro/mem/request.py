@@ -14,15 +14,34 @@ check per layer.
 from __future__ import annotations
 
 import enum
-import itertools
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional
 
 from ..errors import MemoryModelError
+from ..sim.snapshot import register_snapshot_class, snapshotable
 
 __all__ = ["Priority", "MemRequest", "Hop", "HopTrace", "TraceSampler"]
 
-_request_ids = itertools.count()
+# a plain module counter (not itertools.count) so checkpoints can capture
+# and restore the id high-water mark — restored runs must mint the same
+# req_ids the straight run would
+_next_request_id = 0
+
+
+def _new_request_id() -> int:
+    global _next_request_id
+    rid = _next_request_id
+    _next_request_id += 1
+    return rid
+
+
+def request_id_state() -> int:
+    return _next_request_id
+
+
+def set_request_id_state(value: int) -> None:
+    global _next_request_id
+    _next_request_id = value
 
 
 class Priority(enum.IntEnum):
@@ -36,6 +55,7 @@ class Priority(enum.IntEnum):
     REALTIME = 1
 
 
+@snapshotable
 @dataclass
 class Hop:
     """One stamped segment of a transaction's lifetime."""
@@ -51,6 +71,7 @@ class Hop:
         return (self.exit - self.enter) if self.exit is not None else 0.0
 
 
+@snapshotable
 class HopTrace:
     """The ordered hop records of one transaction.
 
@@ -137,6 +158,7 @@ class HopTrace:
         return f"HopTrace({len(self.hops)} hops: {path})"
 
 
+@snapshotable
 class TraceSampler:
     """Deterministic every-``1/rate``-th sampler (Bresenham-style).
 
@@ -165,6 +187,7 @@ class TraceSampler:
         return False
 
 
+@snapshotable
 class MemRequest:
     """One memory access travelling through the chip.
 
@@ -201,7 +224,7 @@ class MemRequest:
         self.priority = priority
         self.issue_time = issue_time
         self.on_complete = on_complete
-        self.req_id = next(_request_ids) if req_id is None else req_id
+        self.req_id = _new_request_id() if req_id is None else req_id
         self.meta = meta
         self.finish_time = finish_time
         self.trace = trace

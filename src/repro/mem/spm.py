@@ -147,6 +147,19 @@ class Scratchpad(Component):
             self.read_control(DMA_SIZE_OFFSET),
         )
 
+    # -- snapshot protocol ------------------------------------------------------
+
+    def extra_state(self) -> dict:
+        return {"data": self._data}
+
+    def load_extra_state(self, state: dict) -> None:
+        data = state["data"]
+        if len(data) != self.size_bytes:
+            raise MemoryError_(
+                f"SPM{self.core_id}: checkpoint holds {len(data)} bytes, "
+                f"SPM is {self.size_bytes}")
+        self._data = bytearray(data)
+
     def __repr__(self) -> str:  # pragma: no cover
         return f"Scratchpad(core={self.core_id}, base={self.base_addr:#x})"
 

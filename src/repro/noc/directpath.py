@@ -13,12 +13,49 @@ from typing import Generator, List, Optional
 
 from ..errors import NocError
 from ..sim.component import Component
-from ..sim.engine import Process, Simulator
+from ..sim.engine import Completion, Simulator
+from ..sim.snapshot import snapshotable
 from ..sim.stats import StatsRegistry
 from .link import SlicedLink
 from .packet import Packet
 
 __all__ = ["DirectDatapath"]
+
+
+@snapshotable
+class _DirectFlight:
+    """Explicit-state form of the star-link fly-over process."""
+
+    __slots__ = ("dp", "packet", "sub_ring", "completion", "phase")
+
+    def __init__(self, dp: "DirectDatapath", packet: Packet,
+                 sub_ring: int, completion: Completion) -> None:
+        self.dp = dp
+        self.packet = packet
+        self.sub_ring = sub_ring
+        self.completion = completion
+        self.phase = "reserve"
+
+    def _step(self, _payload=None) -> None:
+        dp = self.dp
+        sim = dp.sim
+        packet = self.packet
+        if self.phase == "reserve":
+            link = dp.links[self.sub_ring]
+            start, finish = link.reserve(packet.size_bytes, sim.now)
+            if packet.traces:
+                component = f"{dp.path}.link{self.sub_ring}"
+                if start > sim.now:
+                    packet.advance_traces("link_wait", component, sim.now)
+                packet.advance_traces("direct", component, start)
+            self.phase = "arrive"
+            sim.schedule(max(0.0, finish - sim.now) + dp.latency,
+                         self._step, None)
+            return
+        dp.delivered.inc()
+        dp.lat_stat.add(sim.now - packet.created_at)
+        packet.deliver(sim.now)
+        self.completion.finish(sim.now)
 
 
 class DirectDatapath(Component):
@@ -60,25 +97,25 @@ class DirectDatapath(Component):
             return True
         return packet.realtime and packet.kind is PacketKind.MEM_READ
 
-    def send(self, packet: Packet, sub_ring: int) -> Process:
+    def send(self, packet: Packet, sub_ring: int) -> Completion:
         """Fly a packet from ``sub_ring`` straight to memory (or back)."""
         if not 0 <= sub_ring < len(self.links):
             raise NocError(f"sub-ring {sub_ring} has no direct link")
         packet.created_at = self.sim.now
         self.injected.inc()
-        return self.sim.spawn(self._fly(packet, sub_ring),
-                              f"direct.pkt{packet.pkt_id}")
+        completion = Completion(self.sim, f"direct.pkt{packet.pkt_id}")
+        flight = _DirectFlight(self, packet, sub_ring, completion)
+        self.sim.schedule(0, flight._step, None)
+        return completion
 
-    def _fly(self, packet: Packet, sub_ring: int) -> Generator:
-        link = self.links[sub_ring]
-        start, finish = link.reserve(packet.size_bytes, self.sim.now)
-        if packet.traces:
-            component = f"{self.path}.link{sub_ring}"
-            if start > self.sim.now:
-                packet.advance_traces("link_wait", component, self.sim.now)
-            packet.advance_traces("direct", component, start)
-        yield max(0.0, finish - self.sim.now) + self.latency
-        self.delivered.inc()
-        self.lat_stat.add(self.sim.now - packet.created_at)
-        packet.deliver(self.sim.now)
-        return self.sim.now
+    # -- snapshot protocol -----------------------------------------------------
+
+    def snapshot_anchors(self) -> dict:
+        return {f"link{i}": link for i, link in enumerate(self.links)}
+
+    def extra_state(self) -> dict:
+        return {"links": [link.state_dict() for link in self.links]}
+
+    def load_extra_state(self, state: dict) -> None:
+        for link, link_state in zip(self.links, state["links"]):
+            link.load_state(link_state)

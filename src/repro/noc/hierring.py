@@ -17,12 +17,121 @@ from typing import Dict, Generator, List, Optional
 from ..config import RingConfig
 from ..errors import NocError
 from ..sim.component import Component
-from ..sim.engine import Process, Simulator
+from ..sim.engine import Completion, Simulator
+from ..sim.snapshot import snapshotable
 from ..sim.stats import StatsRegistry
 from .packet import NodeId, Packet
 from .ring import Ring
 
 __all__ = ["HierarchicalRingNoC"]
+
+
+@snapshotable
+class _NocFlight:
+    """Explicit-state form of the leg-chained routing process.
+
+    Phases mirror the old ``_route`` generator's yield points: each
+    sub-ring / main-ring leg is a :class:`Completion` the flight waits
+    on, with the bridge transfer delays between them.
+    """
+
+    __slots__ = ("noc", "packet", "completion", "phase")
+
+    def __init__(self, noc: "HierarchicalRingNoC", packet: Packet,
+                 completion: Completion) -> None:
+        self.noc = noc
+        self.packet = packet
+        self.completion = completion
+        self.phase = "start"
+
+    def _src_ring(self) -> Optional[int]:
+        return self.noc._ring_of(self.packet.src)
+
+    def _dst_ring(self) -> Optional[int]:
+        return self.noc._ring_of(self.packet.dst)
+
+    def _step(self, _payload=None) -> None:
+        noc = self.noc
+        sim = noc.sim
+        packet = self.packet
+        while True:
+            if self.phase == "start":
+                src_ring = self._src_ring()
+                dst_ring = self._dst_ring()
+                if (src_ring is not None and dst_ring is not None
+                        and src_ring == dst_ring):
+                    # Same sub-ring: one leg.
+                    leg = noc.sub_ring_nets[src_ring].send(
+                        packet, noc.sub_stop(packet.src),
+                        noc.sub_stop(packet.dst), final=False)
+                    self.phase = "deliver"
+                    leg.wait(self._step)
+                    return
+                if src_ring is not None:
+                    # Leg 1: source sub-ring to its bridge.
+                    leg = noc.sub_ring_nets[src_ring].send(
+                        packet, noc.sub_stop(packet.src),
+                        noc.sub_stop(NodeId("bridge", ring=src_ring)),
+                        final=False)
+                    self.phase = "bridge_in"
+                    leg.wait(self._step)
+                    return
+                self.phase = "main"
+                continue
+            if self.phase == "bridge_in":
+                src_ring = self._src_ring()
+                if packet.traces:
+                    packet.advance_traces(
+                        "bridge", f"{noc.path}.bridge{src_ring}", sim.now)
+                self.phase = "main"
+                sim.schedule(noc.config.bridge_latency, self._step, None)
+                return
+            if self.phase == "main":
+                # Leg 2: main ring.
+                src_ring = self._src_ring()
+                dst_ring = self._dst_ring()
+                if src_ring is not None:
+                    main_src = noc.main_stop(NodeId("bridge", ring=src_ring))
+                else:
+                    main_src = noc.main_stop(packet.src)
+                if dst_ring is not None:
+                    main_dst = noc.main_stop(NodeId("bridge", ring=dst_ring))
+                else:
+                    main_dst = noc.main_stop(packet.dst)
+                self.phase = "bridge_out"
+                if main_src != main_dst:
+                    leg = noc.main_ring.send(packet, main_src, main_dst,
+                                             final=False)
+                    leg.wait(self._step)
+                    return
+                continue
+            if self.phase == "bridge_out":
+                # Leg 3: destination sub-ring (if destination is a core).
+                dst_ring = self._dst_ring()
+                if dst_ring is None:
+                    self.phase = "deliver"
+                    continue
+                if packet.traces:
+                    packet.advance_traces(
+                        "bridge", f"{noc.path}.bridge{dst_ring}", sim.now)
+                self.phase = "leg_out"
+                sim.schedule(noc.config.bridge_latency, self._step, None)
+                return
+            if self.phase == "leg_out":
+                dst_ring = self._dst_ring()
+                leg = noc.sub_ring_nets[dst_ring].send(
+                    packet, noc.sub_stop(NodeId("bridge", ring=dst_ring)),
+                    noc.sub_stop(packet.dst), final=False)
+                self.phase = "deliver"
+                leg.wait(self._step)
+                return
+            if self.phase == "deliver":
+                noc.delivered.inc()
+                noc.latency.add(sim.now - packet.created_at)
+                packet.deliver(sim.now)
+                self.completion.finish(sim.now)
+                return
+            raise NocError(f"noc flight in unknown phase {self.phase!r}")
 
 
 class HierarchicalRingNoC(Component):
@@ -125,65 +234,33 @@ class HierarchicalRingNoC(Component):
 
     # -- sending -------------------------------------------------------------------
 
-    def send(self, packet: Packet) -> Process:
+    def send(self, packet: Packet) -> Completion:
         """Route ``packet`` from ``packet.src`` to ``packet.dst``."""
         packet.created_at = self.sim.now
         self.injected.inc()
-        return self.sim.spawn(self._route(packet), f"noc.pkt{packet.pkt_id}")
+        completion = Completion(self.sim, f"noc.pkt{packet.pkt_id}")
+        flight = _NocFlight(self, packet, completion)
+        self.sim.schedule(0, flight._step, None)
+        return completion
 
-    def _route(self, packet: Packet) -> Generator:
-        src_ring = self._ring_of(packet.src)
-        dst_ring = self._ring_of(packet.dst)
-        bridge_latency = self.config.bridge_latency
+    # -- snapshot protocol -------------------------------------------------------------
 
-        if src_ring is not None and dst_ring is not None and src_ring == dst_ring:
-            # Same sub-ring: one leg.
-            leg = self.sub_ring_nets[src_ring].send(
-                packet, self.sub_stop(packet.src), self.sub_stop(packet.dst),
-                final=False,
-            )
-            yield leg
-        else:
-            # Leg 1: source sub-ring to its bridge (if source is a core).
-            if src_ring is not None:
-                leg = self.sub_ring_nets[src_ring].send(
-                    packet, self.sub_stop(packet.src),
-                    self.sub_stop(NodeId("bridge", ring=src_ring)), final=False,
-                )
-                yield leg
-                if packet.traces:
-                    packet.advance_traces(
-                        "bridge", f"{self.path}.bridge{src_ring}", self.sim.now)
-                yield bridge_latency
-                main_src = self.main_stop(NodeId("bridge", ring=src_ring))
-            else:
-                main_src = self.main_stop(packet.src)
+    def snapshot_anchors(self) -> dict:
+        anchors = {"ring:main": self.main_ring}
+        for i, ring in enumerate(self.sub_ring_nets):
+            anchors[f"ring:sub{i}"] = ring
+        return anchors
 
-            # Leg 2: main ring.
-            if dst_ring is not None:
-                main_dst = self.main_stop(NodeId("bridge", ring=dst_ring))
-            else:
-                main_dst = self.main_stop(packet.dst)
-            if main_src != main_dst:
-                leg = self.main_ring.send(packet, main_src, main_dst, final=False)
-                yield leg
+    def extra_state(self) -> dict:
+        return {
+            "main": self.main_ring.state_dict(),
+            "subs": [ring.state_dict() for ring in self.sub_ring_nets],
+        }
 
-            # Leg 3: destination sub-ring (if destination is a core).
-            if dst_ring is not None:
-                if packet.traces:
-                    packet.advance_traces(
-                        "bridge", f"{self.path}.bridge{dst_ring}", self.sim.now)
-                yield bridge_latency
-                leg = self.sub_ring_nets[dst_ring].send(
-                    packet, self.sub_stop(NodeId("bridge", ring=dst_ring)),
-                    self.sub_stop(packet.dst), final=False,
-                )
-                yield leg
-
-        self.delivered.inc()
-        self.latency.add(self.sim.now - packet.created_at)
-        packet.deliver(self.sim.now)
-        return self.sim.now
+    def load_extra_state(self, state: dict) -> None:
+        self.main_ring.load_state(state["main"])
+        for ring, ring_state in zip(self.sub_ring_nets, state["subs"]):
+            ring.load_state(ring_state)
 
     # -- chip-level metrics -----------------------------------------------------------
 

@@ -159,6 +159,19 @@ class SlicedLink:
         self._record(range(best_base, best_base + k), best_start, finish)
         return best_start, finish
 
+    # -- snapshot protocol ----------------------------------------------------
+
+    def state_dict(self) -> dict:
+        return {"slice_free": list(self._slice_free)}
+
+    def load_state(self, state: dict) -> None:
+        saved = state["slice_free"]
+        if len(saved) != self.n_slices:
+            raise NocError(
+                f"{self.name}: checkpoint has {len(saved)} slices, "
+                f"link has {self.n_slices}")
+        self._slice_free = [float(t) for t in saved]
+
     # -- introspection --------------------------------------------------------
 
     def next_free(self) -> float:
@@ -249,3 +262,18 @@ class RingSegment:
         if self.bidi is not None:
             total += self.bidi.bytes_moved.value
         return total
+
+    # -- snapshot protocol ----------------------------------------------------
+
+    def state_dict(self) -> dict:
+        return {
+            "cw": self.cw.state_dict(),
+            "ccw": self.ccw.state_dict(),
+            "bidi": self.bidi.state_dict() if self.bidi is not None else None,
+        }
+
+    def load_state(self, state: dict) -> None:
+        self.cw.load_state(state["cw"])
+        self.ccw.load_state(state["ccw"])
+        if self.bidi is not None and state["bidi"] is not None:
+            self.bidi.load_state(state["bidi"])

@@ -9,16 +9,35 @@ occupy only the channels it really needs).
 from __future__ import annotations
 
 import enum
-import itertools
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any, Callable, Optional, Tuple
+
+from ..sim.snapshot import snapshotable
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..mem.request import HopTrace
 
 __all__ = ["NodeId", "PacketKind", "Packet"]
 
-_packet_ids = itertools.count()
+# plain module counter (not itertools.count) so checkpoints can capture
+# and restore the id high-water mark
+_next_packet_id = 0
+
+
+def _new_packet_id() -> int:
+    global _next_packet_id
+    pid = _next_packet_id
+    _next_packet_id += 1
+    return pid
+
+
+def packet_id_state() -> int:
+    return _next_packet_id
+
+
+def set_packet_id_state(value: int) -> None:
+    global _next_packet_id
+    _next_packet_id = value
 
 
 class PacketKind(enum.Enum):
@@ -30,6 +49,7 @@ class PacketKind(enum.Enum):
     TASK_DISPATCH = "task_dispatch"
 
 
+@snapshotable
 @dataclass(frozen=True)
 class NodeId:
     """Address of a NoC endpoint.
@@ -47,6 +67,7 @@ class NodeId:
         return f"{self.kind}[{self.ring}.{self.index}]"
 
 
+@snapshotable
 class Packet:
     """One message travelling the NoC.
 
@@ -85,7 +106,7 @@ class Packet:
         self.delivered_at = delivered_at
         self.hops = hops
         self.on_delivered = on_delivered
-        self.pkt_id = next(_packet_ids) if pkt_id is None else pkt_id
+        self.pkt_id = _new_packet_id() if pkt_id is None else pkt_id
         #: hop traces of the transactions riding this packet (a MACT batch
         #: packet carries one per member request); empty = untraced
         self.traces = traces

@@ -14,12 +14,79 @@ from typing import Generator, List, Optional, Tuple
 
 from ..config import RingConfig
 from ..errors import NocError
-from ..sim.engine import Process, Simulator
+from ..sim.engine import Completion, Simulator
+from ..sim.snapshot import snapshotable
 from ..sim.stats import StatsRegistry, StatsScope
 from .link import RingSegment
 from .packet import Packet
 
 __all__ = ["Ring"]
+
+
+@snapshotable
+class _RingFlight:
+    """Explicit-state form of the per-packet traversal process.
+
+    Each ``_step`` is one resume of the old ``_traverse`` generator:
+    the direction is chosen on the first step (not at injection — other
+    same-cycle events may change congestion first), then the flight
+    alternates router delay and link reservation per hop, issuing the
+    same ``schedule`` calls in the same order.
+    """
+
+    __slots__ = ("ring", "packet", "stop", "dst", "final", "completion",
+                 "direction", "hops", "phase")
+
+    def __init__(self, ring: "Ring", packet: Packet, src: int, dst: int,
+                 final: bool, completion: Completion) -> None:
+        self.ring = ring
+        self.packet = packet
+        self.stop = src
+        self.dst = dst
+        self.final = final
+        self.completion = completion
+        self.direction: Optional[str] = None
+        self.hops = 0
+        self.phase = "route"
+
+    def _step(self, _payload=None) -> None:
+        ring = self.ring
+        sim = ring.sim
+        packet = self.packet
+        if self.direction is None:
+            self.direction = ring.choose_direction(self.stop, self.dst)
+        while True:
+            if self.phase == "route":
+                if self.stop == self.dst:
+                    packet.hops += self.hops
+                    ring.hop_count.add(self.hops)
+                    if self.final:
+                        ring.delivered.inc()
+                        ring.latency.add(sim.now - packet.created_at)
+                        packet.deliver(sim.now)
+                    self.completion.finish(sim.now)
+                    return
+                if packet.traces:
+                    packet.advance_traces("router", ring.qualname, sim.now)
+                self.phase = "xfer"
+                sim.schedule(ring.router_latency, self._step, None)
+                return
+            if self.phase == "xfer":
+                segment, nxt = ring._next_segment(self.stop, self.direction)
+                start, finish = segment.transmit_detail(
+                    self.direction, packet.size_bytes, sim.now)
+                if packet.traces:
+                    if start > sim.now:
+                        packet.advance_traces("link_wait", ring.qualname,
+                                              sim.now)
+                    packet.advance_traces("link_xfer", ring.qualname, start)
+                self.stop = nxt
+                self.hops += 1
+                self.phase = "route"
+                sim.schedule(max(0.0, finish - sim.now) + ring.hop_latency,
+                             self._step, None)
+                return
+            raise NocError(f"ring flight in unknown phase {self.phase!r}")
 
 
 class Ring:
@@ -120,49 +187,38 @@ class Ring:
     # -- transmission -------------------------------------------------------------
 
     def send(self, packet: Packet, src_stop: int, dst_stop: int,
-             final: bool = True) -> Process:
-        """Inject ``packet`` at ``src_stop``; returns the traversal process.
+             final: bool = True) -> Completion:
+        """Inject ``packet`` at ``src_stop``; returns the traversal handle.
 
         With ``final=True`` (a complete route) the packet's ``deliver``
         fires at arrival; hierarchical routing chains rings with
-        ``final=False`` legs and a final leg.  The process result is the
-        arrival time.
+        ``final=False`` legs and a final leg.  The completion result is
+        the arrival time.
         """
         if not (0 <= src_stop < self.num_stops and 0 <= dst_stop < self.num_stops):
             raise NocError(
                 f"{self.name}: stops {src_stop}->{dst_stop} outside ring "
                 f"of {self.num_stops}"
             )
-        return self.sim.spawn(
-            self._traverse(packet, src_stop, dst_stop, final),
-            f"{self.name}.pkt{packet.pkt_id}",
-        )
-
-    def _traverse(self, packet: Packet, src: int, dst: int, final: bool) -> Generator:
-        stop = src
-        hops = 0
-        direction = self.choose_direction(src, dst)
-        while stop != dst:
-            if packet.traces:
-                packet.advance_traces("router", self.qualname, self.sim.now)
-            yield self.router_latency
-            segment, nxt = self._next_segment(stop, direction)
-            start, finish = segment.transmit_detail(
-                direction, packet.size_bytes, self.sim.now)
-            if packet.traces:
-                if start > self.sim.now:
-                    packet.advance_traces("link_wait", self.qualname, self.sim.now)
-                packet.advance_traces("link_xfer", self.qualname, start)
-            yield max(0.0, finish - self.sim.now) + self.hop_latency
-            stop = nxt
-            hops += 1
-        packet.hops += hops
-        self.hop_count.add(hops)
-        if final:
-            self.delivered.inc()
-            self.latency.add(self.sim.now - packet.created_at)
-            packet.deliver(self.sim.now)
-        return self.sim.now
+        completion = Completion(self.sim, f"{self.name}.pkt{packet.pkt_id}")
+        flight = _RingFlight(self, packet, src_stop, dst_stop, final,
+                             completion)
+        self.sim.schedule(0, flight._step, None)
+        return completion
 
     def total_bytes(self) -> int:
         return sum(seg.total_bytes for seg in self.segments)
+
+    # -- snapshot protocol -----------------------------------------------------
+
+    def state_dict(self) -> dict:
+        return {"segments": [seg.state_dict() for seg in self.segments]}
+
+    def load_state(self, state: dict) -> None:
+        saved = state["segments"]
+        if len(saved) != len(self.segments):
+            raise NocError(
+                f"{self.name}: checkpoint has {len(saved)} segments, "
+                f"ring has {len(self.segments)}")
+        for seg, seg_state in zip(self.segments, saved):
+            seg.load_state(seg_state)

@@ -20,7 +20,11 @@ Each kernel isolates one simulator hot path:
 * ``chip_fig17``       — the Fig 17 single-TCG rig through
   :func:`repro.chip.run.execute` (also yields the golden result digest);
 * ``chip_fig23``       — a scaled-down Fig 23 full-chip run (golden
-  digest of the whole chip: cores, MACT, NoC, DRAM).
+  digest of the whole chip: cores, MACT, NoC, DRAM);
+* ``ckpt_roundtrip``   — capture -> serialise -> restore of a paused
+  chip session through the versioned checkpoint container (the warm-
+  start materialization hot path; digest proves the restored session
+  still finishes bit-identically).
 
 Kernels are deterministic: fixed seeds, no wall-clock feedback into the
 simulation — so their *results* (events, units, digests) are identical
@@ -59,6 +63,7 @@ SIZES: Dict[str, Dict[str, Dict[str, int]]] = {
         "sched_assign": {"tasks": 400},
         "chip_fig17": {"instrs": 60},
         "chip_fig23": {"instrs": 40},
+        "ckpt_roundtrip": {"cycle": 300, "rounds": 2},
     },
     "small": {
         "engine_churn": {"events": 200_000, "chains": 16},
@@ -70,6 +75,7 @@ SIZES: Dict[str, Dict[str, Dict[str, int]]] = {
         "sched_assign": {"tasks": 3_000},
         "chip_fig17": {"instrs": 300},
         "chip_fig23": {"instrs": 120},
+        "ckpt_roundtrip": {"cycle": 800, "rounds": 5},
     },
     "default": {
         "engine_churn": {"events": 1_000_000, "chains": 32},
@@ -81,6 +87,7 @@ SIZES: Dict[str, Dict[str, Dict[str, int]]] = {
         "sched_assign": {"tasks": 12_000},
         "chip_fig17": {"instrs": 600},
         "chip_fig23": {"instrs": 250},
+        "ckpt_roundtrip": {"cycle": 1500, "rounds": 10},
     },
 }
 
@@ -359,6 +366,48 @@ def _k_chip_fig23(params: Dict[str, int]) -> Dict[str, Any]:
             "unit": "instrs", "digest": result_digest(outcome)}
 
 
+def _k_ckpt_roundtrip(params: Dict[str, int]) -> Dict[str, Any]:
+    """Full checkpoint round trips of a paused scaled-down chip.
+
+    Each round is the warm-start materialization path end to end:
+    capture the session, serialise the container to JSON, parse it back
+    and restore into a freshly rebuilt system.  The final restored
+    session is finished and digested so any restore corruption fails
+    the cross-repeat determinism check instead of going unnoticed.
+    """
+    import json
+
+    from ..chip.session import RunSession
+    from ..config import smarco_scaled
+    from ..exp import RunRequest
+    from ..mem.request import set_request_id_state
+    from ..noc.packet import set_packet_id_state
+    from ..sched.task import set_task_id_state
+    from ..sim.checkpoint import Checkpoint
+
+    # pin the module id counters so the serialised byte count (part of
+    # the cross-repeat determinism check) doesn't drift with whatever
+    # ran earlier in this process
+    set_request_id_state(0)
+    set_packet_id_state(0)
+    set_task_id_state(0)
+    request = RunRequest(kind="smarco", workload="kmp", seed=5,
+                         smarco_config=smarco_scaled(2, 4),
+                         threads_per_core=4, instrs_per_thread=120)
+    session = RunSession(request)
+    session.run_to(params["cycle"])
+    rounds = params["rounds"]
+    size = 0
+    restored = session
+    for _ in range(rounds):
+        payload = json.dumps(session.checkpoint().to_dict())
+        size = len(payload)
+        restored = RunSession.restore(
+            Checkpoint.from_dict(json.loads(payload)))
+    return {"events": 0, "units": rounds, "unit": "roundtrips",
+            "bytes": size, "digest": result_digest(restored.finish())}
+
+
 KERNELS: Dict[str, Callable[[Dict[str, int]], Dict[str, Any]]] = {
     "engine_churn": _k_engine_churn,
     "process_signal": _k_process_signal,
@@ -369,6 +418,7 @@ KERNELS: Dict[str, Callable[[Dict[str, int]], Dict[str, Any]]] = {
     "sched_assign": _k_sched_assign,
     "chip_fig17": _k_chip_fig17,
     "chip_fig23": _k_chip_fig23,
+    "ckpt_roundtrip": _k_ckpt_roundtrip,
 }
 
 

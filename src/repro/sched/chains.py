@@ -51,6 +51,15 @@ class ChainTable:
         self.insert_steps += steps
         return steps
 
+    def state_dict(self) -> dict:
+        """Entries (in chain order) plus the cumulative walk cost."""
+        return {"entries": list(self._entries),
+                "insert_steps": self.insert_steps}
+
+    def load_state(self, state: dict) -> None:
+        self._entries = list(state["entries"])
+        self.insert_steps = state["insert_steps"]
+
     def pop_head(self) -> Optional[Task]:
         """Remove and return the minimum-key task (None when empty)."""
         if not self._entries:

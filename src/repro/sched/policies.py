@@ -73,6 +73,14 @@ class LaxityScheduler(SchedulerPolicy):
     def pending(self) -> int:
         return len(self.high) + len(self.normal)
 
+    def _queue_state(self) -> dict:
+        return {"high": self.high.state_dict(),
+                "normal": self.normal.state_dict()}
+
+    def _load_queue_state(self, state: dict) -> None:
+        self.high.load_state(state["high"])
+        self.normal.load_state(state["normal"])
+
 
 @register_policy("deadline")
 class DeadlineScheduler(SchedulerPolicy):
@@ -100,6 +108,12 @@ class DeadlineScheduler(SchedulerPolicy):
     def pending(self) -> int:
         return len(self._queue)
 
+    def _queue_state(self) -> list:
+        return list(self._queue)
+
+    def _load_queue_state(self, state: list) -> None:
+        self._queue = deque(state)
+
 
 @register_policy("fifo")
 class FifoScheduler(SchedulerPolicy):
@@ -122,6 +136,12 @@ class FifoScheduler(SchedulerPolicy):
     @property
     def pending(self) -> int:
         return len(self._queue)
+
+    def _queue_state(self) -> list:
+        return list(self._queue)
+
+    def _load_queue_state(self, state: list) -> None:
+        self._queue = deque(state)
 
 
 def make_scheduler(policy: str, name: Optional[str] = None,

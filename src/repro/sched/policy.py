@@ -157,6 +157,38 @@ class SchedulerPolicy(abc.ABC):
         """Subclass hook: observe a context returning to the null chain
         (allocation-aware policies track per-context history here)."""
 
+    # -- snapshot protocol --------------------------------------------------
+
+    def state_dict(self) -> Dict[str, object]:
+        """Snapshot of the policy's mutable scheduling state.
+
+        The base class owns the null thread chain; the pending-task
+        structure comes from the :meth:`_queue_state` hook, which every
+        registered policy must implement (the conformance suite enforces
+        ``load_state(state_dict())`` identity).  The submitted/dispatched
+        counters live in the stats registry and travel with it.
+        """
+        return {
+            "null_chain": list(self._null_chain),
+            "queue": self._queue_state(),
+        }
+
+    def load_state(self, state: Dict[str, object]) -> None:
+        self._null_chain = deque(state["null_chain"])
+        self._load_queue_state(state["queue"])
+
+    def _queue_state(self) -> object:
+        """Subclass hook: snapshot the pending-task structure."""
+        raise NotImplementedError(
+            f"{type(self).__name__} does not implement _queue_state(); "
+            f"every registered policy must support checkpointing")
+
+    def _load_queue_state(self, state: object) -> None:
+        """Subclass hook: restore the pending-task structure."""
+        raise NotImplementedError(
+            f"{type(self).__name__} does not implement _load_queue_state(); "
+            f"every registered policy must support checkpointing")
+
     # -- introspection ------------------------------------------------------
 
     def stats(self) -> Dict[str, float]:

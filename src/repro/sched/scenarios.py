@@ -35,12 +35,13 @@ cache, telemetry and report layers.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Generator, List, Optional, Tuple
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from ..chip.results import DictResult
 from ..errors import SchedulerError
 from ..sim.engine import Simulator
 from ..sim.rng import RngTree
+from ..sim.snapshot import snapshotable
 from ..sim.stats import StatsRegistry
 from .policy import create_policy
 from .task import Task, TaskPriority
@@ -54,6 +55,8 @@ __all__ = [
     "get_scenario",
     "list_scenarios",
     "scenario_summaries",
+    "prepare_sched_scenario",
+    "collect_sched_result",
     "run_sched_scenario",
 ]
 
@@ -248,6 +251,65 @@ def _s_mact_hostile(rng_tree: RngTree, profile: Any, n_tasks: int,
 # -- the audited scenario testbed --------------------------------------------
 
 
+@snapshotable
+class _ContextSlot:
+    """Explicit-state form of one context's dispatch loop.
+
+    Each phase boundary is one resume of the old ``_context_proc``
+    generator, issuing identical schedule/wait calls in identical order,
+    so the slot can travel through checkpoints.
+    """
+
+    __slots__ = ("bed", "ctx", "task", "phase")
+
+    def __init__(self, bed: "ScenarioTestbed", ctx: int) -> None:
+        self.bed = bed
+        self.ctx = ctx
+        self.task: Optional[Task] = None
+        self.phase = "init"
+
+    def _step(self, _payload=None) -> None:
+        bed = self.bed
+        sim = bed.sim
+        while True:
+            if self.phase == "init":
+                bed.scheduler.release_context(self.ctx)
+                bed._dispatch()
+                self.phase = "pick"
+                continue
+            if self.phase == "pick":
+                task = bed._grants.pop(self.ctx, None)
+                if task is None:
+                    if (bed._drain_pending
+                            and bed.scheduler.withdraw_context(self.ctx)):
+                        bed._drain_pending -= 1
+                        bed.drained += 1
+                        return
+                    if bed._finished >= bed._expected:
+                        return
+                    bed._wake.wait(self._step)
+                    return
+                self.task = task
+                self.phase = "start"
+                sim.schedule(bed.scheduler.decision_overhead, self._step, None)
+                return
+            if self.phase == "start":
+                task = self.task
+                task.started_at = sim.now
+                self.phase = "work"
+                sim.schedule(task.work_cycles, self._step, None)
+                return
+            # work done
+            task = self.task
+            task.finished_at = sim.now
+            self.task = None
+            bed._finished += 1
+            bed.scheduler.release_context(self.ctx)
+            bed._dispatch()
+            bed._wake.fire()        # idle contexts re-check for exit/drain
+            self.phase = "pick"
+
+
 class ScenarioTestbed:
     """A context pool driving the *full* policy protocol under audit.
 
@@ -277,6 +339,7 @@ class ScenarioTestbed:
         self._drain_pending = 0
         self.drained = 0
         self._started = False
+        self._slots: List[_ContextSlot] = []
 
     # -- script loading ----------------------------------------------------
 
@@ -327,36 +390,45 @@ class ScenarioTestbed:
             self._started_ids.add(task.task_id)
             self._grants[context] = task
 
-    def _context_proc(self, ctx: int) -> Generator:
-        self.scheduler.release_context(ctx)
-        self._dispatch()
-        while True:
-            task = self._grants.pop(ctx, None)
-            if task is None:
-                if self._drain_pending and self.scheduler.withdraw_context(ctx):
-                    self._drain_pending -= 1
-                    self.drained += 1
-                    return
-                if self._finished >= self._expected:
-                    return
-                yield self._wake
-                continue
-            yield self.scheduler.decision_overhead
-            task.started_at = self.sim.now
-            yield task.work_cycles
-            task.finished_at = self.sim.now
-            self._finished += 1
-            self.scheduler.release_context(ctx)
-            self._dispatch()
-            self._wake.fire()       # idle contexts re-check for exit/drain
+    # -- snapshot protocol --------------------------------------------------
+
+    def state_dict(self) -> dict:
+        return {
+            "tasks": list(self._tasks),
+            "expected": self._expected,
+            "finished": self._finished,
+            "grants": dict(self._grants),
+            "started_ids": set(self._started_ids),
+            "drain_pending": self._drain_pending,
+            "drained": self.drained,
+            "started": self._started,
+            "slots": list(self._slots),
+        }
+
+    def load_state(self, state: dict) -> None:
+        self._tasks = list(state["tasks"])
+        self._expected = state["expected"]
+        self._finished = state["finished"]
+        self._grants = dict(state["grants"])
+        self._started_ids = set(state["started_ids"])
+        self._drain_pending = state["drain_pending"]
+        self.drained = state["drained"]
+        self._started = state["started"]
+        self._slots = list(state["slots"])
 
     # -- running -----------------------------------------------------------
 
+    def start(self) -> None:
+        if self._started:
+            return
+        self._started = True
+        for ctx in range(self.contexts):
+            slot = _ContextSlot(self, ctx)
+            self._slots.append(slot)
+            self.sim.schedule(0, slot._step, None)
+
     def run(self) -> List[Task]:
-        if not self._started:
-            self._started = True
-            for ctx in range(self.contexts):
-                self.sim.spawn(self._context_proc(ctx), f"scenario.ctx{ctx}")
+        self.start()
         self.sim.run()
         if self.auditor is not None:
             self._end_of_run_audit()
@@ -430,7 +502,27 @@ class SchedRunResult(DictResult):
 # -- the harness --------------------------------------------------------------
 
 
-def run_sched_scenario(
+@dataclass
+class ScenarioRun:
+    """A fully-wired (policy, scenario) race, ready to simulate.
+
+    The session/checkpoint layer builds one of these, runs the simulator
+    to an arbitrary horizon, snapshots or restores the pieces, and calls
+    :func:`collect_sched_result` at the end; :func:`run_sched_scenario`
+    is the one-shot convenience wrapper over the same parts.
+    """
+
+    sim: Simulator
+    registry: StatsRegistry
+    rng: RngTree
+    scheduler: Any
+    bed: "ScenarioTestbed"
+    policy: str
+    scenario: str
+    workload: str
+
+
+def prepare_sched_scenario(
     policy: str = "laxity",
     scenario: str = "uniform",
     seed: int = 0,
@@ -440,13 +532,8 @@ def run_sched_scenario(
     config=None,
     registry: Optional[StatsRegistry] = None,
     auditor=None,
-) -> SchedRunResult:
-    """Race one registered policy against one scenario, audited.
-
-    ``registry`` collects the policy's live counters alongside the
-    result; ``auditor`` is a PR 4 :class:`~repro.sim.invariants.Auditor`
-    (or None for an unaudited run).
-    """
+) -> ScenarioRun:
+    """Build the testbed and load the scenario script (no sim run yet)."""
     if tasks <= 0:
         raise SchedulerError("need at least one task")
     profile = None
@@ -465,7 +552,45 @@ def run_sched_scenario(
     sim = Simulator()
     bed = ScenarioTestbed(sim, sched, contexts=contexts, auditor=auditor)
     bed.load(script)
-    done = bed.run()
+    return ScenarioRun(sim=sim, registry=reg, rng=rng_tree, scheduler=sched,
+                       bed=bed, policy=policy, scenario=scenario,
+                       workload=workload or "")
+
+
+def run_sched_scenario(
+    policy: str = "laxity",
+    scenario: str = "uniform",
+    seed: int = 0,
+    workload: Optional[str] = "kmp",
+    tasks: int = 128,
+    contexts: int = 64,
+    config=None,
+    registry: Optional[StatsRegistry] = None,
+    auditor=None,
+) -> SchedRunResult:
+    """Race one registered policy against one scenario, audited.
+
+    ``registry`` collects the policy's live counters alongside the
+    result; ``auditor`` is a PR 4 :class:`~repro.sim.invariants.Auditor`
+    (or None for an unaudited run).
+    """
+    run = prepare_sched_scenario(
+        policy=policy, scenario=scenario, seed=seed, workload=workload,
+        tasks=tasks, contexts=contexts, config=config, registry=registry,
+        auditor=auditor)
+    run.bed.run()
+    return collect_sched_result(run)
+
+
+def collect_sched_result(run: ScenarioRun) -> SchedRunResult:
+    """Fold a finished :class:`ScenarioRun` into a result record."""
+    bed = run.bed
+    done = list(bed._tasks)
+    sched = run.scheduler
+    policy = run.policy
+    scenario = run.scenario
+    workload = run.workload
+    contexts = bed.contexts
 
     exits = sorted(t.finished_at for t in done if t.finished_at is not None)
     responses = sorted(t.response_time for t in done
@@ -478,7 +603,7 @@ def run_sched_scenario(
     return SchedRunResult(
         policy=policy,
         scenario=scenario,
-        workload=workload or "",
+        workload=workload,
         tasks_total=len(done),
         tasks_finished=finished,
         contexts=contexts,

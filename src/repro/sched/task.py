@@ -10,15 +10,33 @@ a RAM-based chain table can keep sorted without re-walking.
 from __future__ import annotations
 
 import enum
-import itertools
 from dataclasses import dataclass, field
 from typing import Any, Optional
 
 from ..errors import SchedulerError
+from ..sim.snapshot import register_snapshot_class
 
-__all__ = ["TaskPriority", "Task"]
+__all__ = ["TaskPriority", "Task", "task_id_state", "set_task_id_state"]
 
-_task_ids = itertools.count()
+_next_task_id = 0
+
+
+def _new_task_id() -> int:
+    global _next_task_id
+    tid = _next_task_id
+    _next_task_id += 1
+    return tid
+
+
+def task_id_state() -> int:
+    """The module-global id counter's next value (for checkpoints)."""
+    return _next_task_id
+
+
+def set_task_id_state(value: int) -> None:
+    """Restore the id counter (checkpoint restore only)."""
+    global _next_task_id
+    _next_task_id = int(value)
 
 
 class TaskPriority(enum.IntEnum):
@@ -37,7 +55,7 @@ class Task:
     priority: TaskPriority = TaskPriority.NORMAL
     arrival: float = 0.0
     payload: Any = None
-    task_id: int = field(default_factory=lambda: next(_task_ids))
+    task_id: int = field(default_factory=_new_task_id)
     started_at: Optional[float] = None
     finished_at: Optional[float] = None
 
@@ -76,3 +94,6 @@ class Task:
             f"Task#{self.task_id}(work={self.work_cycles:.0f}, "
             f"deadline={self.deadline:.0f}, {self.priority.name})"
         )
+
+
+register_snapshot_class(Task)

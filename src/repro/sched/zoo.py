@@ -76,6 +76,16 @@ class SmtBalanceScheduler(SchedulerPolicy):
     def pending(self) -> int:
         return len(self._queue)
 
+    def _queue_state(self) -> dict:
+        return {"queue": list(self._queue),
+                "ctx_work": dict(self._ctx_work),
+                "long_turn": self._long_turn}
+
+    def _load_queue_state(self, state: dict) -> None:
+        self._queue = [tuple(entry) for entry in state["queue"]]
+        self._ctx_work = dict(state["ctx_work"])
+        self._long_turn = state["long_turn"]
+
     # -- allocation-aware dispatch ----------------------------------------
 
     def _on_release(self, context_id: int) -> None:
@@ -168,3 +178,9 @@ class CriticalityScheduler(SchedulerPolicy):
     @property
     def pending(self) -> int:
         return len(self._queue)
+
+    def _queue_state(self) -> list:
+        return list(self._queue)
+
+    def _load_queue_state(self, state: list) -> None:
+        self._queue = [tuple(entry) for entry in state]

@@ -1,8 +1,11 @@
 """Discrete-event simulation kernel: engine, components, stats, RNG, tracing."""
 
+from .checkpoint import (FORMAT_VERSION, Checkpoint, SnapshotScope,
+                         load_checkpoint, save_checkpoint)
 from .component import Component, InputPort, OutputPort, Port, Wire
 from .engine import EventSignal, Process, Simulator
 from .invariants import Auditor, Violation
+from .snapshot import register_snapshot_class, snapshotable
 from .rng import RngTree, derive_seed
 from .stats import (Accumulator, Counter, Histogram, StatsRegistry,
                     StatsScope, TimeWeighted, nest_flat_stats)
@@ -30,4 +33,11 @@ __all__ = [
     "TraceRecord",
     "Auditor",
     "Violation",
+    "Checkpoint",
+    "SnapshotScope",
+    "FORMAT_VERSION",
+    "save_checkpoint",
+    "load_checkpoint",
+    "register_snapshot_class",
+    "snapshotable",
 ]

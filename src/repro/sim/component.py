@@ -364,6 +364,80 @@ class Component:
         strictly opt-in.
         """
 
+    # -- snapshot protocol -----------------------------------------------------
+
+    def state_dict(self) -> Dict[str, Any]:
+        """This component's mutable state (not its children's).
+
+        The base captures port/wire delivery counters; subclasses expose
+        their own state through :meth:`extra_state`.  Values may be raw
+        Python objects (requests, FSMs, deques) — the checkpoint codec
+        handles encoding.  The checkpoint layer calls this per node along
+        the :meth:`walk` traversal, keyed by scoped path.
+        """
+        state: Dict[str, Any] = {
+            "ports": {
+                name: {
+                    "count": (port.received if isinstance(port, InputPort)
+                              else port.sent),
+                    "wires": [wire.messages for wire in port.wires],
+                }
+                for name, port in self._ports.items()
+            },
+        }
+        extra = self.extra_state()
+        if extra:
+            state["extra"] = extra
+        return state
+
+    def load_state(self, state: Dict[str, Any]) -> None:
+        """Restore :meth:`state_dict` output into this component."""
+        from ..errors import CheckpointSchemaError
+
+        for name, port_state in state["ports"].items():
+            port = self._ports.get(name)
+            if port is None:
+                raise CheckpointSchemaError(
+                    f"{self.path}: checkpoint names unknown port {name!r}")
+            if isinstance(port, InputPort):
+                port.received = port_state["count"]
+            else:
+                port.sent = port_state["count"]
+            wire_counts = port_state["wires"]
+            if len(wire_counts) != len(port.wires):
+                raise CheckpointSchemaError(
+                    f"{self.path}.{name}: wire count mismatch "
+                    f"({len(wire_counts)} saved, {len(port.wires)} built)")
+            for wire, messages in zip(port.wires, wire_counts):
+                wire.messages = messages
+        self.load_extra_state(state.get("extra", {}))
+
+    def extra_state(self) -> Dict[str, Any]:
+        """Subclass hook: mutable state beyond the port counters."""
+        return {}
+
+    def load_extra_state(self, state: Dict[str, Any]) -> None:
+        """Subclass hook: restore :meth:`extra_state` output.
+
+        The default rejects non-empty state so a class that grows
+        :meth:`extra_state` without the inverse fails loudly on restore
+        instead of silently dropping state.
+        """
+        if state:
+            from ..errors import CheckpointError
+
+            raise CheckpointError(
+                f"{self.path} ({type(self).__name__}) saved extra state "
+                f"but does not implement load_extra_state")
+
+    def snapshot_anchors(self) -> Dict[str, Any]:
+        """Subclass hook: structural non-Component sub-objects this
+        component owns (rings, links, DRAM banks), keyed by a stable
+        local name.  The checkpoint codec encodes references to anchored
+        objects by key instead of by value, so a restored reference
+        resolves to the rebuilt system's own object."""
+        return {}
+
     # -- scoped tracing --------------------------------------------------------
 
     def emit_trace(self, event: str, payload: Any = None) -> None:

@@ -22,7 +22,7 @@ from typing import Any, Callable, Generator, List, Optional, Tuple
 
 from ..errors import SimulationError
 
-__all__ = ["Simulator", "EventSignal", "Process"]
+__all__ = ["Simulator", "EventSignal", "Process", "Completion"]
 
 
 class EventSignal:
@@ -62,6 +62,57 @@ class EventSignal:
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"EventSignal({self.name!r}, waiters={len(self._waiters)})"
+
+
+class Completion:
+    """A serialisable result handle with the :class:`Process` wait surface.
+
+    Callback-FSM components (the NoC flights, DMA transfers, chip batch
+    procs) return one of these from their ``send``-style entry points so
+    callers can block on it exactly as they would on a spawned process:
+    ``finished`` / ``result`` / ``done_signal`` have identical semantics,
+    and a generator process may ``yield`` a Completion directly.  Unlike
+    a Process it holds no generator frame, so it snapshots cleanly.
+    """
+
+    __slots__ = ("sim", "name", "finished", "result", "_done_signal")
+
+    def __init__(self, sim: "Simulator", name: str = "completion") -> None:
+        self.sim = sim
+        self.name = name
+        self.finished = False
+        self.result: Any = None
+        self._done_signal: Optional[EventSignal] = None
+
+    @property
+    def done_signal(self) -> EventSignal:
+        """Signal fired (with the result) when this completion finishes."""
+        if self._done_signal is None:
+            self._done_signal = EventSignal(self.sim, f"{self.name}.done")
+        return self._done_signal
+
+    def finish(self, result: Any = None) -> None:
+        """Mark finished and wake every waiter (exactly once)."""
+        if self.finished:
+            raise SimulationError(f"completion {self.name!r} finished twice")
+        self.finished = True
+        self.result = result
+        if self._done_signal is not None:
+            self._done_signal.fire(result)
+
+    def wait(self, callback: Callable[[Any], None]) -> None:
+        """Run ``callback(result)`` when finished, mirroring the engine's
+        process-wait protocol: already-finished completions schedule a
+        zero-delay wakeup (one sequence number), pending ones register on
+        the done signal (no sequence number until the fire)."""
+        if self.finished:
+            self.sim.schedule(0, callback, self.result)
+        else:
+            self.done_signal.wait(callback)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "finished" if self.finished else "pending"
+        return f"Completion({self.name!r}, {state})"
 
 
 class Process:
@@ -105,7 +156,7 @@ class Process:
             return
         if isinstance(yielded, EventSignal):
             yielded.wait(self._step)
-        elif isinstance(yielded, Process):
+        elif isinstance(yielded, (Process, Completion)):
             if yielded.finished:
                 # already done: resume immediately with its result instead
                 # of waiting on a done_signal that will never fire again
@@ -147,7 +198,7 @@ class Simulator:
     """
 
     __slots__ = ("now", "_queue", "_seq", "_running", "events_executed",
-                 "_due", "_due_head")
+                 "_due", "_due_head", "_signals")
 
     #: consumed due-lane prefix is garbage-collected past this length
     _DUE_COMPACT = 8192
@@ -161,6 +212,9 @@ class Simulator:
         #: zero-delay events due at the current time: (seq, fn, args)
         self._due: List[Tuple[int, Callable, tuple]] = []
         self._due_head = 0      # consumed prefix of _due
+        #: signals created via :meth:`signal`, keyed by a unique name —
+        #: the anchor table checkpoints resolve signal references against
+        self._signals: dict = {}
 
     # -- scheduling ---------------------------------------------------------
 
@@ -192,8 +246,71 @@ class Simulator:
         return proc
 
     def signal(self, name: str = "") -> EventSignal:
-        """Create a new :class:`EventSignal` bound to this simulator."""
-        return EventSignal(self, name)
+        """Create a new :class:`EventSignal` bound to this simulator.
+
+        The signal is registered under a unique key (the name, suffixed
+        on collision) so checkpoints can reference it by identity;
+        creation order is deterministic, so the keys are stable across
+        identically-built systems.
+        """
+        sig = EventSignal(self, name)
+        key = name
+        n = 1
+        while key in self._signals:
+            key = f"{name}#{n}"
+            n += 1
+        self._signals[key] = sig
+        return sig
+
+    def signals(self) -> dict:
+        """The registered signals, keyed by their unique registry name."""
+        return dict(self._signals)
+
+    # -- snapshot protocol ---------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """The kernel's live state, with raw callables in the queues.
+
+        The checkpoint codec encodes the callables as descriptors; this
+        method only gathers.  Signal waiter lists are included so blocked
+        callbacks survive the round-trip.
+        """
+        if self._running:
+            raise SimulationError("cannot snapshot while run() is active")
+        return {
+            "now": self.now,
+            "seq": self._seq,
+            "events_executed": self.events_executed,
+            "queue": list(self._queue),
+            "due": list(self._due[self._due_head:]),
+            "signals": {key: {"waiters": list(sig._waiters),
+                              "fire_count": sig.fire_count,
+                              "last_payload": sig.last_payload}
+                        for key, sig in self._signals.items()},
+        }
+
+    def load_state(self, state: dict) -> None:
+        """Restore :meth:`state_dict` output (queues replaced verbatim).
+
+        Restoring the heap list as-is preserves pop order exactly —
+        heapq ordering is a function of the entries alone.
+        """
+        if self._running:
+            raise SimulationError("cannot restore while run() is active")
+        self.now = state["now"]
+        self._seq = state["seq"]
+        self.events_executed = state["events_executed"]
+        self._queue = [tuple(entry) for entry in state["queue"]]
+        self._due = [tuple(entry) for entry in state["due"]]
+        self._due_head = 0
+        for key, sig_state in state["signals"].items():
+            sig = self._signals.get(key)
+            if sig is None:
+                raise SimulationError(
+                    f"checkpoint names unknown signal {key!r}")
+            sig._waiters = list(sig_state["waiters"])
+            sig.fire_count = sig_state["fire_count"]
+            sig.last_payload = sig_state["last_payload"]
 
     # -- execution ----------------------------------------------------------
 
@@ -346,3 +463,14 @@ class Simulator:
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Simulator(now={self.now}, pending={self.pending()})"
+
+
+# Floating engine objects that may be reachable from checkpointed state:
+# unregistered EventSignals (completion done-signals) and Completions
+# travel by value; anchored signals take the anchor path first.  Process
+# is deliberately NOT registered — a generator frame reachable from a
+# snapshot is a hard error, surfaced by the codec.
+from .snapshot import register_snapshot_class as _register_snapshot_class
+
+_register_snapshot_class(EventSignal)
+_register_snapshot_class(Completion)

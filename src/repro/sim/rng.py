@@ -4,15 +4,26 @@ Every stochastic component draws from its own named child stream derived
 from one root seed, so adding a component (or reordering draws inside one)
 never perturbs the streams of the others.  This is what makes the benches
 reproducible run-to-run and diffable across code changes.
+
+A tree is fully enumerable: :meth:`RngTree.child` registers the sub-tree
+on its parent (historically it did not, so full-state walks silently
+missed namespaced streams), :meth:`RngTree.items` walks every stream of
+the subtree with scoped names, and :meth:`RngTree.state_dict` /
+:meth:`RngTree.load_state` round-trip the exact generator state of every
+stream — the hook the checkpoint layer uses.
 """
 
 from __future__ import annotations
 
 import hashlib
 import random
-from typing import Dict
+from typing import Any, Dict, Iterator, Tuple
 
 __all__ = ["RngTree", "derive_seed"]
+
+#: separator between tree levels in scoped stream names (stream names
+#: themselves use dots, so "/" is unambiguous)
+_SEP = "/"
 
 
 def derive_seed(root_seed: int, name: str) -> int:
@@ -27,6 +38,7 @@ class RngTree:
     def __init__(self, root_seed: int = 0) -> None:
         self.root_seed = root_seed
         self._streams: Dict[str, random.Random] = {}
+        self._children: Dict[str, "RngTree"] = {}
 
     def stream(self, name: str) -> random.Random:
         """Return the stream for ``name``, creating it on first use.
@@ -41,8 +53,65 @@ class RngTree:
         return rng
 
     def child(self, name: str) -> "RngTree":
-        """A sub-tree whose streams are namespaced under ``name``."""
-        return RngTree(derive_seed(self.root_seed, f"tree:{name}"))
+        """The sub-tree whose streams are namespaced under ``name``.
+
+        The sub-tree is registered on this tree, so repeated calls return
+        the same object and :meth:`items` / :meth:`state_dict` see it.
+        """
+        tree = self._children.get(name)
+        if tree is None:
+            tree = RngTree(derive_seed(self.root_seed, f"tree:{name}"))
+            self._children[name] = tree
+        return tree
+
+    # -- enumeration ---------------------------------------------------------
+
+    def items(self, prefix: str = "") -> Iterator[Tuple[str, random.Random]]:
+        """Every (scoped name, stream) of this subtree, depth-first.
+
+        Scoped names join tree levels with ``/``:
+        ``child("a").stream("x")`` appears as ``"a/x"``.
+        """
+        for name, rng in self._streams.items():
+            yield prefix + name, rng
+        for cname, tree in self._children.items():
+            yield from tree.items(f"{prefix}{cname}{_SEP}")
+
+    def resolve(self, scoped: str) -> random.Random:
+        """The stream for a scoped name from :meth:`items` (creates the
+        path on demand, so restore order never matters)."""
+        tree = self
+        parts = scoped.split(_SEP)
+        for cname in parts[:-1]:
+            tree = tree.child(cname)
+        return tree.stream(parts[-1])
+
+    # -- snapshot protocol ---------------------------------------------------
+
+    def state_dict(self) -> Dict[str, Any]:
+        """Exact generator state of every stream in this subtree."""
+        return {
+            "root_seed": self.root_seed,
+            "streams": {name: rng.getstate()
+                        for name, rng in self._streams.items()},
+            "children": {name: tree.state_dict()
+                         for name, tree in self._children.items()},
+        }
+
+    def load_state(self, state: Dict[str, Any]) -> None:
+        """Restore :meth:`state_dict` output (streams created on demand)."""
+        for name, gen_state in state["streams"].items():
+            self.stream(name).setstate(_as_random_state(gen_state))
+        for name, sub_state in state["children"].items():
+            self.child(name).load_state(sub_state)
 
     def __repr__(self) -> str:  # pragma: no cover
-        return f"RngTree(root_seed={self.root_seed}, streams={len(self._streams)})"
+        return (f"RngTree(root_seed={self.root_seed}, "
+                f"streams={len(self._streams)}, "
+                f"children={len(self._children)})")
+
+
+def _as_random_state(state: Any) -> Tuple:
+    """Coerce a (possibly JSON-roundtripped) getstate() back to tuples."""
+    version, internal, gauss = state
+    return version, tuple(internal), gauss

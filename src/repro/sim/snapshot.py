@@ -1,0 +1,293 @@
+"""The snapshot codec: live simulator state <-> JSON-safe blobs.
+
+Checkpointing a discrete-event simulation means serialising an object
+graph that contains things ``pickle`` either cannot handle or must not
+handle (callables bound into the event queue, components that must keep
+their identity across a restore).  This codec makes the problem tractable
+with three rules:
+
+* **Anchored objects** — structural objects that exist after the system
+  is rebuilt from its request (components, rings, links, DRAM banks,
+  registered signals, the simulator itself, named RNG streams) — are
+  encoded *by reference* to a stable key.  Restoring resolves the key
+  against the rebuilt system, and the object's own mutable state travels
+  separately through the owner's ``state_dict()``.
+* **Floating objects** — per-run dynamic state (in-flight requests,
+  packets, FSM flight records, tasks, hardware threads) — are encoded
+  *by value* under a registered class name, with a memo table so shared
+  references and cycles decode to shared objects.
+* **Callables** are encoded as descriptors: a bound method is (owner
+  reference, method name); a ``functools.partial`` is (inner callable,
+  args); a module-level function is (module, qualname).  Anything else —
+  lambdas, closures, generator-bound methods — raises
+  :class:`~repro.errors.CheckpointError`, loudly, at save time.
+
+Every container value is JSON-safe: tuples, sets, deques, ordered dicts,
+non-string dict keys, bytes and enums are tagged; plain lists, strings,
+numbers and None pass through.
+"""
+
+from __future__ import annotations
+
+import base64
+import enum
+import functools
+import importlib
+import random
+import types
+from collections import OrderedDict, deque
+from typing import Any, Callable, Dict, List, Optional, Tuple, Type
+
+from ..errors import CheckpointError
+
+__all__ = [
+    "register_snapshot_class",
+    "snapshotable",
+    "snapshot_class_names",
+    "SnapshotEncoder",
+    "SnapshotDecoder",
+]
+
+#: registered floating classes, by stable name
+_CLASSES: Dict[str, type] = {}
+_CLASS_NAMES: Dict[type, str] = {}
+
+
+def register_snapshot_class(cls: type, name: Optional[str] = None) -> type:
+    """Register ``cls`` so instances may travel through checkpoints."""
+    key = name if name is not None else f"{cls.__module__}:{cls.__qualname__}"
+    existing = _CLASSES.get(key)
+    if existing is not None and existing is not cls:
+        raise CheckpointError(f"duplicate snapshot class name {key!r}")
+    _CLASSES[key] = cls
+    _CLASS_NAMES[cls] = key
+    return cls
+
+
+def snapshotable(cls: type) -> type:
+    """Class decorator form of :func:`register_snapshot_class`."""
+    return register_snapshot_class(cls)
+
+
+def snapshot_class_names() -> List[str]:
+    """Sorted names of every registered snapshot class."""
+    return sorted(_CLASSES)
+
+
+def _object_fields(obj: Any) -> Dict[str, Any]:
+    """Every live attribute of ``obj`` (instance dict plus slots)."""
+    fields: Dict[str, Any] = {}
+    for klass in type(obj).__mro__:
+        for slot in getattr(klass, "__slots__", ()):
+            if slot != "__dict__" and hasattr(obj, slot):
+                fields[slot] = getattr(obj, slot)
+    if hasattr(obj, "__dict__"):
+        fields.update(obj.__dict__)
+    return fields
+
+
+class SnapshotEncoder:
+    """One-pass encoder over a state body; collects a shared memo table."""
+
+    def __init__(self, anchors: Dict[str, Any],
+                 rng_names: Optional[Dict[int, str]] = None) -> None:
+        self._anchors = anchors
+        self._anchor_by_id = {id(obj): key for key, obj in anchors.items()}
+        self._rng_names = rng_names if rng_names is not None else {}
+        self._memo: Dict[int, int] = {}
+        self._keepalive: List[Any] = []     # pin ids for the encoder's life
+        self._next_id = 0
+        #: memo id -> {"c": class name, "f": {field: encoded}}
+        self.objects: Dict[str, Dict[str, Any]] = {}
+
+    # -- entry point ---------------------------------------------------------
+
+    def encode(self, value: Any) -> Any:
+        if value is None or value is True or value is False:
+            return value
+        t = type(value)
+        if t is int or t is str or t is float:
+            return value
+        if t is list:
+            return [self.encode(item) for item in value]
+        if t is tuple:
+            return {"t": "tuple", "v": [self.encode(x) for x in value]}
+        if t is dict:
+            return self._encode_dict("dict", value.items())
+        if t is OrderedDict:
+            return self._encode_dict("odict", value.items())
+        if t is set or t is frozenset:
+            tag = "set" if t is set else "frozenset"
+            return {"t": tag, "v": [self.encode(x) for x in value]}
+        if t is deque:
+            return {"t": "deque", "v": [self.encode(x) for x in value],
+                    "maxlen": value.maxlen}
+        if t is bytes:
+            return {"t": "bytes", "v": base64.b64encode(value).decode()}
+        if t is bytearray:
+            return {"t": "bytearray",
+                    "v": base64.b64encode(bytes(value)).decode()}
+        key = self._anchor_by_id.get(id(value))
+        if key is not None:
+            return {"t": "anchor", "k": key}
+        if isinstance(value, tuple) and hasattr(t, "_fields"):
+            return {"t": "ntuple", "m": t.__module__, "c": t.__qualname__,
+                    "v": [self.encode(x) for x in value]}
+        if isinstance(value, enum.Enum):
+            return {"t": "enum", "m": t.__module__, "c": t.__qualname__,
+                    "v": value.value}
+        if t is random.Random:
+            name = self._rng_names.get(id(value))
+            if name is None:
+                raise CheckpointError(
+                    "a random.Random outside the run's RngTree is "
+                    "reachable from snapshot state; draw from named "
+                    "streams so checkpoints can identify generators")
+            return {"t": "rng", "k": name}
+        if isinstance(value, types.MethodType):
+            return {"t": "method", "o": self.encode(value.__self__),
+                    "n": value.__func__.__name__}
+        if isinstance(value, functools.partial):
+            if value.keywords:
+                raise CheckpointError(
+                    "partial() with keyword arguments is not snapshotable; "
+                    "use positional binding")
+            return {"t": "partial", "f": self.encode(value.func),
+                    "a": [self.encode(a) for a in value.args]}
+        if isinstance(value, (types.FunctionType, types.BuiltinFunctionType)):
+            return self._encode_function(value)
+        reg_name = _CLASS_NAMES.get(t)
+        if reg_name is not None:
+            return self._encode_object(value, reg_name)
+        raise CheckpointError(
+            f"cannot snapshot live object of type "
+            f"{t.__module__}.{t.__qualname__}: not a registered snapshot "
+            f"class, anchor, or supported container (value: {value!r})")
+
+    # -- helpers -------------------------------------------------------------
+
+    def _encode_dict(self, tag: str, items: Any) -> Dict[str, Any]:
+        return {"t": tag,
+                "v": [[self.encode(k), self.encode(v)] for k, v in items]}
+
+    def _encode_function(self, fn: Any) -> Dict[str, Any]:
+        module = getattr(fn, "__module__", None)
+        qualname = getattr(fn, "__qualname__", "")
+        if (module is None or "<locals>" in qualname
+                or "<lambda>" in qualname):
+            raise CheckpointError(
+                f"cannot snapshot closure/lambda callable {qualname!r} "
+                f"from module {module!r}; checkpointable paths must use "
+                f"bound methods or module-level functions")
+        resolved = getattr(importlib.import_module(module), qualname, None)
+        if resolved is not fn:
+            raise CheckpointError(
+                f"function {module}.{qualname} is not resolvable back to "
+                f"itself; cannot snapshot")
+        return {"t": "func", "m": module, "n": qualname}
+
+    def _encode_object(self, obj: Any, reg_name: str) -> Dict[str, Any]:
+        oid = self._memo.get(id(obj))
+        if oid is None:
+            self._next_id += 1
+            oid = self._next_id
+            self._memo[id(obj)] = oid
+            self._keepalive.append(obj)
+            record: Dict[str, Any] = {"c": reg_name, "f": {}}
+            self.objects[str(oid)] = record
+            getter = getattr(obj, "snapshot_fields", None)
+            fields = getter() if getter is not None else _object_fields(obj)
+            record["f"] = {name: self.encode(value)
+                           for name, value in fields.items()}
+        return {"t": "ref", "i": oid}
+
+
+class SnapshotDecoder:
+    """Inverse of :class:`SnapshotEncoder`; two-phase for cyclic graphs."""
+
+    def __init__(self, anchors: Dict[str, Any],
+                 objects: Dict[str, Dict[str, Any]],
+                 rng_resolver: Optional[Callable[[str], random.Random]] = None,
+                 ) -> None:
+        self._anchors = anchors
+        self._objects = objects
+        self._rng_resolver = rng_resolver
+        self._made: Dict[int, Any] = {}
+
+    def decode(self, enc: Any) -> Any:
+        if enc is None or isinstance(enc, (bool, int, float, str)):
+            return enc
+        if isinstance(enc, list):
+            return [self.decode(item) for item in enc]
+        tag = enc["t"]
+        if tag == "tuple":
+            return tuple(self.decode(x) for x in enc["v"])
+        if tag == "dict":
+            return {self.decode(k): self.decode(v) for k, v in enc["v"]}
+        if tag == "odict":
+            return OrderedDict(
+                (self.decode(k), self.decode(v)) for k, v in enc["v"])
+        if tag == "set":
+            return {self.decode(x) for x in enc["v"]}
+        if tag == "frozenset":
+            return frozenset(self.decode(x) for x in enc["v"])
+        if tag == "deque":
+            return deque((self.decode(x) for x in enc["v"]),
+                         maxlen=enc["maxlen"])
+        if tag == "bytes":
+            return base64.b64decode(enc["v"])
+        if tag == "bytearray":
+            return bytearray(base64.b64decode(enc["v"]))
+        if tag == "anchor":
+            try:
+                return self._anchors[enc["k"]]
+            except KeyError:
+                raise CheckpointError(
+                    f"checkpoint references unknown anchor {enc['k']!r}; "
+                    f"the rebuilt system has a different structure") from None
+        if tag == "ntuple":
+            cls = getattr(importlib.import_module(enc["m"]), enc["c"])
+            return cls(*(self.decode(x) for x in enc["v"]))
+        if tag == "enum":
+            cls = getattr(importlib.import_module(enc["m"]), enc["c"])
+            return cls(self.decode(enc["v"]))
+        if tag == "rng":
+            if self._rng_resolver is None:
+                raise CheckpointError(
+                    "checkpoint references an RNG stream but no RngTree "
+                    "was provided for the restore")
+            return self._rng_resolver(enc["k"])
+        if tag == "method":
+            owner = self.decode(enc["o"])
+            return getattr(owner, enc["n"])
+        if tag == "partial":
+            return functools.partial(
+                self.decode(enc["f"]),
+                *[self.decode(a) for a in enc["a"]])
+        if tag == "func":
+            return getattr(importlib.import_module(enc["m"]), enc["n"])
+        if tag == "ref":
+            return self._decode_ref(enc["i"])
+        raise CheckpointError(f"unknown snapshot tag {tag!r}")
+
+    def _decode_ref(self, oid: int) -> Any:
+        made = self._made.get(oid)
+        if made is not None:
+            return made
+        record = self._objects[str(oid)]
+        cls = _CLASSES.get(record["c"])
+        if cls is None:
+            raise CheckpointError(
+                f"checkpoint contains unregistered snapshot class "
+                f"{record['c']!r}")
+        shell = cls.__new__(cls)
+        self._made[oid] = shell
+        setter = getattr(shell, "snapshot_restore", None)
+        fields = {name: self.decode(value)
+                  for name, value in record["f"].items()}
+        if setter is not None:
+            setter(fields)
+        else:
+            for name, value in fields.items():
+                object.__setattr__(shell, name, value)
+        return shell

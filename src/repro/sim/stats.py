@@ -40,6 +40,12 @@ class Counter:
     def snapshot(self) -> Dict[str, float]:
         return {self.name: self.value}
 
+    def state_dict(self) -> Dict[str, float]:
+        return {"value": self.value}
+
+    def load_state(self, state: Dict[str, float]) -> None:
+        self.value = state["value"]
+
     def __repr__(self) -> str:  # pragma: no cover
         return f"Counter({self.name}={self.value})"
 
@@ -94,6 +100,18 @@ class Accumulator:
             f"{self.name}.min": self.min if self.count else 0.0,
             f"{self.name}.max": self.max if self.count else 0.0,
         }
+
+    def state_dict(self) -> Dict[str, float]:
+        return {"count": self.count, "mean": self._mean, "m2": self._m2,
+                "min": self.min, "max": self.max, "total": self.total}
+
+    def load_state(self, state: Dict[str, float]) -> None:
+        self.count = state["count"]
+        self._mean = state["mean"]
+        self._m2 = state["m2"]
+        self.min = state["min"]
+        self.max = state["max"]
+        self.total = state["total"]
 
     def __repr__(self) -> str:  # pragma: no cover
         return f"Accumulator({self.name}: n={self.count}, mean={self.mean:.3f})"
@@ -153,6 +171,15 @@ class Histogram:
             out[f"{self.name}[{label}]"] = frac
         return out
 
+    def state_dict(self) -> Dict[str, object]:
+        return {"counts": list(self.counts), "count": self.count,
+                "samples_total": self._samples_total}
+
+    def load_state(self, state: Dict[str, object]) -> None:
+        self.counts = list(state["counts"])
+        self.count = state["count"]
+        self._samples_total = state["samples_total"]
+
     def __repr__(self) -> str:  # pragma: no cover
         return f"Histogram({self.name}, n={self.count})"
 
@@ -201,6 +228,16 @@ class TimeWeighted:
 
     def snapshot(self) -> Dict[str, float]:
         return {f"{self.name}.level": self._level, f"{self.name}.max": self._max_level}
+
+    def state_dict(self) -> Dict[str, float]:
+        return {"level": self._level, "last_time": self._last_time,
+                "area": self._area, "max_level": self._max_level}
+
+    def load_state(self, state: Dict[str, float]) -> None:
+        self._level = state["level"]
+        self._last_time = state["last_time"]
+        self._area = state["area"]
+        self._max_level = state["max_level"]
 
     def __repr__(self) -> str:  # pragma: no cover
         return f"TimeWeighted({self.name}, level={self._level})"
@@ -272,6 +309,28 @@ class StatsRegistry:
     def scope(self, prefix: str) -> "StatsScope":
         """A view of this registry that prefixes every name with ``prefix``."""
         return StatsScope(self, prefix)
+
+    def stats(self) -> Dict[str, object]:
+        """The live stat objects, keyed by registered name."""
+        return dict(self._stats)
+
+    def state_dict(self) -> Dict[str, Dict[str, object]]:
+        """Per-stat internal state keyed by registered name (checkpoint)."""
+        return {name: stat.state_dict()
+                for name, stat in self._stats.items()}
+
+    def load_state(self, state: Dict[str, Dict[str, object]]) -> None:
+        """Restore :meth:`state_dict` output into the registered stats.
+
+        Every saved name must resolve to an already-registered stat: the
+        registry's membership is structural (it is rebuilt by the system
+        constructors), only the values travel through a checkpoint.
+        """
+        for name, stat_state in state.items():
+            stat = self._stats.get(name)
+            if stat is None:
+                raise KeyError(f"checkpoint names unknown stat {name!r}")
+            stat.load_state(stat_state)
 
 
 def nest_flat_stats(flat: Dict[str, float]) -> Dict[str, object]:

@@ -55,6 +55,16 @@ class TraceBuffer:
         self._records.clear()
         self.dropped = 0
 
+    def state_dict(self) -> dict:
+        return {"records": [tuple(rec) for rec in self._records],
+                "dropped": self.dropped, "enabled": self.enabled}
+
+    def load_state(self, state: dict) -> None:
+        self._records.clear()
+        self._records.extend(TraceRecord(*rec) for rec in state["records"])
+        self.dropped = state["dropped"]
+        self.enabled = state["enabled"]
+
     def __len__(self) -> int:
         return len(self._records)
 

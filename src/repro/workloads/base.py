@@ -26,8 +26,10 @@ from ..core.stream import CoreInstr
 from ..core.tcg import UNCACHED_BASE
 from ..errors import WorkloadError
 from ..noc.traffic import GranularityDist
+from ..sim.snapshot import register_snapshot_class, snapshotable
 
-__all__ = ["WorkloadProfile", "register_profile", "get_profile", "all_profiles"]
+__all__ = ["WorkloadProfile", "InstrStream", "register_profile",
+           "get_profile", "all_profiles"]
 
 # Cacheable-heap layout: each (core, thread) gets a private region so cache
 # contention between threads is real, as on the paper's testbed.
@@ -96,85 +98,18 @@ class WorkloadProfile:
         gang_size: int = 1,
         gang_rank: int = 0,
         gang_base: Optional[int] = None,
-    ) -> Iterator[CoreInstr]:
-        """Generate ``n_instrs`` pipeline records for one SmarCo thread.
+    ) -> "InstrStream":
+        """Build an ``n_instrs``-long pipeline stream for one SmarCo thread.
 
         ``gang_size``/``gang_rank``/``gang_base`` describe the thread's
         position in a gang processing one shared dataset round-robin
         (e.g. all threads of a sub-ring); with the default gang of one,
         shared accesses degenerate to a private stream.
         """
-        from ..mem.spm import SPM_REGION_BASE
-
-        if spm_base is None:
-            spm_base = SPM_REGION_BASE
-        heap = HEAP_BASE + thread_id * THREAD_REGION
-        # random start offset spreads streams over channels and banks
-        stream_ptr = (UNCACHED_BASE + (thread_id + 1) * THREAD_REGION
-                      + rng.randrange(THREAD_REGION // 2))
-        if gang_base is None:
-            gang_base = UNCACHED_BASE + self._shared_region_offset()
-        # Block-partitioned shared dataset: the thread owns every
-        # gang_size-th 256B chunk and walks each chunk sequentially, so
-        # its own small stores are contiguous (they merge in the MACT)
-        # and neighbouring threads work adjacent chunks.
-        chunk_bytes = 256
-        chunk_count = 0
-        chunk_idx = gang_rank
-        intra = 0
-        pending_stores = 0
-        code_pcs = max(1, self.code_footprint_bytes // 4)
-        pc = 0
-        p_mem = self.mem_ratio
-        p_branch = p_mem + self.branch_ratio
-        p_mul = p_branch + self.mul_ratio
-        def shared_addr(size: int) -> int:
-            nonlocal chunk_count, chunk_idx, intra
-            if intra + size > chunk_bytes:
-                chunk_count += 1
-                chunk_idx = chunk_count * gang_size + gang_rank
-                intra = 0
-            addr = gang_base + (chunk_idx * chunk_bytes + intra) % self.shared_window_bytes
-            intra += size
-            return addr
-
-        for _ in range(n_instrs):
-            pc = (pc + 1) % code_pcs
-            if pending_stores:
-                # tail of a store burst: contiguous output elements
-                pending_stores -= 1
-                size = self.granularity.sample(rng)
-                yield CoreInstr("store", addr=shared_addr(size), size=size, pc=pc)
-                continue
-            draw = rng.random()
-            if draw < p_mem:
-                size = self.granularity.sample(rng)
-                is_write = rng.random() < 0.25
-                kind = "store" if is_write else "load"
-                mem_draw = rng.random()
-                if mem_draw < self.spm_fraction:
-                    addr = spm_base + rng.randrange(max(1, spm_bytes - 256 - size))
-                elif mem_draw < self.spm_fraction + self.uncached_fraction:
-                    if rng.random() < self.shared_uncached_fraction:
-                        addr = shared_addr(size)
-                        if is_write:
-                            pending_stores = 1 + rng.randrange(3)
-                    else:
-                        if rng.random() < self.streaming_locality:
-                            stream_ptr += size
-                        else:
-                            stream_ptr += size * rng.randrange(2, 64)
-                        addr = stream_ptr
-                else:
-                    addr = heap + rng.randrange(self.working_set_bytes)
-                yield CoreInstr(kind, addr=addr, size=size, pc=pc)
-            elif draw < p_branch:
-                taken = rng.random() < self.branch_taken_ratio
-                yield CoreInstr("branch", pc=pc, taken=taken)
-            elif draw < p_mul:
-                yield CoreInstr("mul", pc=pc)
-            else:
-                yield CoreInstr("alu", pc=pc)
+        return InstrStream(self, n_instrs, rng, thread_id=thread_id,
+                           spm_base=spm_base, spm_bytes=spm_bytes,
+                           gang_size=gang_size, gang_rank=gang_rank,
+                           gang_base=gang_base)
 
     def _shared_region_offset(self) -> int:
         """Stable per-profile placement of the shared gang dataset (keeps
@@ -189,50 +124,17 @@ class WorkloadProfile:
 
     def xeon_data_sampler(
         self, thread_id: int, rng: random.Random
-    ) -> Callable[[], Tuple[int, int, bool]]:
+    ) -> "XeonDataSampler":
         """Data-address sampler for the baseline quantum model.
 
         SPM-resident accesses become cacheable accesses on the Xeon; the
         streaming fraction walks sequentially (prefetch-friendly but
         cache-polluting), the rest hits the thread's working set.
         """
-        heap = HEAP_BASE + thread_id * THREAD_REGION
-        # the data SmarCo would stage in SPM lives in ordinary cacheable
-        # memory here — per-thread slices so cache contention is real
-        dataset = HEAP_BASE + (1 << 40) + thread_id * THREAD_REGION
-        gang_base = UNCACHED_BASE + self._shared_region_offset()
-        chunk_bytes = 256
-        state = {"stream": UNCACHED_BASE + (thread_id + 1) * THREAD_REGION
-                 + rng.randrange(THREAD_REGION // 2),
-                 "chunk": thread_id % 48, "count": 0, "intra": 0}
-
-        def sample() -> Tuple[int, int, bool]:
-            size = self.granularity.sample(rng)
-            is_write = rng.random() < 0.25
-            draw = rng.random()
-            if draw < self.uncached_fraction:
-                if rng.random() < self.shared_uncached_fraction:
-                    # chunked slice of the gang-shared dataset
-                    if state["intra"] + size > chunk_bytes:
-                        state["count"] += 1
-                        state["chunk"] = state["count"] * 48 + (thread_id % 48)
-                        state["intra"] = 0
-                    addr = gang_base + (
-                        state["chunk"] * chunk_bytes + state["intra"]
-                    ) % self.shared_window_bytes
-                    state["intra"] += size
-                    return addr, size, is_write
-                state["stream"] += size * rng.randrange(1, 16)
-                return state["stream"], size, is_write
-            if draw < self.uncached_fraction + self.spm_fraction:
-                return (dataset + rng.randrange(self.xeon_dataset_bytes),
-                        size, is_write)
-            return heap + rng.randrange(self.working_set_bytes), size, is_write
-
-        return sample
+        return XeonDataSampler(self, thread_id, rng)
 
     def xeon_code_sampler(self, rng: random.Random,
-                          thread_id: int = 0) -> Callable[[], int]:
+                          thread_id: int = 0) -> "XeonCodeSampler":
         """Instruction-address sampler.
 
         Threads exercise different request types / service phases, so each
@@ -240,13 +142,216 @@ class WorkloadProfile:
         co-resident threads then contend for the L1I (Fig 1b's rising
         starvation).
         """
-        base = CODE_BASE + thread_id * self.code_footprint_bytes
+        return XeonCodeSampler(self, rng, thread_id)
 
-        def sample() -> int:
-            return base + rng.randrange(self.code_footprint_bytes)
 
-        return sample
+@snapshotable
+class InstrStream:
+    """Explicit-state form of the TCG instruction generator.
 
+    Behaves exactly like the generator it replaced — same per-instruction
+    RNG draw order, and the initial stream-pointer draw happens lazily on
+    the first ``__next__`` (several streams may share one generator, so
+    construction order must not consume entropy) — but every local is an
+    attribute, so a checkpoint can freeze a thread mid-stream.
+
+    ``retarget`` moves the instruction budget without disturbing any
+    positional state; warm-started sweep points use it to extend a
+    restored prefix to the point's own budget.
+    """
+
+    def __init__(
+        self,
+        profile: WorkloadProfile,
+        n_instrs: int,
+        rng: random.Random,
+        thread_id: int = 0,
+        spm_base: Optional[int] = None,
+        spm_bytes: int = 128 * 1024,
+        gang_size: int = 1,
+        gang_rank: int = 0,
+        gang_base: Optional[int] = None,
+    ) -> None:
+        self.profile = profile
+        self.total = n_instrs
+        self.emitted = 0
+        self.rng = rng
+        self.thread_id = thread_id
+        self.spm_base = spm_base
+        self.spm_bytes = spm_bytes
+        self.gang_size = gang_size
+        self.gang_rank = gang_rank
+        self.gang_base = gang_base
+        self.started = False
+        # positional state, filled in by _start()
+        self.heap = 0
+        self.stream_ptr = 0
+        self.chunk_bytes = 256
+        self.chunk_count = 0
+        self.chunk_idx = gang_rank
+        self.intra = 0
+        self.pending_stores = 0
+        self.code_pcs = max(1, profile.code_footprint_bytes // 4)
+        self.pc = 0
+
+    def _start(self) -> None:
+        from ..mem.spm import SPM_REGION_BASE
+
+        profile = self.profile
+        if self.spm_base is None:
+            self.spm_base = SPM_REGION_BASE
+        self.heap = HEAP_BASE + self.thread_id * THREAD_REGION
+        # random start offset spreads streams over channels and banks
+        self.stream_ptr = (
+            UNCACHED_BASE + (self.thread_id + 1) * THREAD_REGION
+            + self.rng.randrange(THREAD_REGION // 2))
+        if self.gang_base is None:
+            self.gang_base = UNCACHED_BASE + profile._shared_region_offset()
+        self.started = True
+
+    def retarget(self, n_instrs: int) -> None:
+        """Change the total instruction budget (used by warm starts)."""
+        if n_instrs < self.emitted:
+            raise WorkloadError(
+                f"cannot retarget stream to {n_instrs} instructions; "
+                f"{self.emitted} already emitted")
+        self.total = n_instrs
+
+    # Block-partitioned shared dataset: the thread owns every
+    # gang_size-th 256B chunk and walks each chunk sequentially, so
+    # its own small stores are contiguous (they merge in the MACT)
+    # and neighbouring threads work adjacent chunks.
+    def _shared_addr(self, size: int) -> int:
+        if self.intra + size > self.chunk_bytes:
+            self.chunk_count += 1
+            self.chunk_idx = self.chunk_count * self.gang_size + self.gang_rank
+            self.intra = 0
+        addr = self.gang_base + (
+            self.chunk_idx * self.chunk_bytes + self.intra
+        ) % self.profile.shared_window_bytes
+        self.intra += size
+        return addr
+
+    def __iter__(self) -> "InstrStream":
+        return self
+
+    def __next__(self) -> CoreInstr:
+        if self.emitted >= self.total:
+            raise StopIteration
+        if not self.started:
+            self._start()
+        self.emitted += 1
+        profile = self.profile
+        rng = self.rng
+        self.pc = (self.pc + 1) % self.code_pcs
+        pc = self.pc
+        if self.pending_stores:
+            # tail of a store burst: contiguous output elements
+            self.pending_stores -= 1
+            size = profile.granularity.sample(rng)
+            return CoreInstr("store", addr=self._shared_addr(size),
+                             size=size, pc=pc)
+        draw = rng.random()
+        p_mem = profile.mem_ratio
+        p_branch = p_mem + profile.branch_ratio
+        p_mul = p_branch + profile.mul_ratio
+        if draw < p_mem:
+            size = profile.granularity.sample(rng)
+            is_write = rng.random() < 0.25
+            kind = "store" if is_write else "load"
+            mem_draw = rng.random()
+            if mem_draw < profile.spm_fraction:
+                addr = self.spm_base + rng.randrange(
+                    max(1, self.spm_bytes - 256 - size))
+            elif mem_draw < profile.spm_fraction + profile.uncached_fraction:
+                if rng.random() < profile.shared_uncached_fraction:
+                    addr = self._shared_addr(size)
+                    if is_write:
+                        self.pending_stores = 1 + rng.randrange(3)
+                else:
+                    if rng.random() < profile.streaming_locality:
+                        self.stream_ptr += size
+                    else:
+                        self.stream_ptr += size * rng.randrange(2, 64)
+                    addr = self.stream_ptr
+            else:
+                addr = self.heap + rng.randrange(profile.working_set_bytes)
+            return CoreInstr(kind, addr=addr, size=size, pc=pc)
+        if draw < p_branch:
+            taken = rng.random() < profile.branch_taken_ratio
+            return CoreInstr("branch", pc=pc, taken=taken)
+        if draw < p_mul:
+            return CoreInstr("mul", pc=pc)
+        return CoreInstr("alu", pc=pc)
+
+
+@snapshotable
+class XeonDataSampler:
+    """Explicit-state form of the Xeon data-address closure."""
+
+    def __init__(self, profile: WorkloadProfile, thread_id: int,
+                 rng: random.Random) -> None:
+        self.profile = profile
+        self.thread_id = thread_id
+        self.rng = rng
+        self.heap = HEAP_BASE + thread_id * THREAD_REGION
+        # the data SmarCo would stage in SPM lives in ordinary cacheable
+        # memory here — per-thread slices so cache contention is real
+        self.dataset = HEAP_BASE + (1 << 40) + thread_id * THREAD_REGION
+        self.gang_base = UNCACHED_BASE + profile._shared_region_offset()
+        self.chunk_bytes = 256
+        self.stream_ptr = (UNCACHED_BASE + (thread_id + 1) * THREAD_REGION
+                           + rng.randrange(THREAD_REGION // 2))
+        self.chunk = thread_id % 48
+        self.count = 0
+        self.intra = 0
+
+    def __call__(self) -> Tuple[int, int, bool]:
+        profile = self.profile
+        rng = self.rng
+        size = profile.granularity.sample(rng)
+        is_write = rng.random() < 0.25
+        draw = rng.random()
+        if draw < profile.uncached_fraction:
+            if rng.random() < profile.shared_uncached_fraction:
+                # chunked slice of the gang-shared dataset
+                if self.intra + size > self.chunk_bytes:
+                    self.count += 1
+                    self.chunk = self.count * 48 + (self.thread_id % 48)
+                    self.intra = 0
+                addr = self.gang_base + (
+                    self.chunk * self.chunk_bytes + self.intra
+                ) % profile.shared_window_bytes
+                self.intra += size
+                return addr, size, is_write
+            self.stream_ptr += size * rng.randrange(1, 16)
+            return self.stream_ptr, size, is_write
+        if draw < profile.uncached_fraction + profile.spm_fraction:
+            return (self.dataset + rng.randrange(profile.xeon_dataset_bytes),
+                    size, is_write)
+        return (self.heap + rng.randrange(profile.working_set_bytes),
+                size, is_write)
+
+
+@snapshotable
+class XeonCodeSampler:
+    """Explicit-state form of the Xeon instruction-address closure."""
+
+    def __init__(self, profile: WorkloadProfile, rng: random.Random,
+                 thread_id: int = 0) -> None:
+        self.profile = profile
+        self.rng = rng
+        self.base = CODE_BASE + thread_id * profile.code_footprint_bytes
+
+    def __call__(self) -> int:
+        return self.base + self.rng.randrange(
+            self.profile.code_footprint_bytes)
+
+
+# profiles and their granularity histograms travel by value inside
+# stream/sampler state
+register_snapshot_class(WorkloadProfile)
+register_snapshot_class(GranularityDist)
 
 _REGISTRY: Dict[str, WorkloadProfile] = {}
 
