@@ -1,0 +1,394 @@
+"""Multiprocess executor for a sharded :class:`SmarCoChip`.
+
+One worker process per shard.  Worker ``w`` of ``W`` *owns* the
+sub-ring domains ``{s : s % W == w}`` and **redundantly simulates the
+hub domain** — hub replication trades duplicated hub work for a much
+simpler protocol:
+
+* the only cross-process traffic is ring->hub boundary messages, which
+  every worker broadcasts so every hub replica sees the identical
+  canonical ``(deliver time, tag)`` insertion stream and therefore
+  stays bit-identical to every other replica;
+* hub->ring messages never cross a process: the OWNER's hub replica
+  produced them natively (original Python objects, so thread wake-ups
+  and completion chains fire on the real core state), and the other
+  replicas simply drop their copies for rings they do not own.
+
+Synchronisation is leaderless: each window the workers exchange one
+small packet all-to-all — (next event time, last event time, boundary
+blob) — and every worker derives the identical global decision (window
+edge, quiesce-flush, or stop) from the identical vector.  The exchange
+itself is the window barrier; the parent process only forks the
+workers and merges their final summaries.
+
+Messages are pickled with a *persistent-id anchor table*: every chip
+component, domain engine, registered signal, and hardware thread is
+encoded as a stable path key and resolved against the receiving
+worker's (fork-inherited, structurally identical) chip — identity is
+preserved for the durable simulated hardware while the in-flight
+payload (packets, requests, flights, completions) copies by value.
+"""
+
+from __future__ import annotations
+
+import io
+import multiprocessing
+import multiprocessing.connection
+import pickle
+from typing import TYPE_CHECKING, Any, Dict, List, Optional
+
+from ..errors import ConfigError, ShardingError
+from ..sim.domain import AccumulatorTap, CounterTap, merge_tap_samples
+from ..sim.engine import _swap_active
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .smarco import SmarCoChip, SmarcoRunResult
+
+__all__ = ["run_chip_mp", "boundary_anchors"]
+
+
+# -- anchor-table message codec ----------------------------------------------
+
+
+def boundary_anchors(chip: "SmarCoChip") -> Dict[str, Any]:
+    """Stable key -> durable object table for boundary-message pickling.
+
+    Keys are derived purely from the component tree and the domain plan,
+    so the table built in any fork of the same chip maps the same keys
+    to the corresponding (identical-by-construction) objects.
+    """
+    anchors: Dict[str, Any] = {}
+    for comp in chip.walk():
+        anchors[f"c:{comp.path}"] = comp
+        for key, obj in comp.snapshot_anchors().items():
+            anchors[f"a:{comp.path}/{key}"] = obj
+    if chip.shard_plan is not None:
+        for dom in chip.shard_plan.domains:
+            anchors[f"e:{dom.name}"] = dom.sim
+            for key, signal in dom.sim.signals().items():
+                anchors[f"s:{dom.name}:{key}"] = signal
+    for core in chip.cores:
+        # threads hold generator frames (unpicklable) and their identity
+        # is load-bearing: completion waiters resume the real thread
+        for i, thread in enumerate(core.threads):
+            anchors[f"t:{core.path}/{i}"] = thread
+    return anchors
+
+
+class _BoundaryPickler(pickle.Pickler):
+    def __init__(self, file: io.BytesIO, by_id: Dict[int, str]) -> None:
+        super().__init__(file, protocol=pickle.HIGHEST_PROTOCOL)
+        self._by_id = by_id
+
+    def persistent_id(self, obj: Any) -> Optional[str]:
+        return self._by_id.get(id(obj))
+
+
+class _BoundaryUnpickler(pickle.Unpickler):
+    def __init__(self, file: io.BytesIO, anchors: Dict[str, Any]) -> None:
+        super().__init__(file)
+        self._anchors = anchors
+
+    def persistent_load(self, pid: str) -> Any:
+        try:
+            return self._anchors[pid]
+        except KeyError:
+            raise ShardingError(
+                f"boundary message references unknown anchor {pid!r}"
+            ) from None
+
+
+def encode_messages(messages: List[tuple], by_id: Dict[int, str]) -> bytes:
+    buf = io.BytesIO()
+    _BoundaryPickler(buf, by_id).dump(messages)
+    return buf.getvalue()
+
+
+def decode_messages(blob: bytes, anchors: Dict[str, Any]) -> List[tuple]:
+    return _BoundaryUnpickler(io.BytesIO(blob), anchors).load()
+
+
+# -- worker ------------------------------------------------------------------
+
+
+def _exchange(peers: Dict[int, Any], packet: tuple) -> List[tuple]:
+    """All-to-all: send ``packet`` to every peer, collect one from each.
+
+    Sends complete before any receive, and the receive side drains
+    every ready pipe while waiting, so a send blocked on a full pipe
+    buffer always finds its peer draining — the exchange cannot
+    deadlock.  Doubles as the window barrier.
+    """
+    for conn in peers.values():
+        conn.send(packet)
+    got: Dict[int, tuple] = {}
+    by_conn = {conn: v for v, conn in peers.items()}
+    while len(got) < len(peers):
+        pending = [conn for v, conn in peers.items() if v not in got]
+        for conn in multiprocessing.connection.wait(pending, timeout=10.0):
+            msg = conn.recv()
+            if msg[0] == "e":
+                raise ShardingError(f"shard peer failed:\n{msg[1]}")
+            got[by_conn[conn]] = msg
+    if any(msg[1] != packet[1] for msg in got.values()):
+        raise ShardingError("shard workers lost window lockstep")
+    return [got[v] for v in sorted(got)]
+
+
+def _worker_main(chip: "SmarCoChip", w: int, W: int, q: float,
+                 until: Optional[float], peers: Dict[int, Any],
+                 parent_conn) -> None:
+    notified = False
+    try:
+        plan = chip.shard_plan
+        assert plan is not None
+        n_rings = len(chip.subrings)
+        owned = [s for s in range(n_rings) if s % W == w]
+        owned_set = set(owned)
+        hub = plan.domains[0]
+        ring_doms = plan.domains[1:]
+        local_domains = [hub] + [ring_doms[s] for s in owned]
+        anchors = boundary_anchors(chip)
+        by_id = {id(obj): key for key, obj in anchors.items()}
+        taps = chip._install_shard_taps()
+        assert chip._to_hub is not None and chip._to_sub is not None
+
+        # pending boundary messages not yet due for delivery
+        pool_hub: List[tuple] = []
+        pool_sub: Dict[int, List[tuple]] = {s: [] for s in owned}
+
+        def gather_crossings() -> List[tuple]:
+            """Drain the channels; return the messages to broadcast."""
+            out: List[tuple] = []
+            for s in owned:
+                ch = chip._to_hub[s]
+                if ch.queue:
+                    out.extend(ch.queue)
+                    pool_hub.extend(ch.queue)   # native copy for own hub
+                    ch.queue = []
+            for s, ch in enumerate(chip._to_sub):
+                if ch.queue:
+                    if s in owned_set:
+                        pool_sub[s].extend(ch.queue)
+                    # a replica's output for a foreign ring: the owner's
+                    # replica produced the identical message natively
+                    ch.queue = []
+            return out
+
+        def local_next() -> Optional[float]:
+            nt: Optional[float] = None
+            for d in local_domains:
+                p = d.sim.peek()
+                if p is not None and (nt is None or p < nt):
+                    nt = p
+            for entry in pool_hub:
+                if nt is None or entry[0] < nt:
+                    nt = entry[0]
+            for s in owned:
+                for entry in pool_sub[s]:
+                    if nt is None or entry[0] < nt:
+                        nt = entry[0]
+            return nt
+
+        def deliver(pool: List[tuple], dom, edge: float) -> List[tuple]:
+            due = [e for e in pool if e[0] < edge]
+            if not due:
+                return pool
+            keep = [e for e in pool if e[0] >= edge]
+            due.sort(key=lambda e: (e[0], e[1]))
+            for when, tag, fn, args in due:
+                dom.sim.schedule_boundary(when, tag, fn, args)
+            return keep
+
+        hooks = 1                   # the MACT quiesce flush
+        gen = 0
+        while True:
+            out = gather_crossings()
+            blob = encode_messages(out, by_id) if out else b""
+            nxt = local_next()
+            last = max(d.sim.last_event_time for d in local_domains)
+            stats = _exchange(peers, ("w", gen, nxt, last, blob))
+            gen += 1
+            nt = nxt
+            t_last = last
+            for msg in stats:
+                if msg[2] is not None and (nt is None or msg[2] < nt):
+                    nt = msg[2]
+                t_last = max(t_last, msg[3])
+            if nt is None or (until is not None and nt > until):
+                # globally quiescent (or past the horizon): every worker
+                # reaches the identical decision from the identical vector
+                t_stop = until if until is not None else t_last
+                for d in local_domains:
+                    d.sim.now = t_stop
+                if hooks:
+                    hooks -= 1
+                    # every replica flushes every MACT: flush events are
+                    # hub events, identical across replicas
+                    chip._flush_macts()
+                    continue
+                summary = {
+                    "t_final": t_stop,
+                    "stats": chip.registry.state_dict(),
+                    "taps": {name: tap.samples
+                             for name, tap in taps.items()},
+                    "done": {core.core_id: core.done
+                             for core in chip.cores
+                             if chip.ring_of(core.core_id) in owned_set},
+                }
+                parent_conn.send(("summary", summary))
+                notified = True
+                return
+            for msg in stats:
+                if msg[4]:
+                    pool_hub.extend(decode_messages(msg[4], anchors))
+            edge = nt + q
+            pool_hub = deliver(pool_hub, hub, edge)
+            for s in owned:
+                pool_sub[s] = deliver(pool_sub[s], ring_doms[s], edge)
+            for d in local_domains:     # hub first, rings in index order
+                prev = _swap_active(d.sim)
+                try:
+                    d.sim.run_window(edge, cap=until)
+                finally:
+                    _swap_active(prev)
+    except BaseException:
+        import traceback
+        tb = traceback.format_exc()
+        if not notified:
+            try:
+                parent_conn.send(("error", tb))
+            except Exception:
+                pass
+            for conn in peers.values():
+                try:
+                    conn.send(("e", tb))
+                except Exception:
+                    pass
+
+
+# -- parent ------------------------------------------------------------------
+
+
+def run_chip_mp(chip: "SmarCoChip", max_cycles: Optional[float],
+                workers: int, quantum: Optional[float]) -> "SmarcoRunResult":
+    """Run a canonical-mode sharded chip across worker processes."""
+    plan = chip.shard_plan
+    if plan is None:
+        raise ConfigError("chip has no shard plan")
+    q = plan.default_quantum() if quantum is None else quantum
+    if q <= 0:
+        raise ConfigError(
+            "multiprocess sharding requires a quantum > 0 (worker "
+            "processes cannot interleave inside a window)")
+    plan.validate_quantum(q)
+    W = max(1, min(int(workers), len(chip.subrings)))
+    if W < 2:
+        raise ConfigError("multiprocess sharding needs >= 2 workers")
+
+    # initial events must exist before the fork so every worker inherits
+    # the identical started chip
+    chip.start()
+
+    ctx = multiprocessing.get_context("fork")
+    pair_conns: Dict[tuple, Any] = {}
+    for a in range(W):
+        for b in range(a + 1, W):
+            ca, cb = ctx.Pipe()
+            pair_conns[(a, b)] = ca
+            pair_conns[(b, a)] = cb
+    parent_pipes = []
+    procs = []
+    for w in range(W):
+        parent_conn, child_conn = ctx.Pipe()
+        peers = {v: pair_conns[(w, v)] for v in range(W) if v != w}
+        proc = ctx.Process(
+            target=_worker_main,
+            args=(chip, w, W, q, max_cycles, peers, child_conn),
+            daemon=True)
+        proc.start()
+        child_conn.close()
+        parent_pipes.append(parent_conn)
+        procs.append(proc)
+    for conn in pair_conns.values():
+        conn.close()
+
+    summaries: List[Optional[dict]] = [None] * W
+    try:
+        pending = set(range(W))
+        while pending:
+            ready = multiprocessing.connection.wait(
+                [parent_pipes[w] for w in pending], timeout=10.0)
+            if not ready:
+                dead = [w for w in pending if not procs[w].is_alive()]
+                if dead:
+                    raise ShardingError(
+                        f"shard workers {dead} died without a summary")
+                continue
+            for conn in ready:
+                w = parent_pipes.index(conn)
+                try:
+                    msg = conn.recv()
+                except EOFError:
+                    raise ShardingError(
+                        f"shard worker {w} exited uncleanly") from None
+                if msg[0] == "error":
+                    raise ShardingError(f"shard worker failed:\n{msg[1]}")
+                summaries[w] = msg[1]
+                pending.discard(w)
+    finally:
+        for proc in procs:
+            proc.join(timeout=5.0)
+            if proc.is_alive():  # pragma: no cover - hung worker
+                proc.terminate()
+        for conn in parent_pipes:
+            conn.close()
+
+    final = [s for s in summaries if s is not None]
+    assert len(final) == W
+    return _merge_summaries(chip, final, W)
+
+
+def _merge_summaries(chip: "SmarCoChip", summaries: List[dict],
+                     W: int) -> "SmarcoRunResult":
+    deferred = chip.shard_deferred_stats()
+    registry = chip.registry
+
+    def owner_of(domain: int) -> int:
+        return 0 if domain == 0 else (domain - 1) % W
+
+    for name in registry.names():
+        if name in deferred:
+            continue
+        domain = chip.shard_stat_domain(name)
+        state = summaries[owner_of(domain)]["stats"].get(name)
+        if state is not None:
+            registry.get(name).load_state(state)
+
+    # replay the cross-domain stats from the per-domain tap streams:
+    # hub samples from worker 0 (all replicas recorded identical
+    # streams), ring samples from each ring's owner
+    n_rings = len(chip.subrings)
+    tap_targets = {
+        "req_latency": (AccumulatorTap, chip.req_latency),
+        "noc.latency": (AccumulatorTap, chip.noc.latency),
+        "noc.injected": (CounterTap, chip.noc.injected),
+        "noc.delivered": (CounterTap, chip.noc.delivered),
+    }
+    for key, (tap_cls, stat) in tap_targets.items():
+        streams = [{0: summaries[0]["taps"][key].get(0, [])}]
+        for s in range(n_rings):
+            domain = s + 1
+            samples = summaries[owner_of(domain)]["taps"][key]
+            streams.append({domain: samples.get(domain, [])})
+        entries = merge_tap_samples(streams)
+        tap_cls(stat).replay(entries)
+
+    done: Dict[int, bool] = {}
+    for summary in summaries:
+        done.update(summary["done"])
+
+    t_final = summaries[0]["t_final"]
+    for dom in chip.shard_plan.domains:       # type: ignore[union-attr]
+        dom.sim.now = t_final
+    return chip.collect_result(done_override=done)

@@ -32,6 +32,7 @@ __all__ = [
     "Runner",
     "SweepResult",
     "resolve_workers",
+    "resolve_shards",
     "RunRecord",
     "load_records",
     "summarize_runs",
@@ -48,6 +49,7 @@ _LAZY = {
     "Runner": "runner",
     "SweepResult": "runner",
     "resolve_workers": "runner",
+    "resolve_shards": "runner",
     "RunRecord": "telemetry",
     "load_records": "telemetry",
     "summarize_runs": "telemetry",

@@ -1,0 +1,222 @@
+"""Sharded-vs-serial wall-clock measurement on a full-size chip.
+
+``python -m repro.perf.shardbench`` runs the same fixed-seed workload
+through the serial engine, the in-process windowed executor (shards=1)
+and the multiprocess executor (shards >= 2), times each, cross-checks
+the digests, and writes a ``BENCH_shard_<timestamp>.json`` artifact.
+
+The artifact is deliberately *honest* about parallel speedup: it records
+``os.cpu_count()`` and the measured hub event fraction next to the wall
+times, because both bound what sharding can ever buy:
+
+* with one CPU (containers, CI runners) every extra worker is pure
+  overhead — the sharded runs will be SLOWER than serial, and the
+  artifact says so rather than hiding it;
+* every worker redundantly simulates the hub domain (main ring, MACTs,
+  memory controllers — see docs/sharding.md), so with hub fraction
+  ``h`` the Amdahl-style ceiling at ``W`` workers is ``1 / (h + (1-h)/W)``
+  even on ideal hardware.
+
+Schema (``"schema": "repro.perf.shard/1"``)::
+
+    {
+      "schema": "repro.perf.shard/1",
+      "created": "...Z",
+      "code_digest": "...",
+      "host": {"python": ..., "platform": ..., "machine": ..., "cpu_count": 1},
+      "geometry": {"sub_rings": 16, "cores_per_sub_ring": 16,
+                   "threads_per_core": 4, "instrs_per_thread": 150},
+      "workload": "wordcount", "seed": 0, "quantum": 2.0,
+      "hub_event_fraction": 0.56,
+      "amdahl_ceilings": {"2": 1.28, "4": 1.49},
+      "runs": [{"mode": "serial", "shards": 0, "wall_s": ..., "digest": ...},
+               {"mode": "in-process", "shards": 1, ...},
+               {"mode": "multiprocess", "shards": 2, ...}, ...],
+      "speedups": {"1": 0.93, "2": 0.47, "4": 0.25},
+      "digest_check": "ok"
+    }
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import json
+import os
+import time
+from pathlib import Path
+from types import SimpleNamespace
+from typing import Any, Dict, List, Optional, Sequence
+
+from ..errors import ConfigError
+from .bench import _host_info
+
+__all__ = ["run_shardbench", "main"]
+
+SHARD_SCHEMA = "repro.perf.shard/1"
+
+
+def _digest(chip: Any, result: Any) -> str:
+    from ..exp.cache import canonical_json
+
+    payload = {"result": result.to_dict(), "stats": chip.registry.dump()}
+    return hashlib.sha256(canonical_json(payload).encode()).hexdigest()[:16]
+
+
+def _one_run(shards: int, *, sub_rings: int, cores: int, threads: int,
+             instrs: int, seed: int, workload: str,
+             quantum: Optional[float]) -> Dict[str, Any]:
+    """Build, load and run one chip; returns wall time + digest (+ hub%)."""
+    from ..chip.smarco import SmarCoChip
+    from ..config import smarco_scaled
+    from ..workloads.base import get_profile
+
+    chip = SmarCoChip(smarco_scaled(sub_rings, cores), seed=seed,
+                      shards=shards)
+    chip.load_profile(get_profile(workload), threads_per_core=threads,
+                      instrs_per_thread=instrs)
+    t0 = time.perf_counter()
+    if shards:
+        result = chip.run_sharded(quantum=quantum)
+    else:
+        result = chip.run()
+    wall = time.perf_counter() - t0
+    record: Dict[str, Any] = {
+        "mode": ("serial" if shards == 0 else
+                 "in-process" if shards == 1 else "multiprocess"),
+        "shards": shards,
+        "wall_s": wall,
+        "digest": _digest(chip, result),
+        "instructions": result.instructions,
+    }
+    if shards == 1:
+        # the in-process run exposes per-domain event counts, which is
+        # where the hub replication ceiling comes from
+        events = {dom.name: dom.sim.events_executed
+                  for dom in chip.shard_plan.domains}
+        total = sum(events.values())
+        record["events_by_domain"] = events
+        record["hub_event_fraction"] = (
+            events.get("hub", 0) / total if total else 0.0)
+    return record
+
+
+def run_shardbench(*, sub_rings: int = 16, cores: int = 16,
+                   threads: int = 4, instrs: int = 150, seed: int = 0,
+                   workload: str = "wordcount",
+                   quantum: Optional[float] = None,
+                   shard_counts: Sequence[int] = (1, 2, 4)) -> Dict[str, Any]:
+    """Measure serial vs sharded wall clock; returns the artifact dict."""
+    from ..exp.cache import code_version
+
+    if 0 in shard_counts:
+        raise ConfigError("shard_counts lists sharded runs; the serial "
+                          "reference run is always included")
+    runs: List[Dict[str, Any]] = []
+    common = dict(sub_rings=sub_rings, cores=cores, threads=threads,
+                  instrs=instrs, seed=seed, workload=workload,
+                  quantum=quantum)
+    runs.append(_one_run(0, **common))
+    for shards in shard_counts:
+        runs.append(_one_run(shards, **common))
+
+    serial = runs[0]
+    speedups = {str(r["shards"]): serial["wall_s"] / r["wall_s"]
+                for r in runs[1:]}
+    # digest contract: shards=1 must equal serial bit-for-bit; the
+    # multiprocess runs must all agree with each other (canonical order)
+    problems = []
+    mp_digests = {r["digest"] for r in runs if r["shards"] >= 2}
+    for r in runs[1:]:
+        if r["shards"] == 1 and r["digest"] != serial["digest"]:
+            problems.append("in-process digest diverged from serial")
+    if len(mp_digests) > 1:
+        problems.append("multiprocess digests disagree across shard counts")
+
+    hub_fraction = next((r["hub_event_fraction"] for r in runs
+                         if "hub_event_fraction" in r), None)
+    ceilings = {}
+    if hub_fraction is not None:
+        ceilings = {str(r["shards"]):
+                    1.0 / (hub_fraction + (1.0 - hub_fraction) / r["shards"])
+                    for r in runs if r["shards"] >= 2}
+
+    host = _host_info()
+    host["cpu_count"] = os.cpu_count() or 1
+    return {
+        "schema": SHARD_SCHEMA,
+        "created": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "code_digest": code_version(),
+        "host": host,
+        "geometry": {"sub_rings": sub_rings, "cores_per_sub_ring": cores,
+                     "threads_per_core": threads,
+                     "instrs_per_thread": instrs},
+        "workload": workload,
+        "seed": seed,
+        "quantum": quantum,
+        "hub_event_fraction": hub_fraction,
+        "amdahl_ceilings": ceilings,
+        "runs": runs,
+        "speedups": speedups,
+        "digest_check": "ok" if not problems else "; ".join(problems),
+    }
+
+
+def render(artifact: Dict[str, Any]) -> str:
+    lines = [
+        f"shardbench  {artifact['geometry']['sub_rings']}x"
+        f"{artifact['geometry']['cores_per_sub_ring']} chip, "
+        f"workload={artifact['workload']}, "
+        f"cpus={artifact['host']['cpu_count']}",
+        f"{'mode':<14} {'shards':>6} {'wall s':>9} {'speedup':>8}  digest",
+    ]
+    serial_wall = artifact["runs"][0]["wall_s"]
+    for r in artifact["runs"]:
+        speedup = serial_wall / r["wall_s"] if r["shards"] else 1.0
+        lines.append(f"{r['mode']:<14} {r['shards']:>6} {r['wall_s']:>9.2f} "
+                     f"{speedup:>7.2f}x  {r['digest']}")
+    if artifact["hub_event_fraction"] is not None:
+        lines.append(
+            f"hub event fraction {artifact['hub_event_fraction']:.1%}; "
+            "replicated-hub ceilings: " + ", ".join(
+                f"{w} workers -> {c:.2f}x"
+                for w, c in sorted(artifact["amdahl_ceilings"].items())))
+    lines.append(f"digest check: {artifact['digest_check']}")
+    return "\n".join(lines)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.perf.shardbench",
+        description="measure sharded-vs-serial chip wall clock and write "
+                    "a BENCH_shard artifact")
+    parser.add_argument("--sub-rings", type=int, default=16)
+    parser.add_argument("--cores", type=int, default=16,
+                        help="cores per sub-ring")
+    parser.add_argument("--threads-per-core", type=int, default=4)
+    parser.add_argument("--instrs", type=int, default=150)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--workload", default="wordcount")
+    parser.add_argument("--quantum", type=float, default=None)
+    parser.add_argument("--shards", type=int, nargs="+", default=[1, 2, 4],
+                        help="sharded configurations to time (serial "
+                             "reference always runs)")
+    parser.add_argument("--out", type=Path, default=Path("results/perf"))
+    args = parser.parse_args(argv)
+
+    artifact = run_shardbench(
+        sub_rings=args.sub_rings, cores=args.cores,
+        threads=args.threads_per_core, instrs=args.instrs, seed=args.seed,
+        workload=args.workload, quantum=args.quantum,
+        shard_counts=tuple(args.shards))
+    print(render(artifact))
+    args.out.mkdir(parents=True, exist_ok=True)
+    stamp = artifact["created"].replace("-", "").replace(":", "")
+    path = args.out / f"BENCH_shard_{stamp}.json"
+    path.write_text(json.dumps(artifact, indent=2, sort_keys=True) + "\n")
+    print(f"\nshard BENCH artifact written to {path}")
+    return 0 if artifact["digest_check"] == "ok" else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -26,7 +26,7 @@ import hashlib
 import json
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Dict, Optional, Tuple
 
 from ..errors import (CheckpointError, CheckpointSchemaError,
                       CheckpointVersionError)

@@ -30,7 +30,7 @@ from __future__ import annotations
 
 from fnmatch import fnmatchcase
 from typing import (Any, Callable, Dict, Iterator, List, Optional, Tuple,
-                    Type, TYPE_CHECKING)
+                    TYPE_CHECKING)
 
 from ..errors import WiringError
 from .stats import StatsRegistry, StatsScope

@@ -1,0 +1,623 @@
+"""Shardable time domains with conservative time-window synchronization.
+
+The serial kernel (:class:`repro.sim.engine.Simulator`) advances one
+global clock.  This module splits a system into :class:`SimDomain`\\ s —
+independent engines that only interact through declared
+:class:`BoundaryChannel`\\ s with a known minimum latency — and advances
+them in lockstep windows (*quanta*) under a :class:`ShardedSimulator`:
+
+1. compute the global next event time ``T`` across all domains and
+   in-flight boundary messages;
+2. deliver every pending boundary message due before ``T + Q`` into its
+   destination engine;
+3. let each domain execute the half-open window ``[T, T + Q)`` in
+   isolation;
+4. repeat.
+
+**Quantum-safety rule**: this is causally safe iff the quantum ``Q`` is
+no larger than the smallest cross-domain channel latency ``L``: a
+message emitted by an event at ``t ∈ [T, T+Q)`` is delivered at
+``t + L ≥ T + Q``, i.e. never inside the window being executed.
+``DomainPlan.validate_quantum`` enforces the rule; zero-latency wires
+between distinct domains are rejected (absorb them into one domain —
+the chip partition puts every zero-latency consumer in the hub).
+
+**Serial equivalence**: the serial engine breaks same-cycle ties by a
+global scheduling sequence number, which — because the clock never runs
+backwards — is lexicographically *(scheduling time, arrival order)*.
+Domain engines reproduce it with explicit tags ``(scheduling time,
+domain index, per-tick counter)``: identical to the serial order
+whenever scheduling times differ (the overwhelmingly common case), and
+a fixed deterministic tie-break when two domains schedule at the same
+cycle.  Boundary messages carry their source-side tag across the
+channel, so a delivery competes for its slot exactly as the serially
+scheduled event would have.  ``quantum=0`` degenerates to executing the
+globally earliest timestamp across all domains, one instant at a time.
+
+Stats that aggregate samples from several domains (Welford accumulators
+are sample-order sensitive; replicated counters must not double-count)
+go through :class:`AccumulatorTap` / :class:`CounterTap`, which record
+time-stamped per-domain streams during the run and replay the merged,
+serially-ordered stream into the real stat afterwards.
+"""
+
+from __future__ import annotations
+
+from heapq import heappop, heappush
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..errors import ShardingError, SimulationError
+from . import engine as _engine
+from .engine import Simulator, _swap_active
+
+__all__ = [
+    "DomainSimulator",
+    "SimDomain",
+    "BoundaryChannel",
+    "DomainPlan",
+    "ShardedSimulator",
+    "AccumulatorTap",
+    "CounterTap",
+    "replay_taps",
+    "merge_tap_samples",
+]
+
+#: canonical-mode event tag: (scheduling time, domain index, per-tick
+#: arrival counter); serial-merge engines use plain ints instead
+Tag = Tuple[float, int, int]
+
+
+class DomainSimulator(Simulator):
+    """A per-domain engine whose event tags replace the serial seq number.
+
+    Two tagging modes:
+
+    * **serial-merge** (``shared_seq`` given): every domain of the plan
+      draws from ONE arrival counter.  Combined with the executor's
+      globally-ordered merge execution, event order is *exactly* the
+      serial engine's — the bit-for-bit equivalence mode (in-process
+      only: a shared counter cannot span processes).
+    * **canonical** (default): tags are ``(scheduling time, domain
+      index, per-instant counter)`` tuples.  This reproduces the serial
+      tie-break whenever scheduling times differ and falls back to a
+      fixed domain-index order for same-instant cross-domain ties — a
+      deterministic, quantum-invariant order that workers in different
+      processes can agree on without communicating.
+
+    Execution happens through :meth:`run_window` / :meth:`run_at` /
+    ``step`` under a :class:`ShardedSimulator`, never :meth:`run`.
+    """
+
+    __slots__ = ("domain_index", "last_event_time", "_tick_time",
+                 "_tick_count", "_shared")
+
+    def __init__(self, domain_index: int = 0,
+                 shared_seq: Optional[List[int]] = None) -> None:
+        super().__init__()
+        self.domain_index = domain_index
+        #: time of the most recently executed event (windowed runs only)
+        self.last_event_time = 0.0
+        self._tick_time = -1.0
+        self._tick_count = 0
+        self._shared = shared_seq
+
+    # -- tagged scheduling ---------------------------------------------------
+
+    def next_tag(self) -> Any:
+        """Allocate the next event tag at the current time."""
+        if self._shared is not None:
+            n = self._shared[0]
+            self._shared[0] = n + 1
+            return n
+        if self.now != self._tick_time:
+            self._tick_time = self.now
+            self._tick_count = 0
+        self._tick_count += 1
+        return (self.now, self.domain_index, self._tick_count)
+
+    def peek_key(self) -> Optional[Tuple[float, Any]]:
+        """(time, tag) of the next event, honouring the due-lane merge."""
+        if self._due_head < len(self._due):
+            due_tag = self._due[self._due_head][0]
+            if self._queue:
+                head = self._queue[0]
+                if head[0] == self.now and head[1] < due_tag:
+                    return (self.now, head[1])
+            return (self.now, due_tag)
+        if self._queue:
+            head = self._queue[0]
+            return (head[0], head[1])
+        return None
+
+    def schedule(self, delay: float, fn: Callable, *args: Any) -> None:
+        if delay:
+            if delay < 0:
+                raise SimulationError(
+                    f"cannot schedule {delay} cycles in the past")
+            heappush(self._queue, (self.now + delay, self.next_tag(),
+                                   fn, args))
+        else:
+            self._due.append((self.next_tag(), fn, args))
+
+    def schedule_at(self, when: float, fn: Callable, *args: Any) -> None:
+        if when < self.now:
+            raise SimulationError(
+                f"cannot schedule at {when}, current time is {self.now}")
+        heappush(self._queue, (when, self.next_tag(), fn, args))
+
+    def schedule_boundary(self, when: float, tag: Any, fn: Callable,
+                          args: tuple) -> None:
+        """Insert a cross-domain delivery carrying its source-side tag."""
+        if when < self.now:
+            raise ShardingError(
+                f"boundary message for t={when} arrived in domain "
+                f"{self.domain_index}'s past (now={self.now}); the "
+                f"quantum exceeds the channel's lookahead")
+        heappush(self._queue, (when, tag, fn, args))
+
+    # -- execution -----------------------------------------------------------
+
+    def run(self, until: Optional[float] = None,
+            max_events: Optional[int] = None) -> int:
+        raise SimulationError(
+            "domain engines advance through a ShardedSimulator "
+            "(run_window/run_at), not Simulator.run()")
+
+    def run_window(self, edge: float, cap: Optional[float] = None) -> int:
+        """Execute every event with ``time < edge`` (and ``<= cap``).
+
+        The window is half-open: an event exactly on the edge belongs to
+        the next window.  The clock is left *at the edge* so boundary
+        deliveries for the next window never land in this engine's past.
+        Returns the number of events executed.
+        """
+        if self._running:
+            raise SimulationError("run_window() is not reentrant")
+        self._running = True
+        executed = 0
+        queue = self._queue
+        pop = heappop
+        compact = self._DUE_COMPACT
+        try:
+            while True:
+                due = self._due
+                if self._due_head < len(due):
+                    # merge heap events at the current time by tag order
+                    if queue:
+                        head = queue[0]
+                        if (head[0] == self.now
+                                and head[1] < due[self._due_head][0]):
+                            pop(queue)
+                            self.last_event_time = self.now
+                            executed += 1
+                            head[2](*head[3])
+                            continue
+                    _tag, fn, args = due[self._due_head]
+                    self._due_head += 1
+                    if self._due_head >= compact:
+                        del due[:self._due_head]
+                        self._due_head = 0
+                    self.last_event_time = self.now
+                    executed += 1
+                    fn(*args)
+                    continue
+                if self._due_head:
+                    del due[:self._due_head]
+                    self._due_head = 0
+                if not queue:
+                    break
+                when = queue[0][0]
+                if when >= edge or (cap is not None and when > cap):
+                    break
+                _w, _tag, fn, args = pop(queue)
+                self.now = when
+                self.last_event_time = when
+                executed += 1
+                fn(*args)
+        finally:
+            if self._due_head:
+                del self._due[:self._due_head]
+            self._due_head = 0
+            self.events_executed += executed
+            self._running = False
+        if self.now < edge:
+            self.now = edge
+        return executed
+
+    def run_at(self, t: float) -> int:
+        """Execute exactly the events due at time ``t`` (quantum-0 mode)."""
+        if self.now > t:
+            raise ShardingError(
+                f"domain {self.domain_index} is at {self.now}, past {t}")
+        self.now = t
+        executed = 0
+        while True:
+            nxt = self.peek()
+            if nxt is None or nxt > t:
+                break
+            self.step()
+            executed += 1
+        if executed:
+            self.last_event_time = t
+        return executed
+
+
+class SimDomain:
+    """One shard of simulated hardware: an engine plus its identity.
+
+    The domain owns an engine (its RNG streams and stats live wherever
+    the components bound to this engine put them — per-domain by
+    construction, since a component only mutates state from its own
+    events).
+    """
+
+    def __init__(self, name: str, index: int,
+                 sim: Optional[DomainSimulator] = None,
+                 shared_seq: Optional[List[int]] = None) -> None:
+        self.name = name
+        self.index = index
+        self.sim = (sim if sim is not None
+                    else DomainSimulator(index, shared_seq=shared_seq))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SimDomain({self.name!r}, index={self.index})"
+
+
+class BoundaryChannel:
+    """An explicit cross-domain wire with a declared minimum latency.
+
+    Components cross it with :meth:`cross`, which either degenerates to
+    a plain ``schedule`` (same engine on both sides — an absorbed wire)
+    or enqueues a time-stamped message the executor delivers at a
+    quantum edge.  The declared ``latency`` is the channel's *lookahead*
+    contract: every crossing must take at least that long.
+    """
+
+    def __init__(self, name: str, src: SimDomain, dst: SimDomain,
+                 latency: float) -> None:
+        if latency < 0:
+            raise ShardingError(f"channel {name!r}: negative latency")
+        self.name = name
+        self.src = src
+        self.dst = dst
+        self.latency = latency
+        #: pending messages: (deliver_time, source tag, fn, args)
+        self.queue: List[Tuple[float, Tag, Callable, tuple]] = []
+        self.crossings = 0
+
+    @property
+    def crosses_engines(self) -> bool:
+        return self.src.sim is not self.dst.sim
+
+    def cross(self, fn: Callable, *args: Any,
+              latency: Optional[float] = None) -> None:
+        """Send ``fn(*args)`` to the destination domain over this channel."""
+        lat = self.latency if latency is None else latency
+        if lat < self.latency:
+            raise ShardingError(
+                f"channel {self.name!r}: crossing latency {lat} below the "
+                f"declared minimum {self.latency}")
+        src_sim = self.src.sim
+        if src_sim is self.dst.sim:
+            # absorbed wire: both ends share an engine, a plain event
+            src_sim.schedule(lat, fn, *args)
+            return
+        self.crossings += 1
+        self.queue.append((src_sim.now + lat, src_sim.next_tag(), fn,
+                           tuple(args)))
+
+    def head_time(self) -> Optional[float]:
+        """Earliest pending delivery time, or None when empty."""
+        return min((entry[0] for entry in self.queue), default=None)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"BoundaryChannel({self.name!r}, L={self.latency}, "
+                f"pending={len(self.queue)})")
+
+
+class DomainPlan:
+    """The partition: an ordered set of domains plus their channels."""
+
+    def __init__(self, domains: Sequence[SimDomain]) -> None:
+        self.domains: List[SimDomain] = list(domains)
+        if len({d.index for d in self.domains}) != len(self.domains):
+            raise ShardingError("domain indices must be unique")
+        if len({d.name for d in self.domains}) != len(self.domains):
+            raise ShardingError("domain names must be unique")
+        self.channels: List[BoundaryChannel] = []
+
+    def channel(self, name: str, src: SimDomain, dst: SimDomain,
+                latency: float) -> BoundaryChannel:
+        """Declare (and register) a boundary channel."""
+        ch = BoundaryChannel(name, src, dst, latency)
+        self.channels.append(ch)
+        return ch
+
+    @property
+    def serial_merged(self) -> bool:
+        """True when every domain engine draws from one arrival counter."""
+        cells = [getattr(d.sim, "_shared", None) for d in self.domains]
+        return bool(cells) and cells[0] is not None and all(
+            c is cells[0] for c in cells)
+
+    def by_name(self, name: str) -> SimDomain:
+        for d in self.domains:
+            if d.name == name:
+                return d
+        raise ShardingError(f"no domain named {name!r}")
+
+    def min_latency(self) -> float:
+        """Smallest cross-engine channel latency (inf with no crossings)."""
+        lats = [ch.latency for ch in self.channels if ch.crosses_engines]
+        return min(lats) if lats else float("inf")
+
+    def default_quantum(self) -> float:
+        """The largest safe quantum: the minimum boundary latency."""
+        lat = self.min_latency()
+        return lat if lat != float("inf") else 1.0
+
+    def validate_quantum(self, quantum: float) -> None:
+        """Enforce the quantum-safety rule ``Q <= min boundary latency``."""
+        if quantum < 0:
+            raise ShardingError(f"negative quantum {quantum}")
+        if quantum == 0:
+            # sequential instant-by-instant mode tolerates zero lookahead
+            return
+        for ch in self.channels:
+            if ch.crosses_engines and ch.latency < quantum:
+                raise ShardingError(
+                    f"quantum {quantum} exceeds channel {ch.name!r} "
+                    f"latency {ch.latency}; lower the quantum or absorb "
+                    f"the zero/low-latency wire into one domain")
+
+
+class ShardedSimulator:
+    """Advances a :class:`DomainPlan` in lockstep quanta.
+
+    ``run`` mirrors ``Simulator.run(until=...)`` semantics at the system
+    level: it stops when every domain is quiescent (clocks then rest at
+    the last event time, as the serial engine's would) or when the next
+    event lies beyond ``until`` (clocks advance to ``until``).  Each
+    ``quiesce_hooks`` entry is invoked once, in order, at successive
+    stop points — the chip uses one to flush its MACTs exactly where the
+    serial run does.
+    """
+
+    def __init__(self, plan: DomainPlan,
+                 quantum: Optional[float] = None) -> None:
+        self.plan = plan
+        self.quantum = plan.default_quantum() if quantum is None else quantum
+        plan.validate_quantum(self.quantum)
+        #: serial-merge plans execute each window as a fine-grained global
+        #: merge over all domain heaps — exactly the serial event order
+        self.merge_mode = plan.serial_merged
+        self.windows = 0
+        self.messages = 0
+
+    # -- internals -----------------------------------------------------------
+
+    def _next_time(self) -> Optional[float]:
+        nt: Optional[float] = None
+        for d in self.plan.domains:
+            p = d.sim.peek()
+            if p is not None and (nt is None or p < nt):
+                nt = p
+        for ch in self.plan.channels:
+            p = ch.head_time()
+            if p is not None and (nt is None or p < nt):
+                nt = p
+        return nt
+
+    def _deliver(self, horizon: float, inclusive: bool) -> int:
+        """Move due channel messages into their destination engines.
+
+        Messages from every channel are merged and inserted in one
+        canonical order — (delivery time, source tag) — so each engine's
+        heap receives them identically no matter which worker or window
+        layout produced them.
+        """
+        ready: List[Tuple[float, Tag, Callable, tuple, SimDomain]] = []
+        for ch in self.plan.channels:
+            if not ch.queue:
+                continue
+            keep = []
+            for entry in ch.queue:
+                due = (entry[0] <= horizon) if inclusive else \
+                    (entry[0] < horizon)
+                if due:
+                    ready.append(entry + (ch.dst,))
+                else:
+                    keep.append(entry)
+            ch.queue = keep
+        ready.sort(key=lambda e: (e[0], e[1]))
+        for when, tag, fn, args, dst in ready:
+            dst.sim.schedule_boundary(when, tag, fn, args)
+        self.messages += len(ready)
+        return len(ready)
+
+    def _set_now(self, t: float) -> None:
+        for d in self.plan.domains:
+            d.sim.now = t
+
+    def _last_event_time(self) -> float:
+        return max((d.sim.last_event_time for d in self.plan.domains),
+                   default=0.0)
+
+    # -- the lockstep loop ---------------------------------------------------
+
+    def run(self, until: Optional[float] = None,
+            quiesce_hooks: Iterable[Callable[[], None]] = ()) -> int:
+        hooks = list(quiesce_hooks)
+        domains = self.plan.domains
+        windows0 = self.windows
+        while True:
+            nt = self._next_time()
+            if nt is None or (until is not None and nt > until):
+                # quiescent (or past the horizon): rest the clocks where
+                # the serial engine would leave them, then flush-or-stop
+                t_stop = until if until is not None else \
+                    self._last_event_time()
+                self._set_now(t_stop)
+                if hooks:
+                    hook = hooks.pop(0)
+                    hook()
+                    continue
+                return self.windows - windows0
+            edge = nt + self.quantum
+            if self.merge_mode:
+                # bit-for-bit mode: deliver the window's messages, then
+                # execute every due event in GLOBAL (time, arrival) order
+                # across all domains — the serial engine's exact order.
+                self._deliver(edge, inclusive=self.quantum == 0)
+                self._run_window_merged(edge, until,
+                                        inclusive=self.quantum == 0)
+                self.windows += 1
+                continue
+            if self.quantum == 0:
+                # sequential canonical mode: one global instant at a
+                # time, domains in index order (the documented
+                # cross-domain tie-break)
+                self._deliver(nt, inclusive=True)
+                for d in domains:
+                    prev = _swap_active(d.sim)
+                    try:
+                        if d.sim.now < nt:
+                            d.sim.now = nt
+                        d.sim.run_at(nt)
+                    finally:
+                        _swap_active(prev)
+                self.windows += 1
+                continue
+            self._deliver(edge, inclusive=False)
+            for d in domains:
+                prev = _swap_active(d.sim)
+                try:
+                    d.sim.run_window(edge, cap=until)
+                finally:
+                    _swap_active(prev)
+            self.windows += 1
+
+    def _run_window_merged(self, edge: float, cap: Optional[float],
+                           inclusive: bool) -> None:
+        """Execute the window as one globally-ordered event stream.
+
+        Repeatedly steps the domain whose next (time, tag) is globally
+        smallest.  With the shared arrival counter this interleaves the
+        domains exactly as the serial engine would have; the quantum
+        only batches message delivery, it never reorders execution.
+        """
+        domains = self.plan.domains
+        while True:
+            best = None
+            best_key = None
+            for d in domains:
+                key = d.sim.peek_key()
+                if key is not None and (best_key is None or key < best_key):
+                    best, best_key = d, key
+            if best is None or best_key is None:
+                return
+            when = best_key[0]
+            if (when > edge if inclusive else when >= edge):
+                return
+            if cap is not None and when > cap:
+                return
+            prev = _swap_active(best.sim)
+            try:
+                best.sim.step()
+                best.sim.last_event_time = best.sim.now
+            finally:
+                _swap_active(prev)
+
+
+# -- order-restoring stat taps ----------------------------------------------
+
+
+class _StatTap:
+    """Base for the deferred-stat proxies (see module docstring)."""
+
+    def __init__(self, stat: Any) -> None:
+        self.stat = stat
+        #: per-domain recorded samples: domain index -> [(time, value)]
+        self.samples: Dict[int, List[Tuple[float, float]]] = {}
+
+    def _record(self, value: float) -> None:
+        sim = _engine._ACTIVE
+        dom = getattr(sim, "domain_index", 0)
+        now = sim.now if sim is not None else 0.0
+        self.samples.setdefault(dom, []).append((now, value))
+
+    def merged(self) -> List[Tuple[float, int, int, float]]:
+        """All samples as (time, domain, arrival, value), serially ordered."""
+        entries = [(t, dom, i, v)
+                   for dom, lst in self.samples.items()
+                   for i, (t, v) in enumerate(lst)]
+        entries.sort(key=lambda e: (e[0], e[1], e[2]))
+        return entries
+
+    def replay(self, entries: Optional[
+            List[Tuple[float, int, int, float]]] = None) -> None:
+        """Apply the merged stream into the real stat, in serial order."""
+        for _t, _dom, _i, value in (self.merged() if entries is None
+                                    else entries):
+            self._apply(value)
+
+    def _apply(self, value: float) -> None:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+class AccumulatorTap(_StatTap):
+    """Deferred proxy for a (Welford, order-sensitive) accumulator."""
+
+    def add(self, value: float) -> None:
+        self._record(value)
+
+    def _apply(self, value: float) -> None:
+        self.stat.add(value)
+
+    @property
+    def mean(self) -> float:
+        return self.stat.mean
+
+
+class CounterTap(_StatTap):
+    """Deferred proxy for a counter incremented from several domains."""
+
+    def inc(self, n: float = 1) -> None:
+        self._record(n)
+
+    def _apply(self, value: float) -> None:
+        self.stat.inc(value)
+
+    @property
+    def value(self) -> float:
+        return self.stat.value
+
+
+def merge_tap_samples(
+    streams: Iterable[Dict[int, List[Tuple[float, float]]]],
+) -> List[Tuple[float, int, int, float]]:
+    """Merge per-domain sample streams from several workers.
+
+    Each worker contributes the streams of the domains it owns; a domain
+    must appear in exactly one stream dict (the multiprocess executor
+    guarantees this by taking the replicated hub stream from worker 0
+    only).
+    """
+    combined: Dict[int, List[Tuple[float, float]]] = {}
+    for stream in streams:
+        for dom, lst in stream.items():
+            if dom in combined:
+                raise ShardingError(
+                    f"domain {dom} sample stream contributed twice")
+            combined[dom] = lst
+    entries = [(t, dom, i, v)
+               for dom, lst in combined.items()
+               for i, (t, v) in enumerate(lst)]
+    entries.sort(key=lambda e: (e[0], e[1], e[2]))
+    return entries
+
+
+def replay_taps(taps: Iterable[_StatTap]) -> None:
+    """Replay every tap's own recorded stream (single-process runs)."""
+    for tap in taps:
+        tap.replay()

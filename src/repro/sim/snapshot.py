@@ -36,7 +36,7 @@ import importlib
 import random
 import types
 from collections import OrderedDict, deque
-from typing import Any, Callable, Dict, List, Optional, Tuple, Type
+from typing import Any, Callable, Dict, List, Optional
 
 from ..errors import CheckpointError
 

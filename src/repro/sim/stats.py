@@ -9,7 +9,7 @@ paper's PDES simulator produces).
 from __future__ import annotations
 
 import math
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence
 
 __all__ = [
     "Counter",

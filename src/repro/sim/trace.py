@@ -8,7 +8,7 @@ assert on event orderings (e.g. the in-pair thread handoff sequence).
 from __future__ import annotations
 
 from collections import deque
-from typing import Any, Deque, Iterable, List, NamedTuple, Optional
+from typing import Any, Deque, List, NamedTuple, Optional
 
 __all__ = ["TraceRecord", "TraceBuffer"]
 

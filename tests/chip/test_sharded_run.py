@@ -1,0 +1,105 @@
+"""Sharded chip execution: serial equivalence and multiprocess determinism.
+
+The contract under test (docs/sharding.md):
+
+* shards=1 (in-process, serially-merged domains) is **bit-for-bit
+  identical** to the classic serial engine at ANY quantum — including
+  quantum 0 and the default safe quantum — pinned against the same
+  golden digests as the serial run;
+* shards>=2 (multiprocess, canonical tags) is deterministic and
+  worker-count-invariant, but may commute same-cycle cross-ring ties
+  relative to serial (which is why ``shards`` is part of the result
+  cache key).
+"""
+
+from types import SimpleNamespace
+
+import pytest
+
+from repro.chip.smarco import SmarCoChip
+from repro.config import smarco_scaled
+from repro.errors import ConfigError
+from repro.perf.kernels import result_digest
+from repro.workloads.base import get_profile
+
+# the "small" chip_fig23 perf-kernel run; digest pinned in
+# tests/perf/test_golden_digest.py
+GEOMETRY = dict(sub_rings=2, cores_per_sub_ring=4)
+INSTRS = 120
+SERIAL_GOLDEN = "8d95ec410087b301"
+
+
+def _build(shards):
+    chip = SmarCoChip(smarco_scaled(**GEOMETRY), seed=0, shards=shards)
+    chip.load_profile(get_profile("wordcount"), threads_per_core=4,
+                      instrs_per_thread=INSTRS)
+    return chip
+
+
+def _run(shards, quantum=None, workers=None):
+    chip = _build(shards)
+    if shards:
+        result = chip.run_sharded(workers=workers, quantum=quantum)
+    else:
+        result = chip.run()
+    return result_digest(
+        SimpleNamespace(result=result, stats=chip.registry.dump()))
+
+
+class TestSerialEquivalence:
+    """shards=1 reproduces the serial engine exactly (the tentpole claim)."""
+
+    @pytest.mark.parametrize("quantum", [0, None, 1],
+                             ids=["q0", "qdefault", "q1"])
+    def test_sharded_matches_serial_golden(self, quantum):
+        assert _run(1, quantum=quantum) == SERIAL_GOLDEN
+
+    def test_serial_engine_still_matches_golden(self):
+        # guards the guard: the constant above tracks the pinned digest
+        assert _run(0) == SERIAL_GOLDEN
+
+
+class TestMultiprocessDeterminism:
+    def test_worker_count_invariant(self):
+        digests = {_run(2, workers=w) for w in (2, 2)}
+        assert len(digests) == 1
+
+    def test_quantum_invariant(self):
+        assert _run(2, quantum=1) == _run(2, quantum=2)
+
+
+class TestShardedGating:
+    def test_serial_chip_refuses_run_sharded(self):
+        chip = SmarCoChip(smarco_scaled(**GEOMETRY), seed=0)
+        with pytest.raises(ConfigError, match="shards"):
+            chip.run_sharded()
+
+    def test_inprocess_chip_refuses_multiprocess(self):
+        chip = _build(1)
+        with pytest.raises(ConfigError, match="rebuild"):
+            chip.run_sharded(workers=2)
+
+    def test_multiprocess_chip_refuses_inprocess(self):
+        chip = _build(2)
+        with pytest.raises(ConfigError, match="rebuild"):
+            chip.run_sharded(workers=1)
+
+    def test_multiprocess_rejects_quantum_zero(self):
+        chip = _build(2)
+        with pytest.raises(ConfigError, match="quantum"):
+            chip.run_sharded(quantum=0)
+
+    def test_sharded_chip_rejects_prefetcher(self):
+        with pytest.raises(ConfigError, match="spm_prefetch"):
+            SmarCoChip(smarco_scaled(**GEOMETRY), seed=0, shards=1,
+                       spm_prefetch=True)
+
+    def test_sharded_chip_rejects_run_to(self):
+        chip = _build(1)
+        with pytest.raises(ConfigError, match="serial"):
+            chip.run_to(100.0)
+
+    def test_serial_run_rejects_quantum(self):
+        chip = SmarCoChip(smarco_scaled(**GEOMETRY), seed=0)
+        with pytest.raises(ConfigError, match="quantum"):
+            chip.run(quantum=2)

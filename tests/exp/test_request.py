@@ -36,6 +36,28 @@ class TestRunRequest:
             RunRequest(kind=kind).validate()
 
 
+class TestShardValidation:
+    def test_negative_shards_rejected(self):
+        with pytest.raises(ConfigError, match="shards"):
+            RunRequest(kind="smarco", shards=-1).validate()
+
+    def test_shards_require_chip_kind(self):
+        with pytest.raises(ConfigError, match="cannot shard"):
+            RunRequest(kind="tcg", shards=2).validate()
+
+    def test_shards_conflict_with_warm_start(self):
+        with pytest.raises(ConfigError, match="warm"):
+            RunRequest(kind="smarco", shards=1, run_cycles=1000.0,
+                       warm_cycles=100.0).validate()
+
+    def test_quantum_requires_shards(self):
+        with pytest.raises(ConfigError, match="quantum"):
+            RunRequest(kind="smarco", shard_quantum=2.0).validate()
+
+    def test_sharded_request_validates(self):
+        RunRequest(kind="smarco", shards=2, shard_quantum=2.0).validate()
+
+
 class TestSnapshotRoundtrip:
     def test_plain_request(self):
         request = RunRequest(kind="xeon", workload="search", seed=11,

@@ -1,0 +1,250 @@
+"""Unit tests for the shardable time-domain layer (repro.sim.domain).
+
+The quantum-boundary cases matter most: events landing exactly on a
+window edge, zero-latency boundary wires, and FIFO tie-breaks across
+domains are where a conservative-sync engine silently diverges from the
+serial reference if anything is off.
+"""
+
+import pytest
+
+from repro.errors import ShardingError, SimulationError
+from repro.sim.domain import (
+    AccumulatorTap,
+    BoundaryChannel,
+    CounterTap,
+    DomainPlan,
+    ShardedSimulator,
+    SimDomain,
+    merge_tap_samples,
+    replay_taps,
+)
+from repro.sim.engine import Simulator, _swap_active
+from repro.sim.stats import StatsRegistry
+
+QUANTA = (0, 1, 16)
+
+
+def two_domain_plan(latency=16.0, shared=False):
+    cell = [0] if shared else None
+    a = SimDomain("a", 0, shared_seq=cell)
+    b = SimDomain("b", 1, shared_seq=cell)
+    plan = DomainPlan([a, b])
+    ab = plan.channel("a->b", a, b, latency)
+    ba = plan.channel("b->a", b, a, latency)
+    return plan, a, b, ab, ba
+
+
+# -- plan / channel basics ---------------------------------------------------
+
+
+def test_plan_rejects_duplicate_domain_indices():
+    with pytest.raises(ShardingError):
+        DomainPlan([SimDomain("a", 0), SimDomain("b", 0)])
+
+
+def test_default_quantum_is_min_cross_engine_latency():
+    plan, a, b, *_ = two_domain_plan(latency=16.0)
+    plan.channel("fast", a, b, 3.0)
+    assert plan.default_quantum() == 3.0
+
+
+def test_validate_quantum_rejects_larger_than_latency():
+    plan, *_ = two_domain_plan(latency=4.0)
+    with pytest.raises(ShardingError):
+        plan.validate_quantum(5.0)
+    plan.validate_quantum(4.0)       # exactly the latency is safe
+    plan.validate_quantum(0)         # instant mode always is
+
+
+def test_zero_latency_cross_engine_channel_rejected_for_positive_quantum():
+    plan, *_ = two_domain_plan(latency=0.0)
+    with pytest.raises(ShardingError, match="absorb"):
+        plan.validate_quantum(1.0)
+
+
+def test_same_engine_channel_is_absorbed_not_queued():
+    # a zero-latency wire between domains on ONE engine is legal: the
+    # channel degenerates to a plain schedule() on the shared engine
+    cell = [0]
+    sim = Simulator()
+    a = SimDomain("a", 0, sim=sim)
+    b = SimDomain("b", 1, sim=sim)
+    plan = DomainPlan([a, b])
+    ch = plan.channel("a->b", a, b, 0.0)
+    assert not ch.crosses_engines
+    fired = []
+    ch.cross(fired.append, "x")
+    assert ch.queue == []            # absorbed, nothing buffered
+    sim.run()
+    assert fired == ["x"]
+
+
+def test_cross_latency_override_below_declared_minimum_rejected():
+    plan, a, b, ab, _ = two_domain_plan(latency=4.0)
+    with pytest.raises(ShardingError):
+        ab.cross(lambda: None, latency=2.0)
+
+
+def test_boundary_message_into_past_raises():
+    plan, a, b, *_ = two_domain_plan()
+    b.sim.now = 10.0
+    with pytest.raises(ShardingError, match="past"):
+        b.sim.schedule_boundary(5.0, (5.0, 0, 1), lambda: None, ())
+
+
+# -- windowed execution ------------------------------------------------------
+
+
+@pytest.mark.parametrize("quantum", QUANTA)
+def test_cross_domain_ping_pong_matches_serial_times(quantum):
+    """A->B->A message chain lands at the exact serial delivery times."""
+    lat = 16.0
+    plan, a, b, ab, ba = two_domain_plan(latency=lat)
+    log = []
+
+    def pong():
+        log.append(("pong", b.sim.now))
+        ba.cross(done)
+
+    def done():
+        log.append(("done", a.sim.now))
+
+    def ping():
+        log.append(("ping", a.sim.now))
+        ab.cross(pong)
+
+    a.sim.schedule(3.0, ping)
+    ShardedSimulator(plan, quantum).run()
+    assert log == [("ping", 3.0), ("pong", 3.0 + lat), ("done", 3.0 + 2 * lat)]
+
+
+@pytest.mark.parametrize("quantum", QUANTA)
+def test_event_exactly_on_quantum_edge_runs_in_next_window(quantum):
+    """Half-open windows: an edge event runs once, at its exact time."""
+    plan, a, b, *_ = two_domain_plan()
+    hits = []
+    # first event at 0 pins the first window edge at 0 + quantum; the
+    # second event lands exactly on that edge
+    a.sim.schedule(0.0, lambda: hits.append(a.sim.now))
+    a.sim.schedule(float(quantum), lambda: hits.append(a.sim.now))
+    a.sim.schedule(float(quantum), lambda: hits.append(a.sim.now))
+    ShardedSimulator(plan, quantum).run()
+    assert hits == [0.0, float(quantum), float(quantum)]
+
+
+@pytest.mark.parametrize("quantum", QUANTA)
+def test_fifo_tie_break_across_domains_follows_arrival_order(quantum):
+    """Same-instant events across serially-merged domains run in the
+    global schedule-call order, exactly like one serial engine."""
+    cell = [0]
+    a = SimDomain("a", 0, shared_seq=cell)
+    b = SimDomain("b", 1, shared_seq=cell)
+    plan = DomainPlan([a, b])
+    plan.channel("a->b", a, b, 16.0)
+    order = []
+    # interleave the scheduling calls across the two engines; all fire
+    # at t=5 and must replay in arrival order
+    a.sim.schedule(5.0, order.append, "a1")
+    b.sim.schedule(5.0, order.append, "b1")
+    a.sim.schedule(5.0, order.append, "a2")
+    b.sim.schedule(5.0, order.append, "b2")
+    ShardedSimulator(plan, quantum).run()
+    assert order == ["a1", "b1", "a2", "b2"]
+
+
+@pytest.mark.parametrize("quantum", QUANTA)
+def test_zero_delay_events_run_before_later_times(quantum):
+    """The due-lane (delay=0) semantics survive windowing."""
+    plan, a, b, *_ = two_domain_plan()
+    order = []
+
+    def first():
+        order.append("first")
+        a.sim.schedule(0, order.append, "chained")
+
+    a.sim.schedule(2.0, first)
+    b.sim.schedule(2.5, order.append, "later")
+    ShardedSimulator(plan, quantum).run()
+    assert order == ["first", "chained", "later"]
+
+
+def test_run_until_caps_execution_and_clock():
+    plan, a, b, *_ = two_domain_plan()
+    hits = []
+    a.sim.schedule(5.0, hits.append, "early")
+    a.sim.schedule(50.0, hits.append, "late")
+    ShardedSimulator(plan, 1.0).run(until=10.0)
+    assert hits == ["early"]
+    assert a.sim.now == 10.0 and b.sim.now == 10.0
+
+
+def test_quiesce_hooks_fire_once_at_stop_time():
+    plan, a, b, *_ = two_domain_plan()
+    seen = []
+    a.sim.schedule(4.0, lambda: None)
+
+    def hook():
+        seen.append((a.sim.now, b.sim.now))
+        a.sim.schedule(0, lambda: seen.append("hook-event"))
+
+    ShardedSimulator(plan, 1.0).run(quiesce_hooks=[hook])
+    assert seen == [(4.0, 4.0), "hook-event"]
+
+
+def test_domain_engine_refuses_direct_run():
+    plan, a, *_ = two_domain_plan()
+    with pytest.raises(SimulationError):
+        a.sim.run()
+
+
+# -- stat taps ---------------------------------------------------------------
+
+
+def test_taps_replay_in_time_then_domain_order():
+    registry = StatsRegistry()
+    acc = registry.accumulator("lat")
+    tap = AccumulatorTap(acc)
+    a = SimDomain("a", 0)
+    b = SimDomain("b", 1)
+    # record out of order across domains: (t=2, dom 1) before (t=1, dom 0)
+    for dom, t, v in ((b, 2.0, 30.0), (a, 1.0, 10.0), (a, 2.0, 20.0)):
+        dom.sim.now = t
+        prev = _swap_active(dom.sim)
+        try:
+            tap.add(v)
+        finally:
+            _swap_active(prev)
+    merged = tap.merged()
+    assert [v for _, _, _, v in merged] == [10.0, 20.0, 30.0]
+    replay_taps([tap])
+    assert acc.count == 3
+    assert acc.mean == pytest.approx(20.0)
+
+
+def test_counter_tap_replays_total():
+    registry = StatsRegistry()
+    ctr = registry.counter("hits")
+    tap = CounterTap(ctr)
+    sim = SimDomain("a", 0).sim
+    prev = _swap_active(sim)
+    try:
+        tap.inc()
+        tap.inc(2)
+    finally:
+        _swap_active(prev)
+    tap.replay()
+    assert ctr.value == 3
+
+
+def test_merge_tap_samples_rejects_duplicate_domain_streams():
+    with pytest.raises(ShardingError):
+        merge_tap_samples([{0: [(1.0, 1.0)]}, {0: [(2.0, 2.0)]}])
+
+
+def test_merge_tap_samples_orders_by_time_domain_arrival():
+    entries = merge_tap_samples([
+        {1: [(2.0, 5.0), (2.0, 6.0)]},
+        {0: [(2.0, 1.0)], 2: [(1.0, 9.0)]},
+    ])
+    assert [v for _, _, _, v in entries] == [9.0, 1.0, 5.0, 6.0]
