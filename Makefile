@@ -9,7 +9,7 @@ REPRO_WORKERS ?= 2
 
 export PYTHONPATH := src
 
-.PHONY: test lint bench-smoke bench perf perf-smoke shard-smoke ckpt-smoke sweep-policies docs-cli linkcheck-docs clean
+.PHONY: test lint bench-smoke bench perf perf-smoke shard-smoke ckpt-smoke traffic-smoke sweep-policies docs-cli linkcheck-docs clean
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -70,6 +70,28 @@ ckpt-smoke:
 		--sched-policies laxity --scenarios deadline-storm \
 		--run-cycles 300000 600000 --warm-start --warm-cycles 50000 \
 		--name ckpt-smoke --out results/ckpt
+
+# Open-loop traffic smoke: the shared quantile module and the traffic
+# layer's unit tests, a single calibrated cluster run, then a small
+# arrival x load sweep replayed from the cache to prove the percentile
+# output is deterministic and cache-hit-stable (see docs/traffic.md).
+traffic-smoke:
+	$(PYTHON) -m pytest -q -p no:cacheprovider \
+		tests/analysis/test_quantiles.py tests/traffic
+	$(PYTHON) -m repro.cli traffic kmp --chips 2 --requests 500 \
+		--instrs 200 --load 0.8 --sub-rings 2 --cores 2
+	REPRO_WORKERS=$(REPRO_WORKERS) $(PYTHON) -m repro.cli \
+		sweep kmp --kind traffic --chips 2 --requests 500 \
+		--sub-rings 2 --cores 2 --arrivals poisson bursty \
+		--balancers least-outstanding --loads 0.5 0.7 0.9 \
+		--name traffic-smoke --out results/traffic
+	REPRO_WORKERS=$(REPRO_WORKERS) $(PYTHON) -m repro.cli \
+		sweep kmp --kind traffic --chips 2 --requests 500 \
+		--sub-rings 2 --cores 2 --arrivals poisson bursty \
+		--balancers least-outstanding --loads 0.5 0.7 0.9 \
+		--name traffic-smoke --out results/traffic \
+		| tee results/traffic/replay.out
+	grep -q "6 cache hits" results/traffic/replay.out
 
 # Scheduler policy zoo smoke: every registered policy x every adversarial
 # scenario through the cached runner with the invariant audit layer armed;

@@ -8,7 +8,21 @@ from .breakdown import (
     summarize_breakdown,
 )
 from .metrics import crossover_index, geometric_mean, normalize, speedup
+from .quantiles import (
+    DEFAULT_QUANTILES,
+    ReservoirQuantiles,
+    nearest_rank_index,
+    quantile,
+    quantiles,
+    thin_sorted,
+)
 from .report import build_report, collect_results
+from .slo import (
+    TrafficPoint,
+    render_traffic,
+    traffic_points,
+    traffic_results_from_records,
+)
 from .tables import render_result, render_series, render_table
 from .winners import (
     PolicyCell,
@@ -38,4 +52,14 @@ __all__ = [
     "winners_matrix",
     "render_winners",
     "sched_results_from_records",
+    "DEFAULT_QUANTILES",
+    "ReservoirQuantiles",
+    "nearest_rank_index",
+    "quantile",
+    "quantiles",
+    "thin_sorted",
+    "TrafficPoint",
+    "render_traffic",
+    "traffic_points",
+    "traffic_results_from_records",
 ]

@@ -1,0 +1,189 @@
+"""The one percentile implementation in the tree.
+
+Every tail-latency number the repo reports — scheduler p99s
+(``repro.sched.scenarios``), the who-wins-where matrix
+(``repro.analysis.winners``) and the open-loop traffic layer
+(``repro.traffic``) — routes through this module, so a percentile means
+the same thing everywhere.
+
+Two regimes:
+
+* :func:`quantile` — **exact ceil-based nearest rank** over a finite
+  sample.  The nearest-rank estimator returns the smallest sample value
+  x such that at least ``q`` of the sample is <= x, i.e. the order
+  statistic at index ``ceil(q * n) - 1``.  (The bug this replaced used
+  ``int(q * (n - 1))``, which truncates *downward*: on a 10-sample run
+  it reported the 9th value — roughly a p89 — as "p99".)
+* :class:`ReservoirQuantiles` — a **bounded-memory streaming sketch**
+  for million-request runs.  It is exact while the stream fits in its
+  capacity, and degrades to seeded uniform reservoir sampling
+  (Algorithm R) beyond it, so estimates stay unbiased and — because the
+  replacement draws come from a caller-supplied seeded generator —
+  bit-deterministic run-to-run.
+
+:func:`thin_sorted` is the companion for *pooling*: a run that cannot
+ship every raw latency ships ``cap`` evenly-spaced order statistics
+instead, which preserves the sample's quantile structure far better than
+shipping a single pre-computed percentile (a mean of p99s is not a p99
+of the pool — see ``analysis.winners``).
+"""
+
+from __future__ import annotations
+
+import math
+from random import Random
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..errors import AnalysisError
+
+__all__ = [
+    "DEFAULT_QUANTILES",
+    "nearest_rank_index",
+    "quantile",
+    "quantiles",
+    "thin_sorted",
+    "ReservoirQuantiles",
+]
+
+#: the tail ladder every latency report renders
+DEFAULT_QUANTILES: Tuple[float, ...] = (0.50, 0.95, 0.99, 0.999)
+
+
+def _check_q(q: float) -> None:
+    if not 0.0 < q <= 1.0:
+        raise AnalysisError(f"quantile must be in (0, 1], got {q!r}")
+
+
+def nearest_rank_index(n: int, q: float) -> int:
+    """Index of the ceil-based nearest-rank order statistic.
+
+    The smallest index ``i`` (0-based, over a sorted sample of size
+    ``n``) such that ``(i + 1) / n >= q``.  For ``q=0.99, n=10`` that is
+    index 9 (the maximum) — a 10-sample run has no observation below its
+    own maximum that bounds 99% of the data.
+    """
+    if n <= 0:
+        raise AnalysisError("nearest_rank_index needs a non-empty sample")
+    _check_q(q)
+    return min(n - 1, max(0, math.ceil(q * n) - 1))
+
+
+def quantile(samples: Sequence[float], q: float,
+             *, is_sorted: bool = False) -> float:
+    """Exact nearest-rank quantile of a finite sample (raises on empty)."""
+    n = len(samples)
+    if n == 0:
+        raise AnalysisError("cannot take a quantile of an empty sample")
+    data = samples if is_sorted else sorted(samples)
+    return data[nearest_rank_index(n, q)]
+
+
+def quantiles(samples: Sequence[float],
+              qs: Sequence[float] = DEFAULT_QUANTILES,
+              *, is_sorted: bool = False) -> Dict[float, float]:
+    """``{q: value}`` for several quantiles over one sort of the sample."""
+    if not samples:
+        raise AnalysisError("cannot take quantiles of an empty sample")
+    data = samples if is_sorted else sorted(samples)
+    n = len(data)
+    return {q: data[nearest_rank_index(n, q)] for q in qs}
+
+
+def thin_sorted(sorted_samples: Sequence[float], cap: int) -> List[float]:
+    """At most ``cap`` evenly-spaced order statistics of a sorted sample.
+
+    Always keeps the minimum and maximum, so pooled tails are never
+    clipped.  With ``len(sorted_samples) <= cap`` the sample is returned
+    unchanged — thinning is lossless until it has to lose something.
+    """
+    if cap < 2:
+        raise AnalysisError("thin_sorted needs cap >= 2")
+    n = len(sorted_samples)
+    if n <= cap:
+        return list(sorted_samples)
+    # evenly spaced ranks from 0 to n-1 inclusive
+    step = (n - 1) / (cap - 1)
+    return [sorted_samples[round(i * step)] for i in range(cap)]
+
+
+class ReservoirQuantiles:
+    """Bounded-memory quantile sketch: exact small, reservoir large.
+
+    While the stream fits in ``capacity`` the sketch holds every sample
+    and its quantiles are exact nearest-rank.  Past capacity it switches
+    to Algorithm R uniform reservoir sampling: each new sample replaces
+    a uniformly-chosen resident with probability ``capacity / count``.
+    All randomness comes from the caller's ``rng`` (hand it a named
+    :class:`~repro.sim.rng.RngTree` stream), so two runs of the same
+    seeded stream produce bit-identical sketches.
+    """
+
+    __slots__ = ("capacity", "rng", "count", "total", "_samples", "_dirty")
+
+    def __init__(self, capacity: int = 4096,
+                 rng: Optional[Random] = None) -> None:
+        if capacity < 2:
+            raise AnalysisError("reservoir capacity must be >= 2")
+        self.capacity = capacity
+        self.rng = rng if rng is not None else Random(0)
+        self.count = 0
+        self.total = 0.0
+        self._samples: List[float] = []
+        self._dirty = False
+
+    @property
+    def exact(self) -> bool:
+        """True while no sample has been dropped (quantiles are exact)."""
+        return self.count <= self.capacity
+
+    @property
+    def mean(self) -> float:
+        """Exact running mean of the *whole* stream (never sampled)."""
+        return self.total / self.count if self.count else 0.0
+
+    def add(self, sample: float) -> None:
+        self.count += 1
+        self.total += sample
+        if len(self._samples) < self.capacity:
+            self._samples.append(sample)
+            self._dirty = True
+            return
+        # Algorithm R: keep with probability capacity / count
+        slot = self.rng.randrange(self.count)
+        if slot < self.capacity:
+            self._samples[slot] = sample
+            self._dirty = True
+
+    def extend(self, samples: Iterable[float]) -> None:
+        for sample in samples:
+            self.add(sample)
+
+    def _sorted(self) -> List[float]:
+        if self._dirty:
+            self._samples.sort()
+            self._dirty = False
+        return self._samples
+
+    def quantile(self, q: float) -> float:
+        """Nearest-rank quantile over the resident sample."""
+        if not self._samples:
+            raise AnalysisError("cannot take a quantile of an empty sketch")
+        return quantile(self._sorted(), q, is_sorted=True)
+
+    def quantiles(self, qs: Sequence[float] = DEFAULT_QUANTILES
+                  ) -> Dict[float, float]:
+        if not self._samples:
+            raise AnalysisError("cannot take quantiles of an empty sketch")
+        return quantiles(self._sorted(), qs, is_sorted=True)
+
+    def thinned(self, cap: int) -> List[float]:
+        """Pooling payload: evenly-spaced order stats of the residents."""
+        return thin_sorted(self._sorted(), cap)
+
+    def __len__(self) -> int:
+        return len(self._samples)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        mode = "exact" if self.exact else "reservoir"
+        return (f"ReservoirQuantiles(count={self.count}, "
+                f"resident={len(self._samples)}, {mode})")

@@ -1,0 +1,177 @@
+"""Tail-latency SLO analysis of open-loop traffic sweeps.
+
+A ``kind="traffic"`` sweep varies offered load (and arrival process,
+balancer, cluster size, seed) over the cluster driver; this module folds
+its telemetry into the two artefacts datacenter papers plot:
+
+* the **offered-load-vs-latency curve** — one row per swept operating
+  point with p50/p95/p99/p99.9 of the pooled latency distribution (the
+  hockey stick: flat until the knee, vertical after it);
+* the **SLO-violation curve** — per operating point, the fraction of
+  requests whose latency exceeded each SLO target (targets are stated in
+  multiples of the calibrated solo service time, so they survive
+  recalibration).
+
+Aggregation over seeds follows the same discipline as
+:mod:`repro.analysis.winners`: percentiles are never averaged across
+runs — the runs' shipped latency samples (evenly-spaced order
+statistics) are pooled and one nearest-rank quantile is taken over the
+pool via :mod:`repro.analysis.quantiles`.  Violation fractions, being
+plain means, do average.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Tuple
+
+from .quantiles import DEFAULT_QUANTILES, quantiles
+from .tables import render_table
+
+__all__ = [
+    "TrafficPoint",
+    "traffic_results_from_records",
+    "traffic_points",
+    "render_traffic",
+]
+
+
+def traffic_results_from_records(records: Iterable[Any]
+                                 ) -> List[Dict[str, Any]]:
+    """The ``TrafficRunResult`` dicts inside a pile of telemetry records.
+
+    Accepts :class:`~repro.exp.telemetry.RunRecord` objects (their
+    ``result`` dicts are inspected) and ignores every other run kind, so
+    a mixed ``results/runs/`` directory can be fed in unfiltered.
+    """
+    out: List[Dict[str, Any]] = []
+    for record in records:
+        result = getattr(record, "result", record)
+        if isinstance(result, Mapping) \
+                and result.get("type") == "TrafficRunResult":
+            out.append(dict(result))
+    return out
+
+
+@dataclass(frozen=True)
+class TrafficPoint:
+    """One operating point of the sweep, aggregated over its seeds."""
+
+    workload: str
+    arrival: str
+    balancer: str
+    chips: int
+    load: float
+    runs: int
+    requests: int                        # pooled completed requests
+    #: pooled nearest-rank quantiles, keyed by q (0.50/0.95/0.99/0.999);
+    #: nan when no run shipped samples
+    latency: Dict[float, float]
+    slo_targets: Tuple[float, ...]
+    slo_violations: Tuple[float, ...]    # mean violation fraction per target
+    home_hit_rate: float
+    throughput_rps: float                # mean over runs
+
+
+def _group_key(r: Mapping[str, Any]) -> Tuple[str, str, str, int, float]:
+    return (str(r.get("workload", "?")), str(r.get("arrival", "?")),
+            str(r.get("balancer", "?")), int(r.get("chips", 0)),
+            float(r.get("load", float("nan"))))
+
+
+def traffic_points(results: Iterable[Mapping[str, Any]]) -> List[TrafficPoint]:
+    """Fold raw ``TrafficRunResult`` dicts into sorted operating points."""
+    groups: Dict[Tuple[str, str, str, int, float], List[Mapping[str, Any]]] = {}
+    for r in results:
+        groups.setdefault(_group_key(r), []).append(r)
+
+    points: List[TrafficPoint] = []
+    for key in sorted(groups):
+        workload, arrival, balancer, chips, load = key
+        runs = groups[key]
+        samples: List[float] = []
+        for r in runs:
+            samples.extend(float(s) for s in r.get("latency_samples") or ())
+        if samples:
+            pooled = quantiles(samples, DEFAULT_QUANTILES)
+        else:
+            pooled = {q: float("nan") for q in DEFAULT_QUANTILES}
+        targets = tuple(float(t) for t in runs[0].get("slo_targets") or ())
+        viol_sums = [0.0] * len(targets)
+        viol_n = 0
+        for r in runs:
+            v = r.get("slo_violations") or ()
+            if tuple(float(t) for t in r.get("slo_targets") or ()) == targets \
+                    and len(v) == len(targets):
+                for i, frac in enumerate(v):
+                    viol_sums[i] += float(frac)
+                viol_n += 1
+        violations = tuple(s / viol_n for s in viol_sums) if viol_n \
+            else tuple(float("nan") for _ in targets)
+        n_runs = len(runs)
+        points.append(TrafficPoint(
+            workload=workload, arrival=arrival, balancer=balancer,
+            chips=chips, load=load, runs=n_runs,
+            requests=sum(int(r.get("requests_completed", 0)) for r in runs),
+            latency=pooled, slo_targets=targets, slo_violations=violations,
+            home_hit_rate=sum(float(r.get("home_hit_rate", 0.0))
+                              for r in runs) / n_runs,
+            throughput_rps=sum(float(r.get("throughput_rps", 0.0))
+                               for r in runs) / n_runs,
+        ))
+    return points
+
+
+def _cycles(value: float) -> str:
+    return "—" if math.isnan(value) else f"{value:,.0f}"
+
+
+def _frac(value: float) -> str:
+    return "—" if math.isnan(value) else f"{value:.1%}"
+
+
+def render_traffic(results: Iterable[Mapping[str, Any]],
+                   title: str = "Offered load vs tail latency "
+                                "(cycles, pooled over seeds)") -> str:
+    """The traffic chapter ``report`` prints: load curve + SLO curve.
+
+    One row per (workload, arrival, balancer, chips, load) operating
+    point, sorted so reading down a block walks up the offered-load axis
+    — the latency columns trace the hockey stick, the violation columns
+    the SLO cliff.
+    """
+    points = traffic_points(results)
+    if not points:
+        return "No traffic sweep runs found."
+    rows = []
+    for p in points:
+        rows.append([
+            p.workload, p.arrival, p.balancer, p.chips, f"{p.load:.2f}",
+            _cycles(p.latency[0.50]), _cycles(p.latency[0.95]),
+            _cycles(p.latency[0.99]), _cycles(p.latency[0.999]),
+            f"{p.throughput_rps / 1e6:,.1f}M",
+        ])
+    text = render_table(
+        ["workload", "arrival", "balancer", "chips", "rho",
+         "p50", "p95", "p99", "p99.9", "req/s"],
+        rows, title=title)
+
+    # SLO-violation curve: targets can differ between sweeps, so emit one
+    # table per distinct target vector
+    by_targets: Dict[Tuple[float, ...], List[TrafficPoint]] = {}
+    for p in points:
+        by_targets.setdefault(p.slo_targets, []).append(p)
+    for targets in sorted(by_targets):
+        if not targets:
+            continue
+        header = (["workload", "arrival", "balancer", "chips", "rho"]
+                  + [f">{t:g}x" for t in targets])
+        rows = [[p.workload, p.arrival, p.balancer, p.chips, f"{p.load:.2f}"]
+                + [_frac(v) for v in p.slo_violations]
+                for p in by_targets[targets]]
+        text += "\n\n" + render_table(
+            header, rows,
+            title="SLO violations: fraction of requests slower than each "
+                  "target (in multiples of the solo service time)")
+    return text

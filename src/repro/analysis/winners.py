@@ -9,13 +9,25 @@ lower mean makespan (finish the same fraction sooner and you win).
 The matrix is the headline table of the scheduling chapter of the
 report — it shows the design-space claim of the related work directly:
 no single allocation policy dominates every workload shape.
+
+Tail aggregation is done right: a mean of per-run p99s is **not** a p99
+of the pooled distribution, so cells pool the runs' raw response samples
+(``SchedRunResult.response_samples``) and take one nearest-rank p99 over
+the pool via :mod:`repro.analysis.quantiles`.  Only when no run shipped
+samples does the cell fall back to the mean of the per-run p99s — and it
+says so (``PolicyCell.p99_pooled`` / a ``~`` marker in the rendering).
+Runs with no tail data at all (``nan`` / missing ``p99_response``) are
+skipped, never coerced to 0.0: a zero would drag the cell toward a tail
+latency nobody measured.
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import Any, Dict, Iterable, List, Mapping, Optional, Tuple
 
+from .quantiles import quantile
 from .tables import render_table
 
 __all__ = [
@@ -30,6 +42,17 @@ __all__ = [
 _TIE_EPS = 1e-9
 
 
+def _finite(value: Any) -> Optional[float]:
+    """``value`` as a finite float, else None (absent, nan, inf)."""
+    if value is None:
+        return None
+    try:
+        out = float(value)
+    except (TypeError, ValueError):
+        return None
+    return out if math.isfinite(out) else None
+
+
 @dataclass(frozen=True)
 class PolicyCell:
     """Aggregate of every run of one (policy, scenario) pair."""
@@ -39,7 +62,15 @@ class PolicyCell:
     runs: int
     success_rate: float        # mean deadline-success rate over runs
     makespan: float            # mean makespan over runs
-    p99_response: float        # mean p99 response time over runs
+    #: p99 response time over the pooled raw samples of every run that
+    #: shipped them (or the labelled fallback); None when no run of this
+    #: cell produced any tail data
+    p99_response: Optional[float]
+    #: runs that contributed tail data (samples or a finite p99)
+    tail_runs: int = 0
+    #: True when p99_response was computed over pooled raw samples;
+    #: False marks the mean-of-per-run-p99s fallback
+    p99_pooled: bool = False
 
 
 @dataclass(frozen=True)
@@ -73,20 +104,46 @@ def sched_results_from_records(records: Iterable[Any]) -> List[Dict[str, Any]]:
 
 def winners_matrix(results: Iterable[Mapping[str, Any]]) -> WinnersMatrix:
     """Fold raw ``SchedRunResult`` dicts into the who-wins-where matrix."""
-    sums: Dict[Tuple[str, str], List[float]] = {}
+    sums: Dict[Tuple[str, str], Dict[str, Any]] = {}
     for r in results:
         key = (str(r["policy"]), str(r["scenario"]))
-        agg = sums.setdefault(key, [0.0, 0.0, 0.0, 0.0])
-        agg[0] += 1
-        agg[1] += float(r["deadline_success_rate"])
-        agg[2] += float(r["makespan"])
-        agg[3] += float(r.get("p99_response", 0.0))
+        agg = sums.setdefault(key, {
+            "n": 0, "succ": 0.0, "mk": 0.0,
+            "samples": [], "p99s": [], "tail_runs": 0,
+        })
+        agg["n"] += 1
+        agg["succ"] += float(r["deadline_success_rate"])
+        agg["mk"] += float(r["makespan"])
+        samples = [s for s in map(_finite, r.get("response_samples") or ())
+                   if s is not None]
+        p99 = _finite(r.get("p99_response"))
+        if samples:
+            agg["samples"].extend(samples)
+            agg["tail_runs"] += 1
+        elif p99 is not None:
+            # aggregate-only record (pre-samples telemetry): keep its p99
+            # for the labelled fallback
+            agg["p99s"].append(p99)
+            agg["tail_runs"] += 1
+        # else: no tail data for this run — skip it, never zero-fill
 
     cells: Dict[Tuple[str, str], PolicyCell] = {}
-    for (policy, scenario), (n, succ, mk, p99) in sums.items():
+    for (policy, scenario), agg in sums.items():
+        n = agg["n"]
+        if agg["samples"]:
+            p99_value: Optional[float] = quantile(agg["samples"], 0.99)
+            pooled = True
+        elif agg["p99s"]:
+            p99_value = sum(agg["p99s"]) / len(agg["p99s"])
+            pooled = False
+        else:
+            p99_value = None
+            pooled = False
         cells[(policy, scenario)] = PolicyCell(
-            policy=policy, scenario=scenario, runs=int(n),
-            success_rate=succ / n, makespan=mk / n, p99_response=p99 / n)
+            policy=policy, scenario=scenario, runs=n,
+            success_rate=agg["succ"] / n, makespan=agg["mk"] / n,
+            p99_response=p99_value, tail_runs=agg["tail_runs"],
+            p99_pooled=pooled)
 
     policies = tuple(sorted({p for p, _ in cells}))
     scenarios = tuple(sorted({s for _, s in cells}))
@@ -119,15 +176,26 @@ def _mean_success(cells: Dict[Tuple[str, str], PolicyCell], policy: str,
     return sum(have) / len(have) if have else 0.0
 
 
+def _p99_cell_text(cell: Optional[PolicyCell]) -> str:
+    if cell is None or cell.p99_response is None:
+        return "—"                      # em dash: no tail data
+    text = f"{cell.p99_response:,.0f}"
+    if not cell.p99_pooled:
+        text += "~"                          # fallback mean-of-p99s
+    return text
+
+
 def render_winners(results: Iterable[Mapping[str, Any]],
                    title: str = "Policy vs scenario: deadline success rate "
                                 "(* = scenario winner)") -> str:
     """The comparison table ``report`` prints.
 
     One row per policy, one column per scenario; each cell is the mean
-    deadline-success rate, the scenario winner's cell starred.  A
-    verdict block follows: the winner of each scenario and the overall
-    winner (most scenarios won).
+    deadline-success rate, the scenario winner's cell starred.  A second
+    table shows the pooled p99 response time per cell (``—`` where no
+    run produced tail data, ``~`` marking the mean-of-p99s fallback for
+    aggregate-only records).  A verdict block follows: the winner of
+    each scenario and the overall winner (most scenarios won).
     """
     matrix = winners_matrix(results)
     if not matrix.cells:
@@ -144,6 +212,15 @@ def render_winners(results: Iterable[Mapping[str, Any]],
             row.append(f"{cell.success_rate:.3f}{star}")
         rows.append(row)
     text = render_table(["policy"] + list(matrix.scenarios), rows, title=title)
+    p99_rows = []
+    for policy in matrix.policies:
+        p99_rows.append([policy] + [
+            _p99_cell_text(matrix.cell(policy, scenario))
+            for scenario in matrix.scenarios])
+    text += "\n\n" + render_table(
+        ["policy"] + list(matrix.scenarios), p99_rows,
+        title="Policy vs scenario: p99 response, pooled samples "
+              "(— = no tail data, ~ = mean of per-run p99s)")
     verdicts = [f"{scenario}: {matrix.winners[scenario]}"
                 for scenario in matrix.scenarios if scenario in matrix.winners]
     text += "\n\nwinners: " + "; ".join(verdicts)

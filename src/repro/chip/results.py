@@ -51,6 +51,7 @@ def result_from_dict(data: Dict[str, Any]) -> DictResult:
     # ensure every result class has registered itself
     from . import run, smarco, xeon  # noqa: F401
     from ..sched import scenarios  # noqa: F401
+    from ..traffic import cluster  # noqa: F401
 
     type_name = data.get("type")
     if type_name not in _RESULT_TYPES:

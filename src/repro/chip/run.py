@@ -194,6 +194,8 @@ def execute(request: RunRequest,
         return _execute_compare(request, audit)
     if request.kind == "sched":
         return _execute_sched(request, audit)
+    if request.kind == "traffic":
+        return _execute_traffic(request, audit)
     raise ConfigError(f"unknown run kind {request.kind!r}")  # pragma: no cover
 
 
@@ -390,6 +392,23 @@ def _execute_sched(request: RunRequest,
     result = collect_sched_result(run)
     return RunOutcome(request=request, result=result, stats=registry.dump(),
                       audit=auditor.summary() if auditor is not None else None)
+
+
+def _execute_traffic(request: RunRequest,
+                     audit: Optional[AuditConfig] = None) -> RunOutcome:
+    """One open-loop cluster run (see :mod:`repro.traffic.cluster`).
+
+    The chip-model calibration run inside :func:`~repro.traffic.cluster.
+    calibrate_chip` goes back through :func:`execute` (under the
+    ``REPRO_AUDIT`` environment setting, like any run); the queueing tier
+    itself declares no invariant checkers, so the explicit ``audit``
+    override has nothing to attach to here.
+    """
+    from ..traffic.cluster import run_traffic
+
+    registry = StatsRegistry()
+    result = run_traffic(request, registry=registry)
+    return RunOutcome(request=request, result=result, stats=registry.dump())
 
 
 # -- legacy per-kind helpers (thin shims over execute) -----------------------------

@@ -7,8 +7,10 @@ Installed as ``repro-smarco`` (see pyproject) or runnable via
     repro-smarco run kmp --sub-rings 4 --instrs 300
     repro-smarco xeon kmp --threads 48
     repro-smarco compare wordcount
+    repro-smarco traffic kmp --chips 4 --load 0.8 --arrival bursty
     repro-smarco sweep kmp wordcount --seeds 0 1 2 --workers 2
     repro-smarco sweep kmp --kind sched --sched-policies laxity fifo
+    repro-smarco sweep kmp --kind traffic --loads 0.5 0.7 0.9
     repro-smarco sweep kmp --warm-start --warm-cycles 2000 \
         --run-cycles 4000 8000 16000
     repro-smarco checkpoint save chip.ckpt.gz --cycles 5000
@@ -117,6 +119,37 @@ def build_parser() -> argparse.ArgumentParser:
     cmp_p.add_argument("--instrs", type=int, default=250)
     cmp_p.add_argument("--seed", type=int, default=0)
 
+    traffic_p = sub.add_parser(
+        "traffic",
+        help="drive open-loop traffic through a cluster of chips and "
+             "report tail latency against SLO targets")
+    traffic_p.add_argument("workload", nargs="?", default="kmp")
+    traffic_p.add_argument("--list", action="store_true",
+                           help="list registered arrival processes and "
+                                "balancers, then exit")
+    traffic_p.add_argument("--arrival", default="poisson",
+                           help="arrival process name (see --list)")
+    traffic_p.add_argument("--balancer", default="least-outstanding",
+                           help="front-end balancer name (see --list)")
+    traffic_p.add_argument("--chips", type=int, default=2,
+                           help="chips behind the front end")
+    traffic_p.add_argument("--load", type=float, default=0.7,
+                           help="offered load rho as a fraction of "
+                                "calibrated cluster capacity")
+    traffic_p.add_argument("--requests", type=int, default=2000,
+                           help="requests the arrival process generates")
+    traffic_p.add_argument("--instrs", type=int, default=400,
+                           help="instructions of service demand per request")
+    traffic_p.add_argument("--slo", type=float, nargs="+",
+                           default=[2.0, 5.0, 10.0], metavar="MULT",
+                           help="SLO targets as multiples of the "
+                                "calibrated solo service time")
+    traffic_p.add_argument("--seed", type=int, default=0)
+    traffic_p.add_argument("--sub-rings", type=int, default=2,
+                           help="sub-rings of the calibration chip")
+    traffic_p.add_argument("--cores", type=int, default=4,
+                           help="cores per sub-ring of the calibration chip")
+
     sweep_p = sub.add_parser(
         "sweep",
         help="run a workload x seed x policy grid through the parallel "
@@ -124,7 +157,7 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_p.add_argument("workloads", nargs="+")
     sweep_p.add_argument("--kind", default="smarco",
                          choices=("smarco", "xeon", "compare", "tcg",
-                                  "sched"))
+                                  "sched", "traffic"))
     sweep_p.add_argument("--name", default="cli-sweep",
                          help="spec name (labels the telemetry records)")
     sweep_p.add_argument("--seeds", type=int, nargs="+", default=[0])
@@ -152,6 +185,21 @@ def build_parser() -> argparse.ArgumentParser:
                          help="tasks per sched run (--kind sched)")
     sweep_p.add_argument("--contexts", type=int, default=64,
                          help="thread contexts per sched run (--kind sched)")
+    sweep_p.add_argument("--arrivals", nargs="+", default=None,
+                         metavar="ARRIVAL",
+                         help="arrival processes to sweep (--kind traffic; "
+                              "default: every registered process)")
+    sweep_p.add_argument("--balancers", nargs="+", default=None,
+                         metavar="BALANCER",
+                         help="front-end balancers to sweep (--kind "
+                              "traffic; default: every registered balancer)")
+    sweep_p.add_argument("--loads", type=float, nargs="+",
+                         default=[0.5, 0.7, 0.9], metavar="RHO",
+                         help="offered-load axis (--kind traffic)")
+    sweep_p.add_argument("--chips", type=int, default=2,
+                         help="chips behind the front end (--kind traffic)")
+    sweep_p.add_argument("--requests", type=int, default=2000,
+                         help="requests per traffic run (--kind traffic)")
     sweep_p.add_argument("--workers", type=int, default=None,
                          help="worker processes (default: $REPRO_WORKERS, "
                               "else serial)")
@@ -407,6 +455,51 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_traffic(args: argparse.Namespace) -> int:
+    from .traffic import arrival_summaries, balancer_summaries
+
+    if args.list:
+        rows = [[a["name"], a["summary"]] for a in arrival_summaries()]
+        print(render_table(["arrival", "summary"], rows,
+                           title="Registered arrival processes"))
+        print()
+        rows = [[b["name"], b["summary"]] for b in balancer_summaries()]
+        print(render_table(["balancer", "summary"], rows,
+                           title="Registered load balancers"))
+        return 0
+    request = RunRequest(
+        kind="traffic", workload=args.workload, seed=args.seed,
+        smarco_config=smarco_scaled(args.sub_rings, args.cores),
+        traffic_arrival=args.arrival, traffic_balancer=args.balancer,
+        traffic_chips=args.chips, traffic_load=args.load,
+        traffic_requests=args.requests, traffic_instrs=args.instrs,
+        traffic_slo=tuple(args.slo),
+    )
+    result = execute(request).result
+    mode = result.quantile_mode
+    rows = [
+        ["cluster", f"{result.chips} chips x "
+                    f"{result.contexts_per_chip} contexts"
+                    f" ({result.calibration_source} calibration)"],
+        ["arrival / balancer", f"{result.arrival} / {result.balancer}"],
+        ["offered load", f"rho = {result.load:.2f} "
+                         f"({result.rate_per_cycle * 1e3:.2f} req/kcycle)"],
+        ["requests", f"{result.requests_completed:,} completed"],
+        ["throughput", f"{result.throughput_rps / 1e6:,.1f}M req/s"],
+        ["solo service time", f"{result.base_service_cycles:,.0f} cycles"],
+        ["p50 latency", f"{result.p50_latency:,.0f} cycles"],
+        ["p95 latency", f"{result.p95_latency:,.0f} cycles"],
+        ["p99 latency", f"{result.p99_latency:,.0f} cycles ({mode})"],
+        ["p99.9 latency", f"{result.p999_latency:,.0f} cycles"],
+        ["home sub-ring hits", f"{result.home_hit_rate:.1%}"],
+    ]
+    for target, frac in zip(result.slo_targets, result.slo_violations):
+        rows.append([f"SLO >{target:g}x service", f"{frac:.2%} violated"])
+    print(render_table(["metric", "value"], rows,
+                       title=f"Traffic run: {args.workload}"))
+    return 0
+
+
 def _cmd_sweep(args: argparse.Namespace) -> int:
     from .exp import Runner, summarize_runs
 
@@ -425,9 +518,15 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         xeon_instrs_per_thread=args.xeon_instrs,
         sched_tasks=args.tasks,
         sched_contexts=args.contexts,
+        traffic_chips=args.chips,
+        traffic_requests=args.requests,
         warm_cycles=args.warm_cycles if args.warm_start else 0.0,
         warm_axes=("run_cycles",) if args.warm_start else (),
     )
+    if args.kind == "traffic":
+        # the calibration chip defaults to the sweep's scaled geometry
+        base = base.replace(
+            smarco_config=smarco_scaled(args.sub_rings, args.cores))
     axes = {"workload": args.workloads, "seed": args.seeds}
     if args.policies:
         axes["core_policy"] = args.policies
@@ -436,6 +535,12 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
 
         axes["sched_policy"] = args.sched_policies or list_policies()
         axes["sched_scenario"] = args.scenarios or list_scenarios()
+    if args.kind == "traffic":
+        from .traffic import list_arrivals, list_balancers
+
+        axes["traffic_arrival"] = args.arrivals or list_arrivals()
+        axes["traffic_balancer"] = args.balancers or list_balancers()
+        axes["traffic_load"] = args.loads
     if args.run_cycles:
         axes["run_cycles"] = args.run_cycles
     spec = ExperimentSpec.grid(args.name, base, **axes)
@@ -450,6 +555,11 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
 
         print()
         print(render_winners(sched_results_from_records(sweep.records)))
+    if args.kind == "traffic":
+        from .analysis import render_traffic, traffic_results_from_records
+
+        print()
+        print(render_traffic(traffic_results_from_records(sweep.records)))
     if args.detail:
         for point, outcome in zip(sweep.records, sweep.outcomes):
             print()
@@ -606,6 +716,13 @@ def _cmd_report(args: argparse.Namespace) -> int:
         if sched_runs:
             text += ("\n## Scheduler policy zoo — who wins where\n\n```\n"
                      + render_winners(sched_runs) + "\n```\n")
+        from .analysis import render_traffic, traffic_results_from_records
+
+        traffic_runs = traffic_results_from_records(records)
+        if traffic_runs:
+            text += ("\n## Open-loop traffic — tail latency vs offered "
+                     "load\n\n```\n"
+                     + render_traffic(traffic_runs) + "\n```\n")
     if args.breakdown:
         from .analysis import render_breakdown, summarize_breakdown
 
@@ -634,6 +751,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_xeon(args)
     if args.command == "compare":
         return _cmd_compare(args)
+    if args.command == "traffic":
+        return _cmd_traffic(args)
     if args.command == "sweep":
         return _cmd_sweep(args)
     if args.command == "checkpoint":

@@ -72,6 +72,16 @@ class WorkloadError(ReproError):
     """A workload generator was configured with impossible parameters."""
 
 
+class AnalysisError(ReproError):
+    """An analysis helper was fed an impossible input (e.g. a quantile
+    of an empty sample, or a quantile outside (0, 1])."""
+
+
+class TrafficError(ReproError):
+    """The open-loop traffic layer was misconfigured (unknown arrival
+    process or balancer policy, non-positive rate, empty cluster)."""
+
+
 class CheckpointError(ReproError):
     """A simulation snapshot could not be captured or restored (live
     state the codec cannot serialise, or a corrupt container)."""

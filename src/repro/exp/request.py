@@ -33,7 +33,7 @@ from ..errors import ConfigError, SchedulerError
 __all__ = ["RunRequest", "RUN_KINDS", "request_from_snapshot"]
 
 #: Supported values of :attr:`RunRequest.kind`.
-RUN_KINDS = ("tcg", "smarco", "xeon", "compare", "sched")
+RUN_KINDS = ("tcg", "smarco", "xeon", "compare", "sched", "traffic")
 
 
 @dataclass(frozen=True)
@@ -82,6 +82,23 @@ class RunRequest:
     sched_tasks: int = 128
     sched_contexts: int = 64
 
+    # -- open-loop cluster traffic (kind == "traffic") --
+    #: arrival process name (see :mod:`repro.traffic.arrivals`)
+    traffic_arrival: str = "poisson"
+    #: front-end balancer name (see :mod:`repro.traffic.balancer`)
+    traffic_balancer: str = "least-outstanding"
+    #: chips behind the front end
+    traffic_chips: int = 2
+    #: requests the arrival process expands to
+    traffic_requests: int = 2000
+    #: offered load rho as a fraction of calibrated cluster capacity
+    traffic_load: float = 0.7
+    #: service demand per request, in instructions
+    traffic_instrs: int = 400
+    #: SLO latency targets, as multiples of the calibrated solo service
+    #: time (each becomes one violation-fraction column in the report)
+    traffic_slo: Tuple[float, ...] = (2.0, 5.0, 10.0)
+
     # -- checkpoint / warm start (kinds with a RunSession) --
     #: simulate at most this many cycles (None = run to completion); a
     #: post-warm measurement-horizon axis for fig-style sweeps
@@ -109,6 +126,28 @@ class RunRequest:
                 raise ConfigError(str(exc)) from None
             if self.sched_tasks <= 0 or self.sched_contexts <= 0:
                 raise ConfigError("sched runs need >=1 task and context")
+        if self.kind == "traffic":
+            # fail at request time, not inside a worker process
+            from ..errors import TrafficError
+            from ..traffic.arrivals import get_arrival
+            from ..traffic.balancer import get_balancer
+
+            try:
+                get_arrival(self.traffic_arrival)
+                get_balancer(self.traffic_balancer)
+            except TrafficError as exc:
+                raise ConfigError(str(exc)) from None
+            if self.traffic_chips <= 0:
+                raise ConfigError("traffic runs need >= 1 chip")
+            if self.traffic_requests <= 0 or self.traffic_instrs <= 0:
+                raise ConfigError(
+                    "traffic runs need >= 1 request and instruction")
+            if self.traffic_load <= 0:
+                raise ConfigError("traffic_load (offered rho) must be > 0")
+            if not self.traffic_slo or any(t <= 0 for t in self.traffic_slo):
+                raise ConfigError(
+                    f"traffic_slo targets must be positive: "
+                    f"{self.traffic_slo!r}")
         if self.threads_per_core <= 0 or self.instrs_per_thread <= 0:
             raise ConfigError("thread and instruction counts must be positive")
         if self.xeon_threads <= 0 or self.xeon_instrs_per_thread <= 0:
@@ -217,5 +256,7 @@ def request_from_snapshot(data: Dict[str, Any]) -> RunRequest:
     payload["power_config"] = _smarco_config_from(payload.get("power_config"))
     # JSON round-trips tuples as lists; restore hashability
     payload["warm_axes"] = tuple(payload.get("warm_axes") or ())
+    if "traffic_slo" in payload:
+        payload["traffic_slo"] = tuple(payload["traffic_slo"] or ())
     names = {f.name for f in dataclasses.fields(RunRequest)}
     return RunRequest(**{k: v for k, v in payload.items() if k in names})

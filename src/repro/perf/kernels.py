@@ -29,7 +29,12 @@ Each kernel isolates one simulator hot path:
   executor (domain partition + boundary channels + windowed sync) at
   quantum 1, the worst-case window count; its digest must equal
   ``chip_fig23``'s, which is the serial-equivalence guarantee of
-  docs/sharding.md measured as a perf kernel.
+  docs/sharding.md measured as a perf kernel;
+* ``traffic_arrivals`` — the open-loop cluster tier on a synthetic chip
+  calibration: bursty arrivals through the subring-aware balancer into
+  queueing chip servers, every latency folded through the streaming
+  quantile sketch (``repro.traffic`` + ``repro.analysis.quantiles`` hot
+  paths, no chip-simulation time).
 
 Kernels are deterministic: fixed seeds, no wall-clock feedback into the
 simulation — so their *results* (events, units, digests) are identical
@@ -70,6 +75,7 @@ SIZES: Dict[str, Dict[str, Dict[str, int]]] = {
         "chip_fig23": {"instrs": 40},
         "ckpt_roundtrip": {"cycle": 300, "rounds": 2},
         "shard_sync": {"instrs": 40, "quantum": 1},
+        "traffic_arrivals": {"requests": 2_000, "chips": 2},
     },
     "small": {
         "engine_churn": {"events": 200_000, "chains": 16},
@@ -83,6 +89,7 @@ SIZES: Dict[str, Dict[str, Dict[str, int]]] = {
         "chip_fig23": {"instrs": 120},
         "ckpt_roundtrip": {"cycle": 800, "rounds": 5},
         "shard_sync": {"instrs": 120, "quantum": 1},
+        "traffic_arrivals": {"requests": 20_000, "chips": 4},
     },
     "default": {
         "engine_churn": {"events": 1_000_000, "chains": 32},
@@ -96,6 +103,7 @@ SIZES: Dict[str, Dict[str, Dict[str, int]]] = {
         "chip_fig23": {"instrs": 250},
         "ckpt_roundtrip": {"cycle": 1500, "rounds": 10},
         "shard_sync": {"instrs": 250, "quantum": 1},
+        "traffic_arrivals": {"requests": 150_000, "chips": 8},
     },
 }
 
@@ -440,6 +448,34 @@ def _k_shard_sync(params: Dict[str, int]) -> Dict[str, Any]:
             "unit": "instrs", "digest": result_digest(outcome)}
 
 
+def _k_traffic_arrivals(params: Dict[str, int]) -> Dict[str, Any]:
+    """The open-loop cluster hot path on a synthetic chip calibration.
+
+    Bursty arrivals at rho 0.9 through the subring-aware balancer into
+    ``chips`` queueing servers, every latency folded through the
+    streaming quantile sketch (the reservoir path engages above its
+    8192-sample capacity, i.e. in the small/default sizes).  Injected
+    synthetic calibration keeps the kernel free of chip-simulation time:
+    it measures the traffic tier alone.  The digest pins the full result
+    record, so any change to arrivals, routing, service sampling or the
+    quantile fold shows up as a determinism break.
+    """
+    from ..exp import RunRequest
+    from ..exp.cache import canonical_json
+    from ..traffic.cluster import run_traffic, synthetic_calibration
+
+    request = RunRequest(kind="traffic", workload="synthetic", seed=11,
+                         traffic_requests=params["requests"],
+                         traffic_chips=params["chips"],
+                         traffic_load=0.9, traffic_arrival="bursty",
+                         traffic_balancer="subring-aware")
+    result = run_traffic(request, calibration=synthetic_calibration())
+    digest = hashlib.sha256(
+        canonical_json(result.to_dict()).encode()).hexdigest()[:16]
+    return {"events": 0, "units": result.requests_completed,
+            "unit": "requests", "digest": digest}
+
+
 KERNELS: Dict[str, Callable[[Dict[str, int]], Dict[str, Any]]] = {
     "engine_churn": _k_engine_churn,
     "process_signal": _k_process_signal,
@@ -452,6 +488,7 @@ KERNELS: Dict[str, Callable[[Dict[str, int]], Dict[str, Any]]] = {
     "chip_fig23": _k_chip_fig23,
     "ckpt_roundtrip": _k_ckpt_roundtrip,
     "shard_sync": _k_shard_sync,
+    "traffic_arrivals": _k_traffic_arrivals,
 }
 
 

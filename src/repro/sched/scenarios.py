@@ -37,6 +37,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
+from ..analysis.quantiles import quantile, thin_sorted
 from ..chip.results import DictResult
 from ..errors import SchedulerError
 from ..sim.engine import Simulator
@@ -62,6 +63,10 @@ __all__ = [
 
 #: default deadline-success metric horizon scale (cycles of work per task)
 _WORK_LO, _WORK_HI = 60_000.0, 160_000.0
+
+#: most response samples a result record ships (thinned to evenly-spaced
+#: order statistics beyond this, which preserves the quantile structure)
+RESPONSE_SAMPLE_CAP = 512
 
 
 @dataclass(frozen=True)
@@ -485,9 +490,27 @@ class SchedRunResult(DictResult):
     latest_exit: float
     deadline_success_rate: float
     mean_response: float
+    #: exact nearest-rank p99 of this run's response times; ``nan`` (never
+    #: a silent 0.0) when no task produced a response time
     p99_response: float
+    #: up to :data:`RESPONSE_SAMPLE_CAP` evenly-spaced order statistics of
+    #: the sorted response times — the pooling payload
+    #: ``analysis.winners`` aggregates instead of averaging p99s
+    response_samples: Tuple[float, ...] = ()
 
     _COMPUTED = ("miss_rate", "exit_spread")
+
+    def to_dict(self) -> Dict[str, Any]:
+        out = super().to_dict()
+        # lists round-trip through JSON unchanged; tuples would not
+        out["response_samples"] = list(self.response_samples)
+        return out
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "SchedRunResult":
+        obj = super().from_dict(data)
+        obj.response_samples = tuple(obj.response_samples or ())
+        return obj
 
     @property
     def miss_rate(self) -> float:
@@ -598,8 +621,11 @@ def collect_sched_result(run: ScenarioRun) -> SchedRunResult:
     finished = len(exits)
     success = (sum(1 for t in done if not t.missed) / len(done)
                if done else 0.0)
-    p99 = (responses[min(len(responses) - 1, int(0.99 * (len(responses) - 1)))]
-           if responses else 0.0)
+    # ceil-based nearest rank via the shared quantile module; the old
+    # int(0.99 * (n - 1)) truncated downward and reported ~p89 as "p99"
+    # on small samples.  nan, never 0.0, when no task responded.
+    p99 = (quantile(responses, 0.99, is_sorted=True)
+           if responses else float("nan"))
     return SchedRunResult(
         policy=policy,
         scenario=scenario,
@@ -613,6 +639,9 @@ def collect_sched_result(run: ScenarioRun) -> SchedRunResult:
         earliest_exit=exits[0] if exits else 0.0,
         latest_exit=exits[-1] if exits else 0.0,
         deadline_success_rate=success,
-        mean_response=(sum(responses) / len(responses)) if responses else 0.0,
+        mean_response=((sum(responses) / len(responses)) if responses
+                       else float("nan")),
         p99_response=p99,
+        response_samples=tuple(thin_sorted(responses, RESPONSE_SAMPLE_CAP))
+        if responses else (),
     )

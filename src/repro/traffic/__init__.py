@@ -1,0 +1,65 @@
+"""Open-loop datacenter traffic over clusters of SmarCo chips.
+
+The package splits along the request's path through the datacenter tier:
+
+* :mod:`repro.traffic.request`  — the timestamped unit of work;
+* :mod:`repro.traffic.arrivals` — seeded open-loop arrival processes
+  (Poisson, bursty MMPP, diurnal), registered by name;
+* :mod:`repro.traffic.balancer` — front-end routing policies
+  (round-robin, least-outstanding, subring-aware), registered by name;
+* :mod:`repro.traffic.cluster`  — calibrated chip servers, the cluster
+  driver and the :class:`TrafficRunResult` it folds latencies into.
+
+``RunRequest(kind="traffic")`` through :func:`repro.chip.run.execute` is
+the supported entry point; :func:`run_traffic` is the engine underneath.
+"""
+
+from .arrivals import (
+    ArrivalProcess,
+    arrival_summaries,
+    generate_requests,
+    get_arrival,
+    list_arrivals,
+    register_arrival,
+)
+from .balancer import (
+    LoadBalancer,
+    balancer_summaries,
+    create_balancer,
+    get_balancer,
+    list_balancers,
+    register_balancer,
+)
+from .cluster import (
+    CROSS_RING_PENALTY,
+    ChipCalibration,
+    ChipServer,
+    TrafficRunResult,
+    calibrate_chip,
+    run_traffic,
+    synthetic_calibration,
+)
+from .request import TrafficRequest
+
+__all__ = [
+    "ArrivalProcess",
+    "arrival_summaries",
+    "generate_requests",
+    "get_arrival",
+    "list_arrivals",
+    "register_arrival",
+    "LoadBalancer",
+    "balancer_summaries",
+    "create_balancer",
+    "get_balancer",
+    "list_balancers",
+    "register_balancer",
+    "CROSS_RING_PENALTY",
+    "ChipCalibration",
+    "ChipServer",
+    "TrafficRunResult",
+    "calibrate_chip",
+    "run_traffic",
+    "synthetic_calibration",
+    "TrafficRequest",
+]

@@ -1,0 +1,138 @@
+"""Front-end load balancers: who gets the next request.
+
+A :class:`LoadBalancer` sees every arrival before the chips do and picks
+the serving chip from the live cluster state (per-chip and per-sub-ring
+outstanding counts).  Three registered policies span the design space
+the who-wins-where analysis of ``repro.sched`` made familiar:
+
+* ``round-robin``       — stateless rotation; optimal when service times
+  are uniform, tail-hostile when they are not (a slow chip keeps
+  receiving its share).
+* ``least-outstanding`` — join the chip with the fewest in-flight plus
+  queued requests; the classic datacenter default.
+* ``subring-aware``     — route on the *sub-ring* occupancy of the
+  request's preferred sub-ring (its flow key hashed onto the chip's
+  sub-ring count): requests of one flow co-locate where their SPM/MACT
+  affinity lives, falling back to least-outstanding among chips whose
+  home sub-ring is saturated.  This is the policy that knows the chip
+  is not a featureless server — cross-ring placement pays the bridge
+  penalty (see ``docs/traffic.md``).
+
+Policies are registered by name so ``RunRequest.traffic_balancer`` is a
+plain cache-key string, mirroring the scheduler policy registry.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Sequence, Type
+
+from ..errors import TrafficError
+from .request import TrafficRequest
+
+__all__ = [
+    "LoadBalancer",
+    "register_balancer",
+    "get_balancer",
+    "create_balancer",
+    "list_balancers",
+    "balancer_summaries",
+]
+
+
+class LoadBalancer:
+    """Routing policy base: subclass, set ``name``/``summary``, register."""
+
+    name = "base"
+    summary = "abstract"
+
+    def route(self, request: TrafficRequest, servers: Sequence) -> int:
+        """Index of the serving chip for ``request``."""
+        raise NotImplementedError
+
+    def describe(self) -> Dict[str, str]:
+        return {"name": self.name, "summary": self.summary}
+
+
+_BALANCERS: Dict[str, Type[LoadBalancer]] = {}
+
+
+def register_balancer(cls: Type[LoadBalancer]) -> Type[LoadBalancer]:
+    """Class decorator: add a balancer under its ``name`` attribute."""
+    if cls.name in _BALANCERS:
+        raise TrafficError(f"duplicate balancer {cls.name!r}")
+    _BALANCERS[cls.name] = cls
+    return cls
+
+
+def get_balancer(name: str) -> Type[LoadBalancer]:
+    try:
+        return _BALANCERS[name]
+    except KeyError:
+        raise TrafficError(
+            f"unknown balancer {name!r}; "
+            f"registered: {', '.join(sorted(_BALANCERS))}") from None
+
+
+def create_balancer(name: str) -> LoadBalancer:
+    return get_balancer(name)()
+
+
+def list_balancers() -> List[str]:
+    return sorted(_BALANCERS)
+
+
+def balancer_summaries() -> List[Dict[str, str]]:
+    return [{"name": name, "summary": _BALANCERS[name].summary}
+            for name in sorted(_BALANCERS)]
+
+
+# -- the catalogue -----------------------------------------------------------
+
+
+@register_balancer
+class RoundRobinBalancer(LoadBalancer):
+    """Stateless rotation over the chips."""
+
+    name = "round-robin"
+    summary = "rotate over chips regardless of load"
+
+    def __init__(self) -> None:
+        self._next = 0
+
+    def route(self, request: TrafficRequest, servers: Sequence) -> int:
+        chip = self._next % len(servers)
+        self._next = chip + 1
+        return chip
+
+
+@register_balancer
+class LeastOutstandingBalancer(LoadBalancer):
+    """Join the chip with the fewest in-flight + queued requests."""
+
+    name = "least-outstanding"
+    summary = "join the chip with the fewest outstanding requests"
+
+    def route(self, request: TrafficRequest, servers: Sequence) -> int:
+        return min(range(len(servers)),
+                   key=lambda i: (servers[i].outstanding, i))
+
+
+@register_balancer
+class SubringAwareBalancer(LoadBalancer):
+    """Place a flow where its preferred sub-ring is least busy.
+
+    The flow key hashes to one sub-ring index; among the chips, prefer
+    the one whose *that* sub-ring has the most headroom (then fewest
+    total outstanding, then lowest index).  Keeping a flow's requests on
+    their home sub-ring avoids the cross-ring service penalty and keeps
+    the MACT seeing the adjacent small accesses it batches best.
+    """
+
+    name = "subring-aware"
+    summary = "flow-affine: least-busy preferred sub-ring, then least load"
+
+    def route(self, request: TrafficRequest, servers: Sequence) -> int:
+        subring = request.flow % servers[0].subrings
+        return min(range(len(servers)),
+                   key=lambda i: (servers[i].subring_outstanding(subring),
+                                  servers[i].outstanding, i))

@@ -1,0 +1,59 @@
+"""The unit of open-loop traffic: one timestamped service request.
+
+A :class:`TrafficRequest` is what the datacenter tier of the repro
+schedules: it arrives at a wall-clock-independent simulated cycle
+(open loop — arrivals do not wait for completions, unlike the fixed
+closed-loop workload slices the chip benches run), carries a service
+demand in instructions and a ``flow`` key (a client/connection identity
+that hashes to a preferred sub-ring — the affinity signal the
+subring-aware balancer exploits), and is stamped by the cluster as it
+moves: routed → started → finished.  Latency is ``finished - arrival``;
+everything the SLO report shows folds from these stamps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+__all__ = ["TrafficRequest"]
+
+
+@dataclass
+class TrafficRequest:
+    """One open-loop request and its lifecycle stamps (cycles domain)."""
+
+    req_id: int
+    arrival: float
+    flow: int
+    instrs: int
+    # -- stamped by the cluster --
+    chip: Optional[int] = None
+    subring: Optional[int] = None        # preferred sub-ring (flow hash)
+    home_hit: bool = True                # landed on its preferred sub-ring?
+    started_at: Optional[float] = None
+    finished_at: Optional[float] = None
+
+    @property
+    def finished(self) -> bool:
+        return self.finished_at is not None
+
+    @property
+    def latency(self) -> Optional[float]:
+        """End-to-end response time: queueing wait plus service."""
+        if self.finished_at is None:
+            return None
+        return self.finished_at - self.arrival
+
+    @property
+    def wait(self) -> Optional[float]:
+        """Time spent queued at the front end before a context freed up."""
+        if self.started_at is None:
+            return None
+        return self.started_at - self.arrival
+
+    @property
+    def service(self) -> Optional[float]:
+        if self.started_at is None or self.finished_at is None:
+            return None
+        return self.finished_at - self.started_at

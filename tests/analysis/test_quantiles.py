@@ -1,0 +1,164 @@
+"""The shared percentile module: exact nearest rank + streaming sketch."""
+
+import random
+
+import pytest
+
+from repro.analysis.quantiles import (
+    DEFAULT_QUANTILES,
+    ReservoirQuantiles,
+    nearest_rank_index,
+    quantile,
+    quantiles,
+    thin_sorted,
+)
+from repro.errors import AnalysisError
+from repro.sim.rng import RngTree
+
+
+class TestNearestRank:
+    def test_ceil_based_indices(self):
+        # p99 of 10 samples is the maximum: no smaller observation
+        # bounds 99% of the data
+        assert nearest_rank_index(10, 0.99) == 9
+        assert nearest_rank_index(100, 0.99) == 98
+        assert nearest_rank_index(1000, 0.99) == 989
+        assert nearest_rank_index(10, 0.50) == 4
+        assert nearest_rank_index(5, 1.0) == 4
+
+    def test_regression_floor_formula(self):
+        # the bug this module replaced: int(q * (n - 1)) truncates down,
+        # reporting ~p89 of a 10-sample run as "p99"
+        n, q = 10, 0.99
+        buggy = int(q * (n - 1))
+        assert buggy == 8                       # what used to be reported
+        assert nearest_rank_index(n, q) == 9    # what p99 actually is
+
+    def test_single_sample(self):
+        assert nearest_rank_index(1, 0.01) == 0
+        assert nearest_rank_index(1, 0.999) == 0
+        assert quantile([42.0], 0.99) == 42.0
+
+    def test_small_n_everything_maps_into_range(self):
+        for n in range(1, 120):
+            for q in (0.01, 0.5, 0.95, 0.99, 0.999, 1.0):
+                idx = nearest_rank_index(n, q)
+                assert 0 <= idx < n
+                # at least q of the sample lies at or below the index
+                assert (idx + 1) / n >= q or idx == n - 1
+
+    def test_quantile_sorts_unless_told_not_to(self):
+        data = [5.0, 1.0, 9.0, 3.0]
+        assert quantile(data, 0.5) == 3.0
+        assert quantile(sorted(data), 0.5, is_sorted=True) == 3.0
+
+    def test_quantiles_dict(self):
+        data = list(range(1, 101))
+        out = quantiles(data, DEFAULT_QUANTILES)
+        assert out[0.50] == 50
+        assert out[0.99] == 99
+        assert out[0.999] == 100
+
+    def test_errors(self):
+        with pytest.raises(AnalysisError, match="empty"):
+            quantile([], 0.5)
+        with pytest.raises(AnalysisError, match="empty"):
+            quantiles([], DEFAULT_QUANTILES)
+        with pytest.raises(AnalysisError, match="in \\(0, 1\\]"):
+            quantile([1.0], 0.0)
+        with pytest.raises(AnalysisError, match="in \\(0, 1\\]"):
+            quantile([1.0], 1.5)
+        with pytest.raises(AnalysisError, match="non-empty"):
+            nearest_rank_index(0, 0.5)
+
+
+class TestThinSorted:
+    def test_lossless_when_under_cap(self):
+        data = sorted([3.0, 1.0, 2.0])
+        assert thin_sorted(data, 8) == data
+
+    def test_keeps_min_and_max(self):
+        data = sorted(range(1000))
+        thin = thin_sorted(data, 64)
+        assert len(thin) == 64
+        assert thin[0] == data[0]
+        assert thin[-1] == data[-1]
+
+    def test_preserves_quantile_structure(self):
+        rng = random.Random(7)
+        data = sorted(rng.expovariate(0.01) for _ in range(20_000))
+        thin = thin_sorted(data, 512)
+        for q in (0.5, 0.95, 0.99):
+            exact = quantile(data, q, is_sorted=True)
+            approx = quantile(thin, q, is_sorted=True)
+            assert approx == pytest.approx(exact, rel=0.05)
+
+    def test_cap_too_small(self):
+        with pytest.raises(AnalysisError, match="cap >= 2"):
+            thin_sorted([1.0, 2.0, 3.0], 1)
+
+
+class TestReservoir:
+    def test_exact_below_capacity(self):
+        sketch = ReservoirQuantiles(capacity=100)
+        data = [float(x) for x in range(50, 0, -1)]
+        sketch.extend(data)
+        assert sketch.exact
+        assert len(sketch) == 50
+        assert sketch.quantile(0.5) == quantile(data, 0.5)
+        assert sketch.quantile(0.99) == quantile(data, 0.99)
+        assert sketch.mean == pytest.approx(sum(data) / len(data))
+
+    def test_streaming_agrees_with_exact_within_tolerance(self):
+        rng = random.Random(123)
+        data = [rng.expovariate(0.001) for _ in range(100_000)]
+        sketch = ReservoirQuantiles(capacity=8192,
+                                    rng=RngTree(9).stream("sketch"))
+        sketch.extend(data)
+        assert not sketch.exact
+        assert len(sketch) == 8192
+        for q in (0.5, 0.95, 0.99):
+            assert sketch.quantile(q) == pytest.approx(
+                quantile(data, q), rel=0.1)
+        # the mean is tracked exactly regardless of sampling
+        assert sketch.mean == pytest.approx(sum(data) / len(data))
+
+    def test_deterministic_under_seeding(self):
+        draw = random.Random(5)
+        data = [draw.expovariate(1.0) for _ in range(30_000)]
+
+        def run():
+            sketch = ReservoirQuantiles(capacity=1024,
+                                        rng=RngTree(4).stream("r"))
+            sketch.extend(data)
+            return sketch.quantiles((0.5, 0.99, 0.999))
+
+        assert run() == run()
+
+    def test_different_seeds_differ(self):
+        draw = random.Random(5)
+        data = [draw.expovariate(1.0) for _ in range(30_000)]
+
+        def run(seed):
+            sketch = ReservoirQuantiles(capacity=512,
+                                        rng=RngTree(seed).stream("r"))
+            sketch.extend(data)
+            return sketch.quantiles((0.5, 0.99))
+
+        assert run(1) != run(2)
+
+    def test_empty_sketch_raises(self):
+        sketch = ReservoirQuantiles(capacity=16)
+        with pytest.raises(AnalysisError, match="empty sketch"):
+            sketch.quantile(0.5)
+        with pytest.raises(AnalysisError, match="empty sketch"):
+            sketch.quantiles()
+
+    def test_bad_capacity(self):
+        with pytest.raises(AnalysisError, match="capacity"):
+            ReservoirQuantiles(capacity=1)
+
+    def test_thinned_payload(self):
+        sketch = ReservoirQuantiles(capacity=64)
+        sketch.extend(float(x) for x in range(40))
+        assert sketch.thinned(512) == [float(x) for x in range(40)]

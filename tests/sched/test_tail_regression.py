@@ -1,0 +1,89 @@
+"""Regression pins for the percentile bugs this layer used to have.
+
+Two distinct defects are locked out here:
+
+* ``collect_sched_result`` computed p99 with ``int(0.99 * (n - 1))``,
+  which truncates downward — on a 10-sample run it reported the 9th
+  order statistic (~p89) as "p99".
+* ``winners_matrix`` coerced a missing/nan p99 to ``0.0``, which then
+  averaged into cells and made broken runs look infinitely fast.
+"""
+
+import math
+
+import pytest
+
+from repro.analysis.quantiles import quantile
+from repro.analysis.winners import render_winners, winners_matrix
+from repro.sched.scenarios import run_sched_scenario
+
+
+def _record(policy="laxity", scenario="uniform", succ=1.0, mk=100.0,
+            p99=float("nan"), samples=()):
+    return {"policy": policy, "scenario": scenario,
+            "deadline_success_rate": succ, "makespan": mk,
+            "p99_response": p99, "response_samples": list(samples)}
+
+
+class TestSchedP99:
+    def test_ten_task_run_pins_the_ceil_rank(self):
+        # pinned: with 10 responses, nearest-rank p99 is the maximum.
+        result = run_sched_scenario(policy="laxity", scenario="uniform",
+                                    seed=7, tasks=10, contexts=4)
+        assert result.p99_response == pytest.approx(300949.17801828723)
+        assert result.p99_response == max(result.response_samples)
+        # the old floor formula picked the 9th order statistic instead
+        ranked = sorted(result.response_samples)
+        old = ranked[int(0.99 * (len(ranked) - 1))]
+        assert old == pytest.approx(295269.77141229686)
+        assert result.p99_response > old
+
+    def test_no_responses_is_nan_not_zero(self):
+        result = run_sched_scenario(policy="laxity", scenario="uniform",
+                                    seed=0, tasks=1, contexts=1)
+        if result.response_samples:          # guard: tiny run still responds
+            assert result.p99_response == max(result.response_samples)
+        else:
+            assert math.isnan(result.p99_response)
+
+
+class TestWinnersTailCells:
+    def test_missing_p99_renders_dash_not_zero(self):
+        records = [_record(p99=float("nan")), _record(p99=None)]
+        matrix = winners_matrix(records)
+        cell = matrix.cell("laxity", "uniform")
+        assert cell is not None
+        assert cell.p99_response is None     # never coerced to 0.0
+        assert cell.tail_runs == 0
+        table = render_winners(records)
+        assert "—" in table and " 0 " not in table.split("winners:")[0]
+
+    def test_aggregate_only_records_fall_back_with_marker(self):
+        records = [_record(p99=100.0), _record(p99=300.0)]
+        cell = winners_matrix(records).cell("laxity", "uniform")
+        assert cell.p99_response == pytest.approx(200.0)   # mean of p99s
+        assert not cell.p99_pooled
+        assert "200~" in render_winners(records)
+
+    def test_pooled_samples_beat_mean_of_p99s(self):
+        # two 10-sample runs: averaging the per-run p99s (maxima) gives
+        # (10 + 1000) / 2 = 505; the pooled 20-sample p99 is 1000
+        a = [float(x) for x in range(1, 11)]          # p99 = 10
+        b = [float(x) for x in range(991, 1001)]      # p99 = 1000
+        records = [_record(p99=quantile(a, 0.99), samples=a),
+                   _record(p99=quantile(b, 0.99), samples=b)]
+        cell = winners_matrix(records).cell("laxity", "uniform")
+        assert cell.p99_pooled
+        assert cell.tail_runs == 2
+        assert cell.p99_response == quantile(a + b, 0.99) == 1000.0
+        assert cell.p99_response != pytest.approx(505.0)
+
+    def test_mixed_runs_skip_tailless_never_zero_fill(self):
+        samples = [float(x) for x in range(1, 101)]
+        records = [_record(samples=samples, p99=quantile(samples, 0.99)),
+                   _record(p99=float("nan"))]        # broken run, no tail
+        cell = winners_matrix(records).cell("laxity", "uniform")
+        assert cell.runs == 2
+        assert cell.tail_runs == 1
+        # the broken run neither zeroes nor drags down the pooled p99
+        assert cell.p99_response == quantile(samples, 0.99)

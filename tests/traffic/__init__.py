@@ -1,0 +1,1 @@
+"""Tests of the open-loop traffic tier (repro.traffic)."""

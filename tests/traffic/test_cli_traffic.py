@@ -1,0 +1,45 @@
+"""CLI surface of the traffic layer."""
+
+from repro.cli import main
+
+
+def test_traffic_list(capsys):
+    assert main(["traffic", "--list"]) == 0
+    out = capsys.readouterr().out
+    for name in ("poisson", "bursty", "diurnal",
+                 "round-robin", "least-outstanding", "subring-aware"):
+        assert name in out
+
+
+def test_traffic_single_run(capsys):
+    assert main(["traffic", "kmp", "--chips", "2", "--requests", "300",
+                 "--instrs", "150", "--load", "0.8",
+                 "--sub-rings", "2", "--cores", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "p99 latency" in out
+    assert "SLO" in out
+    assert "home sub-ring hits" in out
+
+
+def test_traffic_sweep_and_report(tmp_path, capsys):
+    argv = ["sweep", "kmp", "--kind", "traffic",
+            "--arrivals", "poisson", "bursty",
+            "--balancers", "least-outstanding",
+            "--loads", "0.5", "0.9",
+            "--chips", "2", "--requests", "300",
+            "--sub-rings", "2", "--cores", "2",
+            "--out", str(tmp_path)]
+    assert main(argv) == 0
+    out = capsys.readouterr().out
+    assert "4 points" in out
+    assert "p99" in out
+
+    # warm rerun replays every point from the cache bit-for-bit
+    assert main(argv) == 0
+    assert "4 cache hits" in capsys.readouterr().out
+
+    assert main(["report", "--results-dir", str(tmp_path),
+                 "--runs-dir", str(tmp_path / "runs")]) == 0
+    report = capsys.readouterr().out
+    assert "## Open-loop traffic" in report
+    assert "p99.9" in report

@@ -1,0 +1,142 @@
+"""The calibrated cluster driver and its result record."""
+
+import json
+
+import pytest
+
+from repro.chip.results import result_from_dict
+from repro.config import smarco_scaled
+from repro.errors import TrafficError
+from repro.exp import RunRequest
+from repro.traffic import TrafficRunResult, run_traffic, synthetic_calibration
+from repro.traffic.cluster import (
+    ChipCalibration,
+    _bucket_bounds,
+    calibrate_chip,
+)
+
+
+def _request(**overrides):
+    base = dict(kind="traffic", workload="kmp", seed=0,
+                traffic_requests=800, traffic_chips=2, traffic_load=0.8,
+                traffic_instrs=400)
+    base.update(overrides)
+    return RunRequest(**base)
+
+
+def _run(**overrides):
+    calibration = overrides.pop("calibration", None) \
+        or synthetic_calibration()
+    return run_traffic(_request(**overrides), calibration=calibration)
+
+
+class TestCalibration:
+    def test_synthetic_is_mean_normalised(self):
+        c = synthetic_calibration()
+        mean = sum((lo + hi) / 2.0 * w for lo, hi, w in
+                   zip(c.jitter_lo, c.jitter_hi, c.jitter_weights))
+        assert mean == pytest.approx(1.0)
+        assert sum(c.jitter_weights) == pytest.approx(1.0)
+        assert c.source == "synthetic"
+
+    def test_bucket_bounds_parsing(self):
+        assert _bucket_bounds("<=8") == (0.0, 8.0)
+        assert _bucket_bounds("(8,32]") == (8.0, 32.0)
+        assert _bucket_bounds(">2048") == (2048.0, 8192.0)
+        assert _bucket_bounds("weird") is None
+
+    def test_malformed_calibration_rejected(self):
+        with pytest.raises(TrafficError, match="context"):
+            synthetic_calibration(contexts=0)
+        with pytest.raises(TrafficError, match="CPI"):
+            synthetic_calibration(cpi=0.0)
+        with pytest.raises(TrafficError, match="malformed"):
+            ChipCalibration(workload="x", contexts=4, subrings=2, cpi=1.0,
+                            frequency_ghz=1.5, jitter_lo=(1.0, 2.0),
+                            jitter_hi=(1.0,), jitter_weights=(1.0,))
+
+    def test_measured_calibration_from_chip_run(self):
+        request = _request(smarco_config=smarco_scaled(2, 2),
+                           threads_per_core=2, instrs_per_thread=60)
+        c = calibrate_chip(request)
+        assert c.source == "measured"
+        assert c.contexts == 2 * 2 * 2
+        assert c.subrings == 2
+        assert c.cpi > 0
+        # jitter pooled from the hop histograms, mean-normalised
+        mean = sum((lo + hi) / 2.0 * w for lo, hi, w in
+                   zip(c.jitter_lo, c.jitter_hi, c.jitter_weights))
+        assert mean == pytest.approx(1.0)
+        # memoised: sweep points differing only in traffic axes share it
+        again = calibrate_chip(request.replace(traffic_load=0.4,
+                                               traffic_arrival="bursty"))
+        assert again is c
+
+
+class TestRunTraffic:
+    def test_conserves_requests(self):
+        result = _run()
+        assert result.requests_completed == result.requests_total == 800
+        assert sum(result.per_chip_served) == 800
+        assert 0.0 <= result.home_hit_rate <= 1.0
+
+    def test_deterministic_and_seed_sensitive(self):
+        assert _run().to_dict() == _run().to_dict()
+        assert _run(seed=1).to_dict() != _run(seed=2).to_dict()
+
+    def test_latency_orders_and_slo_monotone(self):
+        result = _run()
+        assert result.p50_latency <= result.p95_latency \
+            <= result.p99_latency <= result.p999_latency
+        # a looser SLO target can never be violated more often
+        assert list(result.slo_violations) == sorted(
+            result.slo_violations, reverse=True)
+        assert result.mean_latency >= result.mean_wait
+
+    def test_load_increases_waiting(self):
+        calm = _run(traffic_load=0.3)
+        slammed = _run(traffic_load=2.0)
+        assert slammed.mean_wait > calm.mean_wait
+        assert slammed.p99_latency >= calm.p99_latency
+
+    def test_balancer_is_not_a_label(self):
+        lo = _run(traffic_load=1.5)
+        rr = _run(traffic_load=1.5, traffic_balancer="round-robin")
+        assert lo.to_dict() != rr.to_dict()
+
+    def test_reservoir_mode_beyond_capacity(self):
+        exact = _run()
+        assert exact.quantile_mode == "exact"
+        sketched = run_traffic(_request(), calibration=synthetic_calibration(),
+                               reservoir_capacity=256)
+        assert sketched.quantile_mode == "reservoir"
+        assert len(sketched.latency_samples) <= 512
+        # reservoir estimate stays in the neighbourhood of the exact one
+        assert sketched.p50_latency == pytest.approx(
+            exact.p50_latency, rel=0.25)
+
+    def test_roundtrip_through_result_protocol(self):
+        result = _run()
+        data = json.loads(json.dumps(result.to_dict()))
+        assert data["type"] == "TrafficRunResult"
+        assert "throughput_rps" in data and "p99_latency_ms" in data
+        rebuilt = result_from_dict(data)
+        assert isinstance(rebuilt, TrafficRunResult)
+        assert rebuilt == result
+        assert isinstance(rebuilt.slo_targets, tuple)
+        assert isinstance(rebuilt.latency_samples, tuple)
+        # the round trip is stable: cache hits replay identical dicts
+        assert rebuilt.to_dict() == result.to_dict()
+
+    def test_latency_samples_cover_the_tail(self):
+        result = _run()
+        assert max(result.latency_samples) == result.p999_latency \
+            or max(result.latency_samples) >= result.p999_latency
+
+    def test_bad_inputs(self):
+        with pytest.raises(TrafficError, match="chip"):
+            _run(traffic_chips=0)
+        with pytest.raises(TrafficError, match="load"):
+            _run(traffic_load=0.0)
+        with pytest.raises(TrafficError, match="SLO"):
+            _run(traffic_slo=(0.0, 2.0))

@@ -1,0 +1,84 @@
+"""Traffic as a first-class run kind: validation, sweeps, cache stability."""
+
+import pytest
+
+from repro.config import smarco_scaled
+from repro.errors import ConfigError
+from repro.exp import ExperimentSpec, RunRequest, Runner
+from repro.exp.cache import request_key
+from repro.exp.request import request_from_snapshot
+
+
+def _request(**overrides):
+    base = dict(kind="traffic", workload="kmp", seed=0,
+                smarco_config=smarco_scaled(2, 2), threads_per_core=2,
+                instrs_per_thread=60, traffic_requests=400,
+                traffic_chips=2, traffic_instrs=200)
+    base.update(overrides)
+    return RunRequest(**base)
+
+
+class TestValidation:
+    def test_valid_request_passes(self):
+        _request().validate()
+
+    @pytest.mark.parametrize("field,value,message", [
+        ("traffic_arrival", "tsunami", "unknown arrival"),
+        ("traffic_balancer", "clairvoyant", "unknown balancer"),
+        ("traffic_chips", 0, "chip"),
+        ("traffic_requests", 0, "request"),
+        ("traffic_instrs", 0, "instruction"),
+        ("traffic_load", 0.0, "load"),
+        ("traffic_slo", (), "traffic_slo"),
+        ("traffic_slo", (2.0, -1.0), "traffic_slo"),
+    ])
+    def test_bad_traffic_fields(self, field, value, message):
+        with pytest.raises(ConfigError, match=message):
+            _request(**{field: value}).validate()
+
+    def test_traffic_axes_change_cache_key(self):
+        base = _request()
+        for changed in (base.replace(traffic_arrival="bursty"),
+                        base.replace(traffic_balancer="round-robin"),
+                        base.replace(traffic_load=0.9),
+                        base.replace(traffic_chips=4),
+                        base.replace(traffic_slo=(3.0,))):
+            assert request_key(changed) != request_key(base)
+
+    def test_snapshot_roundtrip_keeps_slo_tuple(self):
+        request = _request(traffic_slo=(1.5, 4.0))
+        rebuilt = request_from_snapshot(request.snapshot())
+        assert rebuilt == request
+        assert isinstance(rebuilt.traffic_slo, tuple)
+
+
+class TestSweep:
+    def test_traffic_sweep_is_deterministic_and_cache_stable(self, tmp_path):
+        # the ISSUE's acceptance sweep: poisson + bursty arrivals over a
+        # 2-chip cluster at three offered loads, replayed from cache
+        spec = ExperimentSpec.grid(
+            "traffic-mini", _request(),
+            traffic_arrival=["poisson", "bursty"],
+            traffic_load=[0.5, 0.7, 0.9])
+        sweep = Runner(workers=1, base_dir=tmp_path).run(spec)
+        assert sweep.n_points == 6
+        seen = {(o.result.arrival, o.result.load) for o in sweep.outcomes}
+        assert seen == {(a, l) for a in ("poisson", "bursty")
+                        for l in (0.5, 0.7, 0.9)}
+        for outcome in sweep.outcomes:
+            assert outcome.result.requests_completed == 400
+            assert outcome.result.calibration_source == "measured"
+
+        again = Runner(workers=1, base_dir=tmp_path).run(spec)
+        assert again.hits == 6
+        assert [o.to_dict() for o in again.outcomes] == \
+               [o.to_dict() for o in sweep.outcomes]
+
+    def test_load_is_not_a_label(self, tmp_path):
+        spec = ExperimentSpec.grid(
+            "traffic-load", _request(traffic_arrival="bursty"),
+            traffic_load=[0.4, 1.6])
+        sweep = Runner(workers=1, base_dir=tmp_path).run(spec)
+        calm, slammed = sorted(sweep.outcomes,
+                               key=lambda o: o.result.load)
+        assert slammed.result.mean_wait > calm.result.mean_wait
