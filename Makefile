@@ -9,7 +9,7 @@ REPRO_WORKERS ?= 2
 
 export PYTHONPATH := src
 
-.PHONY: test lint bench-smoke bench perf perf-smoke shard-smoke ckpt-smoke traffic-smoke sweep-policies docs-cli linkcheck-docs clean
+.PHONY: test lint bench-smoke bench perf perf-smoke shard-smoke ckpt-smoke traffic-smoke energy-smoke sweep-policies docs-cli linkcheck-docs clean
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -92,6 +92,26 @@ traffic-smoke:
 		--name traffic-smoke --out results/traffic \
 		| tee results/traffic/replay.out
 	grep -q "6 cache hits" results/traffic/replay.out
+
+# Activity-energy smoke: the power-stack unit tests (Table 1, tech
+# scaling, DVFS, activity accounting + conservation), one energy-
+# annotated compare run, then a tiny dvfs x node efficiency sweep
+# replayed from the cache to prove the energy axes key it correctly
+# (see docs/power.md).
+energy-smoke:
+	$(PYTHON) -m pytest -q -p no:cacheprovider tests/power
+	$(PYTHON) -m repro.cli compare kmp --sub-rings 2 --instrs 150 \
+		--energy --dvfs eco
+	REPRO_WORKERS=$(REPRO_WORKERS) $(PYTHON) -m repro.cli \
+		sweep kmp --kind compare --sub-rings 1 --cores 4 \
+		--instrs 80 --dvfs-points eco nominal --nodes 32 40 \
+		--name energy-smoke --out results/energy
+	REPRO_WORKERS=$(REPRO_WORKERS) $(PYTHON) -m repro.cli \
+		sweep kmp --kind compare --sub-rings 1 --cores 4 \
+		--instrs 80 --dvfs-points eco nominal --nodes 32 40 \
+		--name energy-smoke --out results/energy \
+		| tee results/energy/replay.out
+	grep -q "4 cache hits" results/energy/replay.out
 
 # Scheduler policy zoo smoke: every registered policy x every adversarial
 # scenario through the cached runner with the invariant audit layer armed;

@@ -16,6 +16,13 @@ from .quantiles import (
     quantiles,
     thin_sorted,
 )
+from .energy import (
+    EnergyPoint,
+    energy_from_records,
+    energy_points,
+    render_efficiency,
+    render_energy_report,
+)
 from .report import build_report, collect_results
 from .slo import (
     TrafficPoint,
@@ -62,4 +69,9 @@ __all__ = [
     "render_traffic",
     "traffic_points",
     "traffic_results_from_records",
+    "EnergyPoint",
+    "energy_from_records",
+    "energy_points",
+    "render_energy_report",
+    "render_efficiency",
 ]

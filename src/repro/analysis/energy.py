@@ -1,0 +1,186 @@
+"""Energy / perf-per-watt analysis of swept runs (Figs 22 and 26).
+
+A ``kind="smarco"`` or ``kind="compare"`` run carries an activity
+-proportional :class:`~repro.power.report.EnergyReport` in its telemetry
+(the ``energy`` field of each :class:`~repro.exp.telemetry.RunRecord`);
+this module folds a pile of records into the two artefacts the paper's
+efficiency chapter plots:
+
+* a **per-run energy table** — joules split by Table 1 component, the
+  hottest component paths, average watts and perf/W;
+* a **fig22-style efficiency sweep** — one row per (workload, dvfs,
+  node) operating point with throughput, watts, perf/W and (for compare
+  runs) the SmarCo/Xeon efficiency ratio, aggregated over seeds.
+
+Degenerate denominators render as ``—``, never ``0.0`` — the same
+NaN-not-zero discipline as :mod:`repro.analysis.winners`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, List, Mapping, Tuple
+
+from .tables import render_table
+
+__all__ = [
+    "EnergyPoint",
+    "energy_from_records",
+    "energy_points",
+    "render_energy_report",
+    "render_efficiency",
+]
+
+
+def energy_from_records(records: Iterable[Any]) -> List[Dict[str, Any]]:
+    """The ``EnergyReport`` dicts inside a pile of telemetry records.
+
+    Accepts :class:`~repro.exp.telemetry.RunRecord` objects and ignores
+    run kinds without energy accounting, so a mixed ``results/runs/``
+    directory can be fed in unfiltered.
+    """
+    out: List[Dict[str, Any]] = []
+    for record in records:
+        energy = getattr(record, "energy", None)
+        if isinstance(record, Mapping):
+            energy = record.get("energy")
+        if isinstance(energy, Mapping) and "accounting" in energy:
+            out.append(dict(energy))
+    return out
+
+
+@dataclass(frozen=True)
+class EnergyPoint:
+    """One efficiency operating point, aggregated over its seeds."""
+
+    workload: str
+    kind: str
+    dvfs: str
+    technology_nm: int
+    runs: int
+    throughput_ips: float        # mean over runs
+    average_watts: float         # mean over runs
+    perf_per_watt: float         # mean throughput / mean watts
+    total_joules: float          # mean over runs
+    #: mean SmarCo/Xeon perf-per-watt ratio; nan outside compare runs
+    efficiency_ratio: float
+
+
+def _mean(values: List[float]) -> float:
+    finite = [v for v in values if not math.isnan(v)]
+    return sum(finite) / len(finite) if finite else math.nan
+
+
+def energy_points(reports: Iterable[Mapping[str, Any]]) -> List[EnergyPoint]:
+    """Fold raw ``EnergyReport`` dicts into sorted operating points."""
+    groups: Dict[Tuple[str, str, str, int], List[Mapping[str, Any]]] = {}
+    for r in reports:
+        key = (str(r.get("workload", "?")), str(r.get("kind", "?")),
+               str(r.get("dvfs", "?")), int(r.get("technology_nm", 0)))
+        groups.setdefault(key, []).append(r)
+
+    points: List[EnergyPoint] = []
+    for key in sorted(groups):
+        workload, kind, dvfs, node = key
+        runs = groups[key]
+        tput = _mean([float(r.get("throughput_ips", math.nan)) for r in runs])
+        watts = _mean([float(r["accounting"].get("average_watts", math.nan))
+                       for r in runs])
+        joules = _mean([float(r["accounting"].get("total_joules", math.nan))
+                        for r in runs])
+        ppw = tput / watts if watts and not math.isnan(watts) \
+            and watts > 0 else math.nan
+        ratio = _mean([float(r.get("efficiency_ratio", math.nan))
+                       for r in runs])
+        points.append(EnergyPoint(
+            workload=workload, kind=kind, dvfs=dvfs, technology_nm=node,
+            runs=len(runs), throughput_ips=tput, average_watts=watts,
+            perf_per_watt=ppw, total_joules=joules,
+            efficiency_ratio=ratio,
+        ))
+    return points
+
+
+def _num(value: float, fmt: str) -> str:
+    return "—" if math.isnan(value) else format(value, fmt)
+
+
+def render_energy_report(energy: Mapping[str, Any]) -> str:
+    """One run's energy view: component split, hottest paths, perf/W."""
+    acct = energy.get("accounting") or {}
+    rows = []
+    for comp, split in (acct.get("by_component") or {}).items():
+        rows.append([comp,
+                     _num(float(split.get("static", math.nan)), ".3e"),
+                     _num(float(split.get("dynamic", math.nan)), ".3e"),
+                     _num(float(split.get("total", math.nan)), ".3e")])
+    rows.append(["Total",
+                 _num(float(acct.get("static_joules", math.nan)), ".3e"),
+                 _num(float(acct.get("dynamic_joules", math.nan)), ".3e"),
+                 _num(float(acct.get("total_joules", math.nan)), ".3e")])
+    title = (f"Energy: {energy.get('workload', '?')} "
+             f"[dvfs={energy.get('dvfs', '?')}, "
+             f"{energy.get('technology_nm', '?')}nm]")
+    text = render_table(
+        ["component", "static J", "dynamic J", "total J"], rows, title=title)
+
+    summary = [
+        ["cycles", _num(float(acct.get("cycles", math.nan)), ",.0f")],
+        ["avg power", _num(float(acct.get("average_watts", math.nan)),
+                           ".2f") + " W"],
+        ["throughput", _num(float(energy.get("throughput_ips", math.nan))
+                            / 1e9, ".2f") + " Ginstr/s"],
+        ["perf/W", _num(float(energy.get("perf_per_watt", math.nan))
+                        / 1e6, ".1f") + " Minstr/s/W"],
+        ["static model (Table 1)",
+         _num(float(energy.get("static_model_watts", math.nan)), ".1f")
+         + " W at util floor"],
+    ]
+    gated = acct.get("gated_subrings") or []
+    if gated:
+        summary.append(["power-gated",
+                        f"{len(gated)} sub-rings, "
+                        + _num(float(acct.get("gated_joules", math.nan)),
+                               ".3e") + " J shed"])
+    ratio = float(energy.get("efficiency_ratio", math.nan))
+    if not math.isnan(ratio):
+        summary.append(["vs Xeon perf/W", _num(ratio, ".2f") + "x"])
+    text += "\n\n" + render_table(["metric", "value"], summary)
+
+    top = energy.get("top_paths") or []
+    if top:
+        rows = [[path, _num(float(joules), ".3e")] for path, joules in top]
+        text += "\n\n" + render_table(
+            ["component path", "dynamic J"], rows,
+            title="Hottest component paths")
+    return text
+
+
+def render_efficiency(reports: Iterable[Mapping[str, Any]],
+                      title: str = "Energy efficiency sweep "
+                                   "(activity-proportional, per Fig 22)"
+                      ) -> str:
+    """The efficiency table ``report --energy`` prints.
+
+    One row per (workload, dvfs, technology node) operating point,
+    aggregated over seeds; the ratio column is the Fig 22 right-hand
+    axis (SmarCo perf/W over Xeon perf/W) and stays ``—`` for plain
+    ``smarco`` runs that have no baseline side.
+    """
+    points = energy_points(reports)
+    if not points:
+        return "No runs with energy accounting found."
+    rows = []
+    for p in points:
+        rows.append([
+            p.workload, p.kind, p.dvfs, f"{p.technology_nm}nm", p.runs,
+            _num(p.throughput_ips / 1e9, ".2f"),
+            _num(p.average_watts, ".2f"),
+            _num(p.perf_per_watt / 1e6, ".1f"),
+            _num(p.efficiency_ratio, ".2f"),
+        ])
+    return render_table(
+        ["workload", "kind", "dvfs", "node", "runs", "Ginstr/s",
+         "avg W", "Mips/W", "vs Xeon"],
+        rows, title=title)

@@ -27,6 +27,7 @@ from ..core.tcg import TCGCore
 from ..errors import ConfigError
 from ..exp.request import RunRequest
 from ..power.energy import PowerModel, XeonPowerModel
+from ..power.report import build_energy_report
 from ..sim.engine import Simulator
 from ..sim.rng import RngTree
 from ..sim.stats import StatsRegistry
@@ -140,6 +141,11 @@ class RunOutcome:
     #: invariant audit report (:meth:`repro.sim.Auditor.summary`), or None
     #: when the run was not audited
     audit: Optional[Dict[str, Any]] = None
+    #: activity-proportional energy report
+    #: (:meth:`repro.power.report.EnergyReport.to_dict`), or None for run
+    #: kinds without chip activity counters.  Observation-only: excluded
+    #: from the pinned golden digests, which hash result + stats alone.
+    energy: Optional[Dict[str, Any]] = None
 
     def stats_tree(self) -> Dict[str, Any]:
         """The flat stats dump nested by dotted component path."""
@@ -154,6 +160,7 @@ class RunOutcome:
             "stats": self.stats,
             "components": self.components,
             "audit": self.audit,
+            "energy": self.energy,
         }
 
     @classmethod
@@ -167,6 +174,8 @@ class RunOutcome:
             # tolerate cache files written before components existed
             components=dict(data.get("components", {})),
             audit=data.get("audit"),
+            # tolerate cache files written before energy accounting existed
+            energy=data.get("energy"),
         )
 
 
@@ -184,19 +193,25 @@ def execute(request: RunRequest,
     attaches the auditor's report as ``RunOutcome.audit``.
     """
     request.validate()
-    if request.kind == "tcg":
-        return _execute_tcg(request, audit)
-    if request.kind == "smarco":
-        return _execute_smarco(request, audit)
-    if request.kind == "xeon":
-        return _execute_xeon(request, audit)
-    if request.kind == "compare":
-        return _execute_compare(request, audit)
-    if request.kind == "sched":
-        return _execute_sched(request, audit)
-    if request.kind == "traffic":
-        return _execute_traffic(request, audit)
-    raise ConfigError(f"unknown run kind {request.kind!r}")  # pragma: no cover
+    executors = {
+        "tcg": _execute_tcg,
+        "smarco": _execute_smarco,
+        "xeon": _execute_xeon,
+        "compare": _execute_compare,
+        "sched": _execute_sched,
+        "traffic": _execute_traffic,
+    }
+    try:
+        executor = executors[request.kind]
+    except KeyError:  # pragma: no cover
+        raise ConfigError(f"unknown run kind {request.kind!r}") from None
+    outcome = executor(request, audit)
+    # observation-only: billed from the finished run's stats, never fed
+    # back, so results and golden digests are untouched
+    energy_report = build_energy_report(outcome)
+    if energy_report is not None:
+        outcome.energy = energy_report.to_dict()
+    return outcome
 
 
 def _make_auditor(audit: Optional[AuditConfig]):

@@ -6,7 +6,9 @@ Installed as ``repro-smarco`` (see pyproject) or runnable via
     repro-smarco list-workloads
     repro-smarco run kmp --sub-rings 4 --instrs 300
     repro-smarco xeon kmp --threads 48
-    repro-smarco compare wordcount
+    repro-smarco compare wordcount --energy
+    repro-smarco run kmp --energy --dvfs eco --power-gate
+    repro-smarco sweep kmp --kind compare --dvfs-points eco nominal turbo
     repro-smarco traffic kmp --chips 4 --load 0.8 --arrival bursty
     repro-smarco sweep kmp wordcount --seeds 0 1 2 --workers 2
     repro-smarco sweep kmp --kind sched --sched-policies laxity fifo
@@ -35,10 +37,10 @@ from pathlib import Path
 from typing import List, Optional
 
 from .analysis import render_result, render_table
-from .chip.run import compare, execute, run_xeon
+from .chip.run import execute, run_xeon
 from .config import AuditConfig, smarco_scaled
 from .exp import ExperimentSpec, RunRequest
-from .power import AreaModel, PowerModel
+from .power import NODES, AreaModel, PowerModel, dvfs_summaries, list_dvfs
 from .workloads import CdnModel, all_profiles
 
 __all__ = ["main", "build_parser"]
@@ -105,6 +107,20 @@ def build_parser() -> argparse.ArgumentParser:
                        help="conservative sync window for sharded runs "
                             "(default: the largest safe window, the "
                             "bridge latency; 0 = sequential instant mode)")
+    run_p.add_argument("--dvfs", default="nominal", choices=list_dvfs(),
+                       help="DVFS operating point for energy accounting "
+                            "(observation-only: simulated cycles are "
+                            "unchanged)")
+    run_p.add_argument("--node", type=int, default=None,
+                       choices=sorted(NODES), metavar="NM",
+                       help="technology node for energy accounting "
+                            "(default: the config's, 32 nm)")
+    run_p.add_argument("--power-gate", action="store_true",
+                       help="shed the static share of sub-rings whose "
+                            "cores retired nothing")
+    run_p.add_argument("--energy", action="store_true",
+                       help="print the activity-proportional energy "
+                            "report after the run")
 
     xeon_p = sub.add_parser("xeon", help="run a workload on the Xeon baseline")
     xeon_p.add_argument("workload")
@@ -118,6 +134,15 @@ def build_parser() -> argparse.ArgumentParser:
     cmp_p.add_argument("--sub-rings", type=int, default=4)
     cmp_p.add_argument("--instrs", type=int, default=250)
     cmp_p.add_argument("--seed", type=int, default=0)
+    cmp_p.add_argument("--dvfs", default="nominal", choices=list_dvfs(),
+                       help="DVFS operating point for the energy columns")
+    cmp_p.add_argument("--node", type=int, default=None,
+                       choices=sorted(NODES), metavar="NM",
+                       help="technology node (40 reproduces Fig 26's "
+                            "prototype comparison)")
+    cmp_p.add_argument("--energy", action="store_true",
+                       help="print the activity-proportional energy "
+                            "report after the comparison")
 
     traffic_p = sub.add_parser(
         "traffic",
@@ -221,6 +246,18 @@ def build_parser() -> argparse.ArgumentParser:
                          metavar="CYCLES",
                          help="cycle at which --warm-start snapshots the "
                               "shared warm-up prefix")
+    sweep_p.add_argument("--dvfs-points", nargs="+", default=None,
+                         choices=list_dvfs(), metavar="POINT",
+                         help="add a DVFS operating-point axis to the "
+                              "grid (kinds smarco/compare; observation-"
+                              "only but a cache-key axis)")
+    sweep_p.add_argument("--nodes", type=int, nargs="+", default=None,
+                         choices=sorted(NODES), metavar="NM",
+                         help="add a technology-node axis to the grid "
+                              "(kinds smarco/compare)")
+    sweep_p.add_argument("--power-gate", action="store_true",
+                         help="bill idle sub-rings as power-gated in "
+                              "every point's energy report")
 
     ckpt_p = sub.add_parser(
         "checkpoint",
@@ -332,6 +369,10 @@ def build_parser() -> argparse.ArgumentParser:
     rep_p.add_argument("--breakdown", action="store_true",
                        help="add the per-stage latency breakdown aggregated "
                             "over traced sweep runs")
+    rep_p.add_argument("--energy", action="store_true",
+                       help="add the activity-proportional energy "
+                            "efficiency tables (perf/W, SmarCo-vs-Xeon "
+                            "ratio) aggregated over sweep runs")
     return parser
 
 
@@ -396,6 +437,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
         core_policy=args.policy, shared_code=args.shared_code,
         shards=shards,
         shard_quantum=args.quantum if shards else None,
+        dvfs=args.dvfs, technology_nm=args.node,
+        power_gate_idle=args.power_gate,
     )
     audit_cfg = AuditConfig(enabled=True) if args.audit else None
     outcome = execute(request, audit=audit_cfg)
@@ -416,6 +459,11 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
         print()
         print(render_breakdown(rows_from_stats(outcome.stats)))
+    if args.energy and outcome.energy is not None:
+        from .analysis import render_energy_report
+
+        print()
+        print(render_energy_report(outcome.energy))
     if outcome.audit is not None:
         print(f"\naudit: clean, {outcome.audit['total_checks']:,} "
               f"invariant checks performed")
@@ -439,11 +487,13 @@ def _cmd_xeon(args: argparse.Namespace) -> int:
 
 
 def _cmd_compare(args: argparse.Namespace) -> int:
-    result = compare(RunRequest(
+    outcome = execute(RunRequest(
         kind="compare", workload=args.workload, seed=args.seed,
         smarco_config=smarco_scaled(args.sub_rings),
         instrs_per_thread=args.instrs,
+        dvfs=args.dvfs, technology_nm=args.node,
     ))
+    result = outcome.result
     print(render_table(["metric", "value"], [
         ["SmarCo throughput", f"{result.smarco.throughput_ips / 1e9:.2f} G/s"],
         ["Xeon throughput", f"{result.xeon.throughput_ips / 1e9:.2f} G/s"],
@@ -452,6 +502,11 @@ def _cmd_compare(args: argparse.Namespace) -> int:
         ["Xeon power", f"{result.xeon_watts:.0f} W"],
         ["energy-efficiency gain", f"{result.energy_efficiency_gain:.2f}x"],
     ], title=f"SmarCo vs Xeon: {args.workload}"))
+    if args.energy and outcome.energy is not None:
+        from .analysis import render_energy_report
+
+        print()
+        print(render_energy_report(outcome.energy))
     return 0
 
 
@@ -522,6 +577,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         traffic_requests=args.requests,
         warm_cycles=args.warm_cycles if args.warm_start else 0.0,
         warm_axes=("run_cycles",) if args.warm_start else (),
+        power_gate_idle=args.power_gate,
     )
     if args.kind == "traffic":
         # the calibration chip defaults to the sweep's scaled geometry
@@ -543,6 +599,10 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         axes["traffic_load"] = args.loads
     if args.run_cycles:
         axes["run_cycles"] = args.run_cycles
+    if args.dvfs_points:
+        axes["dvfs"] = args.dvfs_points
+    if args.nodes:
+        axes["technology_nm"] = args.nodes
     spec = ExperimentSpec.grid(args.name, base, **axes)
 
     runner = Runner(workers=args.workers, base_dir=args.out,
@@ -560,6 +620,11 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
 
         print()
         print(render_traffic(traffic_results_from_records(sweep.records)))
+    if args.kind in ("smarco", "compare") and (args.dvfs_points or args.nodes):
+        from .analysis import energy_from_records, render_efficiency
+
+        print()
+        print(render_efficiency(energy_from_records(sweep.records)))
     if args.detail:
         for point, outcome in zip(sweep.records, sweep.outcomes):
             print()
@@ -685,6 +750,10 @@ def _cmd_area_power() -> int:
                  round(sum(power.values()), 2)])
     print(render_table(["component", "area mm2", "power W"], rows,
                        title="Table 1: SmarCo at 32nm / 1.5GHz"))
+    print()
+    print("DVFS operating points (pass to run/sweep via --dvfs):")
+    for line in dvfs_summaries():
+        print(f"  {line}")
     return 0
 
 
@@ -733,6 +802,18 @@ def _cmd_report(args: argparse.Namespace) -> int:
         else:
             text += ("\n## Latency breakdown\n\nNo traced runs found "
                      "(set `trace_sample_rate` > 0 in the sweep config).\n")
+    if args.energy:
+        from .analysis import energy_from_records, render_efficiency
+
+        reports = energy_from_records(records)
+        if reports:
+            text += ("\n## Energy efficiency — perf/W vs the Xeon "
+                     "baseline\n\n```\n"
+                     + render_efficiency(reports) + "\n```\n")
+        else:
+            text += ("\n## Energy efficiency\n\nNo runs with energy "
+                     "accounting found (kinds `smarco`/`compare` carry "
+                     "an energy report).\n")
     if args.output:
         Path(args.output).write_text(text + "\n")
         print(f"report written to {args.output}")

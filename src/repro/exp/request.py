@@ -72,9 +72,16 @@ class RunRequest:
     xeon_instrs_per_thread: int = 40_000
     stagger_creation: bool = True
 
-    # -- comparison extras (kind == "compare") --
+    # -- power / energy accounting (kinds {"smarco", "compare"}) --
     technology_nm: Optional[int] = None
     power_config: Optional[SmarCoConfig] = None
+    #: DVFS operating point (see :mod:`repro.power.dvfs`).  Observation
+    #: -only — it scales billed energy and wall-clock seconds, never the
+    #: simulated cycle count — but it is a cache-key axis so swept
+    #: operating points cache apart.
+    dvfs: str = "nominal"
+    #: shed the static share of sub-rings whose cores retired nothing
+    power_gate_idle: bool = False
 
     # -- scheduler policy race (kind == "sched") --
     sched_policy: str = "laxity"
@@ -148,6 +155,17 @@ class RunRequest:
                 raise ConfigError(
                     f"traffic_slo targets must be positive: "
                     f"{self.traffic_slo!r}")
+        # fail on bad power axes at request time, not inside a worker
+        from ..power.dvfs import get_dvfs
+
+        get_dvfs(self.dvfs)
+        if self.technology_nm is not None:
+            from ..power.tech import NODES
+
+            if self.technology_nm not in NODES:
+                raise ConfigError(
+                    f"unknown technology node {self.technology_nm}nm; "
+                    f"known: {sorted(NODES)}")
         if self.threads_per_core <= 0 or self.instrs_per_thread <= 0:
             raise ConfigError("thread and instruction counts must be positive")
         if self.xeon_threads <= 0 or self.xeon_instrs_per_thread <= 0:

@@ -268,4 +268,5 @@ class Runner:
             stats_tree=nest_flat_stats(outcome_dict["stats"]),
             components=outcome_dict.get("components", {}),
             audit=outcome_dict.get("audit"),
+            energy=outcome_dict.get("energy"),
         )

@@ -44,6 +44,9 @@ class RunRecord:
     components: Dict[str, Any] = field(default_factory=dict)
     #: invariant audit report (Auditor.summary()); None for unaudited runs
     audit: Optional[Dict[str, Any]] = None
+    #: activity-proportional energy report (EnergyReport.to_dict());
+    #: None for run kinds without chip activity counters
+    energy: Optional[Dict[str, Any]] = None
 
     def to_dict(self) -> Dict[str, Any]:
         return dataclasses.asdict(self)

@@ -34,7 +34,12 @@ Each kernel isolates one simulator hot path:
   calibration: bursty arrivals through the subring-aware balancer into
   queueing chip servers, every latency folded through the streaming
   quantile sketch (``repro.traffic`` + ``repro.analysis.quantiles`` hot
-  paths, no chip-simulation time).
+  paths, no chip-simulation time);
+* ``energy_accounting`` — seeded synthetic scoped stats folded through
+  the activity-proportional energy model (stat classification, per-path
+  attribution, DVFS/node scaling, power gating) across the full
+  operating-point grid — the post-run accounting cost every smarco/
+  compare run now pays, measured in isolation.
 
 Kernels are deterministic: fixed seeds, no wall-clock feedback into the
 simulation — so their *results* (events, units, digests) are identical
@@ -76,6 +81,7 @@ SIZES: Dict[str, Dict[str, Dict[str, int]]] = {
         "ckpt_roundtrip": {"cycle": 300, "rounds": 2},
         "shard_sync": {"instrs": 40, "quantum": 1},
         "traffic_arrivals": {"requests": 2_000, "chips": 2},
+        "energy_accounting": {"rounds": 20},
     },
     "small": {
         "engine_churn": {"events": 200_000, "chains": 16},
@@ -90,6 +96,7 @@ SIZES: Dict[str, Dict[str, Dict[str, int]]] = {
         "ckpt_roundtrip": {"cycle": 800, "rounds": 5},
         "shard_sync": {"instrs": 120, "quantum": 1},
         "traffic_arrivals": {"requests": 20_000, "chips": 4},
+        "energy_accounting": {"rounds": 200},
     },
     "default": {
         "engine_churn": {"events": 1_000_000, "chains": 32},
@@ -104,6 +111,7 @@ SIZES: Dict[str, Dict[str, Dict[str, int]]] = {
         "ckpt_roundtrip": {"cycle": 1500, "rounds": 10},
         "shard_sync": {"instrs": 250, "quantum": 1},
         "traffic_arrivals": {"requests": 150_000, "chips": 8},
+        "energy_accounting": {"rounds": 1_000},
     },
 }
 
@@ -448,6 +456,72 @@ def _k_shard_sync(params: Dict[str, int]) -> Dict[str, Any]:
             "unit": "instrs", "digest": result_digest(outcome)}
 
 
+def _k_energy_accounting(params: Dict[str, int]) -> Dict[str, Any]:
+    """Synthetic scoped stats through the activity energy model.
+
+    One seeded flat-stats dump shaped like a real 4x4 chip run (every
+    billable counter family populated, one sub-ring left idle so the
+    gating path engages) is accounted ``rounds`` times, cycling through
+    every DVFS point x technology node x gating combination.  The digest
+    pins the final accounting dict plus a joule checksum over all
+    rounds, so any change to classification, calibration or scaling
+    shows up as a determinism break.
+    """
+    from ..config import smarco_scaled
+    from ..exp.cache import canonical_json
+    from ..power import ActivityEnergyModel, list_dvfs
+    from ..power.tech import NODES
+
+    cfg = smarco_scaled(4, 4)
+    model = ActivityEnergyModel(cfg)
+    rng = random.Random(31_415)
+    stats: Dict[str, float] = {}
+    for sr in range(cfg.sub_rings):
+        idle = sr == cfg.sub_rings - 1    # exercise the gating path
+        for c in range(cfg.cores_per_sub_ring):
+            cid = sr * cfg.cores_per_sub_ring + c
+            base = f"chip.subring{sr}.core{cid}"
+            stats[f"{base}.retired"] = 0 if idle else rng.randrange(50_000)
+            stats[f"{base}.icache.hits"] = rng.randrange(40_000)
+            stats[f"{base}.icache.misses"] = rng.randrange(2_000)
+            stats[f"{base}.dcache.hits"] = rng.randrange(8_000)
+            stats[f"{base}.dcache.misses"] = rng.randrange(1_000)
+            stats[f"{base}.spm_hits"] = rng.randrange(4_000)
+            stats[f"chip.subring{sr}.spm{cid}.reads"] = rng.randrange(3_000)
+            stats[f"chip.subring{sr}.spm{cid}.writes"] = rng.randrange(1_500)
+        stats[f"chip.subring{sr}.mact.requests_in"] = rng.randrange(20_000)
+        stats[f"chip.subring{sr}.mact.bypasses"] = rng.randrange(500)
+        stats[f"chip.subring{sr}.dma.transfers"] = rng.randrange(200)
+        for seg in range(cfg.cores_per_sub_ring + 1):
+            for d in ("cw", "ccw", "bidi"):
+                stats[f"chip.noc.sub{sr}.seg{seg}.{d}.bytes"] = \
+                    rng.randrange(100_000)
+        stats[f"chip.direct.link{sr}.bytes"] = rng.randrange(50_000)
+    for mc in range(cfg.memory.channels):
+        for bank in range(4):
+            stats[f"chip.mem.mc{mc}.dram{bank}.requests"] = \
+                rng.randrange(10_000)
+
+    points = list_dvfs()
+    nodes = sorted(NODES)
+    rounds = params["rounds"]
+    cycles = 250_000.0
+    checksum = 0.0
+    acct = None
+    for i in range(rounds):
+        acct = model.accounting(
+            stats, cycles,
+            dvfs=points[i % len(points)],
+            technology_nm=nodes[(i // len(points)) % len(nodes)],
+            power_gate_idle=bool(i % 2))
+        checksum += acct.total_joules
+    digest = hashlib.sha256(canonical_json(
+        {"last": acct.to_dict(), "checksum": round(checksum, 9)}
+    ).encode()).hexdigest()[:16]
+    return {"events": 0, "units": rounds * len(stats),
+            "unit": "stat-folds", "digest": digest}
+
+
 def _k_traffic_arrivals(params: Dict[str, int]) -> Dict[str, Any]:
     """The open-loop cluster hot path on a synthetic chip calibration.
 
@@ -489,6 +563,7 @@ KERNELS: Dict[str, Callable[[Dict[str, int]], Dict[str, Any]]] = {
     "ckpt_roundtrip": _k_ckpt_roundtrip,
     "shard_sync": _k_shard_sync,
     "traffic_arrivals": _k_traffic_arrivals,
+    "energy_accounting": _k_energy_accounting,
 }
 
 

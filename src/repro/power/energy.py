@@ -7,6 +7,7 @@ constants are calibrated to Table 1 at 32 nm / 1.5 GHz / full activity.
 
 from __future__ import annotations
 
+import math
 from typing import Dict, Optional
 
 from ..config import SmarCoConfig, XeonConfig, smarco_default
@@ -100,7 +101,12 @@ class XeonPowerModel:
 
 def energy_efficiency(throughput: float, watts: float) -> float:
     """Performance per watt (Fig 22/26's y-axis is the SmarCo/Xeon ratio
-    of this quantity)."""
-    if watts <= 0:
-        raise ConfigError("watts must be positive")
+    of this quantity).
+
+    ``nan`` (never a silent ``0.0``, and no longer an exception) when the
+    denominator is degenerate — the same convention as ``speedup`` on a
+    zero baseline and the winners-table p99 on an empty sample set.
+    """
+    if watts <= 0 or math.isnan(watts):
+        return math.nan
     return throughput / watts

@@ -36,6 +36,30 @@ class TestRunRequest:
             RunRequest(kind=kind).validate()
 
 
+class TestEnergyKnobs:
+    """DVFS / technology knobs validate eagerly and key the cache."""
+
+    def test_unknown_dvfs_rejected(self):
+        with pytest.raises(ConfigError, match="unknown dvfs point"):
+            RunRequest(dvfs="ludicrous").validate()
+
+    def test_unknown_node_rejected(self):
+        with pytest.raises(ConfigError):
+            RunRequest(technology_nm=22).validate()
+
+    def test_dvfs_and_node_are_cache_key_axes(self):
+        from repro.exp.cache import request_key
+
+        base = RunRequest(workload="kmp")
+        keys = {
+            request_key(base),
+            request_key(base.replace(dvfs="eco")),
+            request_key(base.replace(technology_nm=40)),
+            request_key(base.replace(power_gate_idle=True)),
+        }
+        assert len(keys) == 4
+
+
 class TestShardValidation:
     def test_negative_shards_rejected(self):
         with pytest.raises(ConfigError, match="shards"):

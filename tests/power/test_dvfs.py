@@ -1,0 +1,47 @@
+"""DVFS operating-point registry tests."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.power import DVFS_POINTS, DvfsPoint, dvfs_summaries, get_dvfs, list_dvfs
+
+
+class TestRegistry:
+    def test_nominal_is_calibration_point(self):
+        point = get_dvfs("nominal")
+        assert point.frequency_ghz == pytest.approx(1.5)
+        assert point.voltage == pytest.approx(1.0)
+        assert point.dynamic_scale == pytest.approx(1.0)
+        assert point.static_scale == pytest.approx(1.0)
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(ConfigError, match="unknown dvfs point"):
+            get_dvfs("ludicrous")
+
+    def test_list_sorted_by_frequency(self):
+        names = list_dvfs()
+        freqs = [DVFS_POINTS[n].frequency_ghz for n in names]
+        assert freqs == sorted(freqs)
+        assert set(names) == set(DVFS_POINTS)
+
+    def test_summaries_cover_every_point(self):
+        lines = dvfs_summaries()
+        assert len(lines) == len(DVFS_POINTS)
+        for name in DVFS_POINTS:
+            assert any(line.startswith(f"{name}:") for line in lines)
+
+
+class TestScaling:
+    def test_dynamic_energy_is_v_squared(self):
+        point = DvfsPoint("x", frequency_ghz=1.0, voltage=0.8)
+        assert point.dynamic_scale == pytest.approx(0.64)
+
+    def test_static_power_is_linear_in_v(self):
+        point = DvfsPoint("x", frequency_ghz=1.0, voltage=0.8)
+        assert point.static_scale == pytest.approx(0.8)
+
+    def test_turbo_costs_more_per_event_than_eco(self):
+        assert get_dvfs("turbo").dynamic_scale > get_dvfs("eco").dynamic_scale
+
+    def test_describe_mentions_frequency(self):
+        assert "1.50 GHz" in get_dvfs("nominal").describe()

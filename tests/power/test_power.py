@@ -1,5 +1,7 @@
 """Area/power model tests: must reproduce the paper's Table 1."""
 
+import math
+
 import pytest
 
 from repro.config import MACTConfig, SmarCoConfig, smarco_default, smarco_scaled
@@ -97,6 +99,17 @@ class TestTechScaling:
         with pytest.raises(ConfigError):
             scale_area(1, 32, 22)
 
+    def test_unknown_power_node(self):
+        with pytest.raises(ConfigError):
+            scale_power(1, 32, 22)
+
+    def test_40nm_32nm_round_trip(self):
+        """Scaling out to the 40nm prototype and back is lossless."""
+        assert scale_power(scale_power(100.0, 32, 40), 40, 32) == \
+            pytest.approx(100.0)
+        assert scale_area(scale_area(100.0, 32, 40), 40, 32) == \
+            pytest.approx(100.0)
+
 
 class TestXeonPower:
     def test_full_load_is_tdp(self):
@@ -105,6 +118,14 @@ class TestXeonPower:
     def test_idle_floor(self):
         model = XeonPowerModel()
         assert model.total_watts(0.0) == pytest.approx(165.0 * 0.45)
+
+    def test_idle_floor_dominates_low_utilization(self):
+        """Below the idle floor the Xeon burns the floor, not less —
+        the non-energy-proportionality Fig 2 complains about."""
+        model = XeonPowerModel()
+        floor = model.total_watts(0.0)
+        assert model.total_watts(0.05) > floor
+        assert model.total_watts(0.05) < model.total_watts(0.5)
 
     def test_energy(self):
         model = XeonPowerModel()
@@ -116,9 +137,14 @@ class TestEnergyEfficiency:
     def test_ratio(self):
         assert energy_efficiency(100.0, 50.0) == 2.0
 
-    def test_zero_watts_rejected(self):
-        with pytest.raises(ConfigError):
-            energy_efficiency(1.0, 0.0)
+    def test_zero_watts_is_nan_not_error(self):
+        """Degenerate denominators yield NaN, not an exception — the
+        NaN-not-zero convention every analysis table already follows.
+        Regression: this used to raise ConfigError, which crashed
+        report rendering on idle (zero-watt) operating points."""
+        assert math.isnan(energy_efficiency(1.0, 0.0))
+        assert math.isnan(energy_efficiency(1.0, -3.0))
+        assert math.isnan(energy_efficiency(1.0, math.nan))
 
     def test_paper_direction_smarco_vs_xeon(self):
         """With the paper's 10.11x mean speedup and the two chips' power,

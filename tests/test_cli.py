@@ -44,6 +44,37 @@ def test_area_power_command(capsys):
     assert main(["area-power"]) == 0
     out = capsys.readouterr().out
     assert "751" in out and "MACT" in out
+    assert "DVFS operating points" in out and "nominal" in out
+
+
+def test_run_energy_flag(capsys):
+    rc = main(["run", "kmp", "--sub-rings", "1", "--cores", "4",
+               "--threads-per-core", "4", "--instrs", "80",
+               "--energy", "--dvfs", "eco"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "Energy: kmp" in out and "dvfs=eco" in out
+    assert "Hierarchy Ring" in out and "perf/W" in out
+
+
+def test_compare_energy_flag(capsys):
+    rc = main(["compare", "kmp", "--sub-rings", "1",
+               "--instrs", "100", "--energy"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "vs Xeon perf/W" in out
+
+
+def test_report_energy_section(tmp_path, capsys):
+    main(["sweep", "kmp", "--kind", "compare", "--sub-rings", "1",
+          "--cores", "4", "--instrs", "80", "--dvfs-points", "eco",
+          "nominal", "--out", str(tmp_path)])
+    capsys.readouterr()
+    assert main(["report", "--results-dir", str(tmp_path),
+                 "--runs-dir", str(tmp_path / "runs"), "--energy"]) == 0
+    out = capsys.readouterr().out
+    assert "## Energy efficiency" in out
+    assert "eco" in out and "nominal" in out
 
 
 def test_cdn_command(capsys):
